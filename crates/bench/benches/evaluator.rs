@@ -1,0 +1,35 @@
+//! F1 — the Method Evaluator/Comparator's threaded fan-out (the
+//! "N threads" box of the architecture figure): same batch of jobs on
+//! 1, 2 and 4 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::{census_session, SEED};
+use secreta_core::config::{MethodSpec, RelAlgo};
+use secreta_core::evaluator::{run_many, Job};
+
+fn bench(c: &mut Criterion) {
+    let ctx = census_session(500);
+    let jobs: Vec<Job> = [5usize, 10, 15, 20]
+        .into_iter()
+        .map(|k| Job {
+            spec: MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k,
+            },
+            seed: SEED,
+        })
+        .collect();
+    let mut group = c.benchmark_group("evaluator_fanout");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &t| b.iter(|| run_many(&ctx, &jobs, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! F2 — cost of the Dataset Editor's histogram computations
+//! (Figure 2's bottom pane redraws these interactively).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::rt_dataset;
+use secreta_core::data::stats;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_histograms");
+    for rows in [500usize, 2000, 8000] {
+        let table = rt_dataset(rows).generate();
+        group.bench_with_input(BenchmarkId::new("relational", rows), &table, |b, t| {
+            b.iter(|| stats::relational_histogram(t, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("items", rows), &table, |b, t| {
+            b.iter(|| stats::item_histogram(t))
+        });
+        group.bench_with_input(BenchmarkId::new("summaries", rows), &table, |b, t| {
+            b.iter(|| stats::summarize(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

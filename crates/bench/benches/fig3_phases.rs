@@ -1,0 +1,34 @@
+//! F3b — the individual phases of the reference RT method, so the
+//! per-phase runtime plot has microbenchmark backing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secreta_bench::{rt_session, SEED};
+use secreta_core::relational::{RelationalAlgorithm, RelationalInput};
+use secreta_core::transaction::{TransactionAlgorithm, TransactionInput};
+
+fn bench(c: &mut Criterion) {
+    let ctx = rt_session(600);
+    let mut group = c.benchmark_group("fig3_phases");
+    group.sample_size(10);
+
+    group.bench_function("relational_partitioning", |b| {
+        let input = RelationalInput {
+            table: &ctx.table,
+            qi_attrs: ctx.qi_attrs.clone(),
+            hierarchies: ctx.hierarchies.clone(),
+            k: 10,
+        };
+        b.iter(|| RelationalAlgorithm::Cluster.run(&input, SEED).expect("run"))
+    });
+
+    group.bench_function("transaction_anonymization", |b| {
+        let h = ctx.item_hierarchy.as_ref().expect("item hierarchy");
+        let input = TransactionInput::km(&ctx.table, 10, 2, h);
+        b.iter(|| TransactionAlgorithm::Apriori.run(&input).expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

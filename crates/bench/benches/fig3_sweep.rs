@@ -1,0 +1,22 @@
+//! F3a — one point of the "ARE vs δ" sweep: a full RT anonymization
+//! plus indicator computation at fixed parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::{reference_rt_spec, rt_session, SEED};
+use secreta_core::anonymizer;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sweep_point");
+    group.sample_size(10);
+    let ctx = rt_session(600);
+    for delta in [1usize, 3, 6] {
+        let spec = reference_rt_spec(10, 2, delta);
+        group.bench_with_input(BenchmarkId::new("delta", delta), &spec, |b, s| {
+            b.iter(|| anonymizer::run(&ctx, s, SEED).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

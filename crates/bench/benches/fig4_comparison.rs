@@ -1,0 +1,38 @@
+//! F4 — a complete Comparison-mode session: two configurations swept
+//! over k on the threaded evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secreta_bench::{rt_session, SEED};
+use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+use secreta_core::{compare, Configuration, Sweep, VaryingParam};
+
+fn bench(c: &mut Criterion) {
+    let ctx = rt_session(400);
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 5,
+        end: 15,
+        step: 5,
+    };
+    let rt = |rel, bounding| MethodSpec::Rt {
+        rel,
+        tx: TxAlgo::Apriori,
+        bounding,
+        k: 0,
+        m: 2,
+        delta: 2,
+    };
+    let configs = vec![
+        Configuration::new(rt(RelAlgo::Cluster, Bounding::RMerge), sweep, SEED),
+        Configuration::new(rt(RelAlgo::Incognito, Bounding::RtMerge), sweep, SEED),
+    ];
+    let mut group = c.benchmark_group("fig4_comparison");
+    group.sample_size(10);
+    group.bench_function("two_configs_three_points", |b| {
+        b.iter(|| compare(&ctx, &configs, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

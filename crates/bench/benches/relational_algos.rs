@@ -1,0 +1,26 @@
+//! X1 — the four relational algorithms head-to-head at fixed k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::{census_session, SEED};
+use secreta_core::relational::{RelationalAlgorithm, RelationalInput};
+
+fn bench(c: &mut Criterion) {
+    let ctx = census_session(800);
+    let mut group = c.benchmark_group("relational_algos");
+    group.sample_size(10);
+    for algo in RelationalAlgorithm::all() {
+        let input = RelationalInput {
+            table: &ctx.table,
+            qi_attrs: ctx.qi_attrs.clone(),
+            hierarchies: ctx.hierarchies.clone(),
+            k: 10,
+        };
+        group.bench_with_input(BenchmarkId::new("k10", algo.name()), &input, |b, i| {
+            b.iter(|| algo.run(i, SEED).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

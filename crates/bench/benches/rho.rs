@@ -1,0 +1,37 @@
+//! X5 — ρ-uncertainty (SuppressControl) at varying strictness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::basket_session;
+use secreta_core::transaction::rho::{anonymize, RhoParams};
+use secreta_core::transaction::TransactionInput;
+use secreta_data::ItemId;
+
+fn bench(c: &mut Criterion) {
+    let ctx = basket_session(1000);
+    let universe = ctx.table.item_universe();
+    let sensitive: Vec<ItemId> = (0..(universe / 10).max(1) as u32).map(ItemId).collect();
+    let mut group = c.benchmark_group("rho_uncertainty");
+    group.sample_size(10);
+    for rho_pct in [70u32, 40, 20] {
+        let params = RhoParams {
+            rho: rho_pct as f64 / 100.0,
+            sensitive: sensitive.clone(),
+            max_antecedent: 2,
+        };
+        group.bench_with_input(BenchmarkId::new("rho", rho_pct), &params, |b, p| {
+            let input = TransactionInput {
+                table: &ctx.table,
+                k: 1,
+                m: 1,
+                hierarchy: None,
+                privacy: None,
+                utility: None,
+            };
+            b.iter(|| anonymize(&input, p).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! X3 — representative cells of the 4×5 combination grid under each
+//! bounding method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::{rt_session, SEED};
+use secreta_core::anonymizer;
+use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+
+fn bench(c: &mut Criterion) {
+    let ctx = rt_session(400);
+    let mut group = c.benchmark_group("rt_grid");
+    group.sample_size(10);
+    let cells = [
+        (RelAlgo::Cluster, TxAlgo::Apriori, Bounding::RMerge),
+        (RelAlgo::Cluster, TxAlgo::Pcta, Bounding::TMerge),
+        (RelAlgo::Incognito, TxAlgo::Apriori, Bounding::RtMerge),
+        (RelAlgo::TopDown, TxAlgo::Vpa { parts: 4 }, Bounding::RMerge),
+    ];
+    for (rel, tx, bounding) in cells {
+        let spec = MethodSpec::Rt {
+            rel,
+            tx,
+            bounding,
+            k: 10,
+            m: 2,
+            delta: 2,
+        };
+        group.bench_with_input(BenchmarkId::new("combo", spec.label()), &spec, |b, s| {
+            b.iter(|| anonymizer::run(&ctx, s, SEED).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

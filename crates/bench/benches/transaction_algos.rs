@@ -1,0 +1,31 @@
+//! X2 — the five transaction algorithms head-to-head at fixed k, m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::basket_session;
+use secreta_core::transaction::{TransactionAlgorithm, TransactionInput};
+
+fn bench(c: &mut Criterion) {
+    let ctx = basket_session(800);
+    let h = ctx.item_hierarchy.as_ref().expect("item hierarchy");
+    let mut group = c.benchmark_group("transaction_algos");
+    group.sample_size(10);
+    for algo in TransactionAlgorithm::all() {
+        let input = TransactionInput {
+            table: &ctx.table,
+            k: 5,
+            m: 2,
+            hierarchy: Some(h),
+            privacy: None,
+            utility: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("k5_m2", algo.to_string()),
+            &input,
+            |b, i| b.iter(|| algo.run(i).expect("run")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,611 @@
+//! Regenerate every figure of the SECRETA paper (see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for recorded outcomes).
+//!
+//! ```sh
+//! cargo run --release -p secreta-bench --bin experiments -- [--fig ID] \
+//!     [--rows N] [--out results] [--threads N]
+//! ```
+//!
+//! Figures: f2 f3a f3b f3c f3d f4 x1 x2 x3 x4 x5 (default: all).
+
+use secreta_bench::{basket_session, census_session, reference_rt_spec, rt_session, SEED};
+use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+use secreta_core::metrics::freq;
+use secreta_core::policy::{generate_utility, UtilityStrategy};
+use secreta_core::{
+    anonymizer, compare, evaluate_sweep, export, Configuration, SessionContext, Sweep,
+    VaryingParam,
+};
+use secreta_plot::{BarChart, GroupedBarChart, Series, XyChart};
+use std::path::{Path, PathBuf};
+
+struct Opts {
+    fig: String,
+    rows: usize,
+    out: PathBuf,
+    threads: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut fig = "all".to_owned();
+    let mut rows = 1000usize;
+    let mut out = PathBuf::from("results");
+    let mut threads = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(tok) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("--{name} expects a value"))
+        };
+        match tok.as_str() {
+            "--fig" => fig = val("fig"),
+            "--rows" => rows = val("rows").parse().expect("--rows integer"),
+            "--out" => out = PathBuf::from(val("out")),
+            "--threads" => threads = val("threads").parse().expect("--threads integer"),
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+    Opts {
+        fig,
+        rows,
+        out,
+        threads,
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    let run = |name: &str| opts.fig == "all" || opts.fig == name;
+
+    if run("f2") {
+        fig2_histograms(&opts);
+    }
+    if run("f3a") {
+        fig3a_are_vs_delta(&opts);
+    }
+    if run("f3b") {
+        fig3b_phase_times(&opts);
+    }
+    if run("f3c") {
+        fig3c_generalized_frequencies(&opts);
+    }
+    if run("f3d") {
+        fig3d_item_frequency_error(&opts);
+    }
+    if run("f4") {
+        fig4_comparison(&opts);
+    }
+    if run("x1") {
+        x1_relational_shootout(&opts);
+    }
+    if run("x2") {
+        x2_transaction_shootout(&opts);
+    }
+    if run("x3") {
+        x3_rt_grid(&opts);
+    }
+    if run("x4") {
+        x4_policy_strategies(&opts);
+    }
+    if run("x5") {
+        x5_rho_uncertainty(&opts);
+    }
+    println!("\nall requested figures written to {}", opts.out.display());
+}
+
+fn write_xy(chart: &XyChart, out: &Path, stem: &str) {
+    let (svg, csv) = export::export_xy_chart(chart, out.join(stem)).expect("write chart");
+    println!("  -> {} / {}", svg.display(), csv.display());
+}
+
+fn write_bar(chart: &BarChart, out: &Path, stem: &str) {
+    let (svg, csv) = export::export_bar_chart(chart, out.join(stem)).expect("write chart");
+    println!("  -> {} / {}", svg.display(), csv.display());
+}
+
+/// F2 — Figure 2 bottom pane: histograms of original attributes.
+fn fig2_histograms(opts: &Opts) {
+    println!("== F2: attribute histograms of the original dataset");
+    let ctx = rt_session(opts.rows);
+    for &attr in &ctx.qi_attrs {
+        let h = secreta_core::data::stats::relational_histogram(&ctx.table, attr).top_k(12);
+        let chart = BarChart::new(
+            h.title.clone(),
+            h.labels.clone(),
+            h.counts.iter().map(|&c| c as f64).collect(),
+        );
+        let name = ctx.table.schema().attribute(attr).expect("attr").name.clone();
+        write_bar(&chart, &opts.out, &format!("f2_histogram_{name}"));
+    }
+    let items = secreta_core::data::stats::item_histogram(&ctx.table).top_k(15);
+    let chart = BarChart::new(
+        "Items (top 15)".to_owned(),
+        items.labels.clone(),
+        items.counts.iter().map(|&c| c as f64).collect(),
+    );
+    write_bar(&chart, &opts.out, "f2_histogram_items");
+}
+
+/// F3a — "ARE scores for various parameters (e.g., for varying δ and
+/// fixed k and m)".
+fn fig3a_are_vs_delta(opts: &Opts) {
+    println!("== F3a: ARE vs δ (fixed k=5, m=2) for {}", reference_rt_spec(5, 2, 1).label());
+    let ctx = rt_session(opts.rows);
+    let spec = reference_rt_spec(5, 2, 1);
+    let sweep = Sweep {
+        param: VaryingParam::Delta,
+        start: 1,
+        end: 8,
+        step: 1,
+    };
+    let points = evaluate_sweep(&ctx, &spec, &sweep, opts.threads, SEED);
+    let mut chart = XyChart::new("ARE vs δ (k=5, m=2)", "δ", "ARE");
+    chart.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.are));
+    let mut rel = XyChart::new("relational GCP vs δ (k=5, m=2)", "δ", "GCP");
+    rel.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.gcp));
+    let mut tx = XyChart::new("transaction GCP vs δ (k=5, m=2)", "δ", "tx-GCP");
+    tx.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.tx_gcp));
+    for (v, r) in &points {
+        if let Ok(p) = r {
+            println!(
+                "  δ={v}: ARE={:.4} GCP={:.4} txGCP={:.4} verified={}",
+                p.indicators.are, p.indicators.gcp, p.indicators.tx_gcp, p.indicators.verified
+            );
+        }
+    }
+    write_xy(&chart, &opts.out, "f3a_are_vs_delta");
+    write_xy(&rel, &opts.out, "f3a_gcp_vs_delta");
+    write_xy(&tx, &opts.out, "f3a_txgcp_vs_delta");
+}
+
+/// F3b — "the time needed to execute the algorithm and its different
+/// phases".
+fn fig3b_phase_times(opts: &Opts) {
+    println!("== F3b: per-phase runtime of the reference RT method");
+    let ctx = rt_session(opts.rows);
+    let spec = reference_rt_spec(5, 2, 4);
+    let out = anonymizer::run(&ctx, &spec, SEED).expect("reference run");
+    let (labels, values): (Vec<String>, Vec<f64>) = out
+        .phases
+        .phases
+        .iter()
+        .map(|(n, d)| (n.clone(), d.as_secs_f64() * 1e3))
+        .unzip();
+    for (l, v) in labels.iter().zip(&values) {
+        println!("  {l:<34} {v:>9.2} ms");
+    }
+    let chart = BarChart::new(
+        format!("phase runtimes — {}", spec.label()),
+        labels,
+        values,
+    );
+    write_bar(&chart, &opts.out, "f3b_phase_times");
+
+    // runtime vs dataset size (the efficiency curve of the evaluation
+    // screen)
+    let mut series = Vec::new();
+    for &rows in &[opts.rows / 4, opts.rows / 2, opts.rows] {
+        let ctx = rt_session(rows.max(50));
+        let out = anonymizer::run(&ctx, &spec, SEED).expect("scaling run");
+        series.push((rows as f64, out.indicators.runtime_ms));
+        println!("  |D|={rows}: {:.1} ms", out.indicators.runtime_ms);
+    }
+    let mut chart = XyChart::new("runtime vs dataset size", "records", "ms");
+    chart.push(Series::new(spec.label(), series));
+    write_xy(&chart, &opts.out, "f3b_runtime_vs_size");
+}
+
+/// F3c — "the frequency of all generalized values, in a selected
+/// relational attribute".
+fn fig3c_generalized_frequencies(opts: &Opts) {
+    println!("== F3c: generalized-value frequencies (Age) after anonymization");
+    let ctx = rt_session(opts.rows);
+    let out = anonymizer::run(&ctx, &reference_rt_spec(5, 2, 4), SEED).expect("run");
+    let attr = ctx.qi_attrs[0];
+    let hist = freq::generalized_value_histogram(
+        &ctx.table,
+        &out.anon,
+        attr,
+        ctx.hierarchy_of(attr),
+    )
+    .expect("Age is anonymized")
+    .top_k(15);
+    for (l, c) in hist.labels.iter().zip(&hist.counts) {
+        println!("  {l:<28} {c}");
+    }
+    let chart = BarChart::new(
+        hist.title.clone(),
+        hist.labels.clone(),
+        hist.counts.iter().map(|&c| c as f64).collect(),
+    );
+    write_bar(&chart, &opts.out, "f3c_generalized_age");
+}
+
+/// F3d — "the relative error between the frequency of the transaction
+/// attribute values, in the original and the anonymized dataset".
+fn fig3d_item_frequency_error(opts: &Opts) {
+    println!("== F3d: per-item frequency relative error");
+    let ctx = rt_session(opts.rows);
+    let out = anonymizer::run(&ctx, &reference_rt_spec(5, 2, 4), SEED).expect("run");
+    let mut errs = freq::item_frequency_error(&ctx.table, &out.anon, ctx.item_hierarchy.as_ref());
+    errs.sort_by_key(|e| std::cmp::Reverse(e.original));
+    errs.truncate(20);
+    for e in &errs {
+        println!(
+            "  {:<12} orig={:<5} est={:<8.2} relerr={:.3}",
+            e.item, e.original, e.estimated, e.relative_error
+        );
+    }
+    let chart = BarChart::new(
+        "relative frequency error (20 most frequent items)".to_owned(),
+        errs.iter().map(|e| e.item.clone()).collect(),
+        errs.iter().map(|e| e.relative_error).collect(),
+    );
+    write_bar(&chart, &opts.out, "f3d_item_freq_error");
+
+    // the figure's actual panes contrast the two frequency series
+    let grouped = GroupedBarChart::new(
+        "item frequencies: original vs anonymized estimate",
+        errs.iter().map(|e| e.item.clone()).collect(),
+        vec!["original".into(), "estimated".into()],
+        vec![
+            errs.iter().map(|e| e.original as f64).collect(),
+            errs.iter().map(|e| e.estimated).collect(),
+        ],
+    );
+    let (svg, csv) = export::export_grouped_chart(&grouped, opts.out.join("f3d_frequencies"))
+        .expect("write chart");
+    println!("  -> {} / {}", svg.display(), csv.display());
+}
+
+/// F4 — the Comparison mode screen: multiple configurations, varying
+/// k, ARE + runtime series.
+fn fig4_comparison(opts: &Opts) {
+    println!("== F4: comparison of three RT configurations over varying k");
+    let ctx = rt_session(opts.rows);
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 5,
+        end: 25,
+        step: 5,
+    };
+    let rt = |rel, tx, bounding| MethodSpec::Rt {
+        rel,
+        tx,
+        bounding,
+        k: 0,
+        m: 2,
+        delta: 4,
+    };
+    let configs = vec![
+        Configuration::new(rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::RMerge), sweep, SEED),
+        Configuration::new(rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::TMerge), sweep, SEED),
+        Configuration::new(
+            rt(RelAlgo::Incognito, TxAlgo::Apriori, Bounding::RtMerge),
+            sweep,
+            SEED,
+        ),
+    ];
+    let result = compare(&ctx, &configs, opts.threads);
+    for (label, pts) in result.labels.iter().zip(&result.points) {
+        print!("  {label:<48}");
+        for (_, r) in pts {
+            match r {
+                Ok(p) => print!(" {:.3}", p.indicators.are),
+                Err(_) => print!("  err "),
+            }
+        }
+        println!();
+    }
+    write_xy(&result.chart("ARE vs k", "ARE", |i| i.are), &opts.out, "f4_are_vs_k");
+    write_xy(
+        &result.chart("runtime vs k", "ms", |i| i.runtime_ms),
+        &opts.out,
+        "f4_runtime_vs_k",
+    );
+    write_xy(&result.chart("GCP vs k", "GCP", |i| i.gcp), &opts.out, "f4_gcp_vs_k");
+}
+
+/// X1 — relational shoot-out: all four algorithms over varying k.
+fn x1_relational_shootout(opts: &Opts) {
+    println!("== X1: relational algorithms over varying k");
+    let ctx = census_session(opts.rows);
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 5,
+        end: 50,
+        step: 15,
+    };
+    let configs: Vec<Configuration> = RelAlgo::all()
+        .into_iter()
+        .map(|algo| Configuration::new(MethodSpec::Relational { algo, k: 0 }, sweep, SEED))
+        .collect();
+    let result = compare(&ctx, &configs, opts.threads);
+    for (label, pts) in result.labels.iter().zip(&result.points) {
+        print!("  {label:<32}");
+        for (k, r) in pts {
+            match r {
+                Ok(p) => print!(" k={k}:ARE={:.3}", p.indicators.are),
+                Err(_) => print!(" k={k}:err"),
+            }
+        }
+        println!();
+    }
+    write_xy(&result.chart("ARE vs k — relational", "ARE", |i| i.are), &opts.out, "x1_are");
+    write_xy(&result.chart("GCP vs k — relational", "GCP", |i| i.gcp), &opts.out, "x1_gcp");
+    write_xy(
+        &result.chart("runtime vs k — relational", "ms", |i| i.runtime_ms),
+        &opts.out,
+        "x1_runtime",
+    );
+}
+
+/// X2 — transaction shoot-out: all five algorithms over varying k and
+/// varying m.
+fn x2_transaction_shootout(opts: &Opts) {
+    println!("== X2: transaction algorithms over varying k and m");
+    // transaction-only data is cheap; 4x the base size keeps itemset
+    // supports high enough that the k-sensitivity of the k^m
+    // algorithms is visible instead of saturating immediately
+    let ctx = basket_session(opts.rows * 4);
+    let k_sweep = Sweep {
+        param: VaryingParam::K,
+        start: 2,
+        end: 10,
+        step: 2,
+    };
+    let configs: Vec<Configuration> = TxAlgo::all()
+        .into_iter()
+        .map(|algo| {
+            Configuration::new(MethodSpec::Transaction { algo, k: 0, m: 2 }, k_sweep, SEED)
+        })
+        .collect();
+    let result = compare(&ctx, &configs, opts.threads);
+    for (label, pts) in result.labels.iter().zip(&result.points) {
+        print!("  {label:<24}");
+        for (k, r) in pts {
+            match r {
+                Ok(p) => print!(" k={k}:ARE={:.3}", p.indicators.are),
+                Err(_) => print!(" k={k}:err"),
+            }
+        }
+        println!();
+    }
+    write_xy(&result.chart("ARE vs k — transaction", "ARE", |i| i.are), &opts.out, "x2_are_vs_k");
+    write_xy(
+        &result.chart("UL vs k — transaction", "UL", |i| i.ul),
+        &opts.out,
+        "x2_ul_vs_k",
+    );
+    write_xy(
+        &result.chart("runtime vs k — transaction", "ms", |i| i.runtime_ms),
+        &opts.out,
+        "x2_runtime_vs_k",
+    );
+
+    // m sweep for the hierarchy-based algorithms (COAT/PCTA ignore m)
+    let m_sweep = Sweep {
+        param: VaryingParam::M,
+        start: 1,
+        end: 3,
+        step: 1,
+    };
+    let m_configs: Vec<Configuration> = [
+        TxAlgo::Apriori,
+        TxAlgo::Lra { partitions: 4 },
+        TxAlgo::Vpa { parts: 4 },
+    ]
+    .into_iter()
+    .map(|algo| Configuration::new(MethodSpec::Transaction { algo, k: 4, m: 0 }, m_sweep, SEED))
+    .collect();
+    let m_result = compare(&ctx, &m_configs, opts.threads);
+    for (label, pts) in m_result.labels.iter().zip(&m_result.points) {
+        print!("  {label:<24}");
+        for (m, r) in pts {
+            match r {
+                Ok(p) => print!(" m={m}:ARE={:.3}", p.indicators.are),
+                Err(_) => print!(" m={m}:err"),
+            }
+        }
+        println!();
+    }
+    write_xy(
+        &m_result.chart("ARE vs m — transaction (k=4)", "ARE", |i| i.are),
+        &opts.out,
+        "x2_are_vs_m",
+    );
+    write_xy(
+        &m_result.chart("runtime vs m — transaction (k=4)", "ms", |i| i.runtime_ms),
+        &opts.out,
+        "x2_runtime_vs_m",
+    );
+}
+
+/// X3 — the paper's "20 different combinations": the full 4×5 grid
+/// under each bounding method at fixed parameters.
+fn x3_rt_grid(opts: &Opts) {
+    println!("== X3: 4 relational × 5 transaction grid (k=5, m=2, δ=4)");
+    let ctx = rt_session(opts.rows / 2); // the grid is 60 runs
+    let mut rows_csv = String::from("bounding,relational,transaction,are,gcp,tx_gcp,ul,runtime_ms,verified\n");
+    for bounding in Bounding::all() {
+        println!("  -- {}", bounding.name());
+        for rel in RelAlgo::all() {
+            for tx in TxAlgo::all() {
+                let spec = MethodSpec::Rt {
+                    rel,
+                    tx,
+                    bounding,
+                    k: 5,
+                    m: 2,
+                    delta: 4,
+                };
+                match anonymizer::run(&ctx, &spec, SEED) {
+                    Ok(out) => {
+                        let i = &out.indicators;
+                        println!(
+                            "    {:<24}+{:<8} ARE={:.3} GCP={:.3} txGCP={:.3} {:.0}ms v={}",
+                            rel.name(),
+                            tx.name(),
+                            i.are,
+                            i.gcp,
+                            i.tx_gcp,
+                            i.runtime_ms,
+                            i.verified
+                        );
+                        rows_csv.push_str(&format!(
+                            "{},{},{},{},{},{},{},{},{}\n",
+                            bounding.name(),
+                            rel.name(),
+                            tx.name(),
+                            i.are,
+                            i.gcp,
+                            i.tx_gcp,
+                            i.ul,
+                            i.runtime_ms,
+                            i.verified
+                        ));
+                    }
+                    Err(e) => {
+                        println!("    {:<24}+{:<8} failed: {e}", rel.name(), tx.name());
+                        rows_csv.push_str(&format!(
+                            "{},{},{},err,err,err,err,err,false\n",
+                            bounding.name(),
+                            rel.name(),
+                            tx.name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let path = opts.out.join("x3_rt_grid.csv");
+    std::fs::write(&path, rows_csv).expect("write grid csv");
+    println!("  -> {}", path.display());
+}
+
+/// X4 — COAT under the automatic policy-generation strategies.
+fn x4_policy_strategies(opts: &Opts) {
+    println!("== X4: COAT utility under policy strategies (k=30, heavy-tailed basket)");
+    // the basket data's Zipf tail leaves rare items to protect, so
+    // the utility-policy strategies actually constrain the repairs
+    let base = basket_session(opts.rows);
+    let strategies: Vec<(&str, Option<UtilityStrategy>)> = vec![
+        ("unconstrained", Some(UtilityStrategy::Unconstrained)),
+        ("freq-bands-8", Some(UtilityStrategy::FrequencyBands { bands: 8 })),
+        ("freq-bands-20", Some(UtilityStrategy::FrequencyBands { bands: 20 })),
+        ("hierarchy-d3", Some(UtilityStrategy::HierarchyLevel { depth: 3 })),
+        ("hierarchy-d5", Some(UtilityStrategy::HierarchyLevel { depth: 5 })),
+    ];
+    let mut labels = Vec::new();
+    let mut uls = Vec::new();
+    for (name, strat) in strategies {
+        let utility = strat.map(|s| {
+            generate_utility(&base.table, &s, base.item_hierarchy.as_ref())
+        });
+        let ctx = SessionContext {
+            utility,
+            ..base.clone()
+        };
+        let spec = MethodSpec::Transaction {
+            algo: TxAlgo::Coat,
+            k: 30,
+            m: 1,
+        };
+        match anonymizer::run(&ctx, &spec, SEED) {
+            Ok(out) => {
+                println!(
+                    "  {name:<16} UL={:.4} txGCP={:.4} suppressed={} verified={}",
+                    out.indicators.ul,
+                    out.indicators.tx_gcp,
+                    out.anon.tx.as_ref().map(|t| t.suppressed.len()).unwrap_or(0),
+                    out.indicators.verified
+                );
+                labels.push(name.to_owned());
+                uls.push(out.indicators.tx_gcp);
+            }
+            Err(e) => println!("  {name:<16} failed: {e}"),
+        }
+    }
+    let chart = BarChart::new(
+        "COAT transaction loss by utility-policy strategy".to_owned(),
+        labels,
+        uls,
+    );
+    write_bar(&chart, &opts.out, "x4_policy_strategies");
+}
+
+/// X5 — the paper's announced future-work extension, implemented:
+/// ρ-uncertainty (Cao et al. \[2\]). Sweeps ρ and reports utility
+/// (residual item occurrences, estimated by 1 − txGCP) and the
+/// suppression footprint, side by side in one grouped chart.
+fn x5_rho_uncertainty(opts: &Opts) {
+    println!("== X5: ρ-uncertainty (SuppressControl vs TDControl) over varying ρ");
+    let ctx = basket_session(opts.rows);
+    // sensitive items: the rarest decile of the universe
+    let supports = secreta_core::data::stats::item_supports(&ctx.table);
+    let mut order: Vec<usize> = (0..supports.len()).collect();
+    order.sort_by_key(|&i| supports[i]);
+    let pool = ctx.table.item_pool().expect("basket has items");
+    let sensitive: Vec<String> = order
+        .iter()
+        .take(supports.len().div_ceil(10))
+        .map(|&i| pool.resolve(i as u32).to_owned())
+        .collect();
+    println!("  {} sensitive items (rarest decile)", sensitive.len());
+
+    let rhos = [0.9, 0.7, 0.5, 0.3, 0.2];
+    let mut categories = Vec::new();
+    let mut kept_sc = Vec::new();
+    let mut kept_td = Vec::new();
+    let mut suppressed_sc = Vec::new();
+    for &rho in &rhos {
+        categories.push(format!("ρ={rho}"));
+        for generalize in [false, true] {
+            let spec = MethodSpec::Rho {
+                rho,
+                sensitive: sensitive.clone(),
+                max_antecedent: 2,
+                generalize,
+            };
+            let name = if generalize { "TDControl" } else { "SuppressControl" };
+            match anonymizer::run(&ctx, &spec, SEED) {
+                Ok(out) => {
+                    let sup = out
+                        .anon
+                        .tx
+                        .as_ref()
+                        .map(|t| t.suppressed.len())
+                        .unwrap_or(0);
+                    println!(
+                        "  ρ={rho} {name:<16} txGCP={:.4} suppressed_items={sup} verified={} ({:.0}ms)",
+                        out.indicators.tx_gcp,
+                        out.indicators.verified,
+                        out.indicators.runtime_ms
+                    );
+                    if generalize {
+                        kept_td.push(1.0 - out.indicators.tx_gcp);
+                    } else {
+                        kept_sc.push(1.0 - out.indicators.tx_gcp);
+                        suppressed_sc
+                            .push(sup as f64 / ctx.table.item_universe().max(1) as f64);
+                    }
+                }
+                Err(e) => println!("  ρ={rho} {name}: failed: {e}"),
+            }
+        }
+    }
+    let chart = GroupedBarChart::new(
+        "ρ-uncertainty: utility kept by algorithm, suppression footprint",
+        categories,
+        vec![
+            "kept, SuppressControl".into(),
+            "kept, TDControl".into(),
+            "suppressed fraction (SC)".into(),
+        ],
+        vec![kept_sc, kept_td, suppressed_sc],
+    );
+    let (svg, csv) = export::export_grouped_chart(&chart, opts.out.join("x5_rho"))
+        .expect("write chart");
+    println!("  -> {} / {}", svg.display(), csv.display());
+}

@@ -1,0 +1,112 @@
+//! Shared fixtures for the SECRETA-rs benchmark harness.
+//!
+//! Every figure of the paper is regenerated from the same seeded
+//! datasets so results are comparable across benches and across runs.
+
+use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+use secreta_core::SessionContext;
+use secreta_gen::{DatasetSpec, WorkloadSpec};
+
+/// Deterministic base seed of the whole harness.
+pub const SEED: u64 = 0x5ec2e7a;
+
+/// The standard RT benchmark dataset: census-like demographics plus
+/// correlated purchases. `rows` scales the instance.
+pub fn rt_dataset(rows: usize) -> DatasetSpec {
+    let mut spec = DatasetSpec::adult_like(rows, SEED);
+    // a compact, skewed item universe keeps within-cluster k^m
+    // satisfiable at bench sizes, so the δ/k trade-offs stay visible
+    spec.n_items = 30;
+    spec.item_skew = 1.2;
+    spec.tx_len = (2, 5);
+    spec.correlation = 0.4;
+    spec
+}
+
+/// A prepared session over [`rt_dataset`] with a 50-query workload.
+pub fn rt_session(rows: usize) -> SessionContext {
+    let table = rt_dataset(rows).generate();
+    // fan-out 2 gives the item hierarchy fine-grained levels, so AA
+    // can stop below the root
+    let ctx = SessionContext::auto(table, 2).expect("hierarchies build");
+    let w = WorkloadSpec {
+        n_queries: 50,
+        rel_atoms: 1,
+        values_per_atom: 3,
+        items_per_query: 1,
+        seed: SEED,
+    }
+    .generate(&ctx.table);
+    ctx.with_workload(w)
+}
+
+/// A relational-only session (the relational shoot-out).
+pub fn census_session(rows: usize) -> SessionContext {
+    let table = DatasetSpec::census(rows, SEED).generate();
+    let ctx = SessionContext::auto(table, 4).expect("hierarchies build");
+    let w = WorkloadSpec {
+        n_queries: 50,
+        rel_atoms: 2,
+        values_per_atom: 3,
+        items_per_query: 0,
+        seed: SEED,
+    }
+    .generate(&ctx.table);
+    ctx.with_workload(w)
+}
+
+/// A transaction-only session (the transaction shoot-out).
+pub fn basket_session(rows: usize) -> SessionContext {
+    // a long Zipf tail leaves genuinely rare items for the
+    // constraint-based algorithms to protect
+    let mut spec = DatasetSpec::basket(rows, 80, SEED);
+    spec.item_skew = 1.4;
+    spec.tx_len = (2, 6);
+    spec.profiles = 4;
+    let table = spec.generate();
+    let ctx = SessionContext::auto(table, 2).expect("hierarchies build");
+    let w = WorkloadSpec {
+        n_queries: 50,
+        rel_atoms: 0,
+        values_per_atom: 1,
+        items_per_query: 1,
+        seed: SEED,
+    }
+    .generate(&ctx.table);
+    ctx.with_workload(w)
+}
+
+/// The reference RT method of the Figure 3 evaluation scenario.
+pub fn reference_rt_spec(k: usize, m: usize, delta: usize) -> MethodSpec {
+    MethodSpec::Rt {
+        rel: RelAlgo::Cluster,
+        tx: TxAlgo::Apriori,
+        bounding: Bounding::RMerge,
+        k,
+        m,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = rt_session(50);
+        let b = rt_session(50);
+        assert_eq!(a.table.n_rows(), b.table.n_rows());
+        for r in 0..50 {
+            assert_eq!(a.table.transaction(r), b.table.transaction(r));
+        }
+        assert_eq!(a.workload, b.workload);
+    }
+
+    #[test]
+    fn sessions_have_expected_shapes() {
+        assert!(rt_session(30).table.schema().is_rt());
+        assert!(census_session(30).item_hierarchy.is_none());
+        assert!(basket_session(30).qi_attrs.is_empty());
+    }
+}

@@ -1,0 +1,607 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use secreta_core::{
+    compare, config::{Bounding, MethodSpec, RelAlgo, TxAlgo}, evaluate_sweep, export,
+    Configuration, SessionContext, SessionSpec, Sweep, VaryingParam,
+};
+use secreta_core::data::{csv as dcsv, stats, CsvOptions, RtTable};
+use secreta_core::hierarchy::io as hio;
+use secreta_core::metrics::query as q;
+use secreta_core::policy::{
+    generate_privacy, generate_utility, io as pio, PrivacyStrategy, UtilityStrategy,
+};
+use secreta_gen::{DatasetSpec, WorkloadSpec};
+use secreta_plot::BarChart;
+use std::path::Path;
+
+const HELP: &str = "\
+secreta — evaluate and compare relational & transaction anonymization algorithms
+
+USAGE: secreta <command> [dataset.csv] [--options]
+
+COMMANDS
+  generate   synthesize a dataset       --kind adult|basket|census --rows N
+             [--items N] [--seed S] --out FILE
+  info       dataset summary            DATA [--tx COL]
+  histogram  attribute histogram        DATA --attr NAME [--top N] [--tx COL]
+  hierarchy  derive a hierarchy         DATA --attr NAME|--items [--fanout F]
+             [--tx COL] [--out FILE]
+  workload   generate COUNT queries     DATA [--tx COL] [--queries N]
+             [--seed S] --out FILE
+  policy     derive COAT/PCTA policies  DATA --tx COL --privacy all|rare|random
+             | --utility unconstrained|bands --out FILE
+  evaluate   Evaluation mode            DATA [--tx COL] --mode rel|tx|rt|rho
+             [--rel-algo A] [--tx-algo A] [--bounding B] [--k N] [--m N]
+             [--delta N] [--rho R --sensitive i1,i2 [--max-antecedent N]
+              [--rho-algo suppress|tdcontrol]]
+             [--queries N] [--seed S] [--threads N]
+             [--vary k|m|delta --start N --end N --step N]
+             [--out-dir DIR] [--export-anon FILE]
+  compare    Comparison mode            DATA [--tx COL] --config FILE.json
+             [--queries N] [--threads N] [--out-dir DIR]
+  edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
+  session    show a saved session        SESSION.json
+  help       this text
+
+evaluate/compare also accept --session FILE.json instead of a dataset
+path; the session bundles dataset, hierarchies, policies and workload.
+
+Relational algorithms: incognito, cluster, topdown, bottomup
+Transaction algorithms: coat, pcta, apriori, lra, vpa
+Bounding methods: rmerge, tmerge, rtmerge
+";
+
+/// Dispatch to the selected subcommand.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    if args.flag("help") || args.command.is_empty() || args.command == "help" {
+        print!("{HELP}");
+        return Ok(());
+    }
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "info" => cmd_info(args),
+        "histogram" => cmd_histogram(args),
+        "hierarchy" => cmd_hierarchy(args),
+        "workload" => cmd_workload(args),
+        "policy" => cmd_policy(args),
+        "evaluate" => cmd_evaluate(args),
+        "compare" => cmd_compare(args),
+        "edit" => cmd_edit(args),
+        "session" => cmd_session(args),
+        other => Err(format!("unknown command {other:?}; try `secreta help`")),
+    }
+}
+
+/// Load a dataset, auto-detecting numeric columns.
+fn load(args: &Args) -> Result<RtTable, String> {
+    let path = args.positional0()?;
+    let mut opts = CsvOptions::default();
+    if let Some(tx) = args.opt("tx") {
+        opts.transaction_column = Some(tx.to_owned());
+    }
+    let probe = dcsv::read_table_path(path, &opts).map_err(|e| e.to_string())?;
+    // columns that parse entirely as numbers become Numeric
+    opts.numeric_columns = stats::summarize(&probe)
+        .into_iter()
+        .filter(|s| s.min.is_some())
+        .map(|s| s.name)
+        .collect();
+    dcsv::read_table_path(path, &opts).map_err(|e| e.to_string())
+}
+
+fn context(args: &Args, table: RtTable) -> Result<SessionContext, String> {
+    let fanout = args.usize_or("fanout", 4)?;
+    let ctx = SessionContext::auto(table, fanout).map_err(|e| e.to_string())?;
+    with_generated_workload(args, ctx)
+}
+
+fn with_generated_workload(
+    args: &Args,
+    ctx: SessionContext,
+) -> Result<SessionContext, String> {
+    let n_queries = args.usize_or("queries", 0)?;
+    if n_queries > 0 {
+        let w = WorkloadSpec {
+            n_queries,
+            seed: args.u64_or("seed", 42)?,
+            ..Default::default()
+        }
+        .generate(&ctx.table);
+        Ok(ctx.with_workload(w))
+    } else {
+        Ok(ctx)
+    }
+}
+
+/// Resolve the session for evaluate/compare: `--session FILE` loads a
+/// saved session spec; otherwise the positional dataset + flags apply.
+fn load_context(args: &Args) -> Result<SessionContext, String> {
+    match args.opt("session") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let spec = SessionSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let base = Path::new(path).parent().unwrap_or(Path::new("."));
+            let ctx = spec.load(base).map_err(|e| e.to_string())?;
+            // a generated workload can still top up a session without one
+            if ctx.workload.is_empty() {
+                with_generated_workload(args, ctx)
+            } else {
+                Ok(ctx)
+            }
+        }
+        None => {
+            let table = load(args)?;
+            context(args, table)
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let rows = args.usize_or("rows", 1000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let out = args.req("out")?;
+    let kind = args.opt("kind").unwrap_or("adult");
+    let spec = match kind {
+        "adult" => DatasetSpec::adult_like(rows, seed),
+        "basket" => DatasetSpec::basket(rows, args.usize_or("items", 100)?, seed),
+        "census" => DatasetSpec::census(rows, seed),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let table = spec.generate();
+    let opts = csv_opts_for(&table);
+    dcsv::write_table_path(&table, out, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows × {} attributes to {}",
+        table.n_rows(),
+        table.schema().len(),
+        out
+    );
+    Ok(())
+}
+
+fn csv_opts_for(table: &RtTable) -> CsvOptions {
+    let mut opts = CsvOptions::default();
+    if let Some(i) = table.schema().transaction_index() {
+        opts.transaction_column = table.schema().attribute(i).map(|a| a.name.clone());
+    }
+    opts
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let table = load(args)?;
+    println!(
+        "{} rows, {} relational attributes, transaction attribute: {}",
+        table.n_rows(),
+        table.schema().relational_indices().len(),
+        table
+            .schema()
+            .transaction_index()
+            .and_then(|i| table.schema().attribute(i))
+            .map(|a| a.name.as_str())
+            .unwrap_or("(none)")
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "attribute", "distinct", "populated", "min", "max", "mean"
+    );
+    for s in stats::summarize(&table) {
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            s.name,
+            s.distinct,
+            s.populated,
+            fmt(s.min),
+            fmt(s.max),
+            fmt(s.mean)
+        );
+    }
+    if table.schema().transaction_index().is_some() {
+        println!(
+            "item universe: {}, avg transaction length: {:.2}",
+            table.item_universe(),
+            table.avg_transaction_len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_histogram(args: &Args) -> Result<(), String> {
+    let table = load(args)?;
+    let attr = args.req("attr")?;
+    let top = args.usize_or("top", 15)?;
+    let schema = table.schema();
+    let idx = schema
+        .index_of(attr)
+        .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
+    let hist = if Some(idx) == schema.transaction_index() {
+        stats::item_histogram(&table)
+    } else {
+        stats::relational_histogram(&table, idx)
+    };
+    let hist = hist.top_k(top);
+    let chart = BarChart::new(
+        hist.title.clone(),
+        hist.labels.clone(),
+        hist.counts.iter().map(|&c| c as f64).collect(),
+    );
+    print!("{}", export::terminal_bar(&chart));
+    if let Some(dir) = args.opt("out-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let stem = Path::new(dir).join(format!("histogram_{attr}"));
+        let (svg, csv) = export::export_bar_chart(&chart, &stem).map_err(|e| e.to_string())?;
+        println!("wrote {} and {}", svg.display(), csv.display());
+    }
+    Ok(())
+}
+
+fn cmd_hierarchy(args: &Args) -> Result<(), String> {
+    let table = load(args)?;
+    let fanout = args.usize_or("fanout", 4)?;
+    let ctx = SessionContext::auto(table, fanout).map_err(|e| e.to_string())?;
+    let attr = args.req("attr")?;
+    let schema = ctx.table.schema();
+    let idx = schema
+        .index_of(attr)
+        .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
+    let h = if Some(idx) == schema.transaction_index() {
+        ctx.item_hierarchy
+            .as_ref()
+            .ok_or("dataset has no items")?
+    } else {
+        ctx.hierarchy_of(idx).ok_or("attribute is not relational")?
+    };
+    println!(
+        "hierarchy for {attr:?}: {} leaves, {} nodes, height {}",
+        h.n_leaves(),
+        h.n_nodes(),
+        h.height()
+    );
+    match args.opt("out") {
+        Some(path) => {
+            hio::write_hierarchy_path(h, path, ';').map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+        None => {
+            let mut buf = Vec::new();
+            hio::write_hierarchy(h, &mut buf, ';').map_err(|e| e.to_string())?;
+            print!("{}", String::from_utf8_lossy(&buf));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    let table = load(args)?;
+    let spec = WorkloadSpec {
+        n_queries: args.usize_or("queries", 100)?,
+        seed: args.u64_or("seed", 42)?,
+        ..Default::default()
+    };
+    let w = spec.generate(&table);
+    let out = args.req("out")?;
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(out).map_err(|e| e.to_string())?,
+    );
+    q::write_workload(&w, &table, &mut file).map_err(|e| e.to_string())?;
+    println!("wrote {} queries to {}", w.len(), out);
+    Ok(())
+}
+
+fn cmd_policy(args: &Args) -> Result<(), String> {
+    let table = load(args)?;
+    let out = args.req("out")?;
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(out).map_err(|e| e.to_string())?,
+    );
+    if let Some(strategy) = args.opt("privacy") {
+        let strat = match strategy {
+            "all" => PrivacyStrategy::AllItems,
+            "rare" => PrivacyStrategy::RareItems { max_support: 0.05 },
+            "random" => PrivacyStrategy::RandomItemsets {
+                size: args.usize_or("size", 2)?,
+                count: args.usize_or("count", 50)?,
+                seed: args.u64_or("seed", 42)?,
+            },
+            other => return Err(format!("unknown --privacy strategy {other:?}")),
+        };
+        let p = generate_privacy(&table, &strat);
+        pio::write_privacy(&p, &table, &mut file).map_err(|e| e.to_string())?;
+        println!("wrote {} privacy constraints to {}", p.len(), out);
+    } else if let Some(strategy) = args.opt("utility") {
+        let strat = match strategy {
+            "unconstrained" => UtilityStrategy::Unconstrained,
+            "bands" => UtilityStrategy::FrequencyBands {
+                bands: args.usize_or("bands", 5)?,
+            },
+            other => return Err(format!("unknown --utility strategy {other:?}")),
+        };
+        let u = generate_utility(&table, &strat, None);
+        pio::write_utility(&u, &table, &mut file).map_err(|e| e.to_string())?;
+        println!("wrote {} utility groups to {}", u.len(), out);
+    } else {
+        return Err("specify --privacy STRATEGY or --utility STRATEGY".into());
+    }
+    Ok(())
+}
+
+fn parse_rel(name: &str) -> Result<RelAlgo, String> {
+    Ok(match name {
+        "incognito" => RelAlgo::Incognito,
+        "cluster" => RelAlgo::Cluster,
+        "topdown" => RelAlgo::TopDown,
+        "bottomup" => RelAlgo::BottomUp,
+        other => return Err(format!("unknown relational algorithm {other:?}")),
+    })
+}
+
+fn parse_tx(args: &Args, name: &str) -> Result<TxAlgo, String> {
+    Ok(match name {
+        "coat" => TxAlgo::Coat,
+        "pcta" => TxAlgo::Pcta,
+        "apriori" => TxAlgo::Apriori,
+        "lra" => TxAlgo::Lra {
+            partitions: args.usize_or("partitions", 4)?,
+        },
+        "vpa" => TxAlgo::Vpa {
+            parts: args.usize_or("parts", 4)?,
+        },
+        other => return Err(format!("unknown transaction algorithm {other:?}")),
+    })
+}
+
+fn parse_bounding(name: &str) -> Result<Bounding, String> {
+    Ok(match name {
+        "rmerge" => Bounding::RMerge,
+        "tmerge" => Bounding::TMerge,
+        "rtmerge" => Bounding::RtMerge,
+        other => return Err(format!("unknown bounding method {other:?}")),
+    })
+}
+
+fn build_spec(args: &Args) -> Result<MethodSpec, String> {
+    let k = args.usize_or("k", 5)?;
+    let m = args.usize_or("m", 2)?;
+    match args.opt("mode").unwrap_or("rt") {
+        "rel" => Ok(MethodSpec::Relational {
+            algo: parse_rel(args.opt("rel-algo").unwrap_or("cluster"))?,
+            k,
+        }),
+        "tx" => Ok(MethodSpec::Transaction {
+            algo: parse_tx(args, args.opt("tx-algo").unwrap_or("apriori"))?,
+            k,
+            m,
+        }),
+        "rt" => Ok(MethodSpec::Rt {
+            rel: parse_rel(args.opt("rel-algo").unwrap_or("cluster"))?,
+            tx: parse_tx(args, args.opt("tx-algo").unwrap_or("apriori"))?,
+            bounding: parse_bounding(args.opt("bounding").unwrap_or("rmerge"))?,
+            k,
+            m,
+            delta: args.usize_or("delta", 1)?,
+        }),
+        "rho" => {
+            let rho: f64 = args
+                .opt("rho")
+                .unwrap_or("0.5")
+                .parse()
+                .map_err(|_| "--rho expects a number".to_owned())?;
+            let sensitive: Vec<String> = args
+                .opt("sensitive")
+                .map(|s| s.split(',').map(|t| t.trim().to_owned()).collect())
+                .unwrap_or_default();
+            if sensitive.is_empty() {
+                return Err("--mode rho requires --sensitive item1,item2,...".into());
+            }
+            Ok(MethodSpec::Rho {
+                rho,
+                sensitive,
+                max_antecedent: args.usize_or("max-antecedent", 2)?,
+                generalize: args.opt("rho-algo") == Some("tdcontrol"),
+            })
+        }
+        other => Err(format!("unknown --mode {other:?} (rel|tx|rt|rho)")),
+    }
+}
+
+fn parse_sweep(args: &Args) -> Result<Option<Sweep>, String> {
+    let Some(vary) = args.opt("vary") else {
+        return Ok(None);
+    };
+    let param = match vary {
+        "k" => VaryingParam::K,
+        "m" => VaryingParam::M,
+        "delta" => VaryingParam::Delta,
+        other => return Err(format!("unknown --vary {other:?} (k|m|delta)")),
+    };
+    Ok(Some(Sweep {
+        param,
+        start: args.usize_or("start", 2)?,
+        end: args.usize_or("end", 10)?,
+        step: args.usize_or("step", 2)?,
+    }))
+}
+
+fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
+    println!(
+        "{label}: GCP={:.4} txGCP={:.4} UL={:.4} ARE={:.4} freqErr={:.4} \
+         disc={} avgClass={:.2} runtime={:.1}ms verified={}",
+        ind.gcp,
+        ind.tx_gcp,
+        ind.ul,
+        ind.are,
+        ind.item_freq_error,
+        ind.discernibility,
+        ind.avg_class_size,
+        ind.runtime_ms,
+        ind.verified
+    );
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let ctx = load_context(args)?;
+    let spec = build_spec(args)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.usize_or("threads", 4)?;
+
+    match parse_sweep(args)? {
+        None => {
+            let out = secreta_core::anonymizer::run(&ctx, &spec, seed)
+                .map_err(|e| e.to_string())?;
+            println!("method: {}", spec.label());
+            print_indicators("result", &out.indicators);
+            println!("phases:");
+            for (name, d) in &out.phases.phases {
+                println!("  {:<32} {:>10.2}ms", name, d.as_secs_f64() * 1e3);
+            }
+            if let Some(path) = args.opt("export-anon") {
+                let mut file = std::io::BufWriter::new(
+                    std::fs::File::create(path).map_err(|e| e.to_string())?,
+                );
+                export::write_anonymized(&ctx, &out.anon, &mut file)
+                    .map_err(|e| e.to_string())?;
+                println!("anonymized dataset written to {path}");
+            }
+        }
+        Some(sweep) => {
+            let points = evaluate_sweep(&ctx, &spec, &sweep, threads, seed);
+            println!("method: {} varying {}", spec.label(), sweep.param.label());
+            for (v, r) in &points {
+                match r {
+                    Ok(p) => print_indicators(&format!("{}={v}", sweep.param.label()), &p.indicators),
+                    Err(e) => println!("{}={v}: failed: {e}", sweep.param.label()),
+                }
+            }
+            let charts = [
+                ("ARE", "are"),
+                ("GCP", "gcp"),
+                ("runtime (ms)", "runtime"),
+            ];
+            for (ylabel, key) in charts {
+                let chart = secreta_core::sweep::chart_of(
+                    format!("{} vs {}", ylabel, sweep.param.label()),
+                    ylabel,
+                    &sweep,
+                    spec.label(),
+                    &points,
+                    |i| match key {
+                        "are" => i.are,
+                        "gcp" => i.gcp,
+                        _ => i.runtime_ms,
+                    },
+                );
+                if args.flag("ascii") {
+                    print!("{}", export::terminal_xy(&chart));
+                }
+                if let Some(dir) = args.opt("out-dir") {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                    let stem = Path::new(dir).join(format!("evaluate_{key}"));
+                    let (svg, csv) =
+                        export::export_xy_chart(&chart, &stem).map_err(|e| e.to_string())?;
+                    println!("wrote {} and {}", svg.display(), csv.display());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let ctx = load_context(args)?;
+    let config_path = args.req("config")?;
+    let text = std::fs::read_to_string(config_path).map_err(|e| e.to_string())?;
+    let configs: Vec<Configuration> =
+        serde_json::from_str(&text).map_err(|e| format!("{config_path}: {e}"))?;
+    if configs.is_empty() {
+        return Err("configuration file contains no configurations".into());
+    }
+    let threads = args.usize_or("threads", 4)?;
+    let result = compare(&ctx, &configs, threads);
+
+    for (label, pts) in result.labels.iter().zip(&result.points) {
+        println!("== {label}");
+        for (v, r) in pts {
+            match r {
+                Ok(p) => print_indicators(&format!("  {}={v}", result.param.label()), &p.indicators),
+                Err(e) => println!("  {}={v}: failed: {e}", result.param.label()),
+            }
+        }
+    }
+
+    for (title, ylabel, key) in [
+        ("ARE comparison", "ARE", "are"),
+        ("GCP comparison", "GCP", "gcp"),
+        ("Runtime comparison", "runtime (ms)", "runtime"),
+    ] {
+        let chart = result.chart(title, ylabel, |i| match key {
+            "are" => i.are,
+            "gcp" => i.gcp,
+            _ => i.runtime_ms,
+        });
+        if args.flag("ascii") {
+            print!("{}", export::terminal_xy(&chart));
+        }
+        if let Some(dir) = args.opt("out-dir") {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let stem = Path::new(dir).join(format!("compare_{key}"));
+            let (svg, csv) =
+                export::export_xy_chart(&chart, &stem).map_err(|e| e.to_string())?;
+            println!("wrote {} and {}", svg.display(), csv.display());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_edit(args: &Args) -> Result<(), String> {
+    use secreta_core::data::edit::{EditCommand, EditSession};
+    let mut table = load(args)?;
+    let script_path = args.req("script")?;
+    let text =
+        std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let commands: Vec<EditCommand> =
+        serde_json::from_str(&text).map_err(|e| format!("{script_path}: {e}"))?;
+    let mut session = EditSession::new();
+    for (i, cmd) in commands.iter().enumerate() {
+        session
+            .apply(&mut table, cmd)
+            .map_err(|e| format!("command {}: {e}", i + 1))?;
+    }
+    let out = args.req("out")?;
+    let opts = csv_opts_for(&table);
+    dcsv::write_table_path(&table, out, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "applied {} edit commands; wrote {} rows to {}",
+        session.applied(),
+        table.n_rows(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_session(args: &Args) -> Result<(), String> {
+    let path = args.positional0()?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = SessionSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let base = Path::new(path).parent().unwrap_or(Path::new("."));
+    let ctx = spec.load(base).map_err(|e| e.to_string())?;
+    println!(
+        "session {path}: {} rows, {} QI attributes, {} items, {} queries, privacy: {}, utility: {}",
+        ctx.table.n_rows(),
+        ctx.qi_attrs.len(),
+        ctx.table.item_universe(),
+        ctx.workload.len(),
+        ctx.privacy.as_ref().map(|p| p.len()).unwrap_or(0),
+        ctx.utility.as_ref().map(|u| u.len()).unwrap_or(0),
+    );
+    for (pos, &attr) in ctx.qi_attrs.iter().enumerate() {
+        let name = &ctx.table.schema().attribute(attr).expect("attr").name;
+        let h = &ctx.hierarchies[pos];
+        println!(
+            "  hierarchy {name}: {} leaves, height {}",
+            h.n_leaves(),
+            h.height()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `secreta` — the command-line frontend of SECRETA-rs.
+//!
+//! Replaces the paper's Qt GUI: every frontend capability (dataset
+//! loading/statistics, hierarchy/policy/workload handling, the
+//! Evaluation and Comparison modes, data export) is a subcommand.
+//! Run `secreta help` for the full surface.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let code = match commands::dispatch(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}

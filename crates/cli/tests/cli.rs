@@ -1,0 +1,317 @@
+//! CLI smoke tests: every subcommand drives the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn secreta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_secreta"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("secreta_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate_dataset(dir: &std::path::Path) -> PathBuf {
+    let data = dir.join("data.csv");
+    let out = secreta()
+        .args([
+            "generate",
+            "--kind",
+            "adult",
+            "--rows",
+            "120",
+            "--seed",
+            "7",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    data
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = secreta().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "evaluate", "compare", "histogram", "policy"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_code() {
+    let out = secreta().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_info_histogram() {
+    let dir = tmpdir("gih");
+    let data = generate_dataset(&dir);
+
+    let info = secreta()
+        .arg("info")
+        .arg(&data)
+        .args(["--tx", "Items"])
+        .output()
+        .unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("120 rows"));
+    assert!(text.contains("item universe"));
+
+    let hist = secreta()
+        .arg("histogram")
+        .arg(&data)
+        .args(["--tx", "Items", "--attr", "Education", "--top", "5"])
+        .output()
+        .unwrap();
+    assert!(hist.status.success());
+    assert!(String::from_utf8_lossy(&hist.stdout).contains('█'));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hierarchy_workload_policy_files() {
+    let dir = tmpdir("hwp");
+    let data = generate_dataset(&dir);
+
+    let hpath = dir.join("age.hier");
+    let h = secreta()
+        .arg("hierarchy")
+        .arg(&data)
+        .args(["--tx", "Items", "--attr", "Age", "--fanout", "3", "--out"])
+        .arg(&hpath)
+        .output()
+        .unwrap();
+    assert!(h.status.success(), "{}", String::from_utf8_lossy(&h.stderr));
+    // one line per leaf; the file only interns ages present among the
+    // 120 sampled rows, so expect a healthy subset of the 74-value
+    // domain rather than all of it
+    let content = std::fs::read_to_string(&hpath).unwrap();
+    assert!(content.lines().count() >= 30, "one line per leaf");
+
+    let wpath = dir.join("queries.txt");
+    let w = secreta()
+        .arg("workload")
+        .arg(&data)
+        .args(["--tx", "Items", "--queries", "10", "--out"])
+        .arg(&wpath)
+        .output()
+        .unwrap();
+    assert!(w.status.success());
+    assert_eq!(std::fs::read_to_string(&wpath).unwrap().lines().count(), 10);
+
+    let ppath = dir.join("privacy.txt");
+    let p = secreta()
+        .arg("policy")
+        .arg(&data)
+        .args(["--tx", "Items", "--privacy", "rare", "--out"])
+        .arg(&ppath)
+        .output()
+        .unwrap();
+    assert!(p.status.success(), "{}", String::from_utf8_lossy(&p.stderr));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_single_and_sweep() {
+    let dir = tmpdir("eval");
+    let data = generate_dataset(&dir);
+
+    let single = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx", "Items", "--mode", "rel", "--rel-algo", "cluster", "--k", "4",
+            "--queries", "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        single.status.success(),
+        "{}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+    let text = String::from_utf8_lossy(&single.stdout);
+    assert!(text.contains("verified=true"));
+    assert!(text.contains("phases:"));
+
+    let outdir = dir.join("plots");
+    let sweep = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx", "Items", "--mode", "rel", "--rel-algo", "bottomup", "--vary", "k",
+            "--start", "2", "--end", "6", "--step", "2", "--queries", "10", "--ascii",
+            "--out-dir",
+        ])
+        .arg(&outdir)
+        .output()
+        .unwrap();
+    assert!(
+        sweep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sweep.stderr)
+    );
+    assert!(outdir.join("evaluate_are.svg").exists());
+    assert!(outdir.join("evaluate_gcp.csv").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_from_config_file() {
+    let dir = tmpdir("cmp");
+    let data = generate_dataset(&dir);
+    let config = dir.join("configs.json");
+    std::fs::write(
+        &config,
+        r#"[
+          {"label":"cluster","spec":{"Relational":{"algo":"Cluster","k":0}},
+           "sweep":{"param":"K","start":2,"end":6,"step":2},"seed":1},
+          {"label":"incognito","spec":{"Relational":{"algo":"Incognito","k":0}},
+           "sweep":{"param":"K","start":2,"end":6,"step":2},"seed":1}
+        ]"#,
+    )
+    .unwrap();
+    let out = secreta()
+        .arg("compare")
+        .arg(&data)
+        .args(["--tx", "Items", "--queries", "10", "--config"])
+        .arg(&config)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== cluster"));
+    assert!(text.contains("== incognito"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_anonymized_dataset() {
+    let dir = tmpdir("exp");
+    let data = generate_dataset(&dir);
+    let anon = dir.join("anon.csv");
+    let out = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx", "Items", "--mode", "rt", "--rel-algo", "cluster", "--tx-algo",
+            "apriori", "--bounding", "tmerge", "--k", "4", "--m", "1", "--delta", "2",
+            "--export-anon",
+        ])
+        .arg(&anon)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&anon).unwrap();
+    assert_eq!(text.lines().count(), 121, "header + 120 rows");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rho_uncertainty_mode() {
+    let dir = tmpdir("rho");
+    let data = generate_dataset(&dir);
+    // find a real item label to protect
+    let info = secreta()
+        .arg("histogram")
+        .arg(&data)
+        .args(["--tx", "Items", "--attr", "Items", "--top", "1"])
+        .output()
+        .unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    let item = text
+        .lines()
+        .nth(1)
+        .and_then(|l| l.split_whitespace().next())
+        .expect("top item printed")
+        .to_owned();
+    let out = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx",
+            "Items",
+            "--mode",
+            "rho",
+            "--rho",
+            "0.2",
+            "--sensitive",
+            &item,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified=true"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn edit_script_applies_and_exports() {
+    let dir = tmpdir("edit");
+    let data = generate_dataset(&dir);
+    let script = dir.join("edits.json");
+    std::fs::write(
+        &script,
+        r#"[
+          {"RenameAttribute":{"attr":0,"name":"Years"}},
+          {"SetValue":{"row":0,"attr":0,"value":"99"}},
+          {"DeleteRow":{"row":1}}
+        ]"#,
+    )
+    .unwrap();
+    let out_path = dir.join("edited.csv");
+    let out = secreta()
+        .arg("edit")
+        .arg(&data)
+        .args(["--tx", "Items", "--script"])
+        .arg(&script)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    assert!(text.starts_with("Years,"));
+    assert_eq!(text.lines().count(), 120, "header + 119 rows after delete");
+    assert!(text.lines().nth(1).unwrap().starts_with("99,"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_file_drives_evaluate() {
+    let dir = tmpdir("sess");
+    generate_dataset(&dir);
+    let session = dir.join("session.json");
+    std::fs::write(
+        &session,
+        r#"{"dataset":"data.csv","transaction_column":"Items","fanout":3}"#,
+    )
+    .unwrap();
+
+    let show = secreta().arg("session").arg(&session).output().unwrap();
+    assert!(show.status.success(), "{}", String::from_utf8_lossy(&show.stderr));
+    assert!(String::from_utf8_lossy(&show.stdout).contains("120 rows"));
+
+    let eval = secreta()
+        .arg("evaluate")
+        .args(["--session"])
+        .arg(&session)
+        .args(["--mode", "rel", "--rel-algo", "cluster", "--k", "4", "--queries", "10"])
+        .output()
+        .unwrap();
+    assert!(eval.status.success(), "{}", String::from_utf8_lossy(&eval.stderr));
+    assert!(String::from_utf8_lossy(&eval.stdout).contains("verified=true"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,518 @@
+//! The Anonymization Module: execute one configured method and
+//! measure it.
+//!
+//! "This component is responsible for executing an anonymization
+//! algorithm with the specified configuration." On top of the raw run
+//! it computes the full indicator set the Experimentation Module
+//! plots: utility (GCP, UL, ARE, frequency errors), group statistics,
+//! runtime with phases, and a post-hoc verification of the privacy
+//! guarantee — algorithms are never trusted blindly.
+
+use crate::config::MethodSpec;
+use crate::context::SessionContext;
+use secreta_metrics::{
+    average_relative_error, freq, gcp, loss, transaction_gcp, utility_loss, AnonTable,
+    PhaseTimes,
+};
+use secreta_policy::PrivacyPolicy;
+use secreta_relational::{RelError, RelationalInput};
+use secreta_rt::{RtError, RtInput};
+use secreta_transaction::{TransactionInput, TxError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from a configured run.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Relational algorithm failure.
+    Rel(RelError),
+    /// Transaction algorithm failure.
+    Tx(TxError),
+    /// RT pipeline failure.
+    Rt(RtError),
+    /// The spec does not match the dataset (e.g. a transaction method
+    /// on a relational-only dataset).
+    BadConfig(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Rel(e) => write!(f, "{e}"),
+            RunError::Tx(e) => write!(f, "{e}"),
+            RunError::Rt(e) => write!(f, "{e}"),
+            RunError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The data-utility and efficiency indicators SECRETA reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Indicators {
+    /// Relational information loss (mean NCP over cells), in \[0,1\].
+    pub gcp: f64,
+    /// Transaction information loss (mean NCP over occurrences).
+    pub tx_gcp: f64,
+    /// Normalized UL of the transaction attribute.
+    pub ul: f64,
+    /// Average Relative Error over the session workload.
+    pub are: f64,
+    /// Mean relative error of per-item frequencies (Figure 3(d)
+    /// summary).
+    pub item_freq_error: f64,
+    /// Discernibility (Σ |EC|²) of the relational part.
+    pub discernibility: u64,
+    /// Average equivalence-class size.
+    pub avg_class_size: f64,
+    /// Total wall-clock runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Did the output pass post-hoc verification of its guarantee?
+    pub verified: bool,
+}
+
+/// Everything a single run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The anonymized table.
+    pub anon: AnonTable,
+    /// Phase timings.
+    pub phases: PhaseTimes,
+    /// Computed indicators.
+    pub indicators: Indicators,
+}
+
+/// Execute `spec` against `ctx`. `seed` feeds the randomized pieces
+/// (relational Cluster seeding).
+///
+/// ```
+/// use secreta_core::config::{MethodSpec, RelAlgo};
+/// use secreta_core::{anonymizer, SessionContext};
+/// use secreta_gen::DatasetSpec;
+///
+/// let table = DatasetSpec::census(60, 7).generate();
+/// let ctx = SessionContext::auto(table, 4).unwrap();
+/// let spec = MethodSpec::Relational { algo: RelAlgo::Cluster, k: 5 };
+/// let out = anonymizer::run(&ctx, &spec, 1).unwrap();
+/// assert!(out.indicators.verified);
+/// assert!(out.indicators.avg_class_size >= 5.0);
+/// ```
+pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResult, RunError> {
+    let (anon, phases, verified) = match spec {
+        MethodSpec::Relational { algo, k } => {
+            if ctx.qi_attrs.is_empty() {
+                return Err(RunError::BadConfig(
+                    "relational method on a dataset without relational attributes".into(),
+                ));
+            }
+            let input = RelationalInput {
+                table: &ctx.table,
+                qi_attrs: ctx.qi_attrs.clone(),
+                hierarchies: ctx.hierarchies.clone(),
+                k: *k,
+            };
+            let out = secreta_relational::RelationalAlgorithm::from(*algo)
+                .run(&input, seed)
+                .map_err(RunError::Rel)?;
+            let verified = secreta_relational::is_k_anonymous(&out.anon, *k);
+            (out.anon, out.phases, verified)
+        }
+        MethodSpec::Transaction { algo, k, m } => {
+            if ctx.table.schema().transaction_index().is_none() {
+                return Err(RunError::BadConfig(
+                    "transaction method on a dataset without a transaction attribute".into(),
+                ));
+            }
+            let input = TransactionInput {
+                table: &ctx.table,
+                k: *k,
+                m: *m,
+                hierarchy: ctx.item_hierarchy.as_ref(),
+                privacy: ctx.privacy.as_ref(),
+                utility: ctx.utility.as_ref(),
+            };
+            let out = secreta_transaction::TransactionAlgorithm::from(*algo)
+                .run(&input)
+                .map_err(RunError::Tx)?;
+            let verified = verify_transaction(ctx, *algo, &out.anon, *k, *m);
+            (out.anon, out.phases, verified)
+        }
+        MethodSpec::Rt {
+            rel,
+            tx,
+            bounding,
+            k,
+            m,
+            delta,
+        } => {
+            if !ctx.table.schema().is_rt() {
+                return Err(RunError::BadConfig(
+                    "RT method requires both relational and transaction attributes".into(),
+                ));
+            }
+            let input = RtInput {
+                table: &ctx.table,
+                qi_attrs: ctx.qi_attrs.clone(),
+                hierarchies: ctx.hierarchies.clone(),
+                item_hierarchy: ctx.item_hierarchy.as_ref(),
+                k: *k,
+                m: *m,
+                delta: *delta,
+                rel_algo: (*rel).into(),
+                tx_algo: (*tx).into(),
+                bounding: (*bounding).into(),
+                privacy: ctx.privacy.as_ref(),
+                utility: ctx.utility.as_ref(),
+                seed,
+            };
+            let out = secreta_rt::anonymize(&input).map_err(RunError::Rt)?;
+            let km_m = effective_m(*tx, *m);
+            let verified = secreta_rt::is_k_km_anonymous(&out.anon, *k, km_m);
+            (out.anon, out.phases, verified)
+        }
+        MethodSpec::Rho {
+            rho,
+            sensitive,
+            max_antecedent,
+            generalize,
+        } => {
+            if ctx.table.schema().transaction_index().is_none() {
+                return Err(RunError::BadConfig(
+                    "ρ-uncertainty needs a transaction attribute".into(),
+                ));
+            }
+            let pool = ctx.table.item_pool().expect("tx attr implies pool");
+            let mut items = Vec::with_capacity(sensitive.len());
+            for label in sensitive {
+                match pool.get(label) {
+                    Some(id) => items.push(secreta_data::ItemId(id)),
+                    None => {
+                        return Err(RunError::BadConfig(format!(
+                            "sensitive item {label:?} not in the dataset"
+                        )))
+                    }
+                }
+            }
+            let params = secreta_transaction::RhoParams {
+                rho: *rho,
+                sensitive: {
+                    items.sort_unstable();
+                    items.dedup();
+                    items
+                },
+                max_antecedent: *max_antecedent,
+            };
+            let input = TransactionInput {
+                table: &ctx.table,
+                k: 1,
+                m: 1,
+                hierarchy: if *generalize {
+                    ctx.item_hierarchy.as_ref()
+                } else {
+                    None
+                },
+                privacy: None,
+                utility: None,
+            };
+            let (out, verified) = if *generalize {
+                let out = secreta_transaction::rho_td::anonymize(&input, &params)
+                    .map_err(RunError::Tx)?;
+                let ok = secreta_transaction::is_rho_uncertain_published(
+                    &ctx.table, &out.anon, &params,
+                );
+                (out, ok)
+            } else {
+                let out = secreta_transaction::rho::anonymize(&input, &params)
+                    .map_err(RunError::Tx)?;
+                let ok =
+                    secreta_transaction::is_rho_uncertain(&ctx.table, &out.anon, &params);
+                (out, ok)
+            };
+            (out.anon, out.phases, verified)
+        }
+    };
+
+    let indicators = compute_indicators(ctx, &anon, &phases, verified);
+    Ok(RunResult {
+        anon,
+        phases,
+        indicators,
+    })
+}
+
+/// The `m` at which a transaction algorithm's guarantee is checked:
+/// VPA protects per part (global check only sound at m=1); COAT/PCTA
+/// protect their policy (single items by default).
+fn effective_m(algo: crate::config::TxAlgo, m: usize) -> usize {
+    match algo {
+        crate::config::TxAlgo::Vpa { .. }
+        | crate::config::TxAlgo::Coat
+        | crate::config::TxAlgo::Pcta => 1,
+        _ => m,
+    }
+}
+
+fn verify_transaction(
+    ctx: &SessionContext,
+    algo: crate::config::TxAlgo,
+    anon: &AnonTable,
+    k: usize,
+    m: usize,
+) -> bool {
+    match algo {
+        crate::config::TxAlgo::Coat | crate::config::TxAlgo::Pcta => {
+            let default;
+            let privacy = match &ctx.privacy {
+                Some(p) => p,
+                None => {
+                    default = PrivacyPolicy::all_items(&ctx.table);
+                    &default
+                }
+            };
+            secreta_transaction::satisfies_privacy(
+                anon,
+                privacy,
+                k,
+                ctx.item_hierarchy.as_ref(),
+            )
+        }
+        other => secreta_transaction::is_km_anonymous(
+            anon,
+            k,
+            effective_m(other, m),
+            ctx.item_hierarchy.as_ref(),
+        ),
+    }
+}
+
+/// Compute the full indicator set for an anonymized table.
+pub fn compute_indicators(
+    ctx: &SessionContext,
+    anon: &AnonTable,
+    phases: &PhaseTimes,
+    verified: bool,
+) -> Indicators {
+    let hierarchy_of = |attr: usize| ctx.hierarchy_of(attr).cloned();
+    let item_h = ctx.item_hierarchy.as_ref();
+    Indicators {
+        gcp: gcp(&ctx.table, anon, hierarchy_of),
+        tx_gcp: transaction_gcp(&ctx.table, anon, item_h),
+        ul: utility_loss(&ctx.table, anon, item_h),
+        are: average_relative_error(
+            &ctx.table,
+            anon,
+            &ctx.workload,
+            |attr| ctx.hierarchy_of(attr).cloned(),
+            item_h,
+        ),
+        item_freq_error: freq::mean_item_frequency_error(&ctx.table, anon, item_h),
+        discernibility: loss::discernibility(anon),
+        avg_class_size: loss::average_class_size(anon),
+        runtime_ms: phases.total().as_secs_f64() * 1e3,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Bounding, RelAlgo, TxAlgo};
+    use secreta_gen::{DatasetSpec, WorkloadSpec};
+
+    fn rt_ctx() -> SessionContext {
+        let t = DatasetSpec::adult_like(120, 3).generate();
+        let w = WorkloadSpec {
+            n_queries: 30,
+            ..Default::default()
+        };
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        let w = w.generate(&ctx.table);
+        ctx.with_workload(w)
+    }
+
+    #[test]
+    fn relational_run_produces_verified_output() {
+        let ctx = rt_ctx();
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        let out = run(&ctx, &spec, 1).unwrap();
+        assert!(out.indicators.verified);
+        assert!(out.indicators.gcp >= 0.0 && out.indicators.gcp <= 1.0);
+        assert!(out.indicators.avg_class_size >= 5.0);
+        assert!(out.indicators.are >= 0.0);
+    }
+
+    #[test]
+    fn transaction_run_produces_verified_output() {
+        let ctx = rt_ctx();
+        for algo in [TxAlgo::Apriori, TxAlgo::Coat, TxAlgo::Pcta] {
+            let spec = MethodSpec::Transaction { algo, k: 3, m: 2 };
+            let out = run(&ctx, &spec, 1).unwrap();
+            assert!(out.indicators.verified, "{algo:?}");
+            assert!(out.indicators.tx_gcp >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rt_run_produces_verified_output() {
+        let ctx = rt_ctx();
+        let spec = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: Bounding::RMerge,
+            k: 4,
+            m: 2,
+            delta: 2,
+        };
+        let out = run(&ctx, &spec, 1).unwrap();
+        assert!(out.indicators.verified);
+        assert!(out.indicators.gcp > 0.0, "some relational loss expected");
+        assert!(out.indicators.runtime_ms > 0.0);
+        assert!(!out.phases.phases.is_empty());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let census = SessionContext::auto(DatasetSpec::census(30, 1).generate(), 3).unwrap();
+        let tx_spec = MethodSpec::Transaction {
+            algo: TxAlgo::Coat,
+            k: 2,
+            m: 1,
+        };
+        assert!(matches!(
+            run(&census, &tx_spec, 0),
+            Err(RunError::BadConfig(_))
+        ));
+        let rt_spec = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Coat,
+            bounding: Bounding::RMerge,
+            k: 2,
+            m: 1,
+            delta: 1,
+        };
+        assert!(matches!(
+            run(&census, &rt_spec, 0),
+            Err(RunError::BadConfig(_))
+        ));
+
+        let basket = SessionContext::auto(DatasetSpec::basket(30, 10, 1).generate(), 3).unwrap();
+        let rel_spec = MethodSpec::Relational {
+            algo: RelAlgo::Incognito,
+            k: 2,
+        };
+        assert!(matches!(
+            run(&basket, &rel_spec, 0),
+            Err(RunError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_k_maps_to_run_error() {
+        let ctx = rt_ctx();
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Incognito,
+            k: 10_000,
+        };
+        assert!(matches!(run(&ctx, &spec, 0), Err(RunError::Rel(_))));
+    }
+
+    #[test]
+    fn are_increases_with_k() {
+        let ctx = rt_ctx();
+        let mut prev = -1.0;
+        for k in [2, 10, 40] {
+            let spec = MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k,
+            };
+            let out = run(&ctx, &spec, 1).unwrap();
+            // GCP is monotone; ARE is noisier but must not collapse
+            assert!(out.indicators.gcp >= prev - 1e-9, "k={k}");
+            prev = out.indicators.gcp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod rho_tests {
+    use super::*;
+    use crate::config::MethodSpec;
+    use secreta_gen::DatasetSpec;
+
+    #[test]
+    fn rho_uncertainty_runs_and_verifies() {
+        let mut spec = DatasetSpec::adult_like(200, 3);
+        spec.n_items = 20;
+        let ctx = SessionContext::auto(spec.generate(), 3).unwrap();
+        let label = ctx
+            .table
+            .item_pool()
+            .unwrap()
+            .resolve(0)
+            .to_owned();
+        let method = MethodSpec::Rho {
+            rho: 0.3,
+            sensitive: vec![label],
+            max_antecedent: 2,
+            generalize: false,
+        };
+        let out = run(&ctx, &method, 0).unwrap();
+        assert!(out.indicators.verified);
+        assert!(out
+            .anon
+            .is_truthful(&ctx.table, |_| None, ctx.item_hierarchy.as_ref()));
+    }
+
+    #[test]
+    fn rho_unknown_sensitive_item_rejected() {
+        let ctx = SessionContext::auto(DatasetSpec::adult_like(50, 1).generate(), 3).unwrap();
+        let method = MethodSpec::Rho {
+            rho: 0.3,
+            sensitive: vec!["no_such_item".into()],
+            max_antecedent: 1,
+            generalize: false,
+        };
+        assert!(matches!(
+            run(&ctx, &method, 0),
+            Err(RunError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tdcontrol_runs_and_verifies() {
+        let mut spec = secreta_gen::DatasetSpec::adult_like(200, 4);
+        spec.n_items = 20;
+        let ctx = SessionContext::auto(spec.generate(), 2).unwrap();
+        let label = ctx.table.item_pool().unwrap().resolve(0).to_owned();
+        let method = MethodSpec::Rho {
+            rho: 0.4,
+            sensitive: vec![label],
+            max_antecedent: 2,
+            generalize: true,
+        };
+        let out = run(&ctx, &method, 0).unwrap();
+        assert!(out.indicators.verified);
+        assert!(out
+            .anon
+            .is_truthful(&ctx.table, |_| None, ctx.item_hierarchy.as_ref()));
+    }
+
+    #[test]
+    fn rho_on_relational_only_rejected() {
+        let ctx = SessionContext::auto(DatasetSpec::census(50, 1).generate(), 3).unwrap();
+        let method = MethodSpec::Rho {
+            rho: 0.3,
+            sensitive: vec!["x".into()],
+            max_antecedent: 1,
+            generalize: false,
+        };
+        assert!(matches!(
+            run(&ctx, &method, 0),
+            Err(RunError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! Comparison mode (the Experimentation Module's comparative half).
+//!
+//! "The Comparison mode offers data publishers the ability to design
+//! and execute benchmarks for comparing multiple anonymization
+//! algorithms … The results of the comparative analysis are
+//! summarized and presented graphically."
+//!
+//! A [`Configuration`] is exactly what the paper's Figure 4 collects:
+//! algorithm choices, fixed parameter values and a varying parameter;
+//! [`compare`] executes every configuration's sweep and produces the
+//! multi-series charts of the comparison screen's plotting area.
+
+use crate::anonymizer::{Indicators, RunError};
+use crate::config::MethodSpec;
+use crate::context::SessionContext;
+use crate::evaluator::{run_many, Job};
+use crate::sweep::{Sweep, SweepPoint, VaryingParam};
+use secreta_plot::{Series, XyChart};
+use serde::{Deserialize, Serialize};
+
+/// One entry of the comparison screen's "experimenter area".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Legend label (defaults to the spec's label when empty).
+    pub label: String,
+    /// Algorithm(s) + fixed parameters.
+    pub spec: MethodSpec,
+    /// The varying parameter.
+    pub sweep: Sweep,
+    /// Seed for randomized algorithms.
+    pub seed: u64,
+}
+
+impl Configuration {
+    /// Build a configuration, deriving the label from the spec.
+    pub fn new(spec: MethodSpec, sweep: Sweep, seed: u64) -> Self {
+        Configuration {
+            label: spec.label(),
+            spec,
+            sweep,
+            seed,
+        }
+    }
+}
+
+/// Results of one comparison: per configuration, the sweep samples.
+#[derive(Debug)]
+pub struct ComparisonResult {
+    /// Labels, parallel to `points`.
+    pub labels: Vec<String>,
+    /// The shared varying parameter (of the first configuration; all
+    /// configurations are expected to vary the same one).
+    pub param: VaryingParam,
+    /// Per configuration: `(value, point or error)` samples.
+    pub points: Vec<Vec<(usize, Result<SweepPoint, RunError>)>>,
+}
+
+impl ComparisonResult {
+    /// Multi-series chart of one indicator across all configurations.
+    pub fn chart(
+        &self,
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+        pick: impl Fn(&Indicators) -> f64,
+    ) -> XyChart {
+        let mut chart = XyChart::new(title, self.param.label(), y_label);
+        for (label, pts) in self.labels.iter().zip(&self.points) {
+            chart.push(Series::new(
+                label.clone(),
+                pts.iter()
+                    .filter_map(|(v, r)| {
+                        r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators)))
+                    })
+                    .collect(),
+            ));
+        }
+        chart
+    }
+}
+
+/// Execute every configuration's sweep (all points of all
+/// configurations share one thread pool).
+pub fn compare(
+    ctx: &SessionContext,
+    configurations: &[Configuration],
+    threads: usize,
+) -> ComparisonResult {
+    // flatten all (config, value) pairs into one job list
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut shape: Vec<Vec<usize>> = Vec::new(); // per config: values
+    for cfg in configurations {
+        let values = cfg.sweep.values();
+        for &v in &values {
+            let mut s = cfg.spec.clone();
+            match cfg.sweep.param {
+                VaryingParam::K => s.set_k(v),
+                VaryingParam::M => s.set_m(v),
+                VaryingParam::Delta => s.set_delta(v),
+            }
+            jobs.push(Job {
+                spec: s,
+                seed: cfg.seed,
+            });
+        }
+        shape.push(values);
+    }
+
+    let mut results = run_many(ctx, &jobs, threads).into_iter();
+    let mut points = Vec::with_capacity(configurations.len());
+    for values in shape {
+        let mut cfg_points = Vec::with_capacity(values.len());
+        for v in values {
+            let r = results.next().expect("one result per job");
+            cfg_points.push((
+                v,
+                r.map(|rr| SweepPoint {
+                    value: v,
+                    indicators: rr.indicators,
+                }),
+            ));
+        }
+        points.push(cfg_points);
+    }
+
+    ComparisonResult {
+        labels: configurations.iter().map(|c| c.label.clone()).collect(),
+        param: configurations
+            .first()
+            .map(|c| c.sweep.param)
+            .unwrap_or(VaryingParam::K),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RelAlgo, TxAlgo};
+    use secreta_gen::{DatasetSpec, WorkloadSpec};
+
+    fn ctx() -> SessionContext {
+        let t = DatasetSpec::adult_like(80, 5).generate();
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        let w = WorkloadSpec {
+            n_queries: 15,
+            ..Default::default()
+        }
+        .generate(&ctx.table);
+        ctx.with_workload(w)
+    }
+
+    fn k_sweep() -> Sweep {
+        Sweep {
+            param: VaryingParam::K,
+            start: 2,
+            end: 10,
+            step: 4,
+        }
+    }
+
+    #[test]
+    fn compares_multiple_relational_algorithms() {
+        let ctx = ctx();
+        let configs = vec![
+            Configuration::new(
+                MethodSpec::Relational {
+                    algo: RelAlgo::Cluster,
+                    k: 0,
+                },
+                k_sweep(),
+                1,
+            ),
+            Configuration::new(
+                MethodSpec::Relational {
+                    algo: RelAlgo::Incognito,
+                    k: 0,
+                },
+                k_sweep(),
+                1,
+            ),
+        ];
+        let result = compare(&ctx, &configs, 4);
+        assert_eq!(result.labels.len(), 2);
+        assert_eq!(result.points[0].len(), 3);
+        assert_eq!(result.points[1].len(), 3);
+        for pts in &result.points {
+            for (v, r) in pts {
+                assert!(r.as_ref().unwrap().indicators.verified, "k={v}");
+            }
+        }
+        let chart = result.chart("GCP vs k", "GCP", |i| i.gcp);
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].points.len(), 3);
+    }
+
+    #[test]
+    fn mixed_method_classes_compare() {
+        let ctx = ctx();
+        let configs = vec![
+            Configuration::new(
+                MethodSpec::Relational {
+                    algo: RelAlgo::TopDown,
+                    k: 0,
+                },
+                k_sweep(),
+                1,
+            ),
+            Configuration::new(
+                MethodSpec::Transaction {
+                    algo: TxAlgo::Apriori,
+                    k: 0,
+                    m: 2,
+                },
+                k_sweep(),
+                1,
+            ),
+        ];
+        let result = compare(&ctx, &configs, 2);
+        for pts in &result.points {
+            assert!(pts.iter().all(|(_, r)| r.is_ok()));
+        }
+    }
+
+    #[test]
+    fn labels_default_to_spec_labels() {
+        let cfg = Configuration::new(
+            MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k: 3,
+            },
+            k_sweep(),
+            0,
+        );
+        assert!(cfg.label.contains("Cluster"));
+    }
+
+    #[test]
+    fn empty_comparison() {
+        let ctx = ctx();
+        let result = compare(&ctx, &[], 2);
+        assert!(result.labels.is_empty());
+        assert!(result.points.is_empty());
+        let chart = result.chart("t", "y", |i| i.gcp);
+        assert!(chart.series.is_empty());
+    }
+}

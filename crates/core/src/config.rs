@@ -1,0 +1,358 @@
+//! Serializable method configurations.
+//!
+//! The SECRETA GUI collects an algorithm choice plus its parameters
+//! from the Evaluation/Comparison screens; this module is the
+//! file-format equivalent (JSON), so CLI sessions can be saved,
+//! replayed and shipped with benchmark definitions.
+
+use secreta_relational::RelationalAlgorithm;
+use secreta_rt::BoundingMethod;
+use secreta_transaction::TransactionAlgorithm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serializable mirror of [`RelationalAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelAlgo {
+    /// Incognito (full-domain).
+    Incognito,
+    /// Top-down specialization.
+    TopDown,
+    /// Full-subtree bottom-up generalization.
+    BottomUp,
+    /// Greedy k-member clustering.
+    Cluster,
+}
+
+impl From<RelAlgo> for RelationalAlgorithm {
+    fn from(a: RelAlgo) -> Self {
+        match a {
+            RelAlgo::Incognito => RelationalAlgorithm::Incognito,
+            RelAlgo::TopDown => RelationalAlgorithm::TopDown,
+            RelAlgo::BottomUp => RelationalAlgorithm::BottomUp,
+            RelAlgo::Cluster => RelationalAlgorithm::Cluster,
+        }
+    }
+}
+
+impl RelAlgo {
+    /// All four, in the paper's order.
+    pub fn all() -> [RelAlgo; 4] {
+        [
+            RelAlgo::Incognito,
+            RelAlgo::Cluster,
+            RelAlgo::TopDown,
+            RelAlgo::BottomUp,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        RelationalAlgorithm::from(self).name()
+    }
+}
+
+/// Serializable mirror of [`TransactionAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxAlgo {
+    /// COAT.
+    Coat,
+    /// PCTA.
+    Pcta,
+    /// Apriori anonymization.
+    Apriori,
+    /// LRA with this many horizontal partitions.
+    Lra {
+        /// Number of partitions.
+        partitions: usize,
+    },
+    /// VPA with this many vertical parts.
+    Vpa {
+        /// Number of item-domain parts.
+        parts: usize,
+    },
+}
+
+impl From<TxAlgo> for TransactionAlgorithm {
+    fn from(a: TxAlgo) -> Self {
+        match a {
+            TxAlgo::Coat => TransactionAlgorithm::Coat,
+            TxAlgo::Pcta => TransactionAlgorithm::Pcta,
+            TxAlgo::Apriori => TransactionAlgorithm::Apriori,
+            TxAlgo::Lra { partitions } => TransactionAlgorithm::Lra { partitions },
+            TxAlgo::Vpa { parts } => TransactionAlgorithm::Vpa { parts },
+        }
+    }
+}
+
+impl TxAlgo {
+    /// All five with default parameters, in the paper's order.
+    pub fn all() -> [TxAlgo; 5] {
+        [
+            TxAlgo::Coat,
+            TxAlgo::Pcta,
+            TxAlgo::Apriori,
+            TxAlgo::Lra { partitions: 2 },
+            TxAlgo::Vpa { parts: 4 },
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        TransactionAlgorithm::from(self).name()
+    }
+}
+
+/// Serializable mirror of [`BoundingMethod`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bounding {
+    /// RMERGE.
+    RMerge,
+    /// TMERGE.
+    TMerge,
+    /// RTMERGE.
+    RtMerge,
+}
+
+impl From<Bounding> for BoundingMethod {
+    fn from(b: Bounding) -> Self {
+        match b {
+            Bounding::RMerge => BoundingMethod::RMerge,
+            Bounding::TMerge => BoundingMethod::TMerge,
+            Bounding::RtMerge => BoundingMethod::RtMerge,
+        }
+    }
+}
+
+impl Bounding {
+    /// All three.
+    pub fn all() -> [Bounding; 3] {
+        [Bounding::RMerge, Bounding::TMerge, Bounding::RtMerge]
+    }
+
+    /// Display name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        BoundingMethod::from(self).name()
+    }
+}
+
+/// A complete method configuration: which algorithm(s) with which
+/// privacy parameters. The three variants correspond to the three
+/// dataset classes SECRETA handles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MethodSpec {
+    /// k-anonymity over the relational attributes.
+    Relational {
+        /// The algorithm.
+        algo: RelAlgo,
+        /// Protection level.
+        k: usize,
+    },
+    /// Protection of the transaction attribute (k^m or policy-based).
+    Transaction {
+        /// The algorithm.
+        algo: TxAlgo,
+        /// Protection level.
+        k: usize,
+        /// Adversary knowledge bound (k^m algorithms).
+        m: usize,
+    },
+    /// (k, k^m)-anonymity of an RT-dataset via a bounding method.
+    Rt {
+        /// Relational algorithm (initial partition).
+        rel: RelAlgo,
+        /// Transaction algorithm (per super-cluster).
+        tx: TxAlgo,
+        /// Bounding method.
+        bounding: Bounding,
+        /// Protection level for both parts.
+        k: usize,
+        /// Adversary knowledge bound.
+        m: usize,
+        /// Merge budget δ.
+        delta: usize,
+    },
+    /// ρ-uncertainty of the transaction attribute (the extension the
+    /// paper's conclusion announces, Cao et al. \[2\]).
+    Rho {
+        /// Confidence threshold in `(0, 1]`.
+        rho: f64,
+        /// Labels of the sensitive items (resolved against the
+        /// dataset at run time).
+        sensitive: Vec<String>,
+        /// Antecedent size bound of the rule-mining loop.
+        max_antecedent: usize,
+        /// `false` = SuppressControl (delete items); `true` =
+        /// TDControl (generalize the non-sensitive vocabulary over the
+        /// item hierarchy, suppressing only as a last resort).
+        #[serde(default)]
+        generalize: bool,
+    },
+}
+
+impl MethodSpec {
+    /// Human-readable label, used as the default legend entry.
+    pub fn label(&self) -> String {
+        match self {
+            MethodSpec::Relational { algo, k } => format!("{} (k={k})", algo.name()),
+            MethodSpec::Transaction { algo, k, m } => {
+                format!("{} (k={k}, m={m})", algo.name())
+            }
+            MethodSpec::Rt {
+                rel,
+                tx,
+                bounding,
+                k,
+                m,
+                delta,
+            } => format!(
+                "{}+{} via {} (k={k}, m={m}, δ={delta})",
+                rel.name(),
+                tx.name(),
+                bounding.name()
+            ),
+            MethodSpec::Rho {
+                rho,
+                sensitive,
+                max_antecedent,
+                generalize,
+            } => format!(
+                "ρ-uncertainty/{} (ρ={rho}, {} sensitive, |q|≤{max_antecedent})",
+                if *generalize { "TDControl" } else { "SuppressControl" },
+                sensitive.len()
+            ),
+        }
+    }
+
+    /// The `k` of this configuration (0 for ρ-uncertainty, which has
+    /// no k).
+    pub fn k(&self) -> usize {
+        match self {
+            MethodSpec::Relational { k, .. }
+            | MethodSpec::Transaction { k, .. }
+            | MethodSpec::Rt { k, .. } => *k,
+            MethodSpec::Rho { .. } => 0,
+        }
+    }
+
+    /// Set `k` (used by parameter sweeps; no-op for ρ-uncertainty).
+    pub fn set_k(&mut self, value: usize) {
+        match self {
+            MethodSpec::Relational { k, .. }
+            | MethodSpec::Transaction { k, .. }
+            | MethodSpec::Rt { k, .. } => *k = value,
+            MethodSpec::Rho { .. } => {}
+        }
+    }
+
+    /// Set `m` where applicable. For ρ-uncertainty, `m` is the
+    /// antecedent bound; no-op for purely relational methods.
+    pub fn set_m(&mut self, value: usize) {
+        match self {
+            MethodSpec::Transaction { m, .. } | MethodSpec::Rt { m, .. } => *m = value,
+            MethodSpec::Rho { max_antecedent, .. } => *max_antecedent = value,
+            MethodSpec::Relational { .. } => {}
+        }
+    }
+
+    /// Set `δ` where applicable (no-op otherwise).
+    pub fn set_delta(&mut self, value: usize) {
+        if let MethodSpec::Rt { delta, .. } = self {
+            *delta = value;
+        }
+    }
+}
+
+impl fmt::Display for MethodSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip_names() {
+        for a in RelAlgo::all() {
+            assert_eq!(a.name(), RelationalAlgorithm::from(a).name());
+        }
+        for a in TxAlgo::all() {
+            assert_eq!(a.name(), TransactionAlgorithm::from(a).name());
+        }
+        for b in Bounding::all() {
+            assert_eq!(b.name(), BoundingMethod::from(b).name());
+        }
+    }
+
+    #[test]
+    fn twenty_rt_combinations_exist() {
+        let mut combos = 0;
+        for _rel in RelAlgo::all() {
+            for _tx in TxAlgo::all() {
+                combos += 1;
+            }
+        }
+        assert_eq!(combos, 20, "the paper's 20 combinations");
+    }
+
+    #[test]
+    fn spec_parameter_setters() {
+        let mut s = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: Bounding::RMerge,
+            k: 2,
+            m: 2,
+            delta: 1,
+        };
+        s.set_k(5);
+        s.set_m(3);
+        s.set_delta(4);
+        assert_eq!(s.k(), 5);
+        match s {
+            MethodSpec::Rt { m, delta, .. } => {
+                assert_eq!(m, 3);
+                assert_eq!(delta, 4);
+            }
+            _ => unreachable!(),
+        }
+        let mut r = MethodSpec::Relational {
+            algo: RelAlgo::Incognito,
+            k: 2,
+        };
+        r.set_m(9); // no-op
+        r.set_delta(9); // no-op
+        assert_eq!(r.k(), 2);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let s = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Coat,
+            bounding: Bounding::TMerge,
+            k: 5,
+            m: 2,
+            delta: 3,
+        };
+        let label = s.label();
+        assert!(label.contains("Cluster"));
+        assert!(label.contains("COAT"));
+        assert!(label.contains("Tmerger"));
+        assert!(label.contains("k=5"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = MethodSpec::Transaction {
+            algo: TxAlgo::Lra { partitions: 8 },
+            k: 4,
+            m: 2,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MethodSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,129 @@
+//! Session context: everything a run needs besides the method spec.
+//!
+//! Bundles the loaded dataset with its hierarchies, query workload and
+//! policies — the state the SECRETA GUI accumulates across the Dataset
+//! Editor, Configuration Editor and Queries Editor before any
+//! algorithm runs.
+
+use secreta_data::{AttributeKind, RtTable};
+use secreta_hierarchy::{auto_hierarchy, Hierarchy, HierarchyError};
+use secreta_metrics::Workload;
+use secreta_policy::{PrivacyPolicy, UtilityPolicy};
+
+/// A fully prepared session.
+#[derive(Debug, Clone)]
+pub struct SessionContext {
+    /// The dataset under anonymization.
+    pub table: RtTable,
+    /// Quasi-identifier attribute indices (relational).
+    pub qi_attrs: Vec<usize>,
+    /// Hierarchies parallel to `qi_attrs`.
+    pub hierarchies: Vec<Hierarchy>,
+    /// Item hierarchy for the transaction attribute, if present.
+    pub item_hierarchy: Option<Hierarchy>,
+    /// Query workload for ARE (may be empty).
+    pub workload: Workload,
+    /// Privacy policy for COAT/PCTA (None = protect all items).
+    pub privacy: Option<PrivacyPolicy>,
+    /// Utility policy for COAT/PCTA (None = unconstrained).
+    pub utility: Option<UtilityPolicy>,
+}
+
+impl SessionContext {
+    /// Build a context with automatically derived hierarchies (the
+    /// Policy Specification Module's generator) over every relational
+    /// attribute and the item universe, with the given fan-out.
+    pub fn auto(table: RtTable, fanout: usize) -> Result<SessionContext, HierarchyError> {
+        let qi_attrs = table.schema().relational_indices();
+        let mut hierarchies = Vec::with_capacity(qi_attrs.len());
+        for &attr in &qi_attrs {
+            let kind = table
+                .schema()
+                .attribute(attr)
+                .map(|a| a.kind)
+                .unwrap_or(AttributeKind::Categorical);
+            hierarchies.push(auto_hierarchy(table.pool(attr), kind, fanout)?);
+        }
+        let item_hierarchy = match table.item_pool() {
+            Some(pool) if !pool.is_empty() => {
+                Some(auto_hierarchy(pool, AttributeKind::Categorical, fanout)?)
+            }
+            _ => None,
+        };
+        Ok(SessionContext {
+            table,
+            qi_attrs,
+            hierarchies,
+            item_hierarchy,
+            workload: Workload::default(),
+            privacy: None,
+            utility: None,
+        })
+    }
+
+    /// Replace the query workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Attach COAT/PCTA policies.
+    pub fn with_policies(
+        mut self,
+        privacy: Option<PrivacyPolicy>,
+        utility: Option<UtilityPolicy>,
+    ) -> Self {
+        self.privacy = privacy;
+        self.utility = utility;
+        self
+    }
+
+    /// The hierarchy of relational attribute `attr`, if it is a QI.
+    pub fn hierarchy_of(&self, attr: usize) -> Option<&Hierarchy> {
+        self.qi_attrs
+            .iter()
+            .position(|&a| a == attr)
+            .map(|pos| &self.hierarchies[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_gen::DatasetSpec;
+
+    #[test]
+    fn auto_builds_all_hierarchies() {
+        let t = DatasetSpec::adult_like(100, 1).generate();
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        assert_eq!(ctx.qi_attrs.len(), 4);
+        assert_eq!(ctx.hierarchies.len(), 4);
+        assert!(ctx.item_hierarchy.is_some());
+        for (pos, &attr) in ctx.qi_attrs.iter().enumerate() {
+            assert_eq!(
+                ctx.hierarchies[pos].n_leaves(),
+                ctx.table.domain_size(attr)
+            );
+        }
+        assert_eq!(
+            ctx.item_hierarchy.as_ref().unwrap().n_leaves(),
+            ctx.table.item_universe()
+        );
+    }
+
+    #[test]
+    fn relational_only_has_no_item_hierarchy() {
+        let t = DatasetSpec::census(50, 1).generate();
+        let ctx = SessionContext::auto(t, 3).unwrap();
+        assert!(ctx.item_hierarchy.is_none());
+        assert!(ctx.workload.is_empty());
+    }
+
+    #[test]
+    fn hierarchy_of_resolves_qi_position() {
+        let t = DatasetSpec::adult_like(50, 2).generate();
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        assert!(ctx.hierarchy_of(0).is_some());
+        assert!(ctx.hierarchy_of(4).is_none(), "tx attr is not a QI");
+    }
+}

@@ -1,0 +1,217 @@
+//! Data Export Module.
+//!
+//! "This module allows exporting datasets, hierarchies, policies, and
+//! query workloads, in CSV format, and graphs, in PDF, JPG, BMP or PNG
+//! format." Datasets/hierarchies/policies/workloads keep their CSV
+//! formats (implemented next to their types); this module adds the
+//! anonymized-dataset CSV writer and the graph writers (SVG + CSV in
+//! place of Qt's raster formats).
+
+use crate::context::SessionContext;
+use secreta_metrics::AnonTable;
+use secreta_plot::{ascii, csv as plot_csv, grouped, svg, BarChart, GroupedBarChart, XyChart};
+use std::io::Write;
+use std::path::Path;
+
+/// Write the anonymized dataset as CSV: one column per anonymized
+/// relational attribute (generalized labels), then the transaction
+/// attribute as space-separated generalized item labels.
+pub fn write_anonymized<W: Write>(
+    ctx: &SessionContext,
+    anon: &AnonTable,
+    writer: &mut W,
+) -> std::io::Result<()> {
+    let table = &ctx.table;
+    let schema = table.schema();
+
+    // header
+    let mut header: Vec<String> = anon
+        .rel
+        .iter()
+        .map(|col| {
+            schema
+                .attribute(col.attr)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| format!("attr{}", col.attr))
+        })
+        .collect();
+    let has_tx = anon.tx.is_some();
+    if has_tx {
+        let name = schema
+            .transaction_index()
+            .and_then(|i| schema.attribute(i))
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|| "Items".to_owned());
+        header.push(name);
+    }
+    writeln!(writer, "{}", header.join(","))?;
+
+    let item_pool = table.item_pool();
+    for row in 0..anon.n_rows {
+        let mut fields: Vec<String> = Vec::with_capacity(header.len());
+        for col in &anon.rel {
+            let h = ctx.hierarchy_of(col.attr);
+            let pool = table.pool(col.attr);
+            let label = col
+                .entry(row)
+                .display(h, |v| pool.resolve(v).to_owned());
+            fields.push(quote(&label));
+        }
+        if let Some(tx) = &anon.tx {
+            let h = ctx.item_hierarchy.as_ref();
+            let labels: Vec<String> = tx
+                .row_items(row)
+                .iter()
+                .map(|&g| {
+                    tx.domain[g as usize].display(h, |v| {
+                        item_pool
+                            .map(|p| p.resolve(v).to_owned())
+                            .unwrap_or_else(|| v.to_string())
+                    })
+                })
+                .collect();
+            fields.push(quote(&labels.join(" ")));
+        }
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Write an XY chart as SVG and CSV next to each other:
+/// `<stem>.svg` and `<stem>.csv`. Returns the two paths written.
+pub fn export_xy_chart(
+    chart: &XyChart,
+    stem: impl AsRef<Path>,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let stem = stem.as_ref();
+    let svg_path = stem.with_extension("svg");
+    let csv_path = stem.with_extension("csv");
+    std::fs::write(&svg_path, svg::render_xy(chart, 720, 440))?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&csv_path)?);
+    plot_csv::write_xy(chart, &mut f)?;
+    Ok((svg_path, csv_path))
+}
+
+/// Write a bar chart as SVG and CSV (`<stem>.svg`, `<stem>.csv`).
+pub fn export_bar_chart(
+    chart: &BarChart,
+    stem: impl AsRef<Path>,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let stem = stem.as_ref();
+    let svg_path = stem.with_extension("svg");
+    let csv_path = stem.with_extension("csv");
+    std::fs::write(&svg_path, svg::render_bar(chart, 720, 440))?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&csv_path)?);
+    plot_csv::write_bar(chart, &mut f)?;
+    Ok((svg_path, csv_path))
+}
+
+/// Write a grouped bar chart as SVG and CSV (`<stem>.svg`, `<stem>.csv`).
+pub fn export_grouped_chart(
+    chart: &GroupedBarChart,
+    stem: impl AsRef<Path>,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let stem = stem.as_ref();
+    let svg_path = stem.with_extension("svg");
+    let csv_path = stem.with_extension("csv");
+    std::fs::write(&svg_path, grouped::render_svg(chart, 720, 440))?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&csv_path)?);
+    grouped::write_csv(chart, &mut f)?;
+    Ok((svg_path, csv_path))
+}
+
+/// Render a grouped bar chart for the terminal.
+pub fn terminal_grouped(chart: &GroupedBarChart) -> String {
+    grouped::render_ascii(chart, 40)
+}
+
+/// Render an XY chart for the terminal (the CLI's plotting area).
+pub fn terminal_xy(chart: &XyChart) -> String {
+    ascii::render_xy(chart, 72, 18)
+}
+
+/// Render a bar chart for the terminal.
+pub fn terminal_bar(chart: &BarChart) -> String {
+    ascii::render_bar(chart, 48)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymizer::run;
+    use crate::config::{MethodSpec, RelAlgo, TxAlgo};
+    use secreta_gen::DatasetSpec;
+    use secreta_plot::Series;
+
+    #[test]
+    fn anonymized_csv_has_generalized_labels() {
+        let t = DatasetSpec::adult_like(40, 1).generate();
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        let spec = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: crate::config::Bounding::RMerge,
+            k: 4,
+            m: 1,
+            delta: 2,
+        };
+        let out = run(&ctx, &spec, 1).unwrap();
+        let mut buf = Vec::new();
+        write_anonymized(&ctx, &out.anon, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 41, "header + 40 rows");
+        assert!(lines[0].starts_with("Age,"));
+        assert!(lines[0].ends_with("Items"));
+    }
+
+    #[test]
+    fn chart_files_are_written() {
+        let dir = std::env::temp_dir().join("secreta_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut chart = XyChart::new("t", "k", "ARE");
+        chart.push(Series::new("a", vec![(1.0, 0.5)]));
+        let (svg, csv) = export_xy_chart(&chart, dir.join("xy")).unwrap();
+        assert!(svg.exists());
+        assert!(csv.exists());
+        let bar = BarChart::new("b", vec!["x".into()], vec![1.0]);
+        let (bsvg, bcsv) = export_bar_chart(&bar, dir.join("bar")).unwrap();
+        assert!(bsvg.exists());
+        assert!(bcsv.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grouped_chart_files_are_written() {
+        let dir = std::env::temp_dir().join("secreta_export_grouped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = GroupedBarChart::new(
+            "g",
+            vec!["a".into()],
+            vec!["s1".into(), "s2".into()],
+            vec![vec![1.0], vec![2.0]],
+        );
+        let (svg, csv) = export_grouped_chart(&g, dir.join("g")).unwrap();
+        assert!(svg.exists());
+        assert!(csv.exists());
+        assert!(terminal_grouped(&g).contains("s1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terminal_renderers_produce_text() {
+        let mut chart = XyChart::new("t", "k", "ARE");
+        chart.push(Series::new("a", vec![(1.0, 0.5), (2.0, 0.7)]));
+        assert!(terminal_xy(&chart).contains('*'));
+        let bar = BarChart::new("b", vec!["x".into()], vec![1.0]);
+        assert!(terminal_bar(&bar).contains('█'));
+    }
+}

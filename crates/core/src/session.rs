@@ -1,0 +1,325 @@
+//! Saved sessions: the file equivalent of the GUI's accumulated state.
+//!
+//! The SECRETA frontend lets a publisher load a dataset, attach
+//! hierarchies, policies and a query workload, and then run
+//! experiments against that state. [`SessionSpec`] captures the same
+//! state as a JSON document of file references, so a full session can
+//! be version-controlled and replayed:
+//!
+//! ```json
+//! {
+//!   "dataset": "data.csv",
+//!   "transaction_column": "Items",
+//!   "fanout": 4,
+//!   "hierarchy_files": { "Age": "age.hier" },
+//!   "workload_file": "queries.txt",
+//!   "privacy_file": "privacy.txt",
+//!   "utility_file": "utility.txt"
+//! }
+//! ```
+//!
+//! Attributes without an entry in `hierarchy_files` get automatically
+//! derived hierarchies (fan-out `fanout`), exactly like the
+//! Configuration Editor's "derive from data" path.
+
+use crate::context::SessionContext;
+use secreta_data::{csv as dcsv, stats, CsvOptions};
+use secreta_hierarchy::io as hio;
+use secreta_metrics::query::read_workload;
+use secreta_policy::io as pio;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A serializable session description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Dataset CSV path (relative paths resolve against the spec's
+    /// own directory).
+    pub dataset: PathBuf,
+    /// Name of the transaction column, if any.
+    #[serde(default)]
+    pub transaction_column: Option<String>,
+    /// Fan-out for automatically derived hierarchies.
+    #[serde(default = "default_fanout")]
+    pub fanout: usize,
+    /// Explicit hierarchy files per attribute name (`;`-delimited
+    /// leaf-to-root paths). The special key `"@items"` targets the
+    /// transaction attribute's item hierarchy.
+    #[serde(default)]
+    pub hierarchy_files: BTreeMap<String, PathBuf>,
+    /// Query workload file (Queries Editor format).
+    #[serde(default)]
+    pub workload_file: Option<PathBuf>,
+    /// COAT/PCTA privacy policy file.
+    #[serde(default)]
+    pub privacy_file: Option<PathBuf>,
+    /// COAT/PCTA utility policy file.
+    #[serde(default)]
+    pub utility_file: Option<PathBuf>,
+}
+
+fn default_fanout() -> usize {
+    4
+}
+
+/// Errors raised while loading a session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// I/O or parse failure, with the offending path.
+    File(PathBuf, String),
+    /// The spec references something the dataset does not have.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::File(p, e) => write!(f, "{}: {e}", p.display()),
+            SessionError::Inconsistent(msg) => write!(f, "inconsistent session: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl SessionSpec {
+    /// Minimal spec for a dataset file.
+    pub fn new(dataset: impl Into<PathBuf>) -> Self {
+        SessionSpec {
+            dataset: dataset.into(),
+            transaction_column: None,
+            fanout: default_fanout(),
+            hierarchy_files: BTreeMap::new(),
+            workload_file: None,
+            privacy_file: None,
+            utility_file: None,
+        }
+    }
+
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<SessionSpec, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serialize the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Load the full session, resolving relative paths against
+    /// `base_dir`.
+    pub fn load(&self, base_dir: &Path) -> Result<SessionContext, SessionError> {
+        let resolve = |p: &Path| -> PathBuf {
+            if p.is_absolute() {
+                p.to_owned()
+            } else {
+                base_dir.join(p)
+            }
+        };
+
+        // dataset, with numeric auto-detection (as the CLI does)
+        let data_path = resolve(&self.dataset);
+        let mut opts = CsvOptions {
+            transaction_column: self.transaction_column.clone(),
+            ..CsvOptions::default()
+        };
+        let probe = dcsv::read_table_path(&data_path, &opts)
+            .map_err(|e| SessionError::File(data_path.clone(), e.to_string()))?;
+        opts.numeric_columns = stats::summarize(&probe)
+            .into_iter()
+            .filter(|s| s.min.is_some())
+            .map(|s| s.name)
+            .collect();
+        let table = dcsv::read_table_path(&data_path, &opts)
+            .map_err(|e| SessionError::File(data_path.clone(), e.to_string()))?;
+
+        // start from auto hierarchies, then overlay explicit files
+        let mut ctx = SessionContext::auto(table, self.fanout)
+            .map_err(|e| SessionError::Inconsistent(e.to_string()))?;
+        for (attr_name, file) in &self.hierarchy_files {
+            let path = resolve(file);
+            if attr_name == "@items" {
+                let pool = ctx
+                    .table
+                    .item_pool()
+                    .ok_or_else(|| {
+                        SessionError::Inconsistent(
+                            "@items hierarchy given but the dataset has no transaction attribute"
+                                .into(),
+                        )
+                    })?;
+                let h = hio::read_hierarchy_path(&path, pool, ';')
+                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+                ctx.item_hierarchy = Some(h);
+            } else {
+                let attr = ctx.table.schema().index_of(attr_name).ok_or_else(|| {
+                    SessionError::Inconsistent(format!("unknown attribute {attr_name:?}"))
+                })?;
+                let pos = ctx
+                    .qi_attrs
+                    .iter()
+                    .position(|&a| a == attr)
+                    .ok_or_else(|| {
+                        SessionError::Inconsistent(format!(
+                            "attribute {attr_name:?} is not relational"
+                        ))
+                    })?;
+                let h = hio::read_hierarchy_path(&path, ctx.table.pool(attr), ';')
+                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+                ctx.hierarchies[pos] = h;
+            }
+        }
+
+        if let Some(file) = &self.workload_file {
+            let path = resolve(file);
+            let reader = std::fs::File::open(&path)
+                .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+            ctx.workload = read_workload(reader, &ctx.table)
+                .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+        }
+        if let Some(file) = &self.privacy_file {
+            let path = resolve(file);
+            let reader = std::fs::File::open(&path)
+                .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+            ctx.privacy = Some(
+                pio::read_privacy(reader, &ctx.table)
+                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?,
+            );
+        }
+        if let Some(file) = &self.utility_file {
+            let path = resolve(file);
+            let reader = std::fs::File::open(&path)
+                .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+            ctx.utility = Some(
+                pio::read_utility(reader, &ctx.table)
+                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?,
+            );
+        }
+        Ok(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_gen::{DatasetSpec, WorkloadSpec};
+    use secreta_metrics::query::write_workload;
+    use secreta_policy::{generate_privacy, PrivacyStrategy};
+
+    fn setup_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("secreta_session_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_dataset(dir: &Path) -> PathBuf {
+        let table = DatasetSpec::adult_like(80, 5).generate();
+        let path = dir.join("data.csv");
+        let opts = CsvOptions {
+            transaction_column: Some("Items".into()),
+            ..CsvOptions::default()
+        };
+        dcsv::write_table_path(&table, &path, &opts).unwrap();
+        path
+    }
+
+    #[test]
+    fn minimal_session_loads_with_auto_everything() {
+        let dir = setup_dir();
+        write_dataset(&dir);
+        let mut spec = SessionSpec::new("data.csv");
+        spec.transaction_column = Some("Items".into());
+        let ctx = spec.load(&dir).unwrap();
+        assert_eq!(ctx.table.n_rows(), 80);
+        assert_eq!(ctx.hierarchies.len(), ctx.qi_attrs.len());
+        assert!(ctx.item_hierarchy.is_some());
+        assert!(ctx.workload.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_files_override_auto_derivation() {
+        let dir = setup_dir();
+        write_dataset(&dir);
+        // build a session once to export artifacts
+        let mut spec = SessionSpec::new("data.csv");
+        spec.transaction_column = Some("Items".into());
+        let base = spec.load(&dir).unwrap();
+
+        // export a coarser Age hierarchy (fanout 8) and reload via file
+        let coarse = secreta_hierarchy::auto_hierarchy(
+            base.table.pool(0),
+            secreta_data::AttributeKind::Numeric,
+            8,
+        )
+        .unwrap();
+        hio::write_hierarchy_path(&coarse, dir.join("age.hier"), ';').unwrap();
+
+        let w = WorkloadSpec {
+            n_queries: 7,
+            ..Default::default()
+        }
+        .generate(&base.table);
+        let mut f = std::fs::File::create(dir.join("queries.txt")).unwrap();
+        write_workload(&w, &base.table, &mut f).unwrap();
+
+        let p = generate_privacy(&base.table, &PrivacyStrategy::AllItems);
+        let mut f = std::fs::File::create(dir.join("privacy.txt")).unwrap();
+        pio::write_privacy(&p, &base.table, &mut f).unwrap();
+
+        spec.hierarchy_files
+            .insert("Age".into(), PathBuf::from("age.hier"));
+        spec.workload_file = Some(PathBuf::from("queries.txt"));
+        spec.privacy_file = Some(PathBuf::from("privacy.txt"));
+
+        let ctx = spec.load(&dir).unwrap();
+        assert_eq!(ctx.hierarchies[0].height(), coarse.height());
+        assert_eq!(ctx.workload.len(), 7);
+        assert_eq!(ctx.privacy.as_ref().unwrap().len(), p.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut spec = SessionSpec::new("d.csv");
+        spec.transaction_column = Some("Items".into());
+        spec.hierarchy_files
+            .insert("@items".into(), PathBuf::from("items.hier"));
+        spec.workload_file = Some(PathBuf::from("q.txt"));
+        let back = SessionSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        // defaults apply when fields are omitted
+        let min: SessionSpec =
+            SessionSpec::from_json(r#"{"dataset":"x.csv"}"#).unwrap();
+        assert_eq!(min.fanout, 4);
+        assert!(min.hierarchy_files.is_empty());
+    }
+
+    #[test]
+    fn bad_references_are_reported() {
+        let dir = setup_dir();
+        write_dataset(&dir);
+        let mut spec = SessionSpec::new("data.csv");
+        spec.transaction_column = Some("Items".into());
+
+        spec.hierarchy_files
+            .insert("Nope".into(), PathBuf::from("x.hier"));
+        assert!(matches!(
+            spec.load(&dir),
+            Err(SessionError::Inconsistent(_))
+        ));
+
+        spec.hierarchy_files.clear();
+        spec.workload_file = Some(PathBuf::from("missing.txt"));
+        assert!(matches!(spec.load(&dir), Err(SessionError::File(..))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dataset_reported_with_path() {
+        let spec = SessionSpec::new("does_not_exist.csv");
+        let err = spec.load(Path::new("/tmp")).unwrap_err();
+        assert!(err.to_string().contains("does_not_exist.csv"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Varying-parameter execution (the Experimentation Module's sweep
+//! half).
+//!
+//! "In varying parameter execution, the user selects the start/end
+//! values and step of a parameter that varies, as well as fixed values
+//! for other parameters. The plotted results include data utility
+//! indicators and runtime vs. the varying parameter."
+
+use crate::anonymizer::{Indicators, RunError};
+use crate::config::MethodSpec;
+use crate::context::SessionContext;
+use crate::evaluator::{run_many, Job};
+use secreta_plot::{Series, XyChart};
+use serde::{Deserialize, Serialize};
+
+/// Which parameter varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VaryingParam {
+    /// Protection level `k`.
+    K,
+    /// Adversary knowledge `m`.
+    M,
+    /// Merge budget `δ` (RT methods).
+    Delta,
+}
+
+impl VaryingParam {
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VaryingParam::K => "k",
+            VaryingParam::M => "m",
+            VaryingParam::Delta => "δ",
+        }
+    }
+}
+
+/// A start/end/step sweep, inclusive of `end` when the step lands on
+/// it — the exact semantics of the GUI's three sweep fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// The varying parameter.
+    pub param: VaryingParam,
+    /// First value.
+    pub start: usize,
+    /// Last value (inclusive).
+    pub end: usize,
+    /// Step (≥ 1).
+    pub step: usize,
+}
+
+impl Sweep {
+    /// The concrete values the sweep visits.
+    pub fn values(&self) -> Vec<usize> {
+        let step = self.step.max(1);
+        let mut out = Vec::new();
+        let mut v = self.start;
+        while v <= self.end {
+            out.push(v);
+            v += step;
+        }
+        out
+    }
+}
+
+/// One sweep sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The varying parameter's value.
+    pub value: usize,
+    /// Indicators measured at that value.
+    pub indicators: Indicators,
+}
+
+/// Run `spec` across `sweep`, fanning points out over `threads`
+/// worker threads. Per-point failures (e.g. an infeasible `k`) are
+/// reported in place.
+pub fn evaluate_sweep(
+    ctx: &SessionContext,
+    spec: &MethodSpec,
+    sweep: &Sweep,
+    threads: usize,
+    seed: u64,
+) -> Vec<(usize, Result<SweepPoint, RunError>)> {
+    let values = sweep.values();
+    let jobs: Vec<Job> = values
+        .iter()
+        .map(|&v| {
+            let mut s = spec.clone();
+            match sweep.param {
+                VaryingParam::K => s.set_k(v),
+                VaryingParam::M => s.set_m(v),
+                VaryingParam::Delta => s.set_delta(v),
+            }
+            Job { spec: s, seed }
+        })
+        .collect();
+    let results = run_many(ctx, &jobs, threads);
+    values
+        .into_iter()
+        .zip(results)
+        .map(|(v, r)| {
+            (
+                v,
+                r.map(|rr| SweepPoint {
+                    value: v,
+                    indicators: rr.indicators,
+                }),
+            )
+        })
+        .collect()
+}
+
+/// Extract one indicator from sweep output as a plot series, skipping
+/// failed points.
+pub fn series_of(
+    label: impl Into<String>,
+    points: &[(usize, Result<SweepPoint, RunError>)],
+    pick: impl Fn(&Indicators) -> f64,
+) -> Series {
+    Series::new(
+        label,
+        points
+            .iter()
+            .filter_map(|(v, r)| {
+                r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators)))
+            })
+            .collect(),
+    )
+}
+
+/// Convenience: a one-series chart of `pick` over the sweep.
+pub fn chart_of(
+    title: impl Into<String>,
+    y_label: impl Into<String>,
+    sweep: &Sweep,
+    label: impl Into<String>,
+    points: &[(usize, Result<SweepPoint, RunError>)],
+    pick: impl Fn(&Indicators) -> f64,
+) -> XyChart {
+    let mut chart = XyChart::new(title, sweep.param.label(), y_label);
+    chart.push(series_of(label, points, pick));
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RelAlgo;
+    use secreta_gen::{DatasetSpec, WorkloadSpec};
+
+    fn ctx() -> SessionContext {
+        let t = DatasetSpec::adult_like(80, 1).generate();
+        let ctx = SessionContext::auto(t, 4).unwrap();
+        let w = WorkloadSpec {
+            n_queries: 20,
+            ..Default::default()
+        }
+        .generate(&ctx.table);
+        ctx.with_workload(w)
+    }
+
+    #[test]
+    fn sweep_values_inclusive() {
+        let s = Sweep {
+            param: VaryingParam::K,
+            start: 2,
+            end: 10,
+            step: 4,
+        };
+        assert_eq!(s.values(), vec![2, 6, 10]);
+        let s2 = Sweep {
+            param: VaryingParam::K,
+            start: 5,
+            end: 5,
+            step: 1,
+        };
+        assert_eq!(s2.values(), vec![5]);
+        let s3 = Sweep {
+            param: VaryingParam::K,
+            start: 9,
+            end: 3,
+            step: 1,
+        };
+        assert!(s3.values().is_empty());
+        let s0 = Sweep {
+            param: VaryingParam::K,
+            start: 1,
+            end: 3,
+            step: 0,
+        };
+        assert_eq!(s0.values(), vec![1, 2, 3], "step 0 clamps to 1");
+    }
+
+    #[test]
+    fn k_sweep_is_monotone_in_gcp() {
+        let ctx = ctx();
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 0, // overwritten by the sweep
+        };
+        let sweep = Sweep {
+            param: VaryingParam::K,
+            start: 2,
+            end: 20,
+            step: 6,
+        };
+        let out = evaluate_sweep(&ctx, &spec, &sweep, 4, 1);
+        assert_eq!(out.len(), 4);
+        let mut prev = -1.0;
+        for (v, r) in &out {
+            let p = r.as_ref().unwrap();
+            assert!(p.indicators.verified, "k={v}");
+            assert!(p.indicators.gcp >= prev - 1e-9);
+            prev = p.indicators.gcp;
+        }
+    }
+
+    #[test]
+    fn failed_points_are_isolated() {
+        let ctx = ctx();
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Incognito,
+            k: 0,
+        };
+        let sweep = Sweep {
+            param: VaryingParam::K,
+            start: 50,
+            end: 150,
+            step: 50,
+        };
+        let out = evaluate_sweep(&ctx, &spec, &sweep, 2, 0);
+        assert!(out[0].1.is_ok(), "k=50 feasible on 80 rows");
+        assert!(out[2].1.is_err(), "k=150 infeasible");
+    }
+
+    #[test]
+    fn series_and_chart_skip_failures() {
+        let ctx = ctx();
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 0,
+        };
+        let sweep = Sweep {
+            param: VaryingParam::K,
+            start: 40,
+            end: 120,
+            step: 40,
+        };
+        let out = evaluate_sweep(&ctx, &spec, &sweep, 2, 1);
+        let series = series_of("gcp", &out, |i| i.gcp);
+        assert_eq!(series.points.len(), 2, "only feasible points plotted");
+        let chart = chart_of("GCP vs k", "GCP", &sweep, "Cluster", &out, |i| i.gcp);
+        assert_eq!(chart.x_label, "k");
+        assert_eq!(chart.series.len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! CSV reading and writing in SECRETA's dataset format.
+//!
+//! The paper requires datasets "provided in a Comma-Separated Values
+//! (CSV) format". Relational attributes occupy one field each; the
+//! transaction attribute packs its items into a single field separated
+//! by an intra-field delimiter (space by default). Fields containing
+//! the delimiter may be double-quoted with `""` escaping.
+//!
+//! Which columns are relational/numeric/transaction is given by a
+//! [`CsvOptions`] value, mirroring the type annotations the SECRETA
+//! GUI collects when a file is loaded.
+
+use crate::error::DataError;
+use crate::schema::{Attribute, AttributeKind, Schema};
+use crate::table::RtTable;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parsing/serialization options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Delimiter between items inside the transaction field
+    /// (default space).
+    pub item_delimiter: char,
+    /// Whether the first line is a header of attribute names.
+    pub has_header: bool,
+    /// Name (when `has_header`) or 0-based index (otherwise, as a
+    /// decimal string) of the transaction column, if any.
+    pub transaction_column: Option<String>,
+    /// Names/indices of columns to treat as numeric.
+    pub numeric_columns: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            item_delimiter: ' ',
+            has_header: true,
+            transaction_column: None,
+            numeric_columns: Vec::new(),
+        }
+    }
+}
+
+impl CsvOptions {
+    /// Options for an RT-dataset whose transaction column is `name`.
+    pub fn with_transaction(name: impl Into<String>) -> Self {
+        Self {
+            transaction_column: Some(name.into()),
+            ..Self::default()
+        }
+    }
+}
+
+/// Split one CSV line into fields, honouring double quotes.
+fn split_line(line: &str, delim: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if quoted {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            quoted = true;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quote a field when it contains the delimiter, a quote, or leading
+/// whitespace that would be ambiguous.
+fn quote_field(field: &str, delim: char) -> String {
+    if field.contains(delim) || field.contains('"') || field.starts_with(' ') {
+        let escaped = field.replace('"', "\"\"");
+        format!("\"{escaped}\"")
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Read a dataset from any reader.
+pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, DataError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header: Vec<String> = if opts.has_header {
+        match lines.next() {
+            Some(line) => split_line(&line?, opts.delimiter),
+            None => return Err(DataError::EmptyInput),
+        }
+    } else {
+        Vec::new()
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut width = if opts.has_header { header.len() } else { 0 };
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        // A blank line is noise in a multi-column file, but in a
+        // single-column file it is a record with one empty field
+        // (e.g. an empty transaction).
+        if line.trim().is_empty() && width != 1 {
+            continue;
+        }
+        let fields = split_line(&line, opts.delimiter);
+        if width == 0 {
+            width = fields.len();
+        }
+        if fields.len() != width {
+            return Err(DataError::RaggedRow {
+                line: lineno + 1 + usize::from(opts.has_header),
+                found: fields.len(),
+                expected: width,
+            });
+        }
+        rows.push(fields);
+    }
+    if width == 0 {
+        return Err(DataError::EmptyInput);
+    }
+
+    let names: Vec<String> = if opts.has_header {
+        header
+    } else {
+        (0..width).map(|i| i.to_string()).collect()
+    };
+
+    let col_kind = |name: &str| -> AttributeKind {
+        if opts.transaction_column.as_deref() == Some(name) {
+            AttributeKind::Transaction
+        } else if opts.numeric_columns.iter().any(|n| n == name) {
+            AttributeKind::Numeric
+        } else {
+            AttributeKind::Categorical
+        }
+    };
+
+    if let Some(tx) = &opts.transaction_column {
+        if !names.iter().any(|n| n == tx) {
+            return Err(DataError::UnknownAttribute(tx.clone()));
+        }
+    }
+
+    let attributes: Vec<Attribute> = names
+        .iter()
+        .map(|n| Attribute::new(n.clone(), col_kind(n)))
+        .collect();
+    let schema = Schema::new(attributes)?;
+    let tx_idx = schema.transaction_index();
+    let rel_idx = schema.relational_indices();
+
+    let mut table = RtTable::new(schema);
+    for fields in rows {
+        let rel: Vec<&str> = rel_idx.iter().map(|&i| fields[i].trim()).collect();
+        let items: Vec<&str> = match tx_idx {
+            Some(i) => fields[i]
+                .split(opts.item_delimiter)
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect(),
+            None => Vec::new(),
+        };
+        table.push_row(&rel, &items)?;
+    }
+    Ok(table)
+}
+
+/// Read a dataset from a file path.
+pub fn read_table_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<RtTable, DataError> {
+    let file = std::fs::File::open(path)?;
+    read_table(file, opts)
+}
+
+/// Write a dataset to any writer (Data Export Module).
+pub fn write_table<W: Write>(
+    table: &RtTable,
+    writer: &mut W,
+    opts: &CsvOptions,
+) -> Result<(), DataError> {
+    let schema = table.schema();
+    let delim = opts.delimiter;
+    if opts.has_header {
+        let header: Vec<String> = schema
+            .attributes()
+            .iter()
+            .map(|a| quote_field(&a.name, delim))
+            .collect();
+        writeln!(writer, "{}", header.join(&delim.to_string()))?;
+    }
+    let tx_idx = schema.transaction_index();
+    for row in 0..table.n_rows() {
+        let mut fields: Vec<String> = Vec::with_capacity(schema.len());
+        for (attr, a) in schema.attributes().iter().enumerate() {
+            if Some(attr) == tx_idx {
+                let items = table.transaction_strs(row).join(&opts.item_delimiter.to_string());
+                fields.push(quote_field(&items, delim));
+            } else {
+                let _ = a;
+                fields.push(quote_field(table.value_str(row, attr), delim));
+            }
+        }
+        writeln!(writer, "{}", fields.join(&delim.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Write a dataset to a file path.
+pub fn write_table_path(
+    table: &RtTable,
+    path: impl AsRef<Path>,
+    opts: &CsvOptions,
+) -> Result<(), DataError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_table(table, &mut file, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Age,Edu,Items\n30,BSc,milk bread\n41,MSc,beer\n30,BSc,bread milk\n";
+
+    fn rt_opts() -> CsvOptions {
+        CsvOptions {
+            numeric_columns: vec!["Age".into()],
+            ..CsvOptions::with_transaction("Items")
+        }
+    }
+
+    #[test]
+    fn read_rt_dataset() {
+        let t = read_table(SAMPLE.as_bytes(), &rt_opts()).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.schema().is_rt());
+        assert_eq!(t.schema().attribute(0).unwrap().kind, AttributeKind::Numeric);
+        assert_eq!(t.value_str(1, 1), "MSc");
+        // items are stored in interned-id (first-seen) order
+        assert_eq!(t.transaction_strs(0), vec!["milk", "bread"]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        let t = read_table(SAMPLE.as_bytes(), &rt_opts()).unwrap();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, &rt_opts()).unwrap();
+        let t2 = read_table(buf.as_slice(), &rt_opts()).unwrap();
+        assert_eq!(t.n_rows(), t2.n_rows());
+        for r in 0..t.n_rows() {
+            assert_eq!(t.value_str(r, 0), t2.value_str(r, 0));
+            assert_eq!(t.value_str(r, 1), t2.value_str(r, 1));
+            assert_eq!(t.transaction_strs(r), t2.transaction_strs(r));
+        }
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let src = "Name,Items\n\"Doe, John\",a b\n\"say \"\"hi\"\"\",c\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t.value_str(0, 0), "Doe, John");
+        assert_eq!(t.value_str(1, 0), "say \"hi\"");
+        // write back and re-read
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, &CsvOptions::with_transaction("Items")).unwrap();
+        let t2 = read_table(buf.as_slice(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t2.value_str(0, 0), "Doe, John");
+        assert_eq!(t2.value_str(1, 0), "say \"hi\"");
+    }
+
+    #[test]
+    fn ragged_rows_are_reported_with_line_numbers() {
+        let src = "A,B\n1,2\n1,2,3\n";
+        let err = read_table(src.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::RaggedRow { line, found, expected } => {
+                assert_eq!((line, found, expected), (3, 3, 2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            read_table("".as_bytes(), &CsvOptions::default()),
+            Err(DataError::EmptyInput)
+        ));
+        // header-only is a valid empty table
+        let t = read_table("A,B\n".as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 0);
+    }
+
+    #[test]
+    fn headerless_input_uses_index_names() {
+        let opts = CsvOptions {
+            has_header: false,
+            transaction_column: Some("1".into()),
+            ..CsvOptions::default()
+        };
+        let t = read_table("x,a b\ny,c\n".as_bytes(), &opts).unwrap();
+        assert_eq!(t.schema().attribute(0).unwrap().name, "0");
+        assert_eq!(t.transaction_strs(0), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_transaction_column_rejected() {
+        let err = read_table(SAMPLE.as_bytes(), &CsvOptions::with_transaction("Nope")).unwrap_err();
+        assert!(matches!(err, DataError::UnknownAttribute(_)));
+    }
+
+    #[test]
+    fn blank_lines_skipped_in_multi_column_files() {
+        let src = "A,B\n1,2\n\n3,4\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn blank_line_is_a_record_in_single_column_files() {
+        // an empty transaction row round-trips as a blank line
+        let src = "Items\na b\n\nc\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.transaction(1).is_empty());
+    }
+
+    #[test]
+    fn empty_transaction_field_means_empty_set() {
+        let src = "Age,Items\n30,\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t.transaction(0).len(), 0);
+    }
+
+    #[test]
+    fn alternative_delimiters() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            item_delimiter: '|',
+            ..CsvOptions::with_transaction("Items")
+        };
+        let t = read_table("Age;Items\n30;a|b|c\n".as_bytes(), &opts).unwrap();
+        assert_eq!(t.transaction(0).len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the dataset substrate.
+
+use std::fmt;
+
+/// Errors raised while loading, editing or validating datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure (file missing, permission, ...).
+    Io(std::io::Error),
+    /// A CSV line had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Fields found on the line.
+        found: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// The file contained no header/rows to infer a schema from.
+    EmptyInput,
+    /// An attribute name was referenced but does not exist.
+    UnknownAttribute(String),
+    /// An attribute index was out of range.
+    AttributeIndex(usize),
+    /// A row index was out of range.
+    RowIndex(usize),
+    /// Operation applies to relational attributes only.
+    NotRelational(String),
+    /// Operation applies to the transaction attribute only.
+    NotTransaction(String),
+    /// A schema declared more than one transaction attribute.
+    MultipleTransactionAttributes,
+    /// Attribute names must be unique within a schema.
+    DuplicateAttribute(String),
+    /// Free-form invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: found {found} fields, expected {expected}"
+            ),
+            DataError::EmptyInput => write!(f, "input contains no data"),
+            DataError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute {name:?}")
+            }
+            DataError::AttributeIndex(i) => {
+                write!(f, "attribute index {i} out of range")
+            }
+            DataError::RowIndex(i) => write!(f, "row index {i} out of range"),
+            DataError::NotRelational(name) => {
+                write!(f, "attribute {name:?} is not relational")
+            }
+            DataError::NotTransaction(name) => {
+                write!(f, "attribute {name:?} is not the transaction attribute")
+            }
+            DataError::MultipleTransactionAttributes => {
+                write!(f, "a dataset may declare at most one transaction attribute")
+            }
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name {name:?}")
+            }
+            DataError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = DataError::RaggedRow {
+            line: 7,
+            found: 3,
+            expected: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains('3'));
+        assert!(s.contains('5'));
+
+        assert!(DataError::UnknownAttribute("age".into())
+            .to_string()
+            .contains("age"));
+        assert!(DataError::EmptyInput.to_string().contains("no data"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e: DataError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,131 @@
+//! A fast, non-cryptographic hasher for integer-heavy keys.
+//!
+//! Equivalence-class grouping and itemset support counting hash
+//! millions of small integer keys; the standard library's SipHash is
+//! a poor fit (see the Rust Performance Book, "Hashing"). This is the
+//! FxHash multiply-rotate scheme used by rustc, implemented locally so
+//! the workspace stays within its approved dependency set.
+//!
+//! Not HashDoS-resistant — do not expose to untrusted keys on a
+//! network boundary. All SECRETA inputs are local files.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash scheme (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// FxHash-style hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor mirroring `HashMap::with_capacity`.
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor mirroring `HashSet::with_capacity`.
+pub fn set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut seen = HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // FxHash is not perfect but must not collapse small integers.
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), usize> = map_with_capacity(8);
+        m.insert((1, 2), 3);
+        m.insert((2, 1), 4);
+        assert_eq!(m[&(1, 2)], 3);
+        assert_eq!(m[&(2, 1)], 4);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_stream_equivalence_is_order_sensitive() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh12345678");
+        let mut b = FxHasher::default();
+        b.write(b"12345678abcdefgh");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_with_capacity_starts_empty() {
+        let s: FxHashSet<u32> = set_with_capacity(100);
+        assert!(s.is_empty());
+        assert!(s.capacity() >= 100);
+    }
+}

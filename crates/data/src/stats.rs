@@ -1,0 +1,300 @@
+//! Attribute statistics and histograms.
+//!
+//! Backs the data visualizations of the paper's Figure 2 ("histograms
+//! of the frequency of values in any attribute") and the summary panel
+//! of the Dataset Editor. The same [`Histogram`] type later carries
+//! generalized-value frequencies (Figure 3(c)) and anonymized item
+//! frequencies (Figure 3(d)).
+
+use crate::table::RtTable;
+use serde::{Deserialize, Serialize};
+
+/// A labelled frequency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// What is being counted (attribute name, typically).
+    pub title: String,
+    /// Bucket labels.
+    pub labels: Vec<String>,
+    /// Bucket counts, parallel to `labels`.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Total mass.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Relative frequency of bucket `i`.
+    pub fn frequency(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Sort buckets by descending count (stable on label for ties) and
+    /// keep the `k` heaviest; the rest are merged into an `(other)`
+    /// bucket. Used by the plotting module for wide domains.
+    pub fn top_k(&self, k: usize) -> Histogram {
+        let mut order: Vec<usize> = (0..self.labels.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.counts[b]
+                .cmp(&self.counts[a])
+                .then_with(|| self.labels[a].cmp(&self.labels[b]))
+        });
+        let mut labels = Vec::new();
+        let mut counts = Vec::new();
+        let mut other = 0u64;
+        for (rank, &i) in order.iter().enumerate() {
+            if rank < k {
+                labels.push(self.labels[i].clone());
+                counts.push(self.counts[i]);
+            } else {
+                other += self.counts[i];
+            }
+        }
+        if other > 0 {
+            labels.push("(other)".to_owned());
+            counts.push(other);
+        }
+        Histogram {
+            title: self.title.clone(),
+            labels,
+            counts,
+        }
+    }
+}
+
+/// Summary statistics of one attribute (Dataset Editor panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct values (or items).
+    pub distinct: usize,
+    /// Records with a value (always `n_rows` for relational columns;
+    /// non-empty transactions for the transaction attribute).
+    pub populated: usize,
+    /// Minimum, when the attribute parses as numeric.
+    pub min: Option<f64>,
+    /// Maximum, when the attribute parses as numeric.
+    pub max: Option<f64>,
+    /// Mean, when the attribute parses as numeric.
+    pub mean: Option<f64>,
+}
+
+/// Histogram of a relational attribute's values.
+///
+/// Buckets follow the pool's first-seen order; callers wanting
+/// rank-ordered output use [`Histogram::top_k`].
+pub fn relational_histogram(table: &RtTable, attr: usize) -> Histogram {
+    let pool = table.pool(attr);
+    let mut counts = vec![0u64; pool.len()];
+    for &v in table.column(attr) {
+        counts[v.index()] += 1;
+    }
+    Histogram {
+        title: table
+            .schema()
+            .attribute(attr)
+            .map(|a| a.name.clone())
+            .unwrap_or_default(),
+        labels: pool.iter().map(|(_, s)| s.to_owned()).collect(),
+        counts,
+    }
+}
+
+/// Histogram of transaction item supports (number of transactions
+/// containing each item).
+pub fn item_histogram(table: &RtTable) -> Histogram {
+    let pool = match table.item_pool() {
+        Some(p) => p,
+        None => {
+            return Histogram {
+                title: String::new(),
+                labels: Vec::new(),
+                counts: Vec::new(),
+            }
+        }
+    };
+    let mut counts = vec![0u64; pool.len()];
+    for row in 0..table.n_rows() {
+        for &it in table.transaction(row) {
+            counts[it.index()] += 1;
+        }
+    }
+    let title = table
+        .schema()
+        .transaction_index()
+        .and_then(|i| table.schema().attribute(i))
+        .map(|a| a.name.clone())
+        .unwrap_or_default();
+    Histogram {
+        title,
+        labels: pool.iter().map(|(_, s)| s.to_owned()).collect(),
+        counts,
+    }
+}
+
+/// Raw per-item support counts indexed by `ItemId`.
+pub fn item_supports(table: &RtTable) -> Vec<u64> {
+    let mut counts = vec![0u64; table.item_universe()];
+    for row in 0..table.n_rows() {
+        for &it in table.transaction(row) {
+            counts[it.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Summaries for every attribute of the table.
+pub fn summarize(table: &RtTable) -> Vec<AttributeSummary> {
+    let schema = table.schema();
+    let tx_idx = schema.transaction_index();
+    schema
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(attr, a)| {
+            if Some(attr) == tx_idx {
+                let populated = (0..table.n_rows())
+                    .filter(|&r| !table.transaction(r).is_empty())
+                    .count();
+                AttributeSummary {
+                    name: a.name.clone(),
+                    distinct: table.item_universe(),
+                    populated,
+                    min: None,
+                    max: None,
+                    mean: None,
+                }
+            } else {
+                let column = table.column(attr);
+                let pool = table.pool(attr);
+                let nums: Vec<f64> = column
+                    .iter()
+                    .filter_map(|v| pool.resolve(v.0).parse::<f64>().ok())
+                    .collect();
+                let numeric = !nums.is_empty() && nums.len() == column.len();
+                let (min, max, mean) = if numeric {
+                    let min = nums.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                    (Some(min), Some(max), Some(mean))
+                } else {
+                    (None, None, None)
+                };
+                AttributeSummary {
+                    name: a.name.clone(),
+                    distinct: pool.len(),
+                    populated: column.len(),
+                    min,
+                    max,
+                    mean,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::categorical("Edu"),
+            Attribute::transaction("Items"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["30", "BSc"], &["a", "b"]).unwrap();
+        t.push_row(&["41", "MSc"], &["a"]).unwrap();
+        t.push_row(&["30", "BSc"], &["a", "c"]).unwrap();
+        t.push_row(&["50", "PhD"], &[]).unwrap();
+        t
+    }
+
+    #[test]
+    fn relational_histogram_counts_values() {
+        let h = relational_histogram(&table(), 0);
+        assert_eq!(h.title, "Age");
+        assert_eq!(h.labels, vec!["30", "41", "50"]);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        assert!((h.frequency(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_histogram_counts_supports() {
+        let h = item_histogram(&table());
+        assert_eq!(h.title, "Items");
+        assert_eq!(h.labels, vec!["a", "b", "c"]);
+        assert_eq!(h.counts, vec![3, 1, 1]);
+        assert_eq!(item_supports(&table()), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn item_histogram_without_tx_attribute_is_empty() {
+        let schema = Schema::new(vec![Attribute::numeric("Age")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["1"], &[]).unwrap();
+        let h = item_histogram(&t);
+        assert!(h.labels.is_empty());
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn top_k_merges_tail() {
+        let h = Histogram {
+            title: "t".into(),
+            labels: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            counts: vec![10, 1, 7, 2],
+        };
+        let top = h.top_k(2);
+        assert_eq!(top.labels, vec!["a", "c", "(other)"]);
+        assert_eq!(top.counts, vec![10, 7, 3]);
+        assert_eq!(top.total(), h.total());
+    }
+
+    #[test]
+    fn top_k_with_k_larger_than_domain() {
+        let h = relational_histogram(&table(), 1);
+        let top = h.top_k(10);
+        assert_eq!(top.labels.len(), 3);
+        assert_eq!(top.total(), h.total());
+    }
+
+    #[test]
+    fn summaries_cover_all_attribute_kinds() {
+        let s = summarize(&table());
+        assert_eq!(s.len(), 3);
+        let age = &s[0];
+        assert_eq!(age.distinct, 3);
+        assert_eq!(age.min, Some(30.0));
+        assert_eq!(age.max, Some(50.0));
+        assert!((age.mean.unwrap() - 37.75).abs() < 1e-9);
+        let edu = &s[1];
+        assert_eq!(edu.distinct, 3);
+        assert!(edu.min.is_none(), "categorical has no numeric summary");
+        let items = &s[2];
+        assert_eq!(items.distinct, 3);
+        assert_eq!(items.populated, 3, "one record has an empty transaction");
+    }
+
+    #[test]
+    fn frequency_of_empty_histogram_is_zero() {
+        let h = Histogram {
+            title: String::new(),
+            labels: vec!["x".into()],
+            counts: vec![0],
+        };
+        assert_eq!(h.frequency(0), 0.0);
+    }
+}

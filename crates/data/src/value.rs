@@ -1,0 +1,222 @@
+//! Interned identifiers for relational values and transaction items.
+//!
+//! Every relational attribute owns a [`ValuePool`] mapping its textual
+//! domain values to dense `u32` ids; the transaction attribute owns one
+//! pool for its item universe. Algorithms operate exclusively on ids —
+//! strings are resolved only when rendering or exporting.
+
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interned id of a relational attribute value within its attribute's
+/// [`ValuePool`]. Ids are dense: `0..pool.len()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ValueId(pub u32);
+
+/// Interned id of a transaction item within the dataset's item pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ItemId(pub u32);
+
+impl ValueId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A string interner assigning dense `u32` ids in first-seen order.
+///
+/// Used both per relational attribute (domain values) and for the
+/// transaction item universe.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ValuePool {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, u32>,
+}
+
+impl ValuePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `value`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Id of `value` if already interned.
+    pub fn get(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Textual form of `id`. Panics on out-of-range ids, which indicate
+    /// a pool/table mismatch bug rather than bad user input.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// Textual form of `id`, or `None` when out of range.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// Rebuild the reverse index after deserialization (the hash index
+    /// is skipped by serde).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+    }
+
+    /// Rename the value behind `id`. Fails if `new` is already interned
+    /// under a different id (the pool must stay a bijection).
+    pub fn rename(&mut self, id: u32, new: &str) -> Result<(), crate::DataError> {
+        match self.index.get(new) {
+            Some(&other) if other != id => {
+                return Err(crate::DataError::Invalid(format!(
+                    "value {new:?} already exists in this attribute's domain"
+                )))
+            }
+            _ => {}
+        }
+        let old = self.values[id as usize].clone();
+        self.index.remove(&old);
+        self.values[id as usize] = new.to_owned();
+        self.index.insert(new.to_owned(), id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut p = ValuePool::new();
+        let a = p.intern("alpha");
+        let b = p.intern("beta");
+        let a2 = p.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.resolve(a), "alpha");
+        assert_eq!(p.get("beta"), Some(b));
+        assert_eq!(p.get("gamma"), None);
+    }
+
+    #[test]
+    fn iter_preserves_first_seen_order() {
+        let mut p = ValuePool::new();
+        for v in ["c", "a", "b", "a"] {
+            p.intern(v);
+        }
+        let order: Vec<&str> = p.iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn rename_updates_both_directions() {
+        let mut p = ValuePool::new();
+        let a = p.intern("old");
+        p.rename(a, "new").unwrap();
+        assert_eq!(p.resolve(a), "new");
+        assert_eq!(p.get("new"), Some(a));
+        assert_eq!(p.get("old"), None);
+    }
+
+    #[test]
+    fn rename_to_self_is_allowed() {
+        let mut p = ValuePool::new();
+        let a = p.intern("x");
+        p.rename(a, "x").unwrap();
+        assert_eq!(p.resolve(a), "x");
+    }
+
+    #[test]
+    fn rename_collision_is_rejected() {
+        let mut p = ValuePool::new();
+        let a = p.intern("a");
+        let _b = p.intern("b");
+        assert!(p.rename(a, "b").is_err());
+        // pool unchanged on failure
+        assert_eq!(p.resolve(a), "a");
+    }
+
+    #[test]
+    fn try_resolve_handles_out_of_range() {
+        let p = ValuePool::new();
+        assert!(p.try_resolve(0).is_none());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut p = ValuePool::new();
+        p.intern("x");
+        p.intern("y");
+        let mut clone = ValuePool {
+            values: p.values.clone(),
+            index: Default::default(),
+        };
+        assert_eq!(clone.get("x"), None); // index empty
+        clone.rebuild_index();
+        assert_eq!(clone.get("x"), Some(0));
+        assert_eq!(clone.get("y"), Some(1));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests of the dataset substrate: CSV round trips survive
+//! arbitrary content, and Dataset Editor command sequences preserve
+//! table invariants.
+
+use proptest::prelude::*;
+use secreta_data::csv::{read_table, write_table, CsvOptions};
+use secreta_data::edit::{EditCommand, EditSession};
+use secreta_data::{Attribute, RtTable, Schema};
+
+/// Values containing delimiters, quotes and whitespace.
+fn nasty_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_map(|s| {
+        // strip characters the transaction field cannot carry (its
+        // item delimiter) to keep the comparison well-defined
+        s.trim().replace('\n', " ")
+    })
+}
+
+fn item_token() -> impl Strategy<Value = String> {
+    // items are whitespace-delimited: no spaces inside tokens
+    "[!-~&&[^,\"]]{1,8}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_roundtrip_arbitrary_relational_values(
+        rows in prop::collection::vec((nasty_value(), nasty_value()), 1..20)
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::categorical("A"),
+            Attribute::categorical("B"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        for (a, b) in &rows {
+            t.push_row(&[a, b], &[]).unwrap();
+        }
+        let opts = CsvOptions::default();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, &opts).unwrap();
+        let back = read_table(buf.as_slice(), &opts).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            // the reader trims unquoted outer whitespace; writer quotes
+            // anything ambiguous, so trimmed equality must hold
+            prop_assert_eq!(back.value_str(r, 0).trim(), t.value_str(r, 0).trim());
+            prop_assert_eq!(back.value_str(r, 1).trim(), t.value_str(r, 1).trim());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_transactions(
+        rows in prop::collection::vec(
+            prop::collection::vec(item_token(), 0..6),
+            1..20,
+        )
+    ) {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        for items in &rows {
+            let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+            t.push_row(&[], &refs).unwrap();
+        }
+        let opts = CsvOptions::with_transaction("Items");
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, &opts).unwrap();
+        let back = read_table(buf.as_slice(), &opts).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            let mut a = t.transaction_strs(r);
+            let mut b = back.transaction_strs(r);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn editor_sessions_keep_invariants_and_undo(
+        edits in prop::collection::vec(
+            (0usize..5, nasty_value(), prop::collection::vec(item_token(), 0..4)),
+            0..25,
+        )
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::categorical("A"),
+            Attribute::transaction("Items"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["x"], &["i1"]).unwrap();
+        t.push_row(&["y"], &["i2", "i3"]).unwrap();
+        let mut session = EditSession::new();
+        let mut applied = 0usize;
+
+        for (kind, value, items) in &edits {
+            let cmd = match kind % 5 {
+                0 => EditCommand::SetValue { row: 0, attr: 0, value: value.clone() },
+                1 => EditCommand::AddRow {
+                    rel_values: vec![value.clone()],
+                    items: items.clone(),
+                },
+                2 => EditCommand::SetTransaction { row: 0, items: items.clone() },
+                3 => EditCommand::DeleteRow { row: 0 },
+                _ => EditCommand::RenameAttribute { attr: 0, name: format!("A_{value}") },
+            };
+            if session.apply(&mut t, &cmd).is_ok() {
+                applied += 1;
+            }
+            // invariants after every step
+            prop_assert_eq!(t.schema().len(), 2);
+            for r in 0..t.n_rows() {
+                let tx = t.transaction(r);
+                prop_assert!(tx.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+        }
+        prop_assert_eq!(session.applied(), applied);
+        // unwind everything that can be unwound; tables stay valid
+        while session.undo(&mut t).unwrap() {}
+        for r in 0..t.n_rows() {
+            let _ = t.value_str(r, 0);
+        }
+    }
+
+    #[test]
+    fn histograms_conserve_mass(
+        rows in prop::collection::vec((0usize..6, prop::collection::vec(0usize..6, 0..5)), 1..30)
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::categorical("A"),
+            Attribute::transaction("Items"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        for (v, items) in &rows {
+            let val = format!("v{v}");
+            let items_s: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+            let refs: Vec<&str> = items_s.iter().map(String::as_str).collect();
+            t.push_row(&[&val], &refs).unwrap();
+        }
+        let h = secreta_data::stats::relational_histogram(&t, 0);
+        prop_assert_eq!(h.total(), t.n_rows() as u64);
+        let hi = secreta_data::stats::item_histogram(&t);
+        prop_assert_eq!(hi.total(), t.total_items() as u64);
+        // top_k never loses mass
+        for k in [1usize, 2, 100] {
+            prop_assert_eq!(h.top_k(k).total(), h.total());
+        }
+    }
+}

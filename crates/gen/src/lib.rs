@@ -1,0 +1,27 @@
+//! # secreta-gen
+//!
+//! Deterministic synthetic data for SECRETA-rs.
+//!
+//! The demo paper ships "ready-to-use RT-datasets" (its authors'
+//! evaluations use the *Informs* census/insurance data and *YouTube*
+//! market-basket-style data, neither redistributable here). This crate
+//! substitutes seeded generators that reproduce the statistical
+//! properties those datasets contribute to the benchmarks:
+//!
+//! * low-cardinality, skewed demographic attributes (census-like),
+//! * a heavy-tailed (Zipf) transaction item universe with variable
+//!   transaction lengths,
+//! * optional correlation between demographics and purchased items
+//!   (the paper's marketing motivation: "product combinations that
+//!   appeal to customers with specific demographic profiles").
+//!
+//! [`workload`] generates the COUNT-query workloads the Queries Editor
+//! would otherwise load from a file.
+
+pub mod dataset;
+pub mod workload;
+pub mod zipf;
+
+pub use dataset::{DatasetSpec, RelAttrSpec};
+pub use workload::WorkloadSpec;
+pub use zipf::Zipf;

@@ -1,0 +1,199 @@
+//! Query-workload generation.
+//!
+//! Builds the COUNT-query workloads the Queries Editor would load from
+//! a file. Following the evaluation methodology of \[12\] (and of the
+//! SECRETA authors' own papers), each query combines point/range
+//! predicates over relational attributes with a small itemset
+//! predicate, and predicates are sampled *from actual records* so that
+//! exact counts are non-zero.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use secreta_metrics::{Query, QueryAtom, Workload};
+use secreta_data::RtTable;
+
+/// Specification of a random workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of queries.
+    pub n_queries: usize,
+    /// Relational attributes constrained per query (clamped to the
+    /// available attributes).
+    pub rel_atoms: usize,
+    /// Values per relational predicate: 1 = point query, >1 = a run of
+    /// adjacent domain values (range query).
+    pub values_per_atom: usize,
+    /// Items per transaction predicate (0 = no item predicate).
+    pub items_per_query: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_queries: 100,
+            rel_atoms: 2,
+            values_per_atom: 3,
+            items_per_query: 1,
+            seed: 0x5ec2e7a,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Generate a workload against `table`.
+    pub fn generate(&self, table: &RtTable) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let rel_attrs = table.schema().relational_indices();
+        let has_tx = table.schema().transaction_index().is_some() && table.item_universe() > 0;
+        let mut queries = Vec::with_capacity(self.n_queries);
+        if table.n_rows() == 0 {
+            return Workload { queries };
+        }
+        for _ in 0..self.n_queries {
+            // anchor on a random record so the query is satisfiable
+            let row = rng.gen_range(0..table.n_rows());
+            let mut atoms = Vec::new();
+
+            let n_rel = self.rel_atoms.min(rel_attrs.len());
+            let chosen: Vec<usize> = rel_attrs
+                .choose_multiple(&mut rng, n_rel)
+                .copied()
+                .collect();
+            for attr in chosen {
+                let anchor = table.value(row, attr).0;
+                let domain = table.domain_size(attr) as u32;
+                let width = self.values_per_atom.max(1) as u32;
+                // a run of adjacent ids starting at the anchor
+                let lo = anchor.min(domain.saturating_sub(width));
+                let values: Vec<u32> = (lo..(lo + width).min(domain)).collect();
+                atoms.push(QueryAtom::Rel { attr, values });
+            }
+
+            if has_tx && self.items_per_query > 0 {
+                let tx = table.transaction(row);
+                if !tx.is_empty() {
+                    let n_items = self.items_per_query.min(tx.len());
+                    let mut items: Vec<_> =
+                        tx.choose_multiple(&mut rng, n_items).copied().collect();
+                    items.sort_unstable();
+                    atoms.push(QueryAtom::Items { items });
+                }
+            }
+            queries.push(Query { atoms });
+        }
+        Workload { queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    #[test]
+    fn queries_are_satisfiable() {
+        let t = DatasetSpec::adult_like(300, 1).generate();
+        let w = WorkloadSpec::default().generate(&t);
+        assert_eq!(w.len(), 100);
+        let counts = w.counts(&t);
+        // anchored sampling guarantees each query matches its anchor row
+        assert!(counts.iter().all(|&c| c >= 1), "all queries non-empty");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = DatasetSpec::adult_like(100, 2).generate();
+        let a = WorkloadSpec::default().generate(&t);
+        let b = WorkloadSpec::default().generate(&t);
+        assert_eq!(a, b);
+        let c = WorkloadSpec {
+            seed: 99,
+            ..Default::default()
+        }
+        .generate(&t);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_atom_counts() {
+        let t = DatasetSpec::adult_like(50, 3).generate();
+        let spec = WorkloadSpec {
+            n_queries: 10,
+            rel_atoms: 3,
+            values_per_atom: 1,
+            items_per_query: 2,
+            seed: 4,
+        };
+        let w = spec.generate(&t);
+        for q in &w.queries {
+            let rel = q
+                .atoms
+                .iter()
+                .filter(|a| matches!(a, QueryAtom::Rel { .. }))
+                .count();
+            assert_eq!(rel, 3);
+            for a in &q.atoms {
+                match a {
+                    QueryAtom::Rel { values, .. } => assert_eq!(values.len(), 1),
+                    QueryAtom::Items { items } => assert!(items.len() <= 2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relational_only_dataset_gets_no_item_atoms() {
+        let t = DatasetSpec::census(50, 1).generate();
+        let w = WorkloadSpec::default().generate(&t);
+        for q in &w.queries {
+            assert!(q
+                .atoms
+                .iter()
+                .all(|a| matches!(a, QueryAtom::Rel { .. })));
+        }
+    }
+
+    #[test]
+    fn transaction_only_dataset_gets_no_rel_atoms() {
+        let t = DatasetSpec::basket(50, 20, 1).generate();
+        let w = WorkloadSpec::default().generate(&t);
+        for q in &w.queries {
+            assert!(q
+                .atoms
+                .iter()
+                .all(|a| matches!(a, QueryAtom::Items { .. })));
+        }
+        assert!(w.counts(&t).iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn empty_table_yields_empty_workload() {
+        let t = DatasetSpec::census(0, 1).generate();
+        let w = WorkloadSpec::default().generate(&t);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn range_atoms_span_adjacent_ids() {
+        let t = DatasetSpec::census(100, 6).generate();
+        let spec = WorkloadSpec {
+            n_queries: 20,
+            rel_atoms: 1,
+            values_per_atom: 5,
+            items_per_query: 0,
+            seed: 11,
+        };
+        let w = spec.generate(&t);
+        for q in &w.queries {
+            if let QueryAtom::Rel { values, .. } = &q.atoms[0] {
+                assert_eq!(values.len(), 5);
+                assert!(values.windows(2).all(|w| w[1] == w[0] + 1));
+            } else {
+                panic!("expected rel atom");
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Automatic hierarchy generation.
+//!
+//! SECRETA's Policy Specification Module "invokes algorithms that
+//! automatically generate hierarchies \[10\]". Following Terrovitis et
+//! al., the generated hierarchies are balanced trees over the sorted
+//! attribute domain with a fixed fan-out:
+//!
+//! * **numeric** attributes sort by numeric value and interior nodes
+//!   are labelled as intervals, e.g. `[30-44]`;
+//! * **categorical** attributes (and transaction items) sort
+//!   lexicographically and interior nodes are labelled by their first
+//!   and last member, e.g. `{BSc..MSc}`.
+
+use crate::tree::{Hierarchy, HierarchyBuilder, HierarchyError, NodeId};
+use secreta_data::{AttributeKind, ValuePool};
+
+/// Generate a balanced hierarchy over `pool`'s values.
+///
+/// ```
+/// use secreta_data::{AttributeKind, ValuePool};
+/// use secreta_hierarchy::auto_hierarchy;
+///
+/// let mut ages = ValuePool::new();
+/// for a in [25, 31, 47, 52, 60, 68] {
+///     ages.intern(&a.to_string());
+/// }
+/// let h = auto_hierarchy(&ages, AttributeKind::Numeric, 2)?;
+/// assert_eq!(h.n_leaves(), 6);
+/// // the root covers everything; NCP grows toward it
+/// assert_eq!(h.leaf_count(h.root()), 6);
+/// assert_eq!(h.ncp(h.root()), 1.0);
+/// # Ok::<(), secreta_hierarchy::HierarchyError>(())
+/// ```
+///
+/// * `kind` selects the sort order and labelling scheme
+///   ([`AttributeKind::Numeric`] vs anything else);
+/// * `fanout` (≥ 2) is the number of children grouped under each
+///   interior node.
+///
+/// Leaves keep the pool's value ids, so the hierarchy plugs directly
+/// into tables built against the same pool.
+pub fn auto_hierarchy(
+    pool: &ValuePool,
+    kind: AttributeKind,
+    fanout: usize,
+) -> Result<Hierarchy, HierarchyError> {
+    if pool.is_empty() {
+        return Err(HierarchyError::Empty);
+    }
+    let fanout = fanout.max(2);
+
+    // sort value ids by domain order
+    let mut order: Vec<u32> = (0..pool.len() as u32).collect();
+    if kind == AttributeKind::Numeric {
+        order.sort_by(|&a, &b| {
+            let fa = pool.resolve(a).trim().parse::<f64>();
+            let fb = pool.resolve(b).trim().parse::<f64>();
+            match (fa, fb) {
+                (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                // non-numeric strays sort after numbers, lexicographically
+                (Ok(_), Err(_)) => std::cmp::Ordering::Less,
+                (Err(_), Ok(_)) => std::cmp::Ordering::Greater,
+                (Err(_), Err(_)) => pool.resolve(a).cmp(pool.resolve(b)),
+            }
+        });
+    } else {
+        order.sort_by(|&a, &b| pool.resolve(a).cmp(pool.resolve(b)));
+    }
+
+    // Build bottom-up: `groups` holds (first-label, last-label, members)
+    // where members are node ids of the previous layer.
+    let mut b = HierarchyBuilder::new();
+    // We must create parents before children in HierarchyBuilder, so
+    // plan the tree shape first: compute the chain of layer sizes.
+    let mut sizes = vec![order.len()];
+    while *sizes.last().expect("sizes non-empty") > 1 {
+        let prev = *sizes.last().expect("sizes non-empty");
+        sizes.push(prev.div_ceil(fanout));
+    }
+    // `sizes` ends with 1 (the root layer). For a single-value domain
+    // the chain is just [1]; still emit a distinct root above the leaf
+    // so that `generalize(v, 1)` suppresses even degenerate domains.
+    let n_layers = sizes.len();
+
+    // Top-down construction: layer 0 = root, layer n_layers-1 = leaves.
+    // Node at layer L, index i covers leaf positions
+    // [i * stride, min((i+1) * stride, n)) where stride = fanout^(depth below).
+    let n = order.len();
+    let label_for = |lo: usize, hi: usize| -> String {
+        let first = pool.resolve(order[lo]);
+        let last = pool.resolve(order[hi - 1]);
+        if hi - lo == 1 {
+            return first.to_owned();
+        }
+        if kind == AttributeKind::Numeric {
+            format!("[{first}-{last}]")
+        } else {
+            format!("{{{first}..{last}}}")
+        }
+    };
+
+    let root = b.add_node("*", None);
+    if n_layers == 1 {
+        // single value: one leaf under the root
+        b.add_leaf(pool.resolve(order[0]), root, order[0]);
+        return b.build(pool.len());
+    }
+
+    // stride at layer L (distance below root = L): each node covers
+    // fanout^(n_layers-1-L) leaves.
+    let mut parents: Vec<(NodeId, usize, usize)> = vec![(root, 0, n)]; // (node, lo, hi)
+    for layer in 1..n_layers {
+        let stride = fanout.pow((n_layers - 1 - layer) as u32);
+        let mut next: Vec<(NodeId, usize, usize)> = Vec::new();
+        for &(pnode, plo, phi) in &parents {
+            let mut lo = plo;
+            while lo < phi {
+                let hi = (lo + stride).min(phi);
+                if layer == n_layers - 1 {
+                    // leaf layer: stride is 1 here by construction
+                    debug_assert_eq!(stride, 1);
+                    b.add_leaf(pool.resolve(order[lo]), pnode, order[lo]);
+                } else {
+                    let node = b.add_node(&label_for(lo, hi), Some(pnode));
+                    next.push((node, lo, hi));
+                }
+                lo = hi;
+            }
+        }
+        parents = next;
+    }
+
+    b.build(pool.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(values: &[&str]) -> ValuePool {
+        let mut p = ValuePool::new();
+        for v in values {
+            p.intern(v);
+        }
+        p
+    }
+
+    #[test]
+    fn numeric_hierarchy_sorts_numerically() {
+        // interleaved insertion order: ids do not match numeric order
+        let p = pool(&["30", "9", "100", "25"]);
+        let h = auto_hierarchy(&p, AttributeKind::Numeric, 2).unwrap();
+        assert_eq!(h.n_leaves(), 4);
+        // DFS leaf order must be numeric: 9, 25, 30, 100
+        let order: Vec<&str> = h
+            .leaves_under(h.root())
+            .map(|v| p.resolve(v))
+            .collect::<Vec<_>>();
+        assert_eq!(order, vec!["9", "25", "30", "100"]);
+        // interval labels
+        assert!(h.node_by_label("[9-25]").is_some());
+        assert!(h.node_by_label("[30-100]").is_some());
+    }
+
+    #[test]
+    fn categorical_hierarchy_sorts_lexicographically() {
+        let p = pool(&["delta", "alpha", "charlie", "bravo"]);
+        let h = auto_hierarchy(&p, AttributeKind::Categorical, 2).unwrap();
+        let order: Vec<&str> = h.leaves_under(h.root()).map(|v| p.resolve(v)).collect();
+        assert_eq!(order, vec!["alpha", "bravo", "charlie", "delta"]);
+        assert!(h.node_by_label("{alpha..bravo}").is_some());
+    }
+
+    #[test]
+    fn fanout_three_gives_shallower_tree() {
+        let vals: Vec<String> = (0..27).map(|i| format!("v{i:02}")).collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        let p = pool(&refs);
+        let h2 = auto_hierarchy(&p, AttributeKind::Categorical, 2).unwrap();
+        let h3 = auto_hierarchy(&p, AttributeKind::Categorical, 3).unwrap();
+        assert!(h3.height() < h2.height());
+        assert_eq!(h3.height(), 3); // 27 = 3^3
+        // all leaves present in both
+        assert_eq!(h2.n_leaves(), 27);
+        assert_eq!(h3.n_leaves(), 27);
+    }
+
+    #[test]
+    fn every_leaf_reachable_and_generalizable() {
+        let vals: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        let p = pool(&refs);
+        let h = auto_hierarchy(&p, AttributeKind::Numeric, 3).unwrap();
+        for v in 0..10u32 {
+            assert_eq!(h.leaf_value(h.leaf(v)), Some(v));
+            assert_eq!(h.generalize(v, h.height()), h.root());
+            assert!(h.contains(h.root(), v));
+        }
+    }
+
+    #[test]
+    fn single_value_domain_gets_root_above_leaf() {
+        let p = pool(&["only"]);
+        let h = auto_hierarchy(&p, AttributeKind::Categorical, 2).unwrap();
+        assert_eq!(h.n_leaves(), 1);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.label(h.root()), "*");
+        assert_eq!(h.generalize(0, 1), h.root());
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let p = ValuePool::new();
+        assert_eq!(
+            auto_hierarchy(&p, AttributeKind::Categorical, 2).unwrap_err(),
+            HierarchyError::Empty
+        );
+    }
+
+    #[test]
+    fn fanout_below_two_is_clamped() {
+        let p = pool(&["a", "b", "c"]);
+        let h = auto_hierarchy(&p, AttributeKind::Categorical, 0).unwrap();
+        assert_eq!(h.n_leaves(), 3);
+        assert!(h.height() >= 2);
+    }
+
+    #[test]
+    fn uneven_domain_sizes_partition_fully() {
+        for n in [2usize, 3, 5, 7, 13, 100] {
+            let vals: Vec<String> = (0..n).map(|i| format!("x{i:03}")).collect();
+            let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+            let p = pool(&refs);
+            let h = auto_hierarchy(&p, AttributeKind::Categorical, 4).unwrap();
+            assert_eq!(h.n_leaves(), n, "n={n}");
+            assert_eq!(h.leaf_count(h.root()), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn non_numeric_strays_sort_after_numbers() {
+        let p = pool(&["n/a", "5", "2"]);
+        let h = auto_hierarchy(&p, AttributeKind::Numeric, 2).unwrap();
+        let order: Vec<&str> = h.leaves_under(h.root()).map(|v| p.resolve(v)).collect();
+        assert_eq!(order, vec!["2", "5", "n/a"]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Hierarchy cuts — the state of full-subtree recoding.
+//!
+//! A *cut* is an antichain of hierarchy nodes covering every leaf;
+//! full-subtree global recoding maps each value to the unique cut node
+//! above it. Top-down specialization moves the cut towards the leaves;
+//! bottom-up generalization moves it towards the root.
+
+use crate::tree::{Hierarchy, NodeId};
+
+/// A cut through one attribute's hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Cut node of each leaf value (index = value id).
+    of_value: Vec<NodeId>,
+    /// Distinct nodes in the cut (kept sorted for deterministic
+    /// iteration).
+    nodes: Vec<NodeId>,
+}
+
+impl Cut {
+    /// The most specific cut: every leaf maps to itself.
+    pub fn leaves(h: &Hierarchy) -> Cut {
+        let of_value: Vec<NodeId> = (0..h.n_leaves() as u32).map(|v| h.leaf(v)).collect();
+        let mut nodes = of_value.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        Cut { of_value, nodes }
+    }
+
+    /// The most general cut: every leaf maps to the root.
+    pub fn root(h: &Hierarchy) -> Cut {
+        Cut {
+            of_value: vec![h.root(); h.n_leaves()],
+            nodes: vec![h.root()],
+        }
+    }
+
+    /// Cut node of value `v`.
+    #[inline]
+    pub fn node_of(&self, v: u32) -> NodeId {
+        self.of_value[v as usize]
+    }
+
+    /// Distinct cut nodes.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Is `node` currently in the cut?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Generalize: every leaf under `target` now maps to `target`; cut
+    /// nodes strictly below it leave the cut. `target` must be above
+    /// (or equal to) the current cut everywhere in its subtree, which
+    /// is automatic when it is chosen as the parent of a cut node.
+    pub fn generalize_to(&mut self, h: &Hierarchy, target: NodeId) {
+        for v in h.leaves_under(target) {
+            self.of_value[v as usize] = target;
+        }
+        self.rebuild_nodes();
+    }
+
+    /// Specialize: replace `node` (which must be in the cut and not a
+    /// leaf) by its children. Returns false (no-op) otherwise.
+    pub fn specialize(&mut self, h: &Hierarchy, node: NodeId) -> bool {
+        if !self.contains(node) || h.is_leaf(node) {
+            return false;
+        }
+        for &child in h.children(node) {
+            for v in h.leaves_under(child) {
+                self.of_value[v as usize] = child;
+            }
+        }
+        self.rebuild_nodes();
+        true
+    }
+
+    /// Candidate generalization targets: parents of current cut nodes
+    /// (deduplicated, sorted). Applying any of them keeps the cut a
+    /// valid antichain.
+    pub fn generalization_candidates(&self, h: &Hierarchy) -> Vec<NodeId> {
+        let mut parents: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter_map(|&n| h.parent(n))
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        parents
+    }
+
+    /// Candidate specializations: non-leaf cut nodes.
+    pub fn specialization_candidates(&self, h: &Hierarchy) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| !h.is_leaf(n))
+            .collect()
+    }
+
+    /// Is this the fully generalized cut?
+    pub fn is_root(&self, h: &Hierarchy) -> bool {
+        self.nodes == [h.root()]
+    }
+
+    /// Weighted NCP of publishing under this cut, given per-value
+    /// record counts: `Σ_v count(v) · ncp(node_of(v)) / Σ_v count(v)`.
+    pub fn weighted_ncp(&self, h: &Hierarchy, counts: &[u64]) -> f64 {
+        debug_assert_eq!(counts.len(), self.of_value.len());
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .of_value
+            .iter()
+            .zip(counts)
+            .map(|(&n, &c)| h.ncp(n) * c as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    fn rebuild_nodes(&mut self) {
+        let mut nodes = self.of_value.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.nodes = nodes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{AttributeKind, ValuePool};
+    use crate::build::auto_hierarchy;
+
+    fn hierarchy(n: usize) -> Hierarchy {
+        let mut p = ValuePool::new();
+        for i in 0..n {
+            p.intern(&format!("v{i:02}"));
+        }
+        auto_hierarchy(&p, AttributeKind::Categorical, 2).unwrap()
+    }
+
+    #[test]
+    fn leaves_and_root_cuts() {
+        let h = hierarchy(8);
+        let leaves = Cut::leaves(&h);
+        assert_eq!(leaves.nodes().len(), 8);
+        assert!(!leaves.is_root(&h));
+        for v in 0..8u32 {
+            assert_eq!(leaves.node_of(v), h.leaf(v));
+        }
+        let root = Cut::root(&h);
+        assert!(root.is_root(&h));
+        assert_eq!(root.nodes().len(), 1);
+    }
+
+    #[test]
+    fn generalize_collapses_subtree() {
+        let h = hierarchy(8);
+        let mut cut = Cut::leaves(&h);
+        let parent = h.parent(h.leaf(0)).unwrap();
+        cut.generalize_to(&h, parent);
+        let covered: Vec<u32> = h.leaves_under(parent).collect();
+        for &v in &covered {
+            assert_eq!(cut.node_of(v), parent);
+        }
+        assert_eq!(cut.nodes().len(), 8 - covered.len() + 1);
+        assert!(cut.contains(parent));
+    }
+
+    #[test]
+    fn specialize_undoes_generalize() {
+        let h = hierarchy(8);
+        let mut cut = Cut::leaves(&h);
+        let parent = h.parent(h.leaf(0)).unwrap();
+        cut.generalize_to(&h, parent);
+        assert!(cut.specialize(&h, parent));
+        assert_eq!(cut, Cut::leaves(&h));
+    }
+
+    #[test]
+    fn specialize_rejects_leaves_and_non_cut_nodes() {
+        let h = hierarchy(4);
+        let mut cut = Cut::leaves(&h);
+        assert!(!cut.specialize(&h, h.leaf(0)));
+        assert!(!cut.specialize(&h, h.root()));
+    }
+
+    #[test]
+    fn root_cut_specializes_to_children() {
+        let h = hierarchy(4);
+        let mut cut = Cut::root(&h);
+        assert!(cut.specialize(&h, h.root()));
+        assert_eq!(cut.nodes().len(), h.children(h.root()).len());
+        assert!(!cut.is_root(&h));
+    }
+
+    #[test]
+    fn candidates() {
+        let h = hierarchy(8);
+        let cut = Cut::leaves(&h);
+        let gens = cut.generalization_candidates(&h);
+        assert_eq!(gens.len(), 4, "8 leaves under fanout-2 parents");
+        assert!(cut.specialization_candidates(&h).is_empty());
+
+        let root = Cut::root(&h);
+        assert_eq!(root.generalization_candidates(&h), vec![]);
+        assert_eq!(root.specialization_candidates(&h), vec![h.root()]);
+    }
+
+    #[test]
+    fn weighted_ncp_scales_with_counts() {
+        let h = hierarchy(4);
+        let mut cut = Cut::leaves(&h);
+        assert_eq!(cut.weighted_ncp(&h, &[5, 5, 5, 5]), 0.0);
+        let parent = h.parent(h.leaf(0)).unwrap();
+        cut.generalize_to(&h, parent);
+        // two leaves under parent pay ncp(parent) = 1/3
+        let w_all = cut.weighted_ncp(&h, &[1, 1, 1, 1]);
+        assert!((w_all - (2.0 / 4.0) * (1.0 / 3.0)).abs() < 1e-12);
+        // weight concentrated on unaffected leaves -> ncp 0
+        let unaffected: Vec<u64> = (0..4u32)
+            .map(|v| if cut.node_of(v) == parent { 0 } else { 10 })
+            .collect();
+        assert_eq!(cut.weighted_ncp(&h, &unaffected), 0.0);
+        assert_eq!(cut.weighted_ncp(&h, &[0, 0, 0, 0]), 0.0);
+    }
+}

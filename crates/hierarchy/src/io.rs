@@ -1,0 +1,268 @@
+//! Hierarchy file format.
+//!
+//! One line per leaf, listing the full generalization path from the
+//! leaf to the root, delimiter-separated (`;` by default — values may
+//! contain commas):
+//!
+//! ```text
+//! BSc;{BSc..MSc};*
+//! MSc;{BSc..MSc};*
+//! PhD;{PhD..PhD};*
+//! ```
+//!
+//! This is the format the Configuration Editor loads ("the user will
+//! load a predefined hierarchy from a file") and the Data Export
+//! Module writes.
+
+use crate::tree::{Hierarchy, HierarchyBuilder, HierarchyError, NodeId};
+use secreta_data::hash::FxHashMap;
+use secreta_data::ValuePool;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Default intra-line delimiter.
+pub const DEFAULT_DELIMITER: char = ';';
+
+/// Parse a hierarchy for the values of `pool` from `reader`.
+///
+/// Every value in `pool` must appear as the first field of exactly one
+/// line; interior nodes are identified by their *path from the root*,
+/// so equal labels in different branches stay distinct nodes. Leaves
+/// that do not occur in `pool` are skipped — taxonomy files routinely
+/// cover a superset of the values a concrete dataset contains.
+pub fn read_hierarchy<R: Read>(
+    reader: R,
+    pool: &ValuePool,
+    delimiter: char,
+) -> Result<Hierarchy, HierarchyError> {
+    let mut paths: Vec<(u32, Vec<String>)> = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| HierarchyError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = line
+            .split(delimiter)
+            .map(|s| s.trim().to_owned())
+            .collect();
+        if fields.len() < 2 {
+            return Err(HierarchyError::Parse {
+                line: lineno + 1,
+                message: "a path needs at least a leaf and a root".into(),
+            });
+        }
+        // leaves outside the pool belong to the taxonomy, not the data
+        let Some(value) = pool.get(&fields[0]) else {
+            continue;
+        };
+        paths.push((value, fields));
+    }
+    if paths.is_empty() {
+        return Err(HierarchyError::Empty);
+    }
+
+    // All paths must share the same root label.
+    let root_label = paths[0].1.last().expect("non-empty path").clone();
+    for (i, (_, p)) in paths.iter().enumerate() {
+        if p.last().expect("non-empty path") != &root_label {
+            return Err(HierarchyError::Parse {
+                line: i + 1,
+                message: format!(
+                    "all paths must end at the same root ({root_label:?})"
+                ),
+            });
+        }
+    }
+
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node(&root_label, None);
+    // key: path-from-root joined with '\u{0}' (cannot appear in fields
+    // after trimming a delimiter-split) -> node id
+    let mut interior: FxHashMap<String, NodeId> = FxHashMap::default();
+    interior.insert(root_label.clone(), root);
+
+    for (value, path) in &paths {
+        // walk from root (last field) towards the leaf (first field)
+        let mut parent = root;
+        let mut key = root_label.clone();
+        for field in path.iter().rev().skip(1).take(path.len().saturating_sub(2)) {
+            key.push('\u{0}');
+            key.push_str(field);
+            parent = *interior
+                .entry(key.clone())
+                .or_insert_with(|| b.add_node(field, Some(parent)));
+        }
+        b.add_leaf(&path[0], parent, *value);
+    }
+
+    b.build(pool.len())
+}
+
+/// Serialize `hierarchy` in the path format, one line per leaf in
+/// value-id order.
+pub fn write_hierarchy<W: Write>(
+    hierarchy: &Hierarchy,
+    writer: &mut W,
+    delimiter: char,
+) -> std::io::Result<()> {
+    for v in 0..hierarchy.n_leaves() as u32 {
+        let path = hierarchy.path_to_root(v);
+        writeln!(writer, "{}", path.join(&delimiter.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Read a hierarchy from a file path.
+pub fn read_hierarchy_path(
+    path: impl AsRef<std::path::Path>,
+    pool: &ValuePool,
+    delimiter: char,
+) -> Result<Hierarchy, HierarchyError> {
+    let file = std::fs::File::open(path).map_err(|e| HierarchyError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    read_hierarchy(file, pool, delimiter)
+}
+
+/// Write a hierarchy to a file path.
+pub fn write_hierarchy_path(
+    hierarchy: &Hierarchy,
+    path: impl AsRef<std::path::Path>,
+    delimiter: char,
+) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_hierarchy(hierarchy, &mut file, delimiter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::AttributeKind;
+
+    fn pool(values: &[&str]) -> ValuePool {
+        let mut p = ValuePool::new();
+        for v in values {
+            p.intern(v);
+        }
+        p
+    }
+
+    const SAMPLE: &str = "\
+BSc;Uni;*
+MSc;Uni;*
+PhD;Uni;*
+HS;School;*
+Primary;School;*
+";
+
+    #[test]
+    fn read_builds_expected_tree() {
+        let p = pool(&["BSc", "MSc", "PhD", "HS", "Primary"]);
+        let h = read_hierarchy(SAMPLE.as_bytes(), &p, ';').unwrap();
+        assert_eq!(h.n_leaves(), 5);
+        assert_eq!(h.height(), 2);
+        let uni = h.node_by_label("Uni").unwrap();
+        assert_eq!(h.leaf_count(uni), 3);
+        assert!(h.contains(uni, p.get("MSc").unwrap()));
+        assert!(!h.contains(uni, p.get("HS").unwrap()));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = pool(&["BSc", "MSc", "PhD", "HS", "Primary"]);
+        let h = read_hierarchy(SAMPLE.as_bytes(), &p, ';').unwrap();
+        let mut buf = Vec::new();
+        write_hierarchy(&h, &mut buf, ';').unwrap();
+        let h2 = read_hierarchy(buf.as_slice(), &p, ';').unwrap();
+        assert_eq!(h.n_nodes(), h2.n_nodes());
+        assert_eq!(h.height(), h2.height());
+        for v in 0..5u32 {
+            assert_eq!(h.path_to_root(v), h2.path_to_root(v));
+        }
+    }
+
+    #[test]
+    fn same_label_in_different_branches_stays_distinct() {
+        // "Other" appears under both A and B; they must not merge.
+        let src = "a1;Other;A;*\nb1;Other;B;*\n";
+        let p = pool(&["a1", "b1"]);
+        let h = read_hierarchy(src.as_bytes(), &p, ';').unwrap();
+        // two distinct "Other" nodes
+        let others: Vec<_> = h
+            .all_nodes()
+            .filter(|&n| h.label(n) == "Other")
+            .collect();
+        assert_eq!(others.len(), 2);
+        assert_eq!(h.lca(h.leaf(0), h.leaf(1)), h.root());
+    }
+
+    #[test]
+    fn unknown_leaves_are_skipped_as_unused_taxonomy() {
+        let p = pool(&["BSc"]);
+        // MSc is in the taxonomy but absent from this dataset
+        let h = read_hierarchy("MSc;Uni;*\nBSc;Uni;*\n".as_bytes(), &p, ';').unwrap();
+        assert_eq!(h.n_leaves(), 1);
+        assert!(h.node_by_label("Uni").is_some());
+        // a file that matches nothing cannot build a hierarchy
+        let err = read_hierarchy("MSc;*\n".as_bytes(), &p, ';').unwrap_err();
+        assert!(matches!(
+            err,
+            HierarchyError::Empty | HierarchyError::MissingLeaf(_)
+        ));
+    }
+
+    #[test]
+    fn missing_value_rejected_by_builder() {
+        let p = pool(&["BSc", "MSc"]);
+        let err = read_hierarchy("BSc;*\n".as_bytes(), &p, ';').unwrap_err();
+        assert!(matches!(err, HierarchyError::MissingLeaf(_)));
+    }
+
+    #[test]
+    fn inconsistent_roots_rejected() {
+        let p = pool(&["a", "b"]);
+        let err = read_hierarchy("a;*\nb;ROOT\n".as_bytes(), &p, ';').unwrap_err();
+        assert!(matches!(err, HierarchyError::Parse { .. }));
+    }
+
+    #[test]
+    fn short_line_rejected() {
+        let p = pool(&["a"]);
+        let err = read_hierarchy("a\n".as_bytes(), &p, ';').unwrap_err();
+        assert!(matches!(err, HierarchyError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let p = pool(&["a"]);
+        assert_eq!(
+            read_hierarchy("".as_bytes(), &p, ';').unwrap_err(),
+            HierarchyError::Empty
+        );
+    }
+
+    #[test]
+    fn generated_hierarchy_roundtrips_through_file_format() {
+        let vals: Vec<String> = (0..17).map(|i| format!("{i}")).collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        let p = pool(&refs);
+        let h = crate::build::auto_hierarchy(&p, AttributeKind::Numeric, 3).unwrap();
+        let mut buf = Vec::new();
+        write_hierarchy(&h, &mut buf, ';').unwrap();
+        let h2 = read_hierarchy(buf.as_slice(), &p, ';').unwrap();
+        assert_eq!(h.n_nodes(), h2.n_nodes());
+        for v in 0..17u32 {
+            assert_eq!(h.path_to_root(v), h2.path_to_root(v));
+        }
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let p = pool(&["a", "b"]);
+        let h = read_hierarchy("a;*\n\nb;*\n".as_bytes(), &p, ';').unwrap();
+        assert_eq!(h.n_leaves(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # secreta-hierarchy
+//!
+//! Generalization hierarchies for SECRETA-rs.
+//!
+//! A [`Hierarchy`] is a rooted tree whose leaves are the domain values
+//! of one attribute (relational values or transaction items). Interior
+//! nodes are *generalized values*: replacing a leaf by an ancestor is
+//! the value transformation all hierarchy-based algorithms in the
+//! paper perform (Incognito, Top-down, Full-subtree bottom-up,
+//! Apriori/LRA/VPA).
+//!
+//! The paper's Configuration Editor lets hierarchies be "uploaded from
+//! a file, or automatically derived from the data, using the
+//! algorithms in \[7\]/\[10\]" — both paths exist here:
+//!
+//! * [`io`] reads/writes the leaf-to-root path CSV format,
+//! * [`build`] derives balanced hierarchies automatically
+//!   (categorical fan-out grouping and numeric interval trees).
+//!
+//! Leaves are indexed by the attribute's interned value ids, so a
+//! hierarchy is always constructed against a concrete
+//! [`secreta_data::ValuePool`] ordering.
+
+pub mod build;
+pub mod cut;
+pub mod io;
+pub mod tree;
+
+pub use build::auto_hierarchy;
+pub use cut::Cut;
+pub use tree::{Hierarchy, HierarchyBuilder, HierarchyError, NodeId};

@@ -1,0 +1,115 @@
+//! Phase timing.
+//!
+//! The Evaluation mode plots "the time needed to execute the algorithm
+//! and its different phases" (Figure 3(b)). Algorithms record named
+//! phases with a [`PhaseTimer`]; the experimentation layer turns the
+//! result into bar charts and sweep series.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Named wall-clock durations of an algorithm run, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// `(phase name, duration)` pairs.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// Total runtime across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of the phase called `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Merge another run's phases onto this one (used when an
+    /// algorithm delegates to a sub-algorithm), prefixing names.
+    pub fn absorb(&mut self, prefix: &str, other: PhaseTimes) {
+        for (name, d) in other.phases {
+            self.phases.push((format!("{prefix}/{name}"), d));
+        }
+    }
+}
+
+/// Records phases as they complete.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    times: PhaseTimes,
+    current: Instant,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Start timing; the first phase begins now.
+    pub fn new() -> Self {
+        PhaseTimer {
+            times: PhaseTimes::default(),
+            current: Instant::now(),
+        }
+    }
+
+    /// Close the current phase under `name`; the next begins
+    /// immediately.
+    pub fn phase(&mut self, name: impl Into<String>) {
+        let now = Instant::now();
+        self.times
+            .phases
+            .push((name.into(), now.duration_since(self.current)));
+        self.current = now;
+    }
+
+    /// Finish, returning the recorded phases.
+    pub fn finish(self) -> PhaseTimes {
+        self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut t = PhaseTimer::new();
+        std::thread::sleep(Duration::from_millis(2));
+        t.phase("a");
+        t.phase("b");
+        let times = t.finish();
+        assert_eq!(times.phases.len(), 2);
+        assert_eq!(times.phases[0].0, "a");
+        assert!(times.get("a").unwrap() >= Duration::from_millis(1));
+        assert!(times.get("b").is_some());
+        assert!(times.get("c").is_none());
+        assert!(times.total() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn absorb_prefixes_names() {
+        let mut a = PhaseTimes {
+            phases: vec![("x".into(), Duration::from_millis(1))],
+        };
+        let b = PhaseTimes {
+            phases: vec![("y".into(), Duration::from_millis(2))],
+        };
+        a.absorb("sub", b);
+        assert_eq!(a.phases[1].0, "sub/y");
+        assert_eq!(a.total(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn empty_total_is_zero() {
+        assert_eq!(PhaseTimes::default().total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests of the utility measures and query estimation.
+
+use proptest::prelude::*;
+use secreta_data::{Attribute, ItemId, RtTable, Schema};
+use secreta_metrics::anon::{rel_column_from_value_map, AnonTransaction};
+use secreta_metrics::{
+    average_relative_error, gcp, loss, transaction_gcp, utility_loss, AnonTable, GenEntry,
+    Query, QueryAtom, Workload,
+};
+
+/// Build a table with one relational attribute of domain `dom` and a
+/// `items`-sized item universe, `n` rows, deterministically from a
+/// seed-ish stream of choices.
+fn build_table(dom: usize, items: usize, rows: &[(usize, Vec<usize>)]) -> RtTable {
+    let schema = Schema::new(vec![
+        Attribute::categorical("A"),
+        Attribute::transaction("Items"),
+    ])
+    .unwrap();
+    let mut t = RtTable::new(schema);
+    for v in 0..dom {
+        t.intern_value(0, &format!("a{v}")).unwrap();
+    }
+    for i in 0..items {
+        t.intern_item(&format!("i{i}")).unwrap();
+    }
+    for (val, tx) in rows {
+        let val = format!("a{}", val % dom);
+        let items_s: Vec<String> = tx.iter().map(|i| format!("i{}", i % items)).collect();
+        let refs: Vec<&str> = items_s.iter().map(String::as_str).collect();
+        t.push_row(&[&val], &refs).unwrap();
+    }
+    t
+}
+
+/// A random partition of `0..dom` into generalized sets.
+fn random_partition(dom: usize, cuts: &[usize]) -> Vec<Vec<u32>> {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % dom.max(1)).collect();
+    boundaries.push(0);
+    boundaries.push(dom);
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries
+        .windows(2)
+        .map(|w| (w[0] as u32..w[1] as u32).collect())
+        .filter(|g: &Vec<u32>| !g.is_empty())
+        .collect()
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    prop::collection::vec(
+        (0usize..100, prop::collection::vec(0usize..100, 0..6)),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_recoding_is_truthful_and_bounded(
+        rows in rows_strategy(),
+        dom in 1usize..12,
+        items in 1usize..12,
+        cuts in prop::collection::vec(0usize..12, 0..4),
+    ) {
+        let t = build_table(dom, items, &rows);
+        let groups = random_partition(dom, &cuts);
+        let group_of = |v: u32| {
+            groups
+                .iter()
+                .position(|g| g.contains(&v))
+                .expect("partition covers the domain")
+        };
+        let col = rel_column_from_value_map(&t, 0, |v| {
+            GenEntry::set(groups[group_of(v.0)].clone())
+        });
+        let item_groups = random_partition(items, &cuts);
+        let idx_of = |v: u32| {
+            item_groups
+                .iter()
+                .position(|g| g.contains(&v))
+                .expect("partition covers the universe") as u32
+        };
+        let domain: Vec<GenEntry> = item_groups
+            .iter()
+            .map(|g| GenEntry::set(g.clone()))
+            .collect();
+        let tx = AnonTransaction::from_mapping(&t, domain, |it| Some(idx_of(it.0)));
+        let anon = AnonTable {
+            rel: vec![col],
+            tx: Some(tx),
+            n_rows: t.n_rows(),
+        };
+
+        prop_assert!(anon.is_truthful(&t, |_| None, None));
+        prop_assert!(anon.is_complete(&t, None));
+        let g = gcp(&t, &anon, |_| None);
+        prop_assert!((0.0..=1.0).contains(&g));
+        let tg = transaction_gcp(&t, &anon, None);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tg));
+        let ul = utility_loss(&t, &anon, None);
+        prop_assert!((0.0..=1.0).contains(&ul));
+        let d = loss::discernibility(&anon);
+        let n = t.n_rows() as u64;
+        prop_assert!(d >= n && d <= n * n);
+    }
+
+    #[test]
+    fn estimates_never_exceed_row_count(
+        rows in rows_strategy(),
+        dom in 1usize..10,
+        items in 1usize..10,
+        cuts in prop::collection::vec(0usize..10, 0..3),
+        qv in 0usize..10,
+        qi in 0usize..10,
+    ) {
+        let t = build_table(dom, items, &rows);
+        let groups = random_partition(dom, &cuts);
+        let col = rel_column_from_value_map(&t, 0, |v| {
+            GenEntry::set(
+                groups
+                    .iter()
+                    .find(|g| g.contains(&v.0))
+                    .expect("covered")
+                    .clone(),
+            )
+        });
+        let anon = AnonTable {
+            rel: vec![col],
+            tx: None,
+            n_rows: t.n_rows(),
+        };
+        let q = Query {
+            atoms: vec![
+                QueryAtom::Rel { attr: 0, values: vec![(qv % dom) as u32] },
+                QueryAtom::Items { items: vec![ItemId((qi % items) as u32)] },
+            ],
+        };
+        let est = q.estimate(&t, &anon, &|_| None, None);
+        prop_assert!(est >= -1e-9);
+        prop_assert!(est <= t.n_rows() as f64 + 1e-9);
+        // exact count is a valid probability-1 estimate of itself
+        prop_assert!(q.count(&t) as usize <= t.n_rows());
+    }
+
+    #[test]
+    fn identity_estimates_are_exact(
+        rows in rows_strategy(),
+        dom in 1usize..10,
+        items in 1usize..10,
+        queries in prop::collection::vec((0usize..10, 0usize..10), 1..8),
+    ) {
+        let t = build_table(dom, items, &rows);
+        let anon = AnonTable::identity(&t, &[0]);
+        let workload = Workload {
+            queries: queries
+                .iter()
+                .map(|&(v, i)| Query {
+                    atoms: vec![
+                        QueryAtom::Rel { attr: 0, values: vec![(v % dom) as u32] },
+                        QueryAtom::Items { items: vec![ItemId((i % items) as u32)] },
+                    ],
+                })
+                .collect(),
+        };
+        let are = average_relative_error(&t, &anon, &workload, |_| None, None);
+        prop_assert!(are.abs() < 1e-9, "identity must answer exactly, got {are}");
+    }
+
+    #[test]
+    fn coarser_partitions_never_reduce_gcp(
+        rows in rows_strategy(),
+        dom in 2usize..10,
+    ) {
+        let t = build_table(dom, 2, &rows);
+        // fine: singletons; coarse: one full-domain set
+        let fine = rel_column_from_value_map(&t, 0, |v| GenEntry::Set(vec![v.0]));
+        let coarse = rel_column_from_value_map(&t, 0, |_| {
+            GenEntry::set((0..dom as u32).collect())
+        });
+        let mk = |col| AnonTable { rel: vec![col], tx: None, n_rows: t.n_rows() };
+        let g_fine = gcp(&t, &mk(fine), |_| None);
+        let g_coarse = gcp(&t, &mk(coarse), |_| None);
+        prop_assert!(g_fine <= g_coarse + 1e-12);
+        prop_assert!((g_fine - 0.0).abs() < 1e-12);
+    }
+}

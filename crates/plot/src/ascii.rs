@@ -1,0 +1,179 @@
+//! Terminal chart rendering.
+//!
+//! Produces fixed-width text charts for the CLI's "plotting area".
+//! Line charts place one glyph per series (`*`, `o`, `x`, …); bar
+//! charts render horizontal bars scaled to the widest value.
+
+use crate::model::{BarChart, XyChart};
+use std::fmt::Write as _;
+
+const GLYPHS: &[char] = &['*', 'o', 'x', '+', '#', '@', '%', '&'];
+
+/// Render a line chart into a `width × height` character canvas with
+/// axes, legend and value range annotations.
+pub fn render_xy(chart: &XyChart, width: usize, height: usize) -> String {
+    let width = width.clamp(20, 400);
+    let height = height.clamp(5, 100);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", chart.title);
+
+    let Some(((xlo, xhi), (ylo, yhi))) = chart.bounds() else {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    };
+    let xspan = if (xhi - xlo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        xhi - xlo
+    };
+    let yspan = if (yhi - ylo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        yhi - ylo
+    };
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in chart.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - xlo) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ylo) / yspan) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let _ = writeln!(out, "{:>10.4} ┐", yhi);
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:>10} │{}", "", line);
+    }
+    let _ = writeln!(out, "{:>10.4} ┴{}", ylo, "─".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>12}{:<width$}",
+        "",
+        format!("{xlo:.3} … {xhi:.3}  ({})", chart.x_label),
+        width = width
+    );
+    let _ = writeln!(out, "  y: {}", chart.y_label);
+    for (si, s) in chart.series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+/// Render a bar chart as horizontal bars.
+pub fn render_bar(chart: &BarChart, width: usize) -> String {
+    let width = width.clamp(10, 200);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", chart.title);
+    if chart.labels.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let max = chart.max_value();
+    let label_w = chart
+        .labels
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0)
+        .min(24);
+    for (label, &value) in chart.labels.iter().zip(&chart.values) {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let clipped: String = label.chars().take(label_w).collect();
+        let _ = writeln!(
+            out,
+            "  {clipped:>label_w$} │{} {value:.3}",
+            "█".repeat(bar_len)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Series;
+
+    fn chart() -> XyChart {
+        let mut c = XyChart::new("ARE vs k", "k", "ARE");
+        c.push(Series::new("algo-a", vec![(2.0, 0.1), (4.0, 0.3), (8.0, 0.7)]));
+        c.push(Series::new("algo-b", vec![(2.0, 0.2), (4.0, 0.25), (8.0, 0.4)]));
+        c
+    }
+
+    #[test]
+    fn xy_render_contains_title_legend_and_glyphs() {
+        let s = render_xy(&chart(), 60, 15);
+        assert!(s.contains("ARE vs k"));
+        assert!(s.contains("algo-a"));
+        assert!(s.contains("algo-b"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("(k)"));
+    }
+
+    #[test]
+    fn xy_render_empty_chart() {
+        let c = XyChart::new("empty", "x", "y");
+        let s = render_xy(&c, 60, 10);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn xy_render_single_point() {
+        let mut c = XyChart::new("one", "x", "y");
+        c.push(Series::new("s", vec![(1.0, 1.0)]));
+        let s = render_xy(&c, 30, 8);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn xy_dimensions_are_clamped() {
+        let s = render_xy(&chart(), 1, 1);
+        // minimum 5 canvas rows + header/footer
+        assert!(s.lines().count() >= 8);
+    }
+
+    #[test]
+    fn bar_render_scales_to_max() {
+        let b = BarChart::new(
+            "hist",
+            vec!["aa".into(), "bb".into()],
+            vec![10.0, 5.0],
+        );
+        let s = render_bar(&b, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let full = lines[1].matches('█').count();
+        let half = lines[2].matches('█').count();
+        assert_eq!(full, 20);
+        assert_eq!(half, 10);
+        assert!(s.contains("10.000"));
+    }
+
+    #[test]
+    fn bar_render_empty_and_zero() {
+        let empty = BarChart::new("e", vec![], vec![]);
+        assert!(render_bar(&empty, 20).contains("(no data)"));
+        let zeros = BarChart::new("z", vec!["a".into()], vec![0.0]);
+        let s = render_bar(&zeros, 20);
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    fn bar_long_labels_clipped() {
+        let b = BarChart::new(
+            "t",
+            vec!["x".repeat(100)],
+            vec![1.0],
+        );
+        let s = render_bar(&b, 20);
+        assert!(s.lines().nth(1).unwrap().len() < 100);
+    }
+}

@@ -1,0 +1,100 @@
+//! CSV export of chart data (Data Export Module).
+//!
+//! Line charts export as a wide table — first column the varying
+//! parameter, one column per series; bar charts as `label,value`
+//! rows. Missing points (a series lacking a sample at some x) export
+//! as empty cells.
+
+use crate::model::{BarChart, XyChart};
+use std::io::Write;
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Export a line chart.
+pub fn write_xy<W: Write>(chart: &XyChart, writer: &mut W) -> std::io::Result<()> {
+    let mut header = vec![quote(&chart.x_label)];
+    header.extend(chart.series.iter().map(|s| quote(&s.name)));
+    writeln!(writer, "{}", header.join(","))?;
+
+    // union of x values across series
+    let mut xs: Vec<f64> = chart
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    for &x in &xs {
+        let mut row = vec![format!("{x}")];
+        for s in &chart.series {
+            let y = s
+                .points
+                .iter()
+                .find(|p| (p.0 - x).abs() < 1e-12)
+                .map(|p| format!("{}", p.1))
+                .unwrap_or_default();
+            row.push(y);
+        }
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Export a bar chart.
+pub fn write_bar<W: Write>(chart: &BarChart, writer: &mut W) -> std::io::Result<()> {
+    writeln!(writer, "label,value")?;
+    for (label, value) in chart.labels.iter().zip(&chart.values) {
+        writeln!(writer, "{},{}", quote(label), value)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Series;
+
+    #[test]
+    fn xy_export_is_wide() {
+        let mut c = XyChart::new("t", "k", "ARE");
+        c.push(Series::new("a", vec![(2.0, 0.1), (4.0, 0.2)]));
+        c.push(Series::new("b", vec![(2.0, 0.3)]));
+        let mut buf = Vec::new();
+        write_xy(&c, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "k,a,b");
+        assert_eq!(lines[1], "2,0.1,0.3");
+        assert_eq!(lines[2], "4,0.2,", "missing sample is empty cell");
+    }
+
+    #[test]
+    fn bar_export() {
+        let b = BarChart::new("t", vec!["x,y".into(), "z".into()], vec![1.5, 2.0]);
+        let mut buf = Vec::new();
+        write_bar(&b, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"x,y\",1.5"));
+        assert!(text.contains("z,2"));
+    }
+
+    #[test]
+    fn empty_exports_have_headers_only() {
+        let c = XyChart::new("t", "k", "v");
+        let mut buf = Vec::new();
+        write_xy(&c, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+
+        let b = BarChart::new("t", vec![], vec![]);
+        let mut buf = Vec::new();
+        write_bar(&b, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Grouped bar charts: several series over shared category labels.
+//!
+//! The Evaluation screen's per-phase runtime plot compares phases
+//! *across configurations*, and Figure 3(c)/(d) contrast original and
+//! anonymized frequencies — both are grouped-bar shapes.
+
+use crate::model::BarChart;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A grouped bar chart: `values[s][c]` is series `s` at category `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedBarChart {
+    /// Chart title.
+    pub title: String,
+    /// Category labels (the x axis groups).
+    pub categories: Vec<String>,
+    /// Series names (the legend).
+    pub series: Vec<String>,
+    /// One row of values per series, each as long as `categories`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl GroupedBarChart {
+    /// Build a chart; panics if shapes disagree (caller bug).
+    pub fn new(
+        title: impl Into<String>,
+        categories: Vec<String>,
+        series: Vec<String>,
+        values: Vec<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(series.len(), values.len(), "one value row per series");
+        for row in &values {
+            assert_eq!(row.len(), categories.len(), "one value per category");
+        }
+        GroupedBarChart {
+            title: title.into(),
+            categories,
+            series,
+            values,
+        }
+    }
+
+    /// Single-series view of one series (for reuse of the plain bar
+    /// renderers).
+    pub fn series_chart(&self, s: usize) -> BarChart {
+        BarChart::new(
+            format!("{} — {}", self.title, self.series[s]),
+            self.categories.clone(),
+            self.values[s].clone(),
+        )
+    }
+
+    /// Global maximum (0.0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+const GLYPHS: &[char] = &['█', '▓', '▒', '░', '▚', '▞'];
+
+/// Render as horizontal grouped bars for the terminal.
+pub fn render_ascii(chart: &GroupedBarChart, width: usize) -> String {
+    let width = width.clamp(10, 160);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", chart.title);
+    if chart.categories.is_empty() || chart.series.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let max = chart.max_value();
+    let label_w = chart
+        .categories
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0)
+        .min(24);
+    for (ci, cat) in chart.categories.iter().enumerate() {
+        let clipped: String = cat.chars().take(label_w).collect();
+        for (si, name) in chart.series.iter().enumerate() {
+            let v = chart.values[si][ci];
+            let bar_len = if max > 0.0 {
+                ((v / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            let prefix = if si == 0 {
+                format!("{clipped:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            let _ = writeln!(
+                out,
+                "  {prefix} │{} {v:.3} ({name})",
+                glyph.to_string().repeat(bar_len)
+            );
+        }
+    }
+    out
+}
+
+/// Render as vertical grouped bars in SVG.
+pub fn render_svg(chart: &GroupedBarChart, width: u32, height: u32) -> String {
+    let w = width.max(240) as f64;
+    let h = height.max(160) as f64;
+    let (ml, mr, mt, mb) = (60.0, 20.0, 40.0, 70.0);
+    let pw = w - ml - mr;
+    let ph = h - mt - mb;
+    const PALETTE: &[&str] = &["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4"];
+    let esc = |s: &str| s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        w / 2.0,
+        esc(&chart.title)
+    );
+    let nc = chart.categories.len();
+    let ns = chart.series.len();
+    if nc > 0 && ns > 0 {
+        let max = chart.max_value().max(f64::EPSILON);
+        let slot = pw / nc as f64;
+        let bar_w = (slot * 0.8 / ns as f64).max(1.0);
+        for (ci, cat) in chart.categories.iter().enumerate() {
+            for si in 0..ns {
+                let v = chart.values[si][ci];
+                let bh = v / max * ph;
+                let x = ml + slot * ci as f64 + slot * 0.1 + bar_w * si as f64;
+                let y = mt + ph - bh;
+                let _ = write!(
+                    out,
+                    r#"<rect x="{x:.2}" y="{y:.2}" width="{bar_w:.2}" height="{bh:.2}" fill="{}"/>"#,
+                    PALETTE[si % PALETTE.len()]
+                );
+            }
+            let cx = ml + slot * ci as f64 + slot / 2.0;
+            let ty = mt + ph + 12.0;
+            let _ = write!(
+                out,
+                r#"<text x="{cx:.2}" y="{ty:.2}" text-anchor="end" font-family="sans-serif" font-size="9" transform="rotate(-45 {cx:.2} {ty:.2})">{}</text>"#,
+                esc(cat)
+            );
+        }
+        for (si, name) in chart.series.iter().enumerate() {
+            let ly = mt + 14.0 * si as f64;
+            let _ = write!(
+                out,
+                r#"<rect x="{}" y="{}" width="10" height="10" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                ml + pw - 140.0,
+                ly,
+                PALETTE[si % PALETTE.len()],
+                ml + pw - 126.0,
+                ly + 9.0,
+                esc(name)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            mt + ph,
+            ml + pw,
+            mt + ph
+        );
+    } else {
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">(no data)</text>"#,
+            w / 2.0,
+            h / 2.0
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Export as CSV: `category,series...` wide rows.
+pub fn write_csv<W: std::io::Write>(
+    chart: &GroupedBarChart,
+    writer: &mut W,
+) -> std::io::Result<()> {
+    let quote = |f: &str| {
+        if f.contains(',') || f.contains('"') {
+            format!("\"{}\"", f.replace('"', "\"\""))
+        } else {
+            f.to_owned()
+        }
+    };
+    let mut header = vec!["category".to_owned()];
+    header.extend(chart.series.iter().map(|s| quote(s)));
+    writeln!(writer, "{}", header.join(","))?;
+    for (ci, cat) in chart.categories.iter().enumerate() {
+        let mut row = vec![quote(cat)];
+        for si in 0..chart.series.len() {
+            row.push(format!("{}", chart.values[si][ci]));
+        }
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> GroupedBarChart {
+        GroupedBarChart::new(
+            "phases",
+            vec!["cluster".into(), "merge".into()],
+            vec!["Rmerger".into(), "Tmerger".into()],
+            vec![vec![10.0, 2.0], vec![8.0, 4.0]],
+        )
+    }
+
+    #[test]
+    fn ascii_contains_all_series_and_categories() {
+        let s = render_ascii(&chart(), 30);
+        assert!(s.contains("cluster"));
+        assert!(s.contains("merge"));
+        assert!(s.contains("Rmerger"));
+        assert!(s.contains("Tmerger"));
+        assert!(s.contains('█'));
+        assert!(s.contains('▓'));
+    }
+
+    #[test]
+    fn svg_has_four_bars_plus_background_and_legend() {
+        let svg = render_svg(&chart(), 640, 400);
+        // 1 background + 4 bars + 2 legend swatches
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn csv_is_wide() {
+        let mut buf = Vec::new();
+        write_csv(&chart(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "category,Rmerger,Tmerger");
+        assert_eq!(lines[1], "cluster,10,8");
+        assert_eq!(lines[2], "merge,2,4");
+    }
+
+    #[test]
+    fn series_chart_extracts_one_series() {
+        let b = chart().series_chart(1);
+        assert!(b.title.contains("Tmerger"));
+        assert_eq!(b.values, vec![8.0, 4.0]);
+    }
+
+    #[test]
+    fn max_value_spans_series() {
+        assert_eq!(chart().max_value(), 10.0);
+    }
+
+    #[test]
+    fn empty_charts_render_placeholders() {
+        let empty = GroupedBarChart::new("e", vec![], vec![], vec![]);
+        assert!(render_ascii(&empty, 20).contains("(no data)"));
+        assert!(render_svg(&empty, 300, 200).contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let _ = GroupedBarChart::new(
+            "bad",
+            vec!["a".into()],
+            vec!["s".into()],
+            vec![vec![1.0, 2.0]],
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # secreta-plot
+//!
+//! The Plotting Module of SECRETA-rs.
+//!
+//! The paper's frontend renders charts with the QWT library and
+//! exports them "in PDF, JPG, BMP or PNG format". This headless
+//! reproduction keeps the same data model — named series over a
+//! varying parameter, and labelled bar groups — with three renderers:
+//!
+//! * [`ascii`] — terminal charts for the interactive CLI (the
+//!   "plotting area" of the Evaluation/Comparison screens),
+//! * [`svg`] — vector export for reports,
+//! * [`csv`] — machine-readable series export (Data Export Module).
+
+pub mod ascii;
+pub mod csv;
+pub mod grouped;
+pub mod model;
+pub mod svg;
+
+pub use grouped::GroupedBarChart;
+pub use model::{BarChart, Series, XyChart};

@@ -1,0 +1,175 @@
+//! Chart data model.
+
+use serde::{Deserialize, Serialize};
+
+/// One named line of `(x, y)` points (e.g. "ARE of Cluster+COAT" over
+/// varying `k`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series, sorting points by x.
+    pub fn new(name: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Minimum and maximum y (None when empty).
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|p| p.1);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for y in it {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+}
+
+/// A line chart: the varying-parameter plots of the Evaluation and
+/// Comparison modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XyChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label (the varying parameter, e.g. `k`).
+    pub x_label: String,
+    /// Y-axis label (the indicator, e.g. `ARE`).
+    pub y_label: String,
+    /// One series per configuration.
+    pub series: Vec<Series>,
+}
+
+impl XyChart {
+    /// Build an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        XyChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Bounding box over all series: `((x_min, x_max), (y_min, y_max))`.
+    pub fn bounds(&self) -> Option<((f64, f64), (f64, f64))> {
+        let mut xs: Option<(f64, f64)> = None;
+        let mut ys: Option<(f64, f64)> = None;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs = Some(match xs {
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                    None => (x, x),
+                });
+                ys = Some(match ys {
+                    Some((lo, hi)) => (lo.min(y), hi.max(y)),
+                    None => (y, y),
+                });
+            }
+        }
+        Some((xs?, ys?))
+    }
+}
+
+/// A bar chart: histograms of attribute values, generalized-value
+/// frequencies, per-phase runtimes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Bar labels.
+    pub labels: Vec<String>,
+    /// Bar heights, parallel to `labels`.
+    pub values: Vec<f64>,
+}
+
+impl BarChart {
+    /// Build from labels and values; panics if lengths differ (caller
+    /// bug).
+    pub fn new(title: impl Into<String>, labels: Vec<String>, values: Vec<f64>) -> Self {
+        assert_eq!(labels.len(), values.len(), "labels/values must align");
+        BarChart {
+            title: title.into(),
+            labels,
+            values,
+        }
+    }
+
+    /// Maximum value (0.0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_sorts_by_x() {
+        let s = Series::new("s", vec![(3.0, 1.0), (1.0, 2.0), (2.0, 0.5)]);
+        let xs: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.y_range(), Some((0.5, 2.0)));
+    }
+
+    #[test]
+    fn empty_series_has_no_range() {
+        assert_eq!(Series::new("e", vec![]).y_range(), None);
+    }
+
+    #[test]
+    fn chart_bounds_span_all_series() {
+        let mut c = XyChart::new("t", "x", "y");
+        c.push(Series::new("a", vec![(1.0, 5.0), (2.0, 7.0)]));
+        c.push(Series::new("b", vec![(0.0, 6.0), (3.0, 1.0)]));
+        let ((xlo, xhi), (ylo, yhi)) = c.bounds().unwrap();
+        assert_eq!((xlo, xhi), (0.0, 3.0));
+        assert_eq!((ylo, yhi), (1.0, 7.0));
+    }
+
+    #[test]
+    fn empty_chart_has_no_bounds() {
+        assert!(XyChart::new("t", "x", "y").bounds().is_none());
+        let mut c = XyChart::new("t", "x", "y");
+        c.push(Series::new("empty", vec![]));
+        assert!(c.bounds().is_none());
+    }
+
+    #[test]
+    fn bar_chart_max() {
+        let b = BarChart::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![2.0, 9.0],
+        );
+        assert_eq!(b.max_value(), 9.0);
+        let empty = BarChart::new("t", vec![], vec![]);
+        assert_eq!(empty.max_value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_bar_lengths_panic() {
+        let _ = BarChart::new("t", vec!["a".into()], vec![]);
+    }
+}

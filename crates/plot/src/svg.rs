@@ -1,0 +1,248 @@
+//! SVG chart rendering.
+//!
+//! Hand-written SVG line/bar charts for the Data Export Module. The
+//! paper exports raster/PDF images via Qt; vector SVG is the
+//! dependency-free equivalent.
+
+use crate::model::{BarChart, XyChart};
+use std::fmt::Write as _;
+
+const PALETTE: &[&str] = &[
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0",
+    "#797979",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a line chart to an SVG document string.
+pub fn render_xy(chart: &XyChart, width: u32, height: u32) -> String {
+    let w = width.max(200) as f64;
+    let h = height.max(150) as f64;
+    let (ml, mr, mt, mb) = (60.0, 20.0, 40.0, 50.0);
+    let pw = w - ml - mr;
+    let ph = h - mt - mb;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        w / 2.0,
+        esc(&chart.title)
+    );
+
+    if let Some(((xlo, xhi), (ylo, yhi))) = chart.bounds() {
+        let xspan = if (xhi - xlo).abs() < f64::EPSILON { 1.0 } else { xhi - xlo };
+        let yspan = if (yhi - ylo).abs() < f64::EPSILON { 1.0 } else { yhi - ylo };
+        let px = |x: f64| ml + (x - xlo) / xspan * pw;
+        let py = |y: f64| mt + ph - (y - ylo) / yspan * ph;
+
+        // axes
+        let _ = write!(
+            out,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+            mt + ph,
+            ml + pw,
+            mt + ph,
+            mt + ph
+        );
+        // axis labels + extrema ticks
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+            ml + pw / 2.0,
+            h - 12.0,
+            esc(&chart.x_label)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="14" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 {})">{}</text>"#,
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            esc(&chart.y_label)
+        );
+        for (v, anchor) in [(xlo, "start"), (xhi, "end")] {
+            let _ = write!(
+                out,
+                r#"<text x="{}" y="{}" text-anchor="{anchor}" font-family="sans-serif" font-size="10">{v:.3}</text>"#,
+                px(v),
+                mt + ph + 16.0
+            );
+        }
+        for v in [ylo, yhi] {
+            let _ = write!(
+                out,
+                r#"<text x="{}" y="{}" text-anchor="end" font-family="sans-serif" font-size="10">{v:.3}</text>"#,
+                ml - 6.0,
+                py(v) + 4.0
+            );
+        }
+
+        for (si, s) in chart.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            if s.points.len() > 1 {
+                let d: Vec<String> = s
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(x, y))| {
+                        format!("{}{:.2},{:.2}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+                    })
+                    .collect();
+                let _ = write!(
+                    out,
+                    r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    d.join(" ")
+                );
+            }
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    out,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // legend
+            let ly = mt + 14.0 * si as f64;
+            let _ = write!(
+                out,
+                r#"<rect x="{}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                ml + pw - 140.0,
+                ly,
+                ml + pw - 126.0,
+                ly + 9.0,
+                esc(&s.name)
+            );
+        }
+    } else {
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">(no data)</text>"#,
+            w / 2.0,
+            h / 2.0
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Render a bar chart to an SVG document string.
+pub fn render_bar(chart: &BarChart, width: u32, height: u32) -> String {
+    let w = width.max(200) as f64;
+    let h = height.max(150) as f64;
+    let (ml, mr, mt, mb) = (60.0, 20.0, 40.0, 70.0);
+    let pw = w - ml - mr;
+    let ph = h - mt - mb;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        w / 2.0,
+        esc(&chart.title)
+    );
+    let n = chart.labels.len();
+    if n > 0 {
+        let max = chart.max_value().max(f64::EPSILON);
+        let slot = pw / n as f64;
+        let bar_w = (slot * 0.8).max(1.0);
+        for (i, (label, &value)) in chart.labels.iter().zip(&chart.values).enumerate() {
+            let bh = value / max * ph;
+            let x = ml + slot * i as f64 + (slot - bar_w) / 2.0;
+            let y = mt + ph - bh;
+            let _ = write!(
+                out,
+                r#"<rect x="{x:.2}" y="{y:.2}" width="{bar_w:.2}" height="{bh:.2}" fill="{}"/>"#,
+                PALETTE[0]
+            );
+            let cx = x + bar_w / 2.0;
+            let ty = mt + ph + 12.0;
+            let _ = write!(
+                out,
+                r#"<text x="{cx:.2}" y="{ty:.2}" text-anchor="end" font-family="sans-serif" font-size="9" transform="rotate(-45 {cx:.2} {ty:.2})">{}</text>"#,
+                esc(label)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            mt + ph,
+            ml + pw,
+            mt + ph
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="end" font-family="sans-serif" font-size="10">{max:.3}</text>"#,
+            ml - 6.0,
+            mt + 4.0
+        );
+    } else {
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">(no data)</text>"#,
+            w / 2.0,
+            h / 2.0
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Series;
+
+    #[test]
+    fn xy_svg_is_well_formed_ish() {
+        let mut c = XyChart::new("t<1>", "k", "ARE");
+        c.push(Series::new("a&b", vec![(1.0, 0.5), (2.0, 0.9)]));
+        let svg = render_xy(&c, 640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("t&lt;1&gt;"), "title escaped");
+        assert!(svg.contains("a&amp;b"), "legend escaped");
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<circle"));
+        // balanced tag counts for the elements we emit
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn xy_svg_empty() {
+        let svg = render_xy(&XyChart::new("t", "x", "y"), 640, 400);
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn bar_svg_draws_rects() {
+        let b = BarChart::new("h", vec!["a".into(), "b".into()], vec![1.0, 2.0]);
+        let svg = render_bar(&b, 640, 400);
+        // background + 2 bars
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn bar_svg_empty() {
+        let svg = render_bar(&BarChart::new("h", vec![], vec![]), 640, 400);
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn tiny_dimensions_clamped() {
+        let b = BarChart::new("h", vec!["a".into()], vec![1.0]);
+        let svg = render_bar(&b, 1, 1);
+        assert!(svg.contains("width=\"200\""));
+    }
+}

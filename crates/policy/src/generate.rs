@@ -1,0 +1,269 @@
+//! Automatic policy generation strategies.
+//!
+//! "Hierarchies and policies can be uploaded from a file, or
+//! automatically derived from the data, using the algorithms in \[7\]".
+//! The COAT paper derives privacy constraints from which items an
+//! attacker plausibly knows, and utility constraints from which items
+//! are interchangeable for the intended analysis. The strategies below
+//! mirror its experimental setups.
+
+use crate::model::{PrivacyPolicy, UtilityPolicy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use secreta_data::{stats::item_supports, ItemId, RtTable};
+use secreta_hierarchy::Hierarchy;
+
+/// How to derive privacy constraints from the data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyStrategy {
+    /// Protect every single item (COAT's default adversary who may
+    /// know any one item).
+    AllItems,
+    /// Protect only items whose relative support is below
+    /// `max_support` — rare items are the identifying ones.
+    RareItems {
+        /// Support threshold as a fraction of `n_rows` in `(0, 1]`.
+        max_support: f64,
+    },
+    /// Protect `count` random itemsets of size `size`, each sampled
+    /// from an actual transaction (so supports are non-zero), modeling
+    /// an adversary with `size` items of background knowledge.
+    RandomItemsets {
+        /// Itemset size (≥ 1).
+        size: usize,
+        /// Number of constraints to sample.
+        count: usize,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+/// How to derive utility constraints from the data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UtilityStrategy {
+    /// One group spanning the whole universe: any generalization is
+    /// admissible.
+    Unconstrained,
+    /// Groups are the leaf sets under each hierarchy node at `depth`
+    /// (semantically close items per the taxonomy).
+    HierarchyLevel {
+        /// Depth from the root; clamped to the hierarchy height.
+        depth: u32,
+    },
+    /// Items banded into `bands` groups of similar support: analysts
+    /// tolerate merging similarly-frequent items.
+    FrequencyBands {
+        /// Number of bands (≥ 1).
+        bands: usize,
+    },
+}
+
+/// Derive a privacy policy from `table` with `strategy`.
+pub fn generate_privacy(table: &RtTable, strategy: &PrivacyStrategy) -> PrivacyPolicy {
+    match strategy {
+        PrivacyStrategy::AllItems => PrivacyPolicy::all_items(table),
+        PrivacyStrategy::RareItems { max_support } => {
+            let supports = item_supports(table);
+            let n = table.n_rows().max(1) as f64;
+            let constraints = supports
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > 0 && (s as f64 / n) <= *max_support)
+                .map(|(i, _)| vec![ItemId(i as u32)])
+                .collect();
+            PrivacyPolicy::new(constraints)
+        }
+        PrivacyStrategy::RandomItemsets { size, count, seed } => {
+            let size = (*size).max(1);
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let eligible: Vec<usize> = (0..table.n_rows())
+                .filter(|&r| table.transaction(r).len() >= size)
+                .collect();
+            let mut constraints = Vec::with_capacity(*count);
+            if eligible.is_empty() {
+                return PrivacyPolicy::default();
+            }
+            // cap attempts so duplicate-heavy data cannot loop forever
+            let mut attempts = 0usize;
+            while constraints.len() < *count && attempts < count * 20 {
+                attempts += 1;
+                let row = eligible[rng.gen_range(0..eligible.len())];
+                let tx = table.transaction(row);
+                let mut picked: Vec<ItemId> =
+                    tx.choose_multiple(&mut rng, size).copied().collect();
+                picked.sort_unstable();
+                constraints.push(picked);
+            }
+            PrivacyPolicy::new(constraints)
+        }
+    }
+}
+
+/// Derive a utility policy from `table` with `strategy`.
+/// `item_hierarchy` is required for [`UtilityStrategy::HierarchyLevel`].
+pub fn generate_utility(
+    table: &RtTable,
+    strategy: &UtilityStrategy,
+    item_hierarchy: Option<&Hierarchy>,
+) -> UtilityPolicy {
+    match strategy {
+        UtilityStrategy::Unconstrained => UtilityPolicy::unconstrained(table),
+        UtilityStrategy::HierarchyLevel { depth } => {
+            let h = item_hierarchy
+                .expect("HierarchyLevel strategy requires the item hierarchy");
+            let depth = (*depth).min(h.height());
+            let groups = h
+                .nodes_at_depth(depth)
+                .into_iter()
+                .map(|n| {
+                    let mut g: Vec<ItemId> =
+                        h.leaves_under(n).map(ItemId).collect();
+                    g.sort_unstable();
+                    g
+                })
+                .collect();
+            UtilityPolicy::new(groups)
+        }
+        UtilityStrategy::FrequencyBands { bands } => {
+            let bands = (*bands).max(1);
+            let supports = item_supports(table);
+            let mut order: Vec<usize> = (0..supports.len()).collect();
+            order.sort_by_key(|&i| supports[i]);
+            let per_band = order.len().div_ceil(bands).max(1);
+            let groups = order
+                .chunks(per_band)
+                .map(|chunk| {
+                    let mut g: Vec<ItemId> =
+                        chunk.iter().map(|&i| ItemId(i as u32)).collect();
+                    g.sort_unstable();
+                    g
+                })
+                .collect();
+            UtilityPolicy::new(groups)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, AttributeKind, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        // a frequent, b medium, c,d rare
+        t.push_row(&[], &["a", "b"]).unwrap();
+        t.push_row(&[], &["a", "b"]).unwrap();
+        t.push_row(&[], &["a", "c"]).unwrap();
+        t.push_row(&[], &["a", "d"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn all_items_strategy() {
+        let p = generate_privacy(&table(), &PrivacyStrategy::AllItems);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn rare_items_strategy_filters_by_support() {
+        let t = table();
+        let p = generate_privacy(
+            &t,
+            &PrivacyStrategy::RareItems { max_support: 0.3 },
+        );
+        // only c and d have support 1/4 <= 0.3
+        assert_eq!(p.len(), 2);
+        for c in &p.constraints {
+            assert!(c[0].0 >= 2, "only rare items protected: {c:?}");
+        }
+    }
+
+    #[test]
+    fn random_itemsets_are_supported_and_deterministic() {
+        let t = table();
+        let strat = PrivacyStrategy::RandomItemsets {
+            size: 2,
+            count: 5,
+            seed: 7,
+        };
+        let p1 = generate_privacy(&t, &strat);
+        let p2 = generate_privacy(&t, &strat);
+        assert_eq!(p1, p2, "same seed, same policy");
+        assert!(!p1.is_empty());
+        for s in p1.supports(&t) {
+            assert!(s > 0, "sampled itemsets come from real transactions");
+        }
+        for c in &p1.constraints {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn random_itemsets_on_short_transactions() {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&[], &["x"]).unwrap();
+        let p = generate_privacy(
+            &t,
+            &PrivacyStrategy::RandomItemsets {
+                size: 3,
+                count: 4,
+                seed: 1,
+            },
+        );
+        assert!(p.is_empty(), "no transaction long enough");
+    }
+
+    #[test]
+    fn hierarchy_level_groups_follow_taxonomy() {
+        let t = table();
+        let h = auto_hierarchy(
+            t.item_pool().unwrap(),
+            AttributeKind::Categorical,
+            2,
+        )
+        .unwrap();
+        let u = generate_utility(
+            &t,
+            &UtilityStrategy::HierarchyLevel { depth: 1 },
+            Some(&h),
+        );
+        assert!(u.len() >= 2);
+        assert!((u.coverage(&t) - 1.0).abs() < 1e-12);
+        // depth beyond the height clamps to leaves -> singleton groups
+        let u_deep = generate_utility(
+            &t,
+            &UtilityStrategy::HierarchyLevel { depth: 99 },
+            Some(&h),
+        );
+        assert!(u_deep.groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn frequency_bands_group_similar_supports() {
+        let t = table();
+        let u = generate_utility(&t, &UtilityStrategy::FrequencyBands { bands: 2 }, None);
+        assert_eq!(u.len(), 2);
+        assert!((u.coverage(&t) - 1.0).abs() < 1e-12);
+        // the most frequent item 'a' (id 0) must not share a band with
+        // the rarest items c,d (ids 2,3)
+        let band_of_a = u
+            .groups
+            .iter()
+            .position(|g| g.binary_search(&ItemId(0)).is_ok())
+            .unwrap();
+        assert!(u.groups[band_of_a].binary_search(&ItemId(2)).is_err());
+    }
+
+    #[test]
+    fn unconstrained_strategy() {
+        let t = table();
+        let u = generate_utility(&t, &UtilityStrategy::Unconstrained, None);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.groups[0].len(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Policy file format.
+//!
+//! One constraint/group per line, item labels separated by spaces.
+//! Lines starting with `#` are comments. The same format serves
+//! privacy and utility policies (the Configuration Editor keeps them
+//! in separate files):
+//!
+//! ```text
+//! # privacy policy: these itemsets must be k-protected
+//! herpes
+//! hiv pregnancy
+//! ```
+
+use crate::model::{PolicyError, PrivacyPolicy, UtilityPolicy};
+use secreta_data::{ItemId, RtTable};
+use std::io::{BufRead, BufReader, Read, Write};
+
+fn read_itemset_lines<R: Read>(
+    reader: R,
+    table: &RtTable,
+) -> Result<Vec<Vec<ItemId>>, PolicyError> {
+    let pool = table
+        .item_pool()
+        .ok_or_else(|| PolicyError::Io("dataset has no transaction attribute".into()))?;
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| PolicyError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut items = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let id = pool.get(token).ok_or_else(|| PolicyError::UnknownItem {
+                line: lineno + 1,
+                item: token.to_owned(),
+            })?;
+            items.push(ItemId(id));
+        }
+        if items.is_empty() {
+            return Err(PolicyError::EmptyConstraint { line: lineno + 1 });
+        }
+        out.push(items);
+    }
+    Ok(out)
+}
+
+fn write_itemset_lines<W: Write>(
+    sets: &[Vec<ItemId>],
+    table: &RtTable,
+    writer: &mut W,
+) -> Result<(), PolicyError> {
+    let pool = table
+        .item_pool()
+        .ok_or_else(|| PolicyError::Io("dataset has no transaction attribute".into()))?;
+    for set in sets {
+        let labels: Vec<&str> = set.iter().map(|it| pool.resolve(it.0)).collect();
+        writeln!(writer, "{}", labels.join(" ")).map_err(|e| PolicyError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Parse a privacy policy against `table`'s item universe.
+pub fn read_privacy<R: Read>(reader: R, table: &RtTable) -> Result<PrivacyPolicy, PolicyError> {
+    Ok(PrivacyPolicy::new(read_itemset_lines(reader, table)?))
+}
+
+/// Parse a utility policy against `table`'s item universe.
+pub fn read_utility<R: Read>(reader: R, table: &RtTable) -> Result<UtilityPolicy, PolicyError> {
+    Ok(UtilityPolicy::new(read_itemset_lines(reader, table)?))
+}
+
+/// Serialize a privacy policy (Data Export Module).
+pub fn write_privacy<W: Write>(
+    policy: &PrivacyPolicy,
+    table: &RtTable,
+    writer: &mut W,
+) -> Result<(), PolicyError> {
+    write_itemset_lines(&policy.constraints, table, writer)
+}
+
+/// Serialize a utility policy (Data Export Module).
+pub fn write_utility<W: Write>(
+    policy: &UtilityPolicy,
+    table: &RtTable,
+    writer: &mut W,
+) -> Result<(), PolicyError> {
+    write_itemset_lines(&policy.groups, table, writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, Schema};
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&[], &["hiv", "flu", "cold"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn privacy_roundtrip() {
+        let t = table();
+        let src = "# protected\nhiv\nflu cold\n";
+        let p = read_privacy(src.as_bytes(), &t).unwrap();
+        assert_eq!(p.len(), 2);
+        let mut buf = Vec::new();
+        write_privacy(&p, &t, &mut buf).unwrap();
+        let p2 = read_privacy(buf.as_slice(), &t).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn utility_roundtrip() {
+        let t = table();
+        let src = "hiv flu\ncold\n";
+        let u = read_utility(src.as_bytes(), &t).unwrap();
+        assert_eq!(u.len(), 2);
+        let mut buf = Vec::new();
+        write_utility(&u, &t, &mut buf).unwrap();
+        let u2 = read_utility(buf.as_slice(), &t).unwrap();
+        assert_eq!(u, u2);
+    }
+
+    #[test]
+    fn unknown_item_rejected_with_line() {
+        let t = table();
+        let err = read_privacy("hiv\nnope\n".as_bytes(), &t).unwrap_err();
+        assert_eq!(
+            err,
+            PolicyError::UnknownItem {
+                line: 2,
+                item: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn no_transaction_attribute_rejected() {
+        let schema = Schema::new(vec![Attribute::numeric("Age")]).unwrap();
+        let t = secreta_data::RtTable::new(schema);
+        assert!(matches!(
+            read_privacy("x\n".as_bytes(), &t),
+            Err(PolicyError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = table();
+        let p = read_privacy("# c\n\nhiv\n".as_bytes(), &t).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # secreta-policy
+//!
+//! Privacy and utility policies for the constraint-based transaction
+//! algorithms (COAT \[7\] and PCTA \[5\]).
+//!
+//! The paper's Configuration Editor: *"utility and privacy policies
+//! … are only used by these two algorithms to model such
+//! requirements. Hierarchies and policies can be uploaded from a
+//! file, or automatically derived from the data, using the algorithms
+//! in \[7\]."*
+//!
+//! * A **privacy policy** is a set of *privacy constraints*: itemsets
+//!   whose support in the published data must be either 0 or at least
+//!   `k` ([`PrivacyPolicy`]).
+//! * A **utility policy** is a set of *utility constraints*: groups of
+//!   semantically interchangeable items. A generalized item is
+//!   admissible only if it stays within one group; items outside every
+//!   group may only be published as-is or suppressed
+//!   ([`UtilityPolicy`]).
+//!
+//! [`generate`] implements the automatic derivation strategies and
+//! [`io`] the policy file format.
+
+pub mod generate;
+pub mod io;
+pub mod model;
+
+pub use generate::{generate_privacy, generate_utility, PrivacyStrategy, UtilityStrategy};
+pub use model::{PolicyError, PrivacyPolicy, UtilityPolicy};

@@ -1,0 +1,310 @@
+//! Policy data model.
+
+use secreta_data::hash::FxHashSet;
+use secreta_data::{ItemId, RtTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while building or parsing policies.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PolicyError {
+    /// An item label in a policy file is not in the dataset's universe.
+    UnknownItem { line: usize, item: String },
+    /// A constraint was empty.
+    EmptyConstraint { line: usize },
+    /// Underlying I/O failure, stringified.
+    Io(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnknownItem { line, item } => {
+                write!(f, "policy line {line}: unknown item {item:?}")
+            }
+            PolicyError::EmptyConstraint { line } => {
+                write!(f, "policy line {line}: empty constraint")
+            }
+            PolicyError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// A privacy policy: itemsets that must be `k`-protected.
+///
+/// A published dataset satisfies the policy at level `k` iff each
+/// constraint's itemset is supported by **zero or at least `k`**
+/// transactions (COAT's privacy model; a single-item constraint is the
+/// common case).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrivacyPolicy {
+    /// Constraints; each inner vec is sorted and duplicate-free.
+    pub constraints: Vec<Vec<ItemId>>,
+}
+
+impl PrivacyPolicy {
+    /// Normalize (sort/dedup constraints, drop empties, dedup equal
+    /// constraints) and build.
+    pub fn new(mut constraints: Vec<Vec<ItemId>>) -> Self {
+        for c in &mut constraints {
+            c.sort_unstable();
+            c.dedup();
+        }
+        constraints.retain(|c| !c.is_empty());
+        constraints.sort();
+        constraints.dedup();
+        Self { constraints }
+    }
+
+    /// Every single item of `table`'s universe as its own constraint —
+    /// the default "protect everything" policy COAT assumes absent an
+    /// explicit specification.
+    pub fn all_items(table: &RtTable) -> Self {
+        Self {
+            constraints: (0..table.item_universe() as u32)
+                .map(|i| vec![ItemId(i)])
+                .collect(),
+        }
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Support of each constraint in `table` (number of transactions
+    /// containing the whole itemset).
+    pub fn supports(&self, table: &RtTable) -> Vec<u64> {
+        let mut sup = vec![0u64; self.constraints.len()];
+        for row in 0..table.n_rows() {
+            let tx = table.transaction(row);
+            'cons: for (ci, c) in self.constraints.iter().enumerate() {
+                for it in c {
+                    if tx.binary_search(it).is_err() {
+                        continue 'cons;
+                    }
+                }
+                sup[ci] += 1;
+            }
+        }
+        sup
+    }
+
+    /// Indices of constraints violated in `table` at protection level
+    /// `k` (support strictly between 0 and `k`).
+    pub fn violations(&self, table: &RtTable, k: u64) -> Vec<usize> {
+        self.supports(table)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, s)| s > 0 && s < k)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A utility policy: groups of interchangeable items.
+///
+/// A generalized item (set of original items) is **admissible** iff it
+/// is a subset of at least one group. Items belonging to no group may
+/// only be published unchanged or suppressed.
+///
+/// ```
+/// use secreta_data::ItemId;
+/// use secreta_policy::UtilityPolicy;
+///
+/// // {0,1} may merge; 2 stays alone
+/// let u = UtilityPolicy::new(vec![vec![ItemId(0), ItemId(1)]]);
+/// assert!(u.admits(&[ItemId(0), ItemId(1)]));
+/// assert!(!u.admits(&[ItemId(1), ItemId(2)]));
+/// assert!(u.admits(&[ItemId(2)])); // singletons always pass
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UtilityPolicy {
+    /// Groups; each inner vec is sorted and duplicate-free.
+    pub groups: Vec<Vec<ItemId>>,
+}
+
+impl UtilityPolicy {
+    /// Normalize and build.
+    pub fn new(mut groups: Vec<Vec<ItemId>>) -> Self {
+        for g in &mut groups {
+            g.sort_unstable();
+            g.dedup();
+        }
+        groups.retain(|g| !g.is_empty());
+        groups.sort();
+        groups.dedup();
+        Self { groups }
+    }
+
+    /// The unconstrained policy: one group spanning `table`'s whole
+    /// item universe (any generalization admissible).
+    pub fn unconstrained(table: &RtTable) -> Self {
+        Self {
+            groups: vec![(0..table.item_universe() as u32).map(ItemId).collect()],
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no groups are present.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Is the generalized item `items` (sorted) admissible — i.e.
+    /// contained in some group? Singletons are always admissible.
+    pub fn admits(&self, items: &[ItemId]) -> bool {
+        if items.len() <= 1 {
+            return true;
+        }
+        self.groups.iter().any(|g| {
+            items.iter().all(|it| g.binary_search(it).is_ok())
+        })
+    }
+
+    /// Items of group `g` that may be merged with `item` — the
+    /// candidate pool COAT draws generalizations from. Union over all
+    /// groups containing `item`.
+    pub fn mergeable_with(&self, item: ItemId) -> Vec<ItemId> {
+        let mut out: FxHashSet<ItemId> = FxHashSet::default();
+        for g in &self.groups {
+            if g.binary_search(&item).is_ok() {
+                out.extend(g.iter().copied());
+            }
+        }
+        out.remove(&item);
+        let mut v: Vec<ItemId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fraction of `table`'s item universe covered by at least one
+    /// group (diagnostic shown by the Configuration Editor).
+    pub fn coverage(&self, table: &RtTable) -> f64 {
+        let universe = table.item_universe();
+        if universe == 0 {
+            return 1.0;
+        }
+        let mut covered = vec![false; universe];
+        for g in &self.groups {
+            for it in g {
+                if it.index() < universe {
+                    covered[it.index()] = true;
+                }
+            }
+        }
+        covered.iter().filter(|&&b| b).count() as f64 / universe as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, Schema};
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&[], &["a", "b"]).unwrap(); // a=0 b=1
+        t.push_row(&[], &["a"]).unwrap();
+        t.push_row(&[], &["b", "c"]).unwrap(); // c=2
+        t.push_row(&[], &["c", "d"]).unwrap(); // d=3
+        t
+    }
+
+    #[test]
+    fn supports_and_violations() {
+        let t = table();
+        let p = PrivacyPolicy::new(vec![
+            vec![ItemId(0)],            // sup 2
+            vec![ItemId(3)],            // sup 1
+            vec![ItemId(1), ItemId(2)], // sup 1
+            vec![ItemId(0), ItemId(3)], // sup 0
+        ]);
+        // constraints are normalized into sorted order:
+        // [a], [a,d], [b,c], [d]
+        assert_eq!(p.supports(&t), vec![2, 0, 1, 1]);
+        // k=2: constraints with support 1 violate; support 0 is fine
+        let v = p.violations(&t, 2);
+        assert_eq!(v.len(), 2);
+        assert!(p.violations(&t, 1).is_empty());
+    }
+
+    #[test]
+    fn normalization_dedups() {
+        let p = PrivacyPolicy::new(vec![
+            vec![ItemId(1), ItemId(0), ItemId(1)],
+            vec![ItemId(0), ItemId(1)],
+            vec![],
+        ]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.constraints[0], vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn all_items_policy() {
+        let t = table();
+        let p = PrivacyPolicy::all_items(&t);
+        assert_eq!(p.len(), 4);
+        assert!(p.constraints.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn utility_admits_subsets_of_groups() {
+        let u = UtilityPolicy::new(vec![
+            vec![ItemId(0), ItemId(1), ItemId(2)],
+            vec![ItemId(2), ItemId(3)],
+        ]);
+        assert!(u.admits(&[ItemId(0), ItemId(1)]));
+        assert!(u.admits(&[ItemId(0), ItemId(1), ItemId(2)]));
+        assert!(u.admits(&[ItemId(2), ItemId(3)]));
+        assert!(!u.admits(&[ItemId(1), ItemId(3)]));
+        assert!(u.admits(&[ItemId(3)]), "singletons always admissible");
+        assert!(u.admits(&[]));
+    }
+
+    #[test]
+    fn mergeable_with_unions_groups() {
+        let u = UtilityPolicy::new(vec![
+            vec![ItemId(0), ItemId(1), ItemId(2)],
+            vec![ItemId(2), ItemId(3)],
+        ]);
+        assert_eq!(u.mergeable_with(ItemId(2)), vec![ItemId(0), ItemId(1), ItemId(3)]);
+        assert_eq!(u.mergeable_with(ItemId(3)), vec![ItemId(2)]);
+        assert!(u.mergeable_with(ItemId(9)).is_empty());
+    }
+
+    #[test]
+    fn unconstrained_covers_everything() {
+        let t = table();
+        let u = UtilityPolicy::unconstrained(&t);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.coverage(&t), 1.0);
+        assert!(u.admits(&[ItemId(0), ItemId(3)]));
+    }
+
+    #[test]
+    fn coverage_partial() {
+        let t = table();
+        let u = UtilityPolicy::new(vec![vec![ItemId(0), ItemId(1)]]);
+        assert!((u.coverage(&t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_universe_coverage_is_one() {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let t = RtTable::new(schema);
+        assert_eq!(UtilityPolicy::default().coverage(&t), 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Full-subtree bottom-up generalization.
+//!
+//! The counterpart of Top-down specialization that the paper lists as
+//! SECRETA's fourth relational algorithm ("Full subtree bottom-up").
+//! It starts from the original data (the leaf cut) and, while any
+//! equivalence class is smaller than `k`, applies the cheapest
+//! *generalization*: replacing all children of some hierarchy node by
+//! that node (full-subtree, global recoding). Candidates are
+//! restricted to nodes covering at least one value that occurs in a
+//! violating class, so every step works towards feasibility; among
+//! those, the step with the smallest record-weighted NCP increase is
+//! taken.
+
+use crate::common::{RelError, RelOutput, RelationalInput};
+use secreta_hierarchy::Cut;
+use secreta_data::hash::{FxHashMap, FxHashSet};
+use secreta_hierarchy::NodeId;
+use secreta_metrics::anon::rel_column_from_value_map;
+use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
+
+/// Run full-subtree bottom-up generalization on `input`.
+pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
+    input.validate()?;
+    let mut timer = PhaseTimer::new();
+
+    let q = input.qi_attrs.len();
+    let counts: Vec<Vec<u64>> = input
+        .qi_attrs
+        .iter()
+        .map(|&attr| {
+            let mut c = vec![0u64; input.table.domain_size(attr)];
+            for v in input.table.column(attr) {
+                c[v.index()] += 1;
+            }
+            c
+        })
+        .collect();
+    let mut cuts: Vec<Cut> = input.hierarchies.iter().map(Cut::leaves).collect();
+    timer.phase("setup");
+
+    loop {
+        // group rows by current signature
+        let mut groups: FxHashMap<Vec<NodeId>, Vec<usize>> = FxHashMap::default();
+        let mut sig = Vec::with_capacity(q);
+        for row in 0..input.table.n_rows() {
+            sig.clear();
+            for (pos, &attr) in input.qi_attrs.iter().enumerate() {
+                sig.push(cuts[pos].node_of(input.table.value(row, attr).0));
+            }
+            groups.entry(sig.clone()).or_default().push(row);
+        }
+        // violating rows
+        let violators: Vec<usize> = groups
+            .values()
+            .filter(|rows| rows.len() < input.k)
+            .flat_map(|rows| rows.iter().copied())
+            .collect();
+        if violators.is_empty() {
+            break;
+        }
+
+        // candidate generalizations: parents of cut nodes used by
+        // violating rows
+        let mut cands: FxHashSet<(usize, NodeId)> = FxHashSet::default();
+        for &row in &violators {
+            for (pos, &attr) in input.qi_attrs.iter().enumerate() {
+                let node = cuts[pos].node_of(input.table.value(row, attr).0);
+                if let Some(parent) = input.hierarchies[pos].parent(node) {
+                    cands.insert((pos, parent));
+                }
+            }
+        }
+        if cands.is_empty() {
+            // all violating values already at the root in every
+            // attribute: k-anonymity unreachable (cannot happen when
+            // k <= n, but guard against logic drift)
+            return Err(RelError::Infeasible {
+                k: input.k,
+                n: input.table.n_rows(),
+            });
+        }
+
+        // cheapest candidate by weighted NCP increase
+        let mut ordered: Vec<(usize, NodeId)> = cands.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(pos, n)| (pos, n));
+        let (best_pos, best_node) = ordered
+            .into_iter()
+            .min_by(|&(pa, na), &(pb, nb)| {
+                let da = ncp_increase(input, &cuts[pa], pa, na, &counts[pa]);
+                let db = ncp_increase(input, &cuts[pb], pb, nb, &counts[pb]);
+                da.partial_cmp(&db).expect("NCP is finite")
+            })
+            .expect("candidates non-empty");
+        cuts[best_pos].generalize_to(&input.hierarchies[best_pos], best_node);
+    }
+    timer.phase("generalization");
+
+    let rel = input
+        .qi_attrs
+        .iter()
+        .enumerate()
+        .map(|(pos, &attr)| {
+            rel_column_from_value_map(input.table, attr, |v| {
+                GenEntry::Node(cuts[pos].node_of(v.0))
+            })
+        })
+        .collect();
+    let anon = AnonTable {
+        rel,
+        tx: None,
+        n_rows: input.table.n_rows(),
+    };
+    timer.phase("recode");
+
+    Ok(RelOutput {
+        anon,
+        phases: timer.finish(),
+    })
+}
+
+/// Record-weighted NCP increase of generalizing attribute `pos`'s cut
+/// to `target`.
+fn ncp_increase(
+    input: &RelationalInput,
+    cut: &Cut,
+    pos: usize,
+    target: NodeId,
+    counts: &[u64],
+) -> f64 {
+    let h = &input.hierarchies[pos];
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut delta = 0.0;
+    for v in h.leaves_under(target) {
+        let c = counts[v as usize];
+        if c > 0 {
+            delta += (h.ncp(target) - h.ncp(cut.node_of(v))) * c as f64;
+        }
+    }
+    delta / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_k_anonymous;
+    use secreta_data::{Attribute, AttributeKind, RtTable, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+    use secreta_metrics::gcp;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::categorical("Edu"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        for (age, edu) in [
+            ("30", "BSc"),
+            ("31", "BSc"),
+            ("32", "MSc"),
+            ("33", "MSc"),
+            ("60", "BSc"),
+            ("61", "BSc"),
+            ("62", "MSc"),
+            ("63", "MSc"),
+        ] {
+            t.push_row(&[age, edu], &[]).unwrap();
+        }
+        t
+    }
+
+    fn input(t: &RtTable, k: usize) -> RelationalInput<'_> {
+        RelationalInput {
+            table: t,
+            qi_attrs: vec![0, 1],
+            hierarchies: vec![
+                auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap(),
+                auto_hierarchy(t.pool(1), AttributeKind::Categorical, 2).unwrap(),
+            ],
+            k,
+        }
+    }
+
+    #[test]
+    fn produces_k_anonymous_truthful_output() {
+        let t = table();
+        for k in [1, 2, 4, 8] {
+            let out = anonymize(&input(&t, k)).unwrap();
+            assert!(is_k_anonymous(&out.anon, k), "k={k}");
+            let hs = input(&t, k).hierarchies;
+            assert!(out.anon.is_truthful(&t, |a| Some(hs[a].clone()), None));
+        }
+    }
+
+    #[test]
+    fn k1_keeps_original() {
+        let t = table();
+        let out = anonymize(&input(&t, 1)).unwrap();
+        let hs = input(&t, 1).hierarchies;
+        assert_eq!(gcp(&t, &out.anon, |a| Some(hs[a].clone())), 0.0);
+    }
+
+    #[test]
+    fn already_anonymous_data_untouched() {
+        // duplicate rows are 2-anonymous as-is
+        let schema = Schema::new(vec![Attribute::categorical("X")]).unwrap();
+        let mut t = RtTable::new(schema);
+        for _ in 0..2 {
+            t.push_row(&["a"], &[]).unwrap();
+            t.push_row(&["b"], &[]).unwrap();
+        }
+        let h = auto_hierarchy(t.pool(0), AttributeKind::Categorical, 2).unwrap();
+        let out = anonymize(&RelationalInput {
+            table: &t,
+            qi_attrs: vec![0],
+            hierarchies: vec![h.clone()],
+            k: 2,
+        })
+        .unwrap();
+        assert_eq!(gcp(&t, &out.anon, |_| Some(h.clone())), 0.0);
+    }
+
+    #[test]
+    fn loss_is_monotone_in_k() {
+        let t = table();
+        let hs = input(&t, 1).hierarchies;
+        let mut prev = -1.0;
+        for k in [1, 2, 4, 8] {
+            let out = anonymize(&input(&t, k)).unwrap();
+            let g = gcp(&t, &out.anon, |a| Some(hs[a].clone()));
+            assert!(g >= prev - 1e-12, "k={k}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn infeasible_k_rejected() {
+        let t = table();
+        assert!(matches!(
+            anonymize(&input(&t, 9)),
+            Err(RelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn skewed_data_converges() {
+        // one outlier among duplicates forces generalization
+        let schema = Schema::new(vec![Attribute::numeric("Age")]).unwrap();
+        let mut t = RtTable::new(schema);
+        for _ in 0..5 {
+            t.push_row(&["30"], &[]).unwrap();
+        }
+        t.push_row(&["90"], &[]).unwrap();
+        let h = auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap();
+        let out = anonymize(&RelationalInput {
+            table: &t,
+            qi_attrs: vec![0],
+            hierarchies: vec![h],
+            k: 2,
+        })
+        .unwrap();
+        assert!(is_k_anonymous(&out.anon, 2));
+    }
+
+    #[test]
+    fn phases_recorded() {
+        let t = table();
+        let out = anonymize(&input(&t, 4)).unwrap();
+        assert!(out.phases.get("generalization").is_some());
+    }
+}

@@ -1,0 +1,275 @@
+//! Cluster — greedy k-member clustering with LCA recoding.
+//!
+//! The relational step of Poulis et al. (ECML/PKDD 2013), which
+//! SECRETA lists as its "Cluster" algorithm: records are grouped into
+//! clusters of at least `k` members chosen to minimize information
+//! loss, and each cluster publishes, per QI attribute, the lowest
+//! common ancestor of its members' values (local recoding — different
+//! clusters may generalize the same value differently, which is what
+//! lets Cluster beat the global-recoding algorithms on utility).
+//!
+//! Seeding is randomized (`seed` parameter) exactly so the SECRETA
+//! Comparison mode can show run-to-run variance; member selection is
+//! the standard greedy furthest/cheapest-insertion of k-member
+//! clustering.
+
+use crate::common::{RelError, RelOutput, RelationalInput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secreta_data::hash::FxHashMap;
+use secreta_hierarchy::NodeId;
+use secreta_metrics::{AnonTable, GenEntry, PhaseTimer, RelColumn};
+
+/// A cluster under construction: member rows plus the running LCA per
+/// QI attribute.
+struct Building {
+    rows: Vec<usize>,
+    lcas: Vec<NodeId>,
+}
+
+/// Run Cluster on `input` with the given RNG `seed`.
+pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelError> {
+    input.validate()?;
+    let mut timer = PhaseTimer::new();
+    let q = input.qi_attrs.len();
+    let n = input.table.n_rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // row -> leaf nodes per attribute, precomputed
+    let leaf_of_row = |row: usize, pos: usize| -> NodeId {
+        input.hierarchies[pos].leaf(input.table.value(row, input.qi_attrs[pos]).0)
+    };
+
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut clusters: Vec<Building> = Vec::new();
+    timer.phase("setup");
+
+    // Cost of absorbing `row` into a cluster with LCAs `lcas`: summed
+    // NCP increase over attributes.
+    let delta = |lcas: &[NodeId], row: usize| -> f64 {
+        let mut d = 0.0;
+        for (pos, &lca) in lcas.iter().enumerate() {
+            let h = &input.hierarchies[pos];
+            let merged = h.lca(lca, leaf_of_row(row, pos));
+            d += h.ncp(merged) - h.ncp(lca);
+        }
+        d
+    };
+
+    while unassigned.len() >= input.k {
+        // random seed record (the randomized choice of the original)
+        let si = rng.gen_range(0..unassigned.len());
+        let seed_row = unassigned.swap_remove(si);
+        let mut cluster = Building {
+            rows: vec![seed_row],
+            lcas: (0..q).map(|pos| leaf_of_row(seed_row, pos)).collect(),
+        };
+        // greedily add the k-1 cheapest records
+        for _ in 1..input.k {
+            let (bi, _) = unassigned
+                .iter()
+                .enumerate()
+                .map(|(i, &row)| (i, delta(&cluster.lcas, row)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NCP finite"))
+                .expect("unassigned non-empty: len >= k");
+            let row = unassigned.swap_remove(bi);
+            for pos in 0..q {
+                let h = &input.hierarchies[pos];
+                cluster.lcas[pos] = h.lca(cluster.lcas[pos], leaf_of_row(row, pos));
+            }
+            cluster.rows.push(row);
+        }
+        clusters.push(cluster);
+    }
+    timer.phase("clustering");
+
+    // leftovers (fewer than k) each join the cheapest cluster
+    for row in unassigned.drain(..) {
+        let (ci, _) = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, delta(&c.lcas, row)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NCP finite"))
+            .expect("k <= n guarantees at least one cluster");
+        let c = &mut clusters[ci];
+        for pos in 0..q {
+            let h = &input.hierarchies[pos];
+            c.lcas[pos] = h.lca(c.lcas[pos], leaf_of_row(row, pos));
+        }
+        c.rows.push(row);
+    }
+    timer.phase("leftover assignment");
+
+    // recode: per attribute, per cluster LCA
+    let mut rel = Vec::with_capacity(q);
+    for pos in 0..q {
+        let mut domain: Vec<GenEntry> = Vec::new();
+        let mut index: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut cells = vec![0u32; n];
+        for c in &clusters {
+            let node = c.lcas[pos];
+            let next = domain.len() as u32;
+            let gid = *index.entry(node).or_insert(next);
+            if gid as usize == domain.len() {
+                domain.push(GenEntry::Node(node));
+            }
+            for &row in &c.rows {
+                cells[row] = gid;
+            }
+        }
+        rel.push(RelColumn {
+            attr: input.qi_attrs[pos],
+            domain,
+            cells,
+        });
+    }
+    let anon = AnonTable {
+        rel,
+        tx: None,
+        n_rows: n,
+    };
+    timer.phase("recode");
+
+    Ok(RelOutput {
+        anon,
+        phases: timer.finish(),
+    })
+}
+
+/// Row sets of the clusters produced by the clustering phase — needed
+/// by the RT bounding methods, which anonymize the transaction part
+/// *within* each relational cluster. Same algorithm and seed semantics
+/// as [`anonymize`], returning the partition instead of the recoding.
+pub fn cluster_rows(input: &RelationalInput, seed: u64) -> Result<Vec<Vec<usize>>, RelError> {
+    let out = anonymize(input, seed)?;
+    // reconstruct the partition from equivalence classes of the output
+    // (clusters with identical LCAs merge — harmless for the callers,
+    // since equal signatures are indistinguishable anyway)
+    let (sizes, row_class) = out.anon.equivalence_classes();
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); sizes.len()];
+    for (row, &c) in row_class.iter().enumerate() {
+        clusters[c as usize].push(row);
+    }
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_k_anonymous;
+    use secreta_data::{Attribute, AttributeKind, RtTable, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+    use secreta_metrics::gcp;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::categorical("Edu"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        for (age, edu) in [
+            ("30", "BSc"),
+            ("31", "BSc"),
+            ("32", "MSc"),
+            ("33", "MSc"),
+            ("60", "BSc"),
+            ("61", "BSc"),
+            ("62", "MSc"),
+            ("63", "MSc"),
+            ("64", "PhD"),
+        ] {
+            t.push_row(&[age, edu], &[]).unwrap();
+        }
+        t
+    }
+
+    fn input(t: &RtTable, k: usize) -> RelationalInput<'_> {
+        RelationalInput {
+            table: t,
+            qi_attrs: vec![0, 1],
+            hierarchies: vec![
+                auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap(),
+                auto_hierarchy(t.pool(1), AttributeKind::Categorical, 2).unwrap(),
+            ],
+            k,
+        }
+    }
+
+    #[test]
+    fn produces_k_anonymous_truthful_output() {
+        let t = table();
+        for k in [1, 2, 3, 4] {
+            let out = anonymize(&input(&t, k), 42).unwrap();
+            assert!(is_k_anonymous(&out.anon, k), "k={k}");
+            let hs = input(&t, k).hierarchies;
+            assert!(out.anon.is_truthful(&t, |a| Some(hs[a].clone()), None));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table();
+        let a = anonymize(&input(&t, 3), 7).unwrap();
+        let b = anonymize(&input(&t, 3), 7).unwrap();
+        assert_eq!(a.anon, b.anon);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let t = table();
+        for seed in 0..5 {
+            let out = anonymize(&input(&t, 3), seed).unwrap();
+            assert!(is_k_anonymous(&out.anon, 3));
+        }
+    }
+
+    #[test]
+    fn local_recoding_beats_or_matches_full_domain_on_this_data() {
+        // clusters of close ages keep NCP low; full generalization
+        // would pay much more
+        let t = table();
+        let hs = input(&t, 2).hierarchies;
+        let out = anonymize(&input(&t, 2), 1).unwrap();
+        let g = gcp(&t, &out.anon, |a| Some(hs[a].clone()));
+        assert!(g < 1.0, "must not degenerate to the root: {g}");
+    }
+
+    #[test]
+    fn leftovers_are_absorbed() {
+        let t = table(); // 9 rows, k=4 -> 2 clusters + 1 leftover
+        let out = anonymize(&input(&t, 4), 3).unwrap();
+        let (sizes, _) = out.anon.equivalence_classes();
+        assert_eq!(sizes.iter().sum::<usize>(), 9);
+        assert!(sizes.iter().all(|&s| s >= 4));
+    }
+
+    #[test]
+    fn cluster_rows_partitions_everything() {
+        let t = table();
+        let clusters = cluster_rows(&input(&t, 3), 11).unwrap();
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        for c in &clusters {
+            assert!(c.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn infeasible_k_rejected() {
+        let t = table();
+        assert!(matches!(
+            anonymize(&input(&t, 10), 0),
+            Err(RelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn k_equals_n_single_cluster() {
+        let t = table();
+        let out = anonymize(&input(&t, 9), 5).unwrap();
+        let (sizes, _) = out.anon.equivalence_classes();
+        assert_eq!(sizes, vec![9]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared types and helpers for the relational algorithms.
+
+use secreta_data::hash::FxHashMap;
+use secreta_data::RtTable;
+use secreta_hierarchy::{Hierarchy, NodeId};
+use secreta_metrics::{AnonTable, PhaseTimes};
+use std::fmt;
+
+/// Errors raised by relational anonymization.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RelError {
+    /// `k` exceeds the number of records: no generalization can form a
+    /// class of size `k`.
+    Infeasible {
+        /// Requested protection level.
+        k: usize,
+        /// Records available.
+        n: usize,
+    },
+    /// Input is structurally unusable (no QI attributes, mismatched
+    /// hierarchies, k = 0, ...).
+    BadInput(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Infeasible { k, n } => {
+                write!(f, "k-anonymity infeasible: k={k} but only {n} records")
+            }
+            RelError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Input to every relational algorithm.
+pub struct RelationalInput<'a> {
+    /// The dataset.
+    pub table: &'a RtTable,
+    /// Quasi-identifier attribute indices (must be relational).
+    pub qi_attrs: Vec<usize>,
+    /// Generalization hierarchies, parallel to `qi_attrs`.
+    pub hierarchies: Vec<Hierarchy>,
+    /// Protection level: each record indistinguishable from ≥ k−1
+    /// others on the QI attributes.
+    pub k: usize,
+}
+
+impl<'a> RelationalInput<'a> {
+    /// Validate structural invariants shared by all algorithms.
+    pub fn validate(&self) -> Result<(), RelError> {
+        if self.k == 0 {
+            return Err(RelError::BadInput("k must be at least 1".into()));
+        }
+        if self.qi_attrs.is_empty() {
+            return Err(RelError::BadInput("no quasi-identifier attributes".into()));
+        }
+        if self.qi_attrs.len() != self.hierarchies.len() {
+            return Err(RelError::BadInput(format!(
+                "{} QI attributes but {} hierarchies",
+                self.qi_attrs.len(),
+                self.hierarchies.len()
+            )));
+        }
+        for (pos, &attr) in self.qi_attrs.iter().enumerate() {
+            let a = self
+                .table
+                .schema()
+                .attribute(attr)
+                .ok_or_else(|| RelError::BadInput(format!("attribute {attr} out of range")))?;
+            if !a.kind.is_relational() {
+                return Err(RelError::BadInput(format!(
+                    "attribute {:?} is not relational",
+                    a.name
+                )));
+            }
+            if self.hierarchies[pos].n_leaves() != self.table.domain_size(attr) {
+                return Err(RelError::BadInput(format!(
+                    "hierarchy for {:?} covers {} values, domain has {}",
+                    a.name,
+                    self.hierarchies[pos].n_leaves(),
+                    self.table.domain_size(attr)
+                )));
+            }
+        }
+        if self.k > self.table.n_rows() {
+            return Err(RelError::Infeasible {
+                k: self.k,
+                n: self.table.n_rows(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a relational run: the anonymized table and phase timings.
+#[derive(Debug, Clone)]
+pub struct RelOutput {
+    /// Generalized columns for the QI attributes.
+    pub anon: AnonTable,
+    /// Per-phase wall-clock times.
+    pub phases: PhaseTimes,
+}
+
+/// Algorithm selector used by the SECRETA framework's configuration
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationalAlgorithm {
+    /// Full-domain lattice search (LeFevre et al.).
+    Incognito,
+    /// Top-down specialization from the fully generalized cut.
+    TopDown,
+    /// Full-subtree bottom-up generalization from the leaf cut.
+    BottomUp,
+    /// Greedy k-member clustering with per-cluster LCA recoding.
+    Cluster,
+}
+
+impl RelationalAlgorithm {
+    /// Display name (as shown in the GUI's algorithm selectors).
+    pub fn name(self) -> &'static str {
+        match self {
+            RelationalAlgorithm::Incognito => "Incognito",
+            RelationalAlgorithm::TopDown => "Top-down",
+            RelationalAlgorithm::BottomUp => "Full subtree bottom-up",
+            RelationalAlgorithm::Cluster => "Cluster",
+        }
+    }
+
+    /// All four algorithms, in the paper's listing order.
+    pub fn all() -> [RelationalAlgorithm; 4] {
+        [
+            RelationalAlgorithm::Incognito,
+            RelationalAlgorithm::Cluster,
+            RelationalAlgorithm::TopDown,
+            RelationalAlgorithm::BottomUp,
+        ]
+    }
+
+    /// Run the selected algorithm. `seed` feeds Cluster's seed record
+    /// selection; the other three are deterministic and ignore it.
+    pub fn run(self, input: &RelationalInput, seed: u64) -> Result<RelOutput, RelError> {
+        match self {
+            RelationalAlgorithm::Incognito => crate::incognito::anonymize(input),
+            RelationalAlgorithm::TopDown => crate::topdown::anonymize(input),
+            RelationalAlgorithm::BottomUp => crate::bottomup::anonymize(input),
+            RelationalAlgorithm::Cluster => crate::cluster::anonymize(input, seed),
+        }
+    }
+}
+
+impl fmt::Display for RelationalAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Minimum equivalence-class size when each QI attribute `a` recodes
+/// value `v` to `recode(a_pos, v)`. The workhorse k-anonymity check of
+/// Incognito/Top-down/Bottom-up.
+pub fn min_class_size(
+    table: &RtTable,
+    qi_attrs: &[usize],
+    recode: impl Fn(usize, u32) -> NodeId,
+) -> usize {
+    if table.n_rows() == 0 {
+        return 0;
+    }
+    // Precompute per-attribute value -> node maps (domains are small,
+    // rows are many).
+    let maps: Vec<Vec<NodeId>> = qi_attrs
+        .iter()
+        .enumerate()
+        .map(|(pos, &attr)| {
+            (0..table.domain_size(attr) as u32)
+                .map(|v| recode(pos, v))
+                .collect()
+        })
+        .collect();
+    let mut groups: FxHashMap<Vec<NodeId>, usize> = FxHashMap::default();
+    let mut sig = Vec::with_capacity(qi_attrs.len());
+    for row in 0..table.n_rows() {
+        sig.clear();
+        for (pos, &attr) in qi_attrs.iter().enumerate() {
+            sig.push(maps[pos][table.value(row, attr).index()]);
+        }
+        *groups.entry(sig.clone()).or_insert(0) += 1;
+    }
+    groups.values().copied().min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, AttributeKind, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::categorical("Edu"),
+            Attribute::transaction("Items"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["30", "BSc"], &["a"]).unwrap();
+        t.push_row(&["35", "BSc"], &["b"]).unwrap();
+        t.push_row(&["60", "MSc"], &["a"]).unwrap();
+        t.push_row(&["65", "MSc"], &["b"]).unwrap();
+        t
+    }
+
+    fn input(t: &RtTable, k: usize) -> RelationalInput<'_> {
+        let h0 = auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap();
+        let h1 = auto_hierarchy(t.pool(1), AttributeKind::Categorical, 2).unwrap();
+        RelationalInput {
+            table: t,
+            qi_attrs: vec![0, 1],
+            hierarchies: vec![h0, h1],
+            k,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_input() {
+        let t = table();
+        assert!(input(&t, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let t = table();
+        let mut i = input(&t, 0);
+        assert!(matches!(i.validate(), Err(RelError::BadInput(_))));
+        i.k = 9;
+        assert_eq!(
+            i.validate(),
+            Err(RelError::Infeasible { k: 9, n: 4 })
+        );
+        i.k = 2;
+        i.qi_attrs = vec![];
+        i.hierarchies = vec![];
+        assert!(matches!(i.validate(), Err(RelError::BadInput(_))));
+
+        let mut i2 = input(&t, 2);
+        i2.qi_attrs = vec![2, 1]; // transaction attr as QI
+        assert!(matches!(i2.validate(), Err(RelError::BadInput(_))));
+
+        let mut i3 = input(&t, 2);
+        i3.hierarchies.pop();
+        assert!(matches!(i3.validate(), Err(RelError::BadInput(_))));
+    }
+
+    #[test]
+    fn min_class_size_leaf_recoding() {
+        let t = table();
+        let i = input(&t, 2);
+        let hs = i.hierarchies.clone();
+        // identity recoding: all rows distinct -> min class 1
+        let m = min_class_size(&t, &i.qi_attrs, |pos, v| hs[pos].leaf(v));
+        assert_eq!(m, 1);
+        // full generalization: one class of 4
+        let m = min_class_size(&t, &i.qi_attrs, |pos, _| hs[pos].root());
+        assert_eq!(m, 4);
+        // generalize Age only to root: classes by Edu -> 2 and 2
+        let m = min_class_size(&t, &i.qi_attrs, |pos, v| {
+            if pos == 0 {
+                hs[0].root()
+            } else {
+                hs[1].leaf(v)
+            }
+        });
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(RelationalAlgorithm::Incognito.to_string(), "Incognito");
+        assert_eq!(RelationalAlgorithm::all().len(), 4);
+    }
+}

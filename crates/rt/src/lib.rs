@@ -1,0 +1,34 @@
+//! # secreta-rt
+//!
+//! (k, k^m)-anonymization of RT-datasets — datasets with relational
+//! *and* transaction attributes — following Poulis, Loukides,
+//! Gkoulalas-Divanis, Skiadopoulos (ECML/PKDD 2013), which SECRETA
+//! exposes as its three **bounding methods**:
+//!
+//! * **RMERGE** (`Rmerger`) — clusters are merged by *relational*
+//!   proximity (smallest NCP increase of the merged generalization);
+//! * **TMERGE** (`Tmerger`) — clusters are merged by *transaction*
+//!   similarity (largest overlap of their item sets);
+//! * **RTMERGE** (`RTmerger`) — by the normalized combination of both.
+//!
+//! The pipeline: a relational algorithm partitions the records into
+//! equivalence classes of at least `k` (any of the four in
+//! `secreta-relational`), the bounding method merges up to `δ`
+//! clusters into super-clusters (trading relational utility for
+//! transaction utility), and a transaction algorithm (any of the five
+//! in `secreta-transaction`) enforces k^m-anonymity (or the policies)
+//! *inside each super-cluster*. Every pair of the 4×5 algorithm
+//! choices is accepted — the paper's "20 different combinations".
+//!
+//! The resulting guarantee, verifiable via [`is_k_km_anonymous`]:
+//! each record shares its relational generalization with ≥ k−1
+//! others, and within each such class every itemset of ≤ m published
+//! items appears ≥ k times.
+
+pub mod merge;
+pub mod pipeline;
+pub mod verify;
+
+pub use merge::BoundingMethod;
+pub use pipeline::{anonymize, RtError, RtInput, RtOutput};
+pub use verify::is_k_km_anonymous;

@@ -1,0 +1,320 @@
+//! Cluster merging — the bounding methods.
+
+use secreta_data::hash::FxHashSet;
+use secreta_data::RtTable;
+use secreta_hierarchy::{Hierarchy, NodeId};
+use std::fmt;
+
+/// The three bounding methods of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundingMethod {
+    /// Merge by relational proximity (RMERGE / "Rmerger").
+    RMerge,
+    /// Merge by transaction similarity (TMERGE / "Tmerger").
+    TMerge,
+    /// Merge by the combined, normalized criterion (RTMERGE /
+    /// "RTmerger").
+    RtMerge,
+}
+
+impl BoundingMethod {
+    /// Display name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundingMethod::RMerge => "Rmerger",
+            BoundingMethod::TMerge => "Tmerger",
+            BoundingMethod::RtMerge => "RTmerger",
+        }
+    }
+
+    /// All three methods.
+    pub fn all() -> [BoundingMethod; 3] {
+        [
+            BoundingMethod::RMerge,
+            BoundingMethod::TMerge,
+            BoundingMethod::RtMerge,
+        ]
+    }
+}
+
+impl fmt::Display for BoundingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A cluster's summary used by the merge criteria: per-QI LCA nodes
+/// and the set of items its transactions contain.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Member rows.
+    pub rows: Vec<usize>,
+    /// LCA node per QI attribute (parallel to the input's
+    /// hierarchies).
+    pub lcas: Vec<NodeId>,
+    /// Distinct items in the cluster's transactions, sorted.
+    pub items: Vec<u32>,
+}
+
+impl ClusterSummary {
+    /// Summarize the rows of one cluster.
+    pub fn new(
+        table: &RtTable,
+        rows: Vec<usize>,
+        qi_attrs: &[usize],
+        hierarchies: &[Hierarchy],
+    ) -> ClusterSummary {
+        let lcas = qi_attrs
+            .iter()
+            .enumerate()
+            .map(|(pos, &attr)| {
+                hierarchies[pos]
+                    .lca_of_values(rows.iter().map(|&r| table.value(r, attr).0))
+                    .expect("cluster is non-empty")
+            })
+            .collect();
+        let mut items: FxHashSet<u32> = FxHashSet::default();
+        for &r in &rows {
+            items.extend(table.transaction(r).iter().map(|it| it.0));
+        }
+        let mut items: Vec<u32> = items.into_iter().collect();
+        items.sort_unstable();
+        ClusterSummary { rows, lcas, items }
+    }
+
+    /// Merge `other` into `self`.
+    pub fn absorb(&mut self, other: ClusterSummary, hierarchies: &[Hierarchy]) {
+        self.rows.extend(other.rows);
+        for (pos, h) in hierarchies.iter().enumerate() {
+            self.lcas[pos] = h.lca(self.lcas[pos], other.lcas[pos]);
+        }
+        let mut merged = Vec::with_capacity(self.items.len() + other.items.len());
+        merged.extend_from_slice(&self.items);
+        merged.extend_from_slice(&other.items);
+        merged.sort_unstable();
+        merged.dedup();
+        self.items = merged;
+    }
+
+    /// Relational merge cost: mean NCP of the merged LCAs (0 = merging
+    /// identical clusters, 1 = merging forces every attribute to the
+    /// root).
+    pub fn rel_distance(&self, other: &ClusterSummary, hierarchies: &[Hierarchy]) -> f64 {
+        if hierarchies.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (pos, h) in hierarchies.iter().enumerate() {
+            sum += h.ncp(h.lca(self.lcas[pos], other.lcas[pos]));
+        }
+        sum / hierarchies.len() as f64
+    }
+
+    /// Transaction merge cost: Jaccard distance of the clusters' item
+    /// sets (0 = identical item usage, 1 = disjoint).
+    pub fn tx_distance(&self, other: &ClusterSummary) -> f64 {
+        if self.items.is_empty() && other.items.is_empty() {
+            return 0.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.items.len() + other.items.len() - inter;
+        1.0 - inter as f64 / union as f64
+    }
+
+    /// The selected method's distance.
+    pub fn distance(
+        &self,
+        other: &ClusterSummary,
+        method: BoundingMethod,
+        hierarchies: &[Hierarchy],
+    ) -> f64 {
+        match method {
+            BoundingMethod::RMerge => self.rel_distance(other, hierarchies),
+            BoundingMethod::TMerge => self.tx_distance(other),
+            BoundingMethod::RtMerge => {
+                0.5 * self.rel_distance(other, hierarchies) + 0.5 * self.tx_distance(other)
+            }
+        }
+    }
+}
+
+/// Greedily merge `clusters` into super-clusters of at most `delta`
+/// original clusters each, choosing partners by the method's
+/// distance. `delta = 1` leaves the partition untouched.
+pub fn merge_clusters(
+    mut clusters: Vec<ClusterSummary>,
+    method: BoundingMethod,
+    hierarchies: &[Hierarchy],
+    delta: usize,
+) -> Vec<ClusterSummary> {
+    let delta = delta.max(1);
+    if delta == 1 || clusters.len() <= 1 {
+        return clusters;
+    }
+    // process seeds in descending size: big clusters attract partners
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.rows.len()));
+    let mut consumed = vec![false; clusters.len()];
+    let mut out: Vec<ClusterSummary> = Vec::new();
+    for i in 0..clusters.len() {
+        if consumed[i] {
+            continue;
+        }
+        consumed[i] = true;
+        let mut acc = clusters[i].clone();
+        let mut absorbed = 1usize;
+        while absorbed < delta {
+            let mut best: Option<(usize, f64)> = None;
+            for (j, cand) in clusters.iter().enumerate() {
+                if consumed[j] {
+                    continue;
+                }
+                let d = acc.distance(cand, method, hierarchies);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((j, d));
+                }
+            }
+            match best {
+                Some((j, _)) => {
+                    consumed[j] = true;
+                    acc.absorb(clusters[j].clone(), hierarchies);
+                    absorbed += 1;
+                }
+                None => break,
+            }
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, AttributeKind, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::transaction("Items"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["30"], &["a", "b"]).unwrap(); // rows 0,1: young, items ab
+        t.push_row(&["31"], &["a", "b"]).unwrap();
+        t.push_row(&["60"], &["a", "b"]).unwrap(); // rows 2,3: old, items ab
+        t.push_row(&["61"], &["b", "a"]).unwrap();
+        t.push_row(&["32"], &["x", "y"]).unwrap(); // rows 4,5: young, items xy
+        t.push_row(&["33"], &["y", "x"]).unwrap();
+        t
+    }
+
+    fn hier(t: &RtTable) -> Vec<Hierarchy> {
+        vec![auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap()]
+    }
+
+    fn summaries(t: &RtTable, hs: &[Hierarchy]) -> Vec<ClusterSummary> {
+        vec![
+            ClusterSummary::new(t, vec![0, 1], &[0], hs),
+            ClusterSummary::new(t, vec![2, 3], &[0], hs),
+            ClusterSummary::new(t, vec![4, 5], &[0], hs),
+        ]
+    }
+
+    #[test]
+    fn summary_contents() {
+        let t = table();
+        let hs = hier(&t);
+        let s = ClusterSummary::new(&t, vec![0, 1], &[0], &hs);
+        assert_eq!(s.rows, vec![0, 1]);
+        assert_eq!(s.items.len(), 2);
+        // ages 30,31 are adjacent: LCA well below the root
+        assert!(hs[0].ncp(s.lcas[0]) < 0.5);
+    }
+
+    #[test]
+    fn rel_distance_prefers_adjacent_ages() {
+        let t = table();
+        let hs = hier(&t);
+        let s = summaries(&t, &hs);
+        // cluster 0 (30,31) vs cluster 2 (32,33) — near in age
+        let near = s[0].rel_distance(&s[2], &hs);
+        // cluster 0 vs cluster 1 (60,61) — far in age
+        let far = s[0].rel_distance(&s[1], &hs);
+        assert!(near < far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn tx_distance_prefers_shared_items() {
+        let t = table();
+        let hs = hier(&t);
+        let s = summaries(&t, &hs);
+        assert_eq!(s[0].tx_distance(&s[1]), 0.0, "identical item sets");
+        assert_eq!(s[0].tx_distance(&s[2]), 1.0, "disjoint item sets");
+    }
+
+    #[test]
+    fn rmerge_and_tmerge_pick_different_partners() {
+        let t = table();
+        let hs = hier(&t);
+        let s = summaries(&t, &hs);
+        // from cluster 0's perspective:
+        let r_near = s[0].distance(&s[2], BoundingMethod::RMerge, &hs)
+            < s[0].distance(&s[1], BoundingMethod::RMerge, &hs);
+        let t_near = s[0].distance(&s[1], BoundingMethod::TMerge, &hs)
+            < s[0].distance(&s[2], BoundingMethod::TMerge, &hs);
+        assert!(r_near, "RMERGE prefers the age-adjacent cluster");
+        assert!(t_near, "TMERGE prefers the item-identical cluster");
+    }
+
+    #[test]
+    fn merge_respects_delta() {
+        let t = table();
+        let hs = hier(&t);
+        let merged1 = merge_clusters(summaries(&t, &hs), BoundingMethod::RMerge, &hs, 1);
+        assert_eq!(merged1.len(), 3, "delta=1 is a no-op");
+        let merged2 = merge_clusters(summaries(&t, &hs), BoundingMethod::RMerge, &hs, 2);
+        assert_eq!(merged2.len(), 2);
+        let merged9 = merge_clusters(summaries(&t, &hs), BoundingMethod::RMerge, &hs, 9);
+        assert_eq!(merged9.len(), 1);
+        // all rows preserved
+        let total: usize = merged9[0].rows.len();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn absorb_updates_lcas_and_items() {
+        let t = table();
+        let hs = hier(&t);
+        let s = summaries(&t, &hs);
+        let mut acc = s[0].clone();
+        acc.absorb(s[2].clone(), &hs);
+        assert_eq!(acc.rows.len(), 4);
+        assert_eq!(acc.items.len(), 4);
+        assert!(hs[0].is_ancestor_or_self(acc.lcas[0], s[0].lcas[0]));
+    }
+
+    #[test]
+    fn empty_transaction_clusters_have_zero_distance() {
+        let schema = Schema::new(vec![Attribute::numeric("Age")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&["1"], &[]).unwrap();
+        t.push_row(&["2"], &[]).unwrap();
+        let hs = vec![auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap()];
+        let a = ClusterSummary::new(&t, vec![0], &[0], &hs);
+        let b = ClusterSummary::new(&t, vec![1], &[0], &hs);
+        assert_eq!(a.tx_distance(&b), 0.0);
+    }
+}

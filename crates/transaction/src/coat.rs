@@ -1,0 +1,414 @@
+//! COAT — COnstraint-based Anonymization of Transactions (Loukides,
+//! Gkoulalas-Divanis, Malin — KAIS 2011).
+//!
+//! COAT takes a **privacy policy** (itemsets whose published support
+//! must be ≥ k or 0) and a **utility policy** (groups of items that
+//! are semantically interchangeable; a generalized item must stay
+//! within one group). It repairs the most-violated constraint first:
+//! the constraint's item whose cheapest admissible merge exists is
+//! generalized by merging its generalized item with the partner that
+//! minimizes the utility-loss increase; when no admissible merge
+//! remains for any item of the constraint, the rarest item is
+//! **suppressed** — exactly the generalize-then-suppress fallback of
+//! the original.
+
+use crate::common::{TransactionInput, TxError, TxOutput};
+use crate::groups::ItemGroups;
+use secreta_data::hash::FxHashMap;
+use secreta_data::{ItemId, RtTable};
+use secreta_metrics::anon::AnonTransaction;
+use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
+use secreta_policy::{PrivacyPolicy, UtilityPolicy};
+
+/// Clamped `2^n - 1` used by the UL-style merge cost.
+pub(crate) fn pow2m1(n: usize) -> f64 {
+    if n >= 60 {
+        f64::MAX / 1e16
+    } else {
+        ((1u64 << n) - 1) as f64
+    }
+}
+
+/// Published transactions (sorted, duplicate-free group roots per
+/// row) — computed once per repair round and shared by every support
+/// query of that round.
+pub(crate) fn published_rows(
+    table: &RtTable,
+    groups: &mut ItemGroups,
+    rows: &[usize],
+) -> Vec<Vec<u32>> {
+    rows.iter()
+        .map(|&r| {
+            let mut buf: Vec<u32> = table
+                .transaction(r)
+                .iter()
+                .filter_map(|&it| groups.map(it))
+                .collect();
+            buf.sort_unstable();
+            buf.dedup();
+            buf
+        })
+        .collect()
+}
+
+/// Published support of each group root.
+pub(crate) fn group_supports(rows_pub: &[Vec<u32>]) -> FxHashMap<u32, u32> {
+    let mut sup: FxHashMap<u32, u32> = FxHashMap::default();
+    for row in rows_pub {
+        for &g in row {
+            *sup.entry(g).or_insert(0) += 1;
+        }
+    }
+    sup
+}
+
+/// Published support of one privacy constraint against precomputed
+/// published transactions.
+pub(crate) fn constraint_support(
+    rows_pub: &[Vec<u32>],
+    groups: &mut ItemGroups,
+    constraint: &[ItemId],
+) -> u32 {
+    // a suppressed item can never be matched -> support 0
+    let mut image: Vec<u32> = Vec::with_capacity(constraint.len());
+    for it in constraint {
+        match groups.map(*it) {
+            Some(g) => image.push(g),
+            None => return 0,
+        }
+    }
+    image.sort_unstable();
+    image.dedup();
+    rows_pub
+        .iter()
+        .filter(|buf| image.iter().all(|g| buf.binary_search(g).is_ok()))
+        .count() as u32
+}
+
+/// The COAT core, shared with PCTA (which plugs a different merge
+/// selector): repeatedly repair the most-violated constraint until
+/// the policy holds over `rows`.
+pub(crate) fn constrain(
+    table: &RtTable,
+    rows: &[usize],
+    k: usize,
+    privacy: &PrivacyPolicy,
+    utility: &UtilityPolicy,
+    global_partner_pool: bool,
+) -> ItemGroups {
+    let universe = table.item_universe();
+    let mut groups = ItemGroups::new(universe);
+
+    loop {
+        let rows_pub = published_rows(table, &mut groups, rows);
+        // most-violated constraint (smallest positive support < k)
+        let mut worst: Option<(usize, u32)> = None;
+        for (ci, c) in privacy.constraints.iter().enumerate() {
+            let s = constraint_support(&rows_pub, &mut groups, c);
+            if s > 0 && (s as usize) < k && worst.as_ref().is_none_or(|&(_, ws)| s < ws) {
+                worst = Some((ci, s));
+            }
+        }
+        let Some((ci, _)) = worst else {
+            break;
+        };
+        let constraint = privacy.constraints[ci].clone();
+
+        // candidate merges: for each live item of the constraint,
+        // partners from its utility groups (COAT) or every live group
+        // (PCTA's global pool), filtered by admissibility
+        let sup = group_supports(&rows_pub);
+        let sup_of = |g: u32| sup.get(&g).copied().unwrap_or(0) as f64;
+        let mut best: Option<(u32, u32, f64)> = None; // (a, b, cost)
+        for it in &constraint {
+            if groups.is_suppressed(it.0) {
+                continue;
+            }
+            let ga = groups.find(it.0);
+            let members_a = groups.group_members(it.0);
+            let partner_items: Vec<u32> = if global_partner_pool {
+                (0..universe as u32).collect()
+            } else {
+                utility.mergeable_with(*it).into_iter().map(|j| j.0).collect()
+            };
+            let mut seen_roots: Vec<u32> = Vec::new();
+            for j in partner_items {
+                if groups.is_suppressed(j) {
+                    continue;
+                }
+                let gb = groups.find(j);
+                if gb == ga || seen_roots.contains(&gb) {
+                    continue;
+                }
+                seen_roots.push(gb);
+                let members_b = groups.group_members(j);
+                let mut merged: Vec<ItemId> = members_a
+                    .iter()
+                    .chain(members_b.iter())
+                    .map(|&v| ItemId(v))
+                    .collect();
+                merged.sort_unstable();
+                if !utility.admits(&merged) {
+                    continue;
+                }
+                // UL-style merge cost: the merged generalized item is
+                // charged for its subset blow-up, weighted by an upper
+                // bound of its support
+                let sa = members_a.len();
+                let sb = members_b.len();
+                let cost = pow2m1(sa + sb) * (sup_of(ga) + sup_of(gb))
+                    - pow2m1(sa) * sup_of(ga)
+                    - pow2m1(sb) * sup_of(gb);
+                if best.as_ref().is_none_or(|&(_, _, c)| cost < c) {
+                    best = Some((ga, gb, cost));
+                }
+            }
+        }
+
+        match best {
+            Some((a, b, _)) => {
+                groups.union(a, b);
+            }
+            None => {
+                // no admissible merge anywhere in the constraint:
+                // suppress its rarest live item
+                let victim = constraint
+                    .iter()
+                    .filter(|it| !groups.is_suppressed(it.0))
+                    .min_by_key(|it| {
+                        let g = groups.find_const(it.0);
+                        (sup.get(&g).copied().unwrap_or(0), it.0)
+                    });
+                // victim is None only when every item of the
+                // constraint is already suppressed, in which case the
+                // support is 0 and the outer loop drops the constraint
+                if let Some(it) = victim {
+                    groups.suppress(it.0);
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// Build the published [`AnonTable`] from final item groups.
+pub(crate) fn publish(table: &RtTable, groups: &mut ItemGroups) -> AnonTable {
+    // domain: one Set entry per live root that actually occurs
+    let mut index: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut domain: Vec<GenEntry> = Vec::new();
+    for row in 0..table.n_rows() {
+        for &it in table.transaction(row) {
+            if let Some(root) = groups.map(it) {
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(root) {
+                    e.insert(domain.len() as u32);
+                    domain.push(GenEntry::set(groups.group_members(root)));
+                }
+            }
+        }
+    }
+    let g2 = groups.clone();
+    let tx = AnonTransaction::from_mapping(table, domain, |it| {
+        if g2.is_suppressed(it.0) {
+            None
+        } else {
+            Some(index[&g2.find_const(it.0)])
+        }
+    });
+    AnonTable {
+        rel: Vec::new(),
+        tx: Some(tx),
+        n_rows: table.n_rows(),
+    }
+}
+
+/// Run COAT on `input`.
+pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    input.validate()?;
+    let mut timer = PhaseTimer::new();
+    let default_privacy;
+    let privacy = match input.privacy {
+        Some(p) => p,
+        None => {
+            default_privacy = PrivacyPolicy::all_items(input.table);
+            &default_privacy
+        }
+    };
+    let default_utility;
+    let utility = match input.utility {
+        Some(u) => u,
+        None => {
+            default_utility = UtilityPolicy::unconstrained(input.table);
+            &default_utility
+        }
+    };
+    let rows: Vec<usize> = (0..input.table.n_rows()).collect();
+    timer.phase("setup");
+
+    let mut groups = constrain(input.table, &rows, input.k, privacy, utility, false);
+    timer.phase("constraint repair");
+
+    let anon = publish(input.table, &mut groups);
+    timer.phase("publish");
+
+    Ok(TxOutput {
+        anon,
+        phases: timer.finish(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::satisfies_privacy;
+    use secreta_data::{Attribute, Schema};
+    use secreta_metrics::utility_loss;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        for tx in [
+            vec!["flu", "cold"],
+            vec!["flu", "cold"],
+            vec!["flu", "hiv"],
+            vec!["cold", "herpes"],
+            vec!["flu"],
+            vec!["cold"],
+        ] {
+            t.push_row(&[], &tx).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn default_policies_protect_every_item() {
+        let t = table();
+        let input = TransactionInput {
+            table: &t,
+            k: 2,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let out = anonymize(&input).unwrap();
+        let p = PrivacyPolicy::all_items(&t);
+        assert!(satisfies_privacy(&out.anon, &p, 2, None));
+        assert!(out.anon.is_truthful(&t, |_| None, None));
+    }
+
+    #[test]
+    fn rare_items_merge_rather_than_suppress_when_allowed() {
+        let t = table();
+        let p = PrivacyPolicy::all_items(&t);
+        let u = UtilityPolicy::unconstrained(&t);
+        let input = TransactionInput::constrained(&t, 2, &p, &u);
+        let out = anonymize(&input).unwrap();
+        // unconstrained utility: nothing needs suppression
+        assert!(out.anon.tx.as_ref().unwrap().suppressed.is_empty());
+        assert!(satisfies_privacy(&out.anon, &p, 2, None));
+    }
+
+    #[test]
+    fn tight_utility_policy_forces_suppression() {
+        let t = table();
+        // hiv (sup 1) may merge with nothing: singleton-only groups
+        let p = PrivacyPolicy::all_items(&t);
+        let u = UtilityPolicy::new(vec![]); // nothing mergeable
+        let input = TransactionInput::constrained(&t, 2, &p, &u);
+        let out = anonymize(&input).unwrap();
+        let tx = out.anon.tx.as_ref().unwrap();
+        assert!(!tx.suppressed.is_empty(), "rare items must be suppressed");
+        assert!(satisfies_privacy(&out.anon, &p, 2, None));
+        // frequent items survive untouched
+        let pool = t.item_pool().unwrap();
+        let flu = ItemId(pool.get("flu").unwrap());
+        assert!(tx.suppressed.binary_search(&flu).is_err());
+    }
+
+    #[test]
+    fn utility_groups_bound_generalization() {
+        let t = table();
+        let pool = t.item_pool().unwrap();
+        let flu = ItemId(pool.get("flu").unwrap());
+        let cold = ItemId(pool.get("cold").unwrap());
+        let hiv = ItemId(pool.get("hiv").unwrap());
+        let herpes = ItemId(pool.get("herpes").unwrap());
+        // STDs may merge together but never with respiratory items
+        let u = UtilityPolicy::new(vec![vec![flu, cold], vec![hiv, herpes]]);
+        let p = PrivacyPolicy::new(vec![vec![hiv], vec![herpes]]);
+        let input = TransactionInput::constrained(&t, 2, &p, &u);
+        let out = anonymize(&input).unwrap();
+        let tx = out.anon.tx.as_ref().unwrap();
+        assert!(satisfies_privacy(&out.anon, &p, 2, None));
+        for e in &tx.domain {
+            if let GenEntry::Set(s) = e {
+                if s.len() > 1 {
+                    let set: Vec<ItemId> = s.iter().map(|&v| ItemId(v)).collect();
+                    assert!(u.admits(&set), "inadmissible generalized item {s:?}");
+                }
+            }
+        }
+        // the {hiv,herpes} merge is the only way to satisfy p
+        let merged = tx
+            .domain
+            .iter()
+            .any(|e| matches!(e, GenEntry::Set(s) if s.len() == 2));
+        assert!(merged);
+    }
+
+    #[test]
+    fn multi_item_constraints_protected() {
+        let t = table();
+        let pool = t.item_pool().unwrap();
+        let flu = ItemId(pool.get("flu").unwrap());
+        let hiv = ItemId(pool.get("hiv").unwrap());
+        // {flu, hiv} appears once -> must end >=2 or 0
+        let p = PrivacyPolicy::new(vec![vec![flu, hiv]]);
+        let u = UtilityPolicy::unconstrained(&t);
+        let input = TransactionInput::constrained(&t, 2, &p, &u);
+        let out = anonymize(&input).unwrap();
+        assert!(satisfies_privacy(&out.anon, &p, 2, None));
+    }
+
+    #[test]
+    fn satisfied_policy_changes_nothing() {
+        let t = table();
+        let pool = t.item_pool().unwrap();
+        let flu = ItemId(pool.get("flu").unwrap());
+        let p = PrivacyPolicy::new(vec![vec![flu]]); // sup 4 >= 2
+        let u = UtilityPolicy::unconstrained(&t);
+        let input = TransactionInput::constrained(&t, 2, &p, &u);
+        let out = anonymize(&input).unwrap();
+        assert_eq!(utility_loss(&t, &out.anon, None), 0.0);
+    }
+
+    #[test]
+    fn k1_is_always_satisfied() {
+        let t = table();
+        let input = TransactionInput {
+            table: &t,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let out = anonymize(&input).unwrap();
+        assert_eq!(utility_loss(&t, &out.anon, None), 0.0);
+    }
+
+    #[test]
+    fn phases_recorded() {
+        let t = table();
+        let input = TransactionInput {
+            table: &t,
+            k: 2,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let out = anonymize(&input).unwrap();
+        assert!(out.phases.get("constraint repair").is_some());
+    }
+}

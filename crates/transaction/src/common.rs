@@ -1,0 +1,259 @@
+//! Shared types for the transaction algorithms.
+
+use secreta_data::RtTable;
+use secreta_hierarchy::Hierarchy;
+use secreta_metrics::{AnonTable, PhaseTimes};
+use secreta_policy::{PrivacyPolicy, UtilityPolicy};
+use std::fmt;
+
+/// Errors raised by transaction anonymization.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// Fewer than `k` non-empty transactions exist: k^m-anonymity is
+    /// unreachable by generalization alone.
+    Infeasible {
+        /// Requested protection level.
+        k: usize,
+        /// Non-empty transactions available.
+        non_empty: usize,
+    },
+    /// Input is structurally unusable.
+    BadInput(String),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Infeasible { k, non_empty } => write!(
+                f,
+                "k^m-anonymity infeasible: k={k} but only {non_empty} non-empty transactions"
+            ),
+            TxError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Input to every transaction algorithm.
+pub struct TransactionInput<'a> {
+    /// The dataset (must have a transaction attribute).
+    pub table: &'a RtTable,
+    /// Protection level.
+    pub k: usize,
+    /// Adversary knowledge bound for the k^m algorithms (AA, LRA,
+    /// VPA). COAT/PCTA take their threat model from `privacy`.
+    pub m: usize,
+    /// Item hierarchy (required by AA, LRA, VPA; ignored by
+    /// COAT/PCTA).
+    pub hierarchy: Option<&'a Hierarchy>,
+    /// Privacy policy for COAT/PCTA; `None` defaults to protecting
+    /// every single item.
+    pub privacy: Option<&'a PrivacyPolicy>,
+    /// Utility policy for COAT/PCTA; `None` defaults to unconstrained.
+    pub utility: Option<&'a UtilityPolicy>,
+}
+
+impl<'a> TransactionInput<'a> {
+    /// Minimal input for the k^m algorithms.
+    pub fn km(table: &'a RtTable, k: usize, m: usize, hierarchy: &'a Hierarchy) -> Self {
+        TransactionInput {
+            table,
+            k,
+            m,
+            hierarchy: Some(hierarchy),
+            privacy: None,
+            utility: None,
+        }
+    }
+
+    /// Minimal input for the constraint-based algorithms.
+    pub fn constrained(
+        table: &'a RtTable,
+        k: usize,
+        privacy: &'a PrivacyPolicy,
+        utility: &'a UtilityPolicy,
+    ) -> Self {
+        TransactionInput {
+            table,
+            k,
+            m: 1,
+            hierarchy: None,
+            privacy: Some(privacy),
+            utility: Some(utility),
+        }
+    }
+
+    /// Validate invariants shared by all algorithms.
+    pub fn validate(&self) -> Result<(), TxError> {
+        if self.k == 0 {
+            return Err(TxError::BadInput("k must be at least 1".into()));
+        }
+        if self.table.schema().transaction_index().is_none() {
+            return Err(TxError::BadInput(
+                "dataset has no transaction attribute".into(),
+            ));
+        }
+        if let Some(h) = self.hierarchy {
+            if h.n_leaves() != self.table.item_universe() {
+                return Err(TxError::BadInput(format!(
+                    "item hierarchy covers {} items, universe has {}",
+                    h.n_leaves(),
+                    self.table.item_universe()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows with a non-empty transaction.
+    pub fn non_empty_rows(&self) -> Vec<usize> {
+        (0..self.table.n_rows())
+            .filter(|&r| !self.table.transaction(r).is_empty())
+            .collect()
+    }
+}
+
+/// Result of a transaction run.
+#[derive(Debug, Clone)]
+pub struct TxOutput {
+    /// Anonymized table (transaction part populated, `rel` empty).
+    pub anon: AnonTable,
+    /// Per-phase wall-clock times.
+    pub phases: PhaseTimes,
+}
+
+/// Algorithm selector for the framework's configuration layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransactionAlgorithm {
+    /// Apriori anonymization (AA) — global full-subtree recoding.
+    Apriori,
+    /// Local recoding over horizontal partitions; the payload is the
+    /// target number of partitions.
+    Lra {
+        /// Number of horizontal partitions (≥ 1).
+        partitions: usize,
+    },
+    /// Vertical partitioning; the payload is the number of item-domain
+    /// parts.
+    Vpa {
+        /// Number of vertical parts (≥ 1).
+        parts: usize,
+    },
+    /// COAT — constraint-based generalization and suppression.
+    Coat,
+    /// PCTA — UL-guided item clustering.
+    Pcta,
+}
+
+impl TransactionAlgorithm {
+    /// Display name (as in the GUI's algorithm selectors).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransactionAlgorithm::Apriori => "Apriori",
+            TransactionAlgorithm::Lra { .. } => "LRA",
+            TransactionAlgorithm::Vpa { .. } => "VPA",
+            TransactionAlgorithm::Coat => "COAT",
+            TransactionAlgorithm::Pcta => "PCTA",
+        }
+    }
+
+    /// The five algorithms with default parameters, in the paper's
+    /// listing order.
+    pub fn all() -> [TransactionAlgorithm; 5] {
+        [
+            TransactionAlgorithm::Coat,
+            TransactionAlgorithm::Pcta,
+            TransactionAlgorithm::Apriori,
+            TransactionAlgorithm::Lra { partitions: 2 },
+            TransactionAlgorithm::Vpa { parts: 4 },
+        ]
+    }
+
+    /// Run the selected algorithm.
+    pub fn run(self, input: &TransactionInput) -> Result<TxOutput, TxError> {
+        match self {
+            TransactionAlgorithm::Apriori => crate::apriori::anonymize(input),
+            TransactionAlgorithm::Lra { partitions } => crate::lra::anonymize(input, partitions),
+            TransactionAlgorithm::Vpa { parts } => crate::vpa::anonymize(input, parts),
+            TransactionAlgorithm::Coat => crate::coat::anonymize(input),
+            TransactionAlgorithm::Pcta => crate::pcta::anonymize(input),
+        }
+    }
+}
+
+impl fmt::Display for TransactionAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionAlgorithm::Lra { partitions } => write!(f, "LRA(p={partitions})"),
+            TransactionAlgorithm::Vpa { parts } => write!(f, "VPA(p={parts})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secreta_data::{Attribute, AttributeKind, Schema};
+    use secreta_hierarchy::auto_hierarchy;
+
+    fn table() -> RtTable {
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        t.push_row(&[], &["a", "b"]).unwrap();
+        t.push_row(&[], &[]).unwrap();
+        t.push_row(&[], &["c"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let t = table();
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+        let mut i = TransactionInput::km(&t, 2, 2, &h);
+        assert!(i.validate().is_ok());
+        i.k = 0;
+        assert!(matches!(i.validate(), Err(TxError::BadInput(_))));
+
+        let rel_only = Schema::new(vec![Attribute::numeric("Age")]).unwrap();
+        let rt = RtTable::new(rel_only);
+        let j = TransactionInput {
+            table: &rt,
+            k: 2,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        assert!(matches!(j.validate(), Err(TxError::BadInput(_))));
+    }
+
+    #[test]
+    fn hierarchy_domain_mismatch_rejected() {
+        let t = table();
+        let mut other_pool = secreta_data::ValuePool::new();
+        other_pool.intern("x");
+        let h = auto_hierarchy(&other_pool, AttributeKind::Categorical, 2).unwrap();
+        let i = TransactionInput::km(&t, 2, 1, &h);
+        assert!(matches!(i.validate(), Err(TxError::BadInput(_))));
+    }
+
+    #[test]
+    fn non_empty_rows_skips_blanks() {
+        let t = table();
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+        let i = TransactionInput::km(&t, 2, 1, &h);
+        assert_eq!(i.non_empty_rows(), vec![0, 2]);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(TransactionAlgorithm::Coat.to_string(), "COAT");
+        assert_eq!(
+            TransactionAlgorithm::Lra { partitions: 3 }.to_string(),
+            "LRA(p=3)"
+        );
+        assert_eq!(TransactionAlgorithm::all().len(), 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! Disjoint-set item groups for the hierarchy-free algorithms.
+//!
+//! COAT and PCTA generalize by *merging items into sets* instead of
+//! climbing a hierarchy. [`ItemGroups`] is a union-find over the item
+//! universe with member lists (small-to-large merged) and a per-item
+//! suppression flag, which together fully describe the published
+//! recoding: each live item maps to its group's member set; suppressed
+//! items map to nothing.
+
+use secreta_data::ItemId;
+
+/// Union-find over item ids with member tracking and suppression.
+#[derive(Debug, Clone)]
+pub struct ItemGroups {
+    parent: Vec<u32>,
+    /// Members of each *root*; non-roots hold empty vecs.
+    members: Vec<Vec<u32>>,
+    suppressed: Vec<bool>,
+}
+
+impl ItemGroups {
+    /// Singleton groups over a universe of `n` items.
+    pub fn new(n: usize) -> Self {
+        ItemGroups {
+            parent: (0..n as u32).collect(),
+            members: (0..n as u32).map(|i| vec![i]).collect(),
+            suppressed: vec![false; n],
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for an empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Root of `item`'s group (path-halving).
+    pub fn find(&mut self, item: u32) -> u32 {
+        let mut x = item;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Root of `item`'s group without path compression (for immutable
+    /// contexts).
+    pub fn find_const(&self, item: u32) -> u32 {
+        let mut x = item;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the groups of `a` and `b`; returns the surviving root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        // small-to-large on member lists
+        let (big, small) = if self.members[ra as usize].len() >= self.members[rb as usize].len()
+        {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        let moved = std::mem::take(&mut self.members[small as usize]);
+        self.members[big as usize].extend(moved);
+        big
+    }
+
+    /// Sorted members of `item`'s group.
+    pub fn group_members(&mut self, item: u32) -> Vec<u32> {
+        let r = self.find(item);
+        let mut m = self.members[r as usize].clone();
+        m.sort_unstable();
+        m
+    }
+
+    /// Group size of `item`'s group.
+    pub fn group_size(&mut self, item: u32) -> usize {
+        let r = self.find(item);
+        self.members[r as usize].len()
+    }
+
+    /// Mark `item` (the whole item, not its group) as suppressed.
+    pub fn suppress(&mut self, item: u32) {
+        self.suppressed[item as usize] = true;
+    }
+
+    /// Is `item` suppressed?
+    pub fn is_suppressed(&self, item: u32) -> bool {
+        self.suppressed[item as usize]
+    }
+
+    /// Published mapping of `item`: `None` when suppressed, otherwise
+    /// its group root.
+    pub fn map(&mut self, item: ItemId) -> Option<u32> {
+        if self.suppressed[item.index()] {
+            None
+        } else {
+            Some(self.find(item.0))
+        }
+    }
+
+    /// All current roots (deterministic order).
+    pub fn roots(&mut self) -> Vec<u32> {
+        (0..self.len() as u32).filter(|&i| self.find(i) == i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_union() {
+        let mut g = ItemGroups::new(4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.find(2), 2);
+        let r = g.union(0, 1);
+        assert_eq!(g.find(0), g.find(1));
+        assert_eq!(g.group_members(0), vec![0, 1]);
+        assert_eq!(g.group_size(1), 2);
+        assert_eq!(g.find(0), r);
+        // idempotent union
+        assert_eq!(g.union(0, 1), r);
+    }
+
+    #[test]
+    fn small_to_large_keeps_big_root() {
+        let mut g = ItemGroups::new(5);
+        g.union(0, 1);
+        g.union(0, 2); // group {0,1,2}
+        let r = g.find(0);
+        let merged = g.union(3, 0);
+        assert_eq!(merged, r, "bigger group's root survives");
+        assert_eq!(g.group_members(3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn suppression_is_per_item() {
+        let mut g = ItemGroups::new(3);
+        g.union(0, 1);
+        g.suppress(0);
+        assert!(g.is_suppressed(0));
+        assert!(!g.is_suppressed(1));
+        assert_eq!(g.map(ItemId(0)), None);
+        assert_eq!(g.map(ItemId(1)), Some(g.find(1)));
+    }
+
+    #[test]
+    fn roots_shrink_with_unions() {
+        let mut g = ItemGroups::new(4);
+        assert_eq!(g.roots().len(), 4);
+        g.union(0, 1);
+        g.union(2, 3);
+        assert_eq!(g.roots().len(), 2);
+        g.union(0, 3);
+        assert_eq!(g.roots().len(), 1);
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut g = ItemGroups::new(6);
+        g.union(0, 1);
+        g.union(1, 2);
+        g.union(4, 5);
+        for i in 0..6 {
+            assert_eq!(g.find_const(i), g.clone().find(i));
+        }
+    }
+}

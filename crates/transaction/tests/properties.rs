@@ -1,0 +1,160 @@
+//! Property tests of the transaction algorithms on randomized
+//! databases: every guarantee re-verified from the published output.
+
+use proptest::prelude::*;
+use secreta_data::{Attribute, AttributeKind, ItemId, RtTable, Schema};
+use secreta_hierarchy::auto_hierarchy;
+use secreta_metrics::transaction_gcp;
+use secreta_policy::{PrivacyPolicy, UtilityPolicy};
+use secreta_transaction::rho::{self, RhoParams};
+use secreta_transaction::{
+    is_km_anonymous, is_rho_uncertain, satisfies_privacy, TransactionAlgorithm,
+    TransactionInput, TxError,
+};
+
+fn build_table(rows: &[Vec<usize>], universe: usize) -> RtTable {
+    let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+    let mut t = RtTable::new(schema);
+    for i in 0..universe {
+        t.intern_item(&format!("i{i:02}")).unwrap();
+    }
+    for tx in rows {
+        let items: Vec<String> = tx.iter().map(|i| format!("i{:02}", i % universe)).collect();
+        let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+        t.push_row(&[], &refs).unwrap();
+    }
+    t
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..32, 1..6), 4..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn km_algorithms_protect_or_report(
+        rows in rows_strategy(),
+        universe in 4usize..12,
+        k in 2usize..5,
+        m in 1usize..3,
+        fanout in 2usize..4,
+    ) {
+        let t = build_table(&rows, universe);
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, fanout)
+            .unwrap();
+        for algo in [
+            TransactionAlgorithm::Apriori,
+            TransactionAlgorithm::Lra { partitions: 2 },
+        ] {
+            let input = TransactionInput::km(&t, k, m, &h);
+            match algo.run(&input) {
+                Ok(out) => {
+                    prop_assert!(
+                        is_km_anonymous(&out.anon, k, m, Some(&h)),
+                        "{algo:?} k={k} m={m}"
+                    );
+                    prop_assert!(out.anon.is_truthful(&t, |_| None, Some(&h)));
+                    prop_assert!(out.anon.is_complete(&t, Some(&h)));
+                }
+                Err(TxError::Infeasible { .. }) => {
+                    prop_assert!(t.n_rows() < k, "only tiny scopes may be infeasible");
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+        // VPA with its per-part guarantee: global check at m=1
+        let input = TransactionInput::km(&t, k, m, &h);
+        let out = TransactionAlgorithm::Vpa { parts: 3 }.run(&input).unwrap();
+        prop_assert!(is_km_anonymous(&out.anon, k, 1, Some(&h)));
+        prop_assert!(out.anon.is_truthful(&t, |_| None, Some(&h)));
+    }
+
+    #[test]
+    fn constraint_algorithms_always_satisfy_their_policy(
+        rows in rows_strategy(),
+        universe in 4usize..12,
+        k in 2usize..6,
+        n_groups in 1usize..4,
+    ) {
+        let t = build_table(&rows, universe);
+        let privacy = PrivacyPolicy::all_items(&t);
+        // random-ish banded utility policy derived from group count
+        let per = universe.div_ceil(n_groups);
+        let groups: Vec<Vec<ItemId>> = (0..universe as u32)
+            .collect::<Vec<_>>()
+            .chunks(per)
+            .map(|c| c.iter().map(|&v| ItemId(v)).collect())
+            .collect();
+        let utility = UtilityPolicy::new(groups);
+        for algo in [TransactionAlgorithm::Coat, TransactionAlgorithm::Pcta] {
+            let input = TransactionInput::constrained(&t, k, &privacy, &utility);
+            let out = algo.run(&input).expect("constraint repair always terminates");
+            prop_assert!(
+                satisfies_privacy(&out.anon, &privacy, k, None),
+                "{algo:?} k={k}"
+            );
+            prop_assert!(out.anon.is_truthful(&t, |_| None, None));
+            // every published generalized set respects the utility policy
+            let tx = out.anon.tx.as_ref().unwrap();
+            for e in &tx.domain {
+                if let secreta_metrics::GenEntry::Set(s) = e {
+                    let set: Vec<ItemId> = s.iter().map(|&v| ItemId(v)).collect();
+                    prop_assert!(utility.admits(&set), "{algo:?}: {s:?}");
+                }
+            }
+            let g = transaction_gcp(&t, &out.anon, None);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+        }
+    }
+
+    #[test]
+    fn rho_uncertainty_always_verifies(
+        rows in rows_strategy(),
+        universe in 4usize..10,
+        rho_pct in 15u32..90,
+        n_sensitive in 1usize..3,
+        max_antecedent in 0usize..3,
+    ) {
+        let t = build_table(&rows, universe);
+        let params = RhoParams {
+            rho: rho_pct as f64 / 100.0,
+            sensitive: (0..n_sensitive as u32).map(ItemId).collect(),
+            max_antecedent,
+        };
+        let input = TransactionInput {
+            table: &t,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let out = rho::anonymize(&input, &params).expect("suppression always terminates");
+        prop_assert!(is_rho_uncertain(&t, &out.anon, &params));
+        prop_assert!(out.anon.is_truthful(&t, |_| None, None));
+    }
+
+    #[test]
+    fn km_loss_is_monotone_in_m(
+        rows in rows_strategy(),
+        universe in 4usize..10,
+        k in 2usize..4,
+    ) {
+        let t = build_table(&rows, universe);
+        prop_assume!(t.n_rows() >= k);
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2)
+            .unwrap();
+        let loss_at = |m: usize| -> Option<f64> {
+            let input = TransactionInput::km(&t, k, m, &h);
+            TransactionAlgorithm::Apriori
+                .run(&input)
+                .ok()
+                .map(|out| transaction_gcp(&t, &out.anon, Some(&h)))
+        };
+        if let (Some(l1), Some(l2)) = (loss_at(1), loss_at(2)) {
+            prop_assert!(l1 <= l2 + 1e-9, "m=1 loss {l1} > m=2 loss {l2}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! A full programmatic benchmark session with file export.
+//!
+//! ```sh
+//! cargo run --example benchmark_session
+//! ```
+//!
+//! Uses the Comparison mode exactly as a benchmark script would:
+//! builds a dataset, sweeps all four relational algorithms over `k`,
+//! and writes the comparison charts (SVG + CSV) into
+//! `results/benchmark_session/` via the Data Export Module.
+
+use secreta::core::config::{MethodSpec, RelAlgo};
+use secreta::core::{compare, export, Configuration, SessionContext, Sweep, VaryingParam};
+use secreta::gen::{DatasetSpec, WorkloadSpec};
+
+fn main() {
+    let table = DatasetSpec::census(400, 21).generate();
+    let ctx = SessionContext::auto(table, 4).expect("hierarchies build");
+    let workload = WorkloadSpec {
+        n_queries: 40,
+        rel_atoms: 2,
+        values_per_atom: 3,
+        items_per_query: 0,
+        seed: 5,
+    }
+    .generate(&ctx.table);
+    let ctx = ctx.with_workload(workload);
+
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 2,
+        end: 26,
+        step: 8,
+    };
+    let configurations: Vec<Configuration> = RelAlgo::all()
+        .into_iter()
+        .map(|algo| {
+            Configuration::new(MethodSpec::Relational { algo, k: 0 }, sweep, 11)
+        })
+        .collect();
+
+    println!(
+        "benchmarking {} relational algorithms over k = 2..26 on {} threads",
+        configurations.len(),
+        4
+    );
+    let result = compare(&ctx, &configurations, 4);
+
+    for (label, pts) in result.labels.iter().zip(&result.points) {
+        print!("{label:<28}");
+        for (_, r) in pts {
+            match r {
+                Ok(p) => print!(" ARE={:.3}", p.indicators.are),
+                Err(_) => print!(" ARE=err "),
+            }
+        }
+        println!();
+    }
+
+    let dir = std::path::Path::new("results").join("benchmark_session");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    for (name, ylabel, pick) in [
+        ("are", "ARE", 0usize),
+        ("gcp", "GCP", 1),
+        ("runtime", "runtime (ms)", 2),
+    ] {
+        let chart = result.chart(
+            format!("{ylabel} vs k — relational algorithms"),
+            ylabel,
+            |i| match pick {
+                0 => i.are,
+                1 => i.gcp,
+                _ => i.runtime_ms,
+            },
+        );
+        let (svg, csv) =
+            export::export_xy_chart(&chart, dir.join(name)).expect("write charts");
+        println!("wrote {} and {}", svg.display(), csv.display());
+    }
+}

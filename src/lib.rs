@@ -1,0 +1,8 @@
+//! Umbrella crate for **SECRETA-rs** — re-exports the full public API.
+//!
+//! See [`secreta_core`] for the benchmarking framework and the
+//! workspace README for an architecture overview.
+
+pub use secreta_core as core;
+pub use secreta_gen as gen;
+pub use secreta_plot as plot;

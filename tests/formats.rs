@@ -1,0 +1,117 @@
+//! File-format integration: hierarchies, policies, workloads and
+//! saved comparison configurations all roundtrip against a real
+//! dataset — the Configuration/Queries Editor load paths.
+
+use secreta::core::config::{MethodSpec, RelAlgo};
+use secreta::core::hierarchy::io as hio;
+use secreta::core::metrics::query as q;
+use secreta::core::policy::{
+    generate_privacy, generate_utility, io as pio, PrivacyStrategy, UtilityStrategy,
+};
+use secreta::core::{Configuration, SessionContext, Sweep, VaryingParam};
+use secreta::gen::{DatasetSpec, WorkloadSpec};
+
+#[test]
+fn hierarchy_files_roundtrip_for_every_attribute() {
+    let table = DatasetSpec::adult_like(60, 9).generate();
+    let ctx = SessionContext::auto(table, 4).unwrap();
+    for (pos, &attr) in ctx.qi_attrs.iter().enumerate() {
+        let h = &ctx.hierarchies[pos];
+        let mut buf = Vec::new();
+        hio::write_hierarchy(h, &mut buf, ';').unwrap();
+        let back = hio::read_hierarchy(buf.as_slice(), ctx.table.pool(attr), ';').unwrap();
+        assert_eq!(back.n_nodes(), h.n_nodes(), "attr {attr}");
+        assert_eq!(back.height(), h.height());
+        for v in 0..h.n_leaves() as u32 {
+            assert_eq!(back.path_to_root(v), h.path_to_root(v));
+        }
+    }
+    // item hierarchy too
+    let ih = ctx.item_hierarchy.as_ref().unwrap();
+    let mut buf = Vec::new();
+    hio::write_hierarchy(ih, &mut buf, ';').unwrap();
+    let back =
+        hio::read_hierarchy(buf.as_slice(), ctx.table.item_pool().unwrap(), ';').unwrap();
+    assert_eq!(back.n_nodes(), ih.n_nodes());
+}
+
+#[test]
+fn generated_policies_roundtrip() {
+    let table = DatasetSpec::adult_like(100, 10).generate();
+    let p = generate_privacy(
+        &table,
+        &PrivacyStrategy::RandomItemsets {
+            size: 2,
+            count: 20,
+            seed: 3,
+        },
+    );
+    let mut buf = Vec::new();
+    pio::write_privacy(&p, &table, &mut buf).unwrap();
+    let p2 = pio::read_privacy(buf.as_slice(), &table).unwrap();
+    assert_eq!(p, p2);
+
+    let u = generate_utility(&table, &UtilityStrategy::FrequencyBands { bands: 4 }, None);
+    let mut buf = Vec::new();
+    pio::write_utility(&u, &table, &mut buf).unwrap();
+    let u2 = pio::read_utility(buf.as_slice(), &table).unwrap();
+    assert_eq!(u, u2);
+}
+
+#[test]
+fn generated_workloads_roundtrip_and_answer_identically() {
+    let table = DatasetSpec::adult_like(150, 11).generate();
+    let w = WorkloadSpec {
+        n_queries: 40,
+        ..Default::default()
+    }
+    .generate(&table);
+    let mut buf = Vec::new();
+    q::write_workload(&w, &table, &mut buf).unwrap();
+    let w2 = q::read_workload(buf.as_slice(), &table).unwrap();
+    assert_eq!(w, w2);
+    assert_eq!(w.counts(&table), w2.counts(&table));
+}
+
+#[test]
+fn comparison_configurations_roundtrip_as_json() {
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 2,
+        end: 10,
+        step: 2,
+    };
+    let configs = vec![
+        Configuration::new(
+            MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k: 0,
+            },
+            sweep,
+            1,
+        ),
+        Configuration::new(
+            MethodSpec::Relational {
+                algo: RelAlgo::Incognito,
+                k: 0,
+            },
+            sweep,
+            1,
+        ),
+    ];
+    let json = serde_json::to_string_pretty(&configs).unwrap();
+    let back: Vec<Configuration> = serde_json::from_str(&json).unwrap();
+    assert_eq!(configs, back);
+}
+
+#[test]
+fn hierarchy_files_reject_foreign_domains() {
+    let table_a = DatasetSpec::adult_like(20, 1).generate();
+    let table_b = DatasetSpec::basket(20, 5, 2).generate();
+    let ctx = SessionContext::auto(table_a, 4).unwrap();
+    let mut buf = Vec::new();
+    hio::write_hierarchy(&ctx.hierarchies[0], &mut buf, ';').unwrap();
+    // reading the Age hierarchy against the basket's item pool fails
+    let err = hio::read_hierarchy(buf.as_slice(), table_b.item_pool().unwrap(), ';');
+    assert!(err.is_err());
+}

@@ -1,0 +1,116 @@
+//! Property-based guarantees: on randomized datasets, every algorithm
+//! must uphold its privacy model and data truthfulness — the core
+//! invariants a benchmarking system for anonymization relies on.
+
+use proptest::prelude::*;
+use secreta::core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+use secreta::core::{anonymizer, SessionContext};
+use secreta::gen::DatasetSpec;
+
+fn small_rt_table_strategy() -> impl Strategy<Value = (usize, u64, usize)> {
+    // (rows, seed, k)
+    (20usize..80, 0u64..1000, 2usize..6)
+}
+
+fn ctx_for(rows: usize, seed: u64) -> SessionContext {
+    let mut spec = DatasetSpec::adult_like(rows, seed);
+    // small item universe so k^m is feasible on few rows
+    spec.n_items = 12;
+    spec.tx_len = (1, 4);
+    SessionContext::auto(spec.generate(), 3).expect("hierarchies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn relational_algorithms_always_k_anonymous(
+        (rows, seed, k) in small_rt_table_strategy(),
+        algo_pick in 0usize..4,
+    ) {
+        let ctx = ctx_for(rows, seed);
+        let algo = RelAlgo::all()[algo_pick];
+        let out = anonymizer::run(&ctx, &MethodSpec::Relational { algo, k }, seed)
+            .expect("k <= rows so feasible");
+        prop_assert!(out.indicators.verified, "{algo:?} k={k} rows={rows}");
+        prop_assert!(out.anon.is_truthful(
+            &ctx.table,
+            |a| ctx.hierarchy_of(a).cloned(),
+            ctx.item_hierarchy.as_ref()
+        ));
+        // every class at least k
+        prop_assert!(out.indicators.avg_class_size >= k as f64 - 1e-9);
+    }
+
+    #[test]
+    fn transaction_algorithms_always_protect(
+        (rows, seed, k) in small_rt_table_strategy(),
+        algo_pick in 0usize..5,
+        m in 1usize..3,
+    ) {
+        let ctx = ctx_for(rows, seed);
+        let algo = TxAlgo::all()[algo_pick];
+        let result = anonymizer::run(
+            &ctx,
+            &MethodSpec::Transaction { algo, k, m },
+            seed,
+        );
+        match result {
+            Ok(out) => {
+                prop_assert!(out.indicators.verified, "{algo:?} k={k} m={m}");
+                prop_assert!(out.anon.is_truthful(
+                    &ctx.table,
+                    |a| ctx.hierarchy_of(a).cloned(),
+                    ctx.item_hierarchy.as_ref()
+                ));
+            }
+            // infeasible instances must be *reported*, never silently
+            // mis-anonymized
+            Err(anonymizer::RunError::Tx(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rt_pipeline_always_k_km(
+        (rows, seed, k) in small_rt_table_strategy(),
+        rel_pick in 0usize..4,
+        tx_pick in 0usize..5,
+        bound_pick in 0usize..3,
+    ) {
+        let ctx = ctx_for(rows, seed);
+        let spec = MethodSpec::Rt {
+            rel: RelAlgo::all()[rel_pick],
+            tx: TxAlgo::all()[tx_pick],
+            bounding: Bounding::all()[bound_pick],
+            k,
+            m: 2,
+            delta: 2,
+        };
+        match anonymizer::run(&ctx, &spec, seed) {
+            Ok(out) => {
+                prop_assert!(out.indicators.verified, "{}", spec.label());
+                prop_assert!(out.indicators.gcp <= 1.0 + 1e-9);
+                prop_assert!(out.indicators.tx_gcp <= 1.0 + 1e-9);
+            }
+            Err(anonymizer::RunError::Rt(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indicators_stay_in_bounds(
+        (rows, seed, k) in small_rt_table_strategy(),
+    ) {
+        let ctx = ctx_for(rows, seed);
+        let spec = MethodSpec::Relational { algo: RelAlgo::Cluster, k };
+        let out = anonymizer::run(&ctx, &spec, seed).expect("feasible");
+        let i = &out.indicators;
+        prop_assert!((0.0..=1.0).contains(&i.gcp));
+        prop_assert!((0.0..=1.0).contains(&i.ul));
+        prop_assert!(i.are >= 0.0);
+        prop_assert!(i.avg_class_size >= 1.0);
+        prop_assert!(i.discernibility >= rows as u64);
+        prop_assert!(i.discernibility <= (rows as u64) * (rows as u64));
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration: dataset → CSV → session → every method
+//! class → verified output → export → re-read.
+
+use secreta::core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
+use secreta::core::data::{csv as dcsv, CsvOptions};
+use secreta::core::{anonymizer, export, SessionContext};
+use secreta::gen::{DatasetSpec, WorkloadSpec};
+
+fn session(rows: usize, seed: u64) -> SessionContext {
+    let table = DatasetSpec::adult_like(rows, seed).generate();
+    let ctx = SessionContext::auto(table, 4).expect("hierarchies");
+    let w = WorkloadSpec {
+        n_queries: 25,
+        ..Default::default()
+    }
+    .generate(&ctx.table);
+    ctx.with_workload(w)
+}
+
+#[test]
+fn dataset_survives_csv_roundtrip_before_anonymization() {
+    let table = DatasetSpec::adult_like(150, 3).generate();
+    let opts = CsvOptions {
+        transaction_column: Some("Items".into()),
+        numeric_columns: vec!["Age".into()],
+        ..CsvOptions::default()
+    };
+    let mut buf = Vec::new();
+    dcsv::write_table(&table, &mut buf, &opts).unwrap();
+    let back = dcsv::read_table(buf.as_slice(), &opts).unwrap();
+    assert_eq!(back.n_rows(), table.n_rows());
+    for r in (0..150).step_by(17) {
+        assert_eq!(back.value_str(r, 0), table.value_str(r, 0));
+        // item ids are assigned in first-seen order, which differs
+        // between generator and file reader — compare as sets
+        let mut a = back.transaction_strs(r);
+        let mut b = table.transaction_strs(r);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn every_method_class_runs_and_verifies() {
+    let ctx = session(120, 1);
+    let specs = [
+        MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        },
+        MethodSpec::Relational {
+            algo: RelAlgo::Incognito,
+            k: 5,
+        },
+        MethodSpec::Transaction {
+            algo: TxAlgo::Apriori,
+            k: 3,
+            m: 2,
+        },
+        MethodSpec::Transaction {
+            algo: TxAlgo::Coat,
+            k: 3,
+            m: 1,
+        },
+        MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: Bounding::RMerge,
+            k: 4,
+            m: 2,
+            delta: 2,
+        },
+    ];
+    for spec in specs {
+        let out = anonymizer::run(&ctx, &spec, 7).expect("run succeeds");
+        assert!(out.indicators.verified, "{}", spec.label());
+        assert_eq!(out.anon.n_rows, ctx.table.n_rows());
+        assert!(
+            out.anon.is_truthful(
+                &ctx.table,
+                |a| ctx.hierarchy_of(a).cloned(),
+                ctx.item_hierarchy.as_ref()
+            ),
+            "{}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn anonymized_export_is_valid_csv() {
+    let ctx = session(80, 2);
+    let spec = MethodSpec::Rt {
+        rel: RelAlgo::Cluster,
+        tx: TxAlgo::Pcta,
+        bounding: Bounding::TMerge,
+        k: 4,
+        m: 1,
+        delta: 2,
+    };
+    let out = anonymizer::run(&ctx, &spec, 1).unwrap();
+    let mut buf = Vec::new();
+    export::write_anonymized(&ctx, &out.anon, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    // parse it back as a generic CSV: same row count, same width
+    let reread = dcsv::read_table(
+        text.as_bytes(),
+        &CsvOptions::with_transaction("Items"),
+    )
+    .unwrap();
+    assert_eq!(reread.n_rows(), 80);
+    assert_eq!(reread.schema().len(), 5);
+}
+
+#[test]
+fn identity_baseline_has_zero_loss_and_zero_are() {
+    let ctx = session(60, 4);
+    let anon = secreta::core::metrics::AnonTable::identity(&ctx.table, &ctx.qi_attrs);
+    let phases = secreta::core::metrics::PhaseTimes::default();
+    let ind = anonymizer::compute_indicators(&ctx, &anon, &phases, true);
+    assert_eq!(ind.gcp, 0.0);
+    assert_eq!(ind.tx_gcp, 0.0);
+    assert_eq!(ind.ul, 0.0);
+    assert!(ind.are < 1e-9, "identity ARE must be exact: {}", ind.are);
+    assert_eq!(ind.avg_class_size, 1.0);
+}
+
+#[test]
+fn larger_k_never_improves_relational_utility() {
+    let ctx = session(100, 5);
+    let mut prev_gcp = -1.0;
+    for k in [2, 5, 10, 25, 50] {
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::BottomUp,
+            k,
+        };
+        let out = anonymizer::run(&ctx, &spec, 1).unwrap();
+        assert!(
+            out.indicators.gcp >= prev_gcp - 1e-9,
+            "k={k}: gcp regressed"
+        );
+        prev_gcp = out.indicators.gcp;
+    }
+}
+
+#[test]
+fn rt_delta_sweep_trades_utilities() {
+    let ctx = session(100, 6);
+    let mut rel_losses = Vec::new();
+    let mut tx_losses = Vec::new();
+    for delta in [1usize, 2, 4] {
+        let spec = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: Bounding::RMerge,
+            k: 5,
+            m: 2,
+            delta,
+        };
+        let out = anonymizer::run(&ctx, &spec, 1).unwrap();
+        assert!(out.indicators.verified, "delta={delta}");
+        rel_losses.push(out.indicators.gcp);
+        tx_losses.push(out.indicators.tx_gcp);
+    }
+    // merging more clusters coarsens the relational part...
+    assert!(rel_losses[2] >= rel_losses[0] - 1e-9);
+    // ...and relieves the transaction part
+    assert!(tx_losses[2] <= tx_losses[0] + 1e-9);
+}
