@@ -22,11 +22,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluator_fanout");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &t| b.iter(|| run_many(&ctx, &jobs, t)),
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| run_many(&ctx, &jobs, t))
+        });
     }
     group.finish();
 }

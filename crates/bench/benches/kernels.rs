@@ -1,0 +1,93 @@
+//! K1 — the constant-time kernels against their pre-optimization
+//! counterparts: Euler-tour LCA vs the parent walk, tabulated NCP,
+//! matrix-based minimum-class-size, and the full Cluster hot path
+//! (optimized vs reference implementation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use secreta_bench::{census_session, SEED};
+use secreta_core::hierarchy::NodeId;
+use secreta_core::relational::common::{min_class_size, min_class_size_matrix};
+use secreta_core::relational::{cluster, RelationalInput};
+
+fn input_of(ctx: &secreta_core::SessionContext, k: usize) -> RelationalInput<'_> {
+    RelationalInput {
+        table: &ctx.table,
+        qi_attrs: ctx.qi_attrs.clone(),
+        hierarchies: ctx.hierarchies.clone(),
+        k,
+    }
+}
+
+fn bench_lca(c: &mut Criterion) {
+    let ctx = census_session(2000);
+    let h = &ctx.hierarchies[0];
+    // a deterministic spread of leaf pairs across the domain
+    let pairs: Vec<(NodeId, NodeId)> = (0..1024u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(0x9E37_79B9) % h.n_leaves() as u64) as u32;
+            let b = (i.wrapping_mul(0x85EB_CA6B) % h.n_leaves() as u64) as u32;
+            (h.leaf(a), h.leaf(b))
+        })
+        .collect();
+    let mut group = c.benchmark_group("lca");
+    group.bench_function("euler_o1", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(h.lca(x, y).index());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("parent_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(h.lca_walk(x, y).index());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_min_class_size(c: &mut Criterion) {
+    let ctx = census_session(2000);
+    let input = input_of(&ctx, 10);
+    let matrix = input.value_matrix();
+    let domains: Vec<usize> = input
+        .qi_attrs
+        .iter()
+        .map(|&a| input.table.domain_size(a))
+        .collect();
+    let hs = &input.hierarchies;
+    let mut group = c.benchmark_group("min_class_size");
+    group.bench_function("matrix", |b| {
+        b.iter(|| min_class_size_matrix(&matrix, &domains, |pos, v| hs[pos].generalize(v, 1)))
+    });
+    group.bench_function("table", |b| {
+        b.iter(|| {
+            min_class_size(input.table, &input.qi_attrs, |pos, v| {
+                hs[pos].generalize(v, 1)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let ctx = census_session(2000);
+    let input = input_of(&ctx, 10);
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("optimized", "n2000"), &input, |b, i| {
+        b.iter(|| cluster::anonymize(i, SEED).expect("run"))
+    });
+    group.bench_with_input(BenchmarkId::new("reference", "n2000"), &input, |b, i| {
+        b.iter(|| cluster::anonymize_reference(i, SEED).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lca, bench_min_class_size, bench_cluster);
+criterion_main!(benches);

@@ -13,8 +13,7 @@ use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
 use secreta_core::metrics::freq;
 use secreta_core::policy::{generate_utility, UtilityStrategy};
 use secreta_core::{
-    anonymizer, compare, evaluate_sweep, export, Configuration, SessionContext, Sweep,
-    VaryingParam,
+    anonymizer, compare, evaluate_sweep, export, Configuration, SessionContext, Sweep, VaryingParam,
 };
 use secreta_plot::{BarChart, GroupedBarChart, Series, XyChart};
 use std::path::{Path, PathBuf};
@@ -115,7 +114,13 @@ fn fig2_histograms(opts: &Opts) {
             h.labels.clone(),
             h.counts.iter().map(|&c| c as f64).collect(),
         );
-        let name = ctx.table.schema().attribute(attr).expect("attr").name.clone();
+        let name = ctx
+            .table
+            .schema()
+            .attribute(attr)
+            .expect("attr")
+            .name
+            .clone();
         write_bar(&chart, &opts.out, &format!("f2_histogram_{name}"));
     }
     let items = secreta_core::data::stats::item_histogram(&ctx.table).top_k(15);
@@ -130,7 +135,10 @@ fn fig2_histograms(opts: &Opts) {
 /// F3a — "ARE scores for various parameters (e.g., for varying δ and
 /// fixed k and m)".
 fn fig3a_are_vs_delta(opts: &Opts) {
-    println!("== F3a: ARE vs δ (fixed k=5, m=2) for {}", reference_rt_spec(5, 2, 1).label());
+    println!(
+        "== F3a: ARE vs δ (fixed k=5, m=2) for {}",
+        reference_rt_spec(5, 2, 1).label()
+    );
     let ctx = rt_session(opts.rows);
     let spec = reference_rt_spec(5, 2, 1);
     let sweep = Sweep {
@@ -141,11 +149,17 @@ fn fig3a_are_vs_delta(opts: &Opts) {
     };
     let points = evaluate_sweep(&ctx, &spec, &sweep, opts.threads, SEED);
     let mut chart = XyChart::new("ARE vs δ (k=5, m=2)", "δ", "ARE");
-    chart.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.are));
+    chart.push(secreta_core::sweep::series_of(spec.label(), &points, |i| {
+        i.are
+    }));
     let mut rel = XyChart::new("relational GCP vs δ (k=5, m=2)", "δ", "GCP");
-    rel.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.gcp));
+    rel.push(secreta_core::sweep::series_of(spec.label(), &points, |i| {
+        i.gcp
+    }));
     let mut tx = XyChart::new("transaction GCP vs δ (k=5, m=2)", "δ", "tx-GCP");
-    tx.push(secreta_core::sweep::series_of(spec.label(), &points, |i| i.tx_gcp));
+    tx.push(secreta_core::sweep::series_of(spec.label(), &points, |i| {
+        i.tx_gcp
+    }));
     for (v, r) in &points {
         if let Ok(p) = r {
             println!(
@@ -175,11 +189,7 @@ fn fig3b_phase_times(opts: &Opts) {
     for (l, v) in labels.iter().zip(&values) {
         println!("  {l:<34} {v:>9.2} ms");
     }
-    let chart = BarChart::new(
-        format!("phase runtimes — {}", spec.label()),
-        labels,
-        values,
-    );
+    let chart = BarChart::new(format!("phase runtimes — {}", spec.label()), labels, values);
     write_bar(&chart, &opts.out, "f3b_phase_times");
 
     // runtime vs dataset size (the efficiency curve of the evaluation
@@ -203,14 +213,10 @@ fn fig3c_generalized_frequencies(opts: &Opts) {
     let ctx = rt_session(opts.rows);
     let out = anonymizer::run(&ctx, &reference_rt_spec(5, 2, 4), SEED).expect("run");
     let attr = ctx.qi_attrs[0];
-    let hist = freq::generalized_value_histogram(
-        &ctx.table,
-        &out.anon,
-        attr,
-        ctx.hierarchy_of(attr),
-    )
-    .expect("Age is anonymized")
-    .top_k(15);
+    let hist =
+        freq::generalized_value_histogram(&ctx.table, &out.anon, attr, ctx.hierarchy_of(attr))
+            .expect("Age is anonymized")
+            .top_k(15);
     for (l, c) in hist.labels.iter().zip(&hist.counts) {
         println!("  {l:<28} {c}");
     }
@@ -279,8 +285,16 @@ fn fig4_comparison(opts: &Opts) {
         delta: 4,
     };
     let configs = vec![
-        Configuration::new(rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::RMerge), sweep, SEED),
-        Configuration::new(rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::TMerge), sweep, SEED),
+        Configuration::new(
+            rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::RMerge),
+            sweep,
+            SEED,
+        ),
+        Configuration::new(
+            rt(RelAlgo::Cluster, TxAlgo::Apriori, Bounding::TMerge),
+            sweep,
+            SEED,
+        ),
         Configuration::new(
             rt(RelAlgo::Incognito, TxAlgo::Apriori, Bounding::RtMerge),
             sweep,
@@ -298,13 +312,21 @@ fn fig4_comparison(opts: &Opts) {
         }
         println!();
     }
-    write_xy(&result.chart("ARE vs k", "ARE", |i| i.are), &opts.out, "f4_are_vs_k");
+    write_xy(
+        &result.chart("ARE vs k", "ARE", |i| i.are),
+        &opts.out,
+        "f4_are_vs_k",
+    );
     write_xy(
         &result.chart("runtime vs k", "ms", |i| i.runtime_ms),
         &opts.out,
         "f4_runtime_vs_k",
     );
-    write_xy(&result.chart("GCP vs k", "GCP", |i| i.gcp), &opts.out, "f4_gcp_vs_k");
+    write_xy(
+        &result.chart("GCP vs k", "GCP", |i| i.gcp),
+        &opts.out,
+        "f4_gcp_vs_k",
+    );
 }
 
 /// X1 — relational shoot-out: all four algorithms over varying k.
@@ -332,8 +354,16 @@ fn x1_relational_shootout(opts: &Opts) {
         }
         println!();
     }
-    write_xy(&result.chart("ARE vs k — relational", "ARE", |i| i.are), &opts.out, "x1_are");
-    write_xy(&result.chart("GCP vs k — relational", "GCP", |i| i.gcp), &opts.out, "x1_gcp");
+    write_xy(
+        &result.chart("ARE vs k — relational", "ARE", |i| i.are),
+        &opts.out,
+        "x1_are",
+    );
+    write_xy(
+        &result.chart("GCP vs k — relational", "GCP", |i| i.gcp),
+        &opts.out,
+        "x1_gcp",
+    );
     write_xy(
         &result.chart("runtime vs k — relational", "ms", |i| i.runtime_ms),
         &opts.out,
@@ -357,9 +387,7 @@ fn x2_transaction_shootout(opts: &Opts) {
     };
     let configs: Vec<Configuration> = TxAlgo::all()
         .into_iter()
-        .map(|algo| {
-            Configuration::new(MethodSpec::Transaction { algo, k: 0, m: 2 }, k_sweep, SEED)
-        })
+        .map(|algo| Configuration::new(MethodSpec::Transaction { algo, k: 0, m: 2 }, k_sweep, SEED))
         .collect();
     let result = compare(&ctx, &configs, opts.threads);
     for (label, pts) in result.labels.iter().zip(&result.points) {
@@ -372,7 +400,11 @@ fn x2_transaction_shootout(opts: &Opts) {
         }
         println!();
     }
-    write_xy(&result.chart("ARE vs k — transaction", "ARE", |i| i.are), &opts.out, "x2_are_vs_k");
+    write_xy(
+        &result.chart("ARE vs k — transaction", "ARE", |i| i.are),
+        &opts.out,
+        "x2_are_vs_k",
+    );
     write_xy(
         &result.chart("UL vs k — transaction", "UL", |i| i.ul),
         &opts.out,
@@ -427,7 +459,8 @@ fn x2_transaction_shootout(opts: &Opts) {
 fn x3_rt_grid(opts: &Opts) {
     println!("== X3: 4 relational × 5 transaction grid (k=5, m=2, δ=4)");
     let ctx = rt_session(opts.rows / 2); // the grid is 60 runs
-    let mut rows_csv = String::from("bounding,relational,transaction,are,gcp,tx_gcp,ul,runtime_ms,verified\n");
+    let mut rows_csv =
+        String::from("bounding,relational,transaction,are,gcp,tx_gcp,ul,runtime_ms,verified\n");
     for bounding in Bounding::all() {
         println!("  -- {}", bounding.name());
         for rel in RelAlgo::all() {
@@ -492,17 +525,28 @@ fn x4_policy_strategies(opts: &Opts) {
     let base = basket_session(opts.rows);
     let strategies: Vec<(&str, Option<UtilityStrategy>)> = vec![
         ("unconstrained", Some(UtilityStrategy::Unconstrained)),
-        ("freq-bands-8", Some(UtilityStrategy::FrequencyBands { bands: 8 })),
-        ("freq-bands-20", Some(UtilityStrategy::FrequencyBands { bands: 20 })),
-        ("hierarchy-d3", Some(UtilityStrategy::HierarchyLevel { depth: 3 })),
-        ("hierarchy-d5", Some(UtilityStrategy::HierarchyLevel { depth: 5 })),
+        (
+            "freq-bands-8",
+            Some(UtilityStrategy::FrequencyBands { bands: 8 }),
+        ),
+        (
+            "freq-bands-20",
+            Some(UtilityStrategy::FrequencyBands { bands: 20 }),
+        ),
+        (
+            "hierarchy-d3",
+            Some(UtilityStrategy::HierarchyLevel { depth: 3 }),
+        ),
+        (
+            "hierarchy-d5",
+            Some(UtilityStrategy::HierarchyLevel { depth: 5 }),
+        ),
     ];
     let mut labels = Vec::new();
     let mut uls = Vec::new();
     for (name, strat) in strategies {
-        let utility = strat.map(|s| {
-            generate_utility(&base.table, &s, base.item_hierarchy.as_ref())
-        });
+        let utility =
+            strat.map(|s| generate_utility(&base.table, &s, base.item_hierarchy.as_ref()));
         let ctx = SessionContext {
             utility,
             ..base.clone()
@@ -518,7 +562,11 @@ fn x4_policy_strategies(opts: &Opts) {
                     "  {name:<16} UL={:.4} txGCP={:.4} suppressed={} verified={}",
                     out.indicators.ul,
                     out.indicators.tx_gcp,
-                    out.anon.tx.as_ref().map(|t| t.suppressed.len()).unwrap_or(0),
+                    out.anon
+                        .tx
+                        .as_ref()
+                        .map(|t| t.suppressed.len())
+                        .unwrap_or(0),
                     out.indicators.verified
                 );
                 labels.push(name.to_owned());
@@ -568,7 +616,11 @@ fn x5_rho_uncertainty(opts: &Opts) {
                 max_antecedent: 2,
                 generalize,
             };
-            let name = if generalize { "TDControl" } else { "SuppressControl" };
+            let name = if generalize {
+                "TDControl"
+            } else {
+                "SuppressControl"
+            };
             match anonymizer::run(&ctx, &spec, SEED) {
                 Ok(out) => {
                     let sup = out
@@ -587,8 +639,7 @@ fn x5_rho_uncertainty(opts: &Opts) {
                         kept_td.push(1.0 - out.indicators.tx_gcp);
                     } else {
                         kept_sc.push(1.0 - out.indicators.tx_gcp);
-                        suppressed_sc
-                            .push(sup as f64 / ctx.table.item_universe().max(1) as f64);
+                        suppressed_sc.push(sup as f64 / ctx.table.item_universe().max(1) as f64);
                     }
                 }
                 Err(e) => println!("  ρ={rho} {name}: failed: {e}"),
@@ -605,7 +656,7 @@ fn x5_rho_uncertainty(opts: &Opts) {
         ],
         vec![kept_sc, kept_td, suppressed_sc],
     );
-    let (svg, csv) = export::export_grouped_chart(&chart, opts.out.join("x5_rho"))
-        .expect("write chart");
+    let (svg, csv) =
+        export::export_grouped_chart(&chart, opts.out.join("x5_rho")).expect("write chart");
     println!("  -> {} / {}", svg.display(), csv.display());
 }

@@ -19,7 +19,7 @@ pub struct Args {
 }
 
 /// Boolean flags (no value follows them).
-const BOOL_FLAGS: &[&str] = &["help", "ascii", "verify"];
+const BOOL_FLAGS: &[&str] = &["help", "ascii", "verify", "json"];
 
 impl Args {
     /// Parse from an iterator of tokens (excluding argv\[0\]).

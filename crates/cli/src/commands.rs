@@ -1,15 +1,16 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use secreta_core::{
-    compare, config::{Bounding, MethodSpec, RelAlgo, TxAlgo}, evaluate_sweep, export,
-    Configuration, SessionContext, SessionSpec, Sweep, VaryingParam,
-};
 use secreta_core::data::{csv as dcsv, stats, CsvOptions, RtTable};
 use secreta_core::hierarchy::io as hio;
 use secreta_core::metrics::query as q;
 use secreta_core::policy::{
     generate_privacy, generate_utility, io as pio, PrivacyStrategy, UtilityStrategy,
+};
+use secreta_core::{
+    compare,
+    config::{Bounding, MethodSpec, RelAlgo, TxAlgo},
+    evaluate_sweep, export, Configuration, SessionContext, SessionSpec, Sweep, VaryingParam,
 };
 use secreta_gen::{DatasetSpec, WorkloadSpec};
 use secreta_plot::BarChart;
@@ -42,6 +43,8 @@ COMMANDS
              [--queries N] [--threads N] [--out-dir DIR]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
+  bench      kernel benchmark            [--rows N,N,...] [--k N] [--seed S]
+             [--threads N] [--json] [--out FILE]
   help       this text
 
 evaluate/compare also accept --session FILE.json instead of a dataset
@@ -69,6 +72,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "compare" => cmd_compare(args),
         "edit" => cmd_edit(args),
         "session" => cmd_session(args),
+        "bench" => cmd_bench(args),
         other => Err(format!("unknown command {other:?}; try `secreta help`")),
     }
 }
@@ -96,10 +100,7 @@ fn context(args: &Args, table: RtTable) -> Result<SessionContext, String> {
     with_generated_workload(args, ctx)
 }
 
-fn with_generated_workload(
-    args: &Args,
-    ctx: SessionContext,
-) -> Result<SessionContext, String> {
+fn with_generated_workload(args: &Args, ctx: SessionContext) -> Result<SessionContext, String> {
     let n_queries = args.usize_or("queries", 0)?;
     if n_queries > 0 {
         let w = WorkloadSpec {
@@ -246,9 +247,7 @@ fn cmd_hierarchy(args: &Args) -> Result<(), String> {
         .index_of(attr)
         .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
     let h = if Some(idx) == schema.transaction_index() {
-        ctx.item_hierarchy
-            .as_ref()
-            .ok_or("dataset has no items")?
+        ctx.item_hierarchy.as_ref().ok_or("dataset has no items")?
     } else {
         ctx.hierarchy_of(idx).ok_or("attribute is not relational")?
     };
@@ -281,9 +280,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     };
     let w = spec.generate(&table);
     let out = args.req("out")?;
-    let mut file = std::io::BufWriter::new(
-        std::fs::File::create(out).map_err(|e| e.to_string())?,
-    );
+    let mut file = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
     q::write_workload(&w, &table, &mut file).map_err(|e| e.to_string())?;
     println!("wrote {} queries to {}", w.len(), out);
     Ok(())
@@ -292,9 +289,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
 fn cmd_policy(args: &Args) -> Result<(), String> {
     let table = load(args)?;
     let out = args.req("out")?;
-    let mut file = std::io::BufWriter::new(
-        std::fs::File::create(out).map_err(|e| e.to_string())?,
-    );
+    let mut file = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
     if let Some(strategy) = args.opt("privacy") {
         let strat = match strategy {
             "all" => PrivacyStrategy::AllItems,
@@ -447,8 +442,8 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
 
     match parse_sweep(args)? {
         None => {
-            let out = secreta_core::anonymizer::run(&ctx, &spec, seed)
-                .map_err(|e| e.to_string())?;
+            let out =
+                secreta_core::anonymizer::run(&ctx, &spec, seed).map_err(|e| e.to_string())?;
             println!("method: {}", spec.label());
             print_indicators("result", &out.indicators);
             println!("phases:");
@@ -459,8 +454,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
                 let mut file = std::io::BufWriter::new(
                     std::fs::File::create(path).map_err(|e| e.to_string())?,
                 );
-                export::write_anonymized(&ctx, &out.anon, &mut file)
-                    .map_err(|e| e.to_string())?;
+                export::write_anonymized(&ctx, &out.anon, &mut file).map_err(|e| e.to_string())?;
                 println!("anonymized dataset written to {path}");
             }
         }
@@ -469,15 +463,13 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             println!("method: {} varying {}", spec.label(), sweep.param.label());
             for (v, r) in &points {
                 match r {
-                    Ok(p) => print_indicators(&format!("{}={v}", sweep.param.label()), &p.indicators),
+                    Ok(p) => {
+                        print_indicators(&format!("{}={v}", sweep.param.label()), &p.indicators)
+                    }
                     Err(e) => println!("{}={v}: failed: {e}", sweep.param.label()),
                 }
             }
-            let charts = [
-                ("ARE", "are"),
-                ("GCP", "gcp"),
-                ("runtime (ms)", "runtime"),
-            ];
+            let charts = [("ARE", "are"), ("GCP", "gcp"), ("runtime (ms)", "runtime")];
             for (ylabel, key) in charts {
                 let chart = secreta_core::sweep::chart_of(
                     format!("{} vs {}", ylabel, sweep.param.label()),
@@ -523,7 +515,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         println!("== {label}");
         for (v, r) in pts {
             match r {
-                Ok(p) => print_indicators(&format!("  {}={v}", result.param.label()), &p.indicators),
+                Ok(p) => {
+                    print_indicators(&format!("  {}={v}", result.param.label()), &p.indicators)
+                }
                 Err(e) => println!("  {}={v}: failed: {e}", result.param.label()),
             }
         }
@@ -545,8 +539,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         if let Some(dir) = args.opt("out-dir") {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
             let stem = Path::new(dir).join(format!("compare_{key}"));
-            let (svg, csv) =
-                export::export_xy_chart(&chart, &stem).map_err(|e| e.to_string())?;
+            let (svg, csv) = export::export_xy_chart(&chart, &stem).map_err(|e| e.to_string())?;
             println!("wrote {} and {}", svg.display(), csv.display());
         }
     }
@@ -557,8 +550,7 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
     use secreta_core::data::edit::{EditCommand, EditSession};
     let mut table = load(args)?;
     let script_path = args.req("script")?;
-    let text =
-        std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
     let commands: Vec<EditCommand> =
         serde_json::from_str(&text).map_err(|e| format!("{script_path}: {e}"))?;
     let mut session = EditSession::new();
@@ -576,6 +568,132 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
         table.n_rows(),
         out
     );
+    Ok(())
+}
+
+/// `secreta bench`: time the Cluster hot path before and after the
+/// kernel optimizations (parent-walk vs Euler-tour LCA, per-access
+/// table reads vs the leaf matrix, sequential vs parallel argmin) on
+/// the adult-like generator, and report per-phase timings plus the
+/// end-to-end speedup. `--json` writes the machine-readable report
+/// (default `BENCH_1.json`, override with `--out`).
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use secreta_core::relational::{cluster, RelationalInput};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let k = args.usize_or("k", 10)?;
+    let seed = args.u64_or("seed", 42)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let phases_ms = |p: &secreta_core::metrics::PhaseTimes| -> Vec<(String, f64)> {
+        p.phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64() * 1e3))
+            .collect()
+    };
+
+    struct Case {
+        rows: usize,
+        baseline_ms: f64,
+        optimized_ms: f64,
+        baseline_phases: Vec<(String, f64)>,
+        optimized_phases: Vec<(String, f64)>,
+        identical: bool,
+    }
+    let mut cases = Vec::new();
+
+    println!("Cluster kernel benchmark (adult-like, k={k}, seed={seed})");
+    for &n in &rows {
+        let table = DatasetSpec::adult_like(n, seed).generate();
+        let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+        let input = RelationalInput {
+            table: &ctx.table,
+            qi_attrs: ctx.qi_attrs.clone(),
+            hierarchies: ctx.hierarchies.clone(),
+            k,
+        };
+        let t0 = Instant::now();
+        let base = cluster::anonymize_reference(&input, seed).map_err(|e| e.to_string())?;
+        let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let fast = cluster::anonymize(&input, seed).map_err(|e| e.to_string())?;
+        let optimized_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let identical = base.anon == fast.anon;
+        println!(
+            "  n={n:>6}: baseline {baseline_ms:>10.1}ms  optimized {optimized_ms:>8.1}ms  \
+             speedup {:>5.1}x  outputs identical: {identical}",
+            baseline_ms / optimized_ms.max(1e-9),
+        );
+        for (name, ms) in phases_ms(&fast.phases) {
+            println!("      {name:<24} {ms:>10.2}ms");
+        }
+        cases.push(Case {
+            rows: n,
+            baseline_ms,
+            optimized_ms,
+            baseline_phases: phases_ms(&base.phases),
+            optimized_phases: phases_ms(&fast.phases),
+            identical,
+        });
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_1.json");
+        let phase_obj = |phases: &[(String, f64)]| -> String {
+            let mut s = String::new();
+            for (i, (name, ms)) in phases.iter().enumerate() {
+                let sep = if i + 1 < phases.len() { "," } else { "" };
+                let _ = write!(s, "\n          \"{name}\": {ms:.3}{sep}");
+            }
+            s
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"cluster-kernels\",\n  \"dataset\": \"adult-like\",\n  \
+             \"k\": {k},\n  \"seed\": {seed},\n  \"threads\": {},\n  \"cases\": [",
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let _ = write!(
+                body,
+                "\n    {{\n      \"rows\": {},\n      \"baseline_ms\": {:.3},\n      \
+                 \"optimized_ms\": {:.3},\n      \"speedup\": {:.3},\n      \
+                 \"outputs_identical\": {},\n      \"baseline_phases_ms\": {{{}\n      }},\n      \
+                 \"optimized_phases_ms\": {{{}\n      }}\n    }}{sep}",
+                c.rows,
+                c.baseline_ms,
+                c.optimized_ms,
+                c.baseline_ms / c.optimized_ms.max(1e-9),
+                c.identical,
+                phase_obj(&c.baseline_phases),
+                phase_obj(&c.optimized_phases),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        // fail loudly rather than commit a report with a broken shape
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 

@@ -17,19 +17,16 @@ fn generate_dataset(dir: &std::path::Path) -> PathBuf {
     let data = dir.join("data.csv");
     let out = secreta()
         .args([
-            "generate",
-            "--kind",
-            "adult",
-            "--rows",
-            "120",
-            "--seed",
-            "7",
-            "--out",
+            "generate", "--kind", "adult", "--rows", "120", "--seed", "7", "--out",
         ])
         .arg(&data)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     data
 }
 
@@ -130,8 +127,16 @@ fn evaluate_single_and_sweep() {
         .arg("evaluate")
         .arg(&data)
         .args([
-            "--tx", "Items", "--mode", "rel", "--rel-algo", "cluster", "--k", "4",
-            "--queries", "10",
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "cluster",
+            "--k",
+            "4",
+            "--queries",
+            "10",
         ])
         .output()
         .unwrap();
@@ -149,8 +154,23 @@ fn evaluate_single_and_sweep() {
         .arg("evaluate")
         .arg(&data)
         .args([
-            "--tx", "Items", "--mode", "rel", "--rel-algo", "bottomup", "--vary", "k",
-            "--start", "2", "--end", "6", "--step", "2", "--queries", "10", "--ascii",
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "bottomup",
+            "--vary",
+            "k",
+            "--start",
+            "2",
+            "--end",
+            "6",
+            "--step",
+            "2",
+            "--queries",
+            "10",
+            "--ascii",
             "--out-dir",
         ])
         .arg(&outdir)
@@ -189,7 +209,11 @@ fn compare_from_config_file() {
         .arg(&config)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("== cluster"));
     assert!(text.contains("== incognito"));
@@ -205,14 +229,32 @@ fn export_anonymized_dataset() {
         .arg("evaluate")
         .arg(&data)
         .args([
-            "--tx", "Items", "--mode", "rt", "--rel-algo", "cluster", "--tx-algo",
-            "apriori", "--bounding", "tmerge", "--k", "4", "--m", "1", "--delta", "2",
+            "--tx",
+            "Items",
+            "--mode",
+            "rt",
+            "--rel-algo",
+            "cluster",
+            "--tx-algo",
+            "apriori",
+            "--bounding",
+            "tmerge",
+            "--k",
+            "4",
+            "--m",
+            "1",
+            "--delta",
+            "2",
             "--export-anon",
         ])
         .arg(&anon)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&anon).unwrap();
     assert_eq!(text.lines().count(), 121, "header + 120 rows");
     std::fs::remove_dir_all(&dir).ok();
@@ -252,7 +294,11 @@ fn rho_uncertainty_mode() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verified=true"));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -281,7 +327,11 @@ fn edit_script_applies_and_exports() {
         .arg(&out_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&out_path).unwrap();
     assert!(text.starts_with("Years,"));
     assert_eq!(text.lines().count(), 120, "header + 119 rows after delete");
@@ -301,17 +351,34 @@ fn session_file_drives_evaluate() {
     .unwrap();
 
     let show = secreta().arg("session").arg(&session).output().unwrap();
-    assert!(show.status.success(), "{}", String::from_utf8_lossy(&show.stderr));
+    assert!(
+        show.status.success(),
+        "{}",
+        String::from_utf8_lossy(&show.stderr)
+    );
     assert!(String::from_utf8_lossy(&show.stdout).contains("120 rows"));
 
     let eval = secreta()
         .arg("evaluate")
         .args(["--session"])
         .arg(&session)
-        .args(["--mode", "rel", "--rel-algo", "cluster", "--k", "4", "--queries", "10"])
+        .args([
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "cluster",
+            "--k",
+            "4",
+            "--queries",
+            "10",
+        ])
         .output()
         .unwrap();
-    assert!(eval.status.success(), "{}", String::from_utf8_lossy(&eval.stderr));
+    assert!(
+        eval.status.success(),
+        "{}",
+        String::from_utf8_lossy(&eval.stderr)
+    );
     assert!(String::from_utf8_lossy(&eval.stdout).contains("verified=true"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -11,8 +11,7 @@
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
 use secreta_metrics::{
-    average_relative_error, freq, gcp, loss, transaction_gcp, utility_loss, AnonTable,
-    PhaseTimes,
+    average_relative_error, freq, gcp, loss, transaction_gcp, utility_loss, AnonTable, PhaseTimes,
 };
 use secreta_policy::PrivacyPolicy;
 use secreta_relational::{RelError, RelationalInput};
@@ -218,15 +217,13 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
             let (out, verified) = if *generalize {
                 let out = secreta_transaction::rho_td::anonymize(&input, &params)
                     .map_err(RunError::Tx)?;
-                let ok = secreta_transaction::is_rho_uncertain_published(
-                    &ctx.table, &out.anon, &params,
-                );
+                let ok =
+                    secreta_transaction::is_rho_uncertain_published(&ctx.table, &out.anon, &params);
                 (out, ok)
             } else {
-                let out = secreta_transaction::rho::anonymize(&input, &params)
-                    .map_err(RunError::Tx)?;
-                let ok =
-                    secreta_transaction::is_rho_uncertain(&ctx.table, &out.anon, &params);
+                let out =
+                    secreta_transaction::rho::anonymize(&input, &params).map_err(RunError::Tx)?;
+                let ok = secreta_transaction::is_rho_uncertain(&ctx.table, &out.anon, &params);
                 (out, ok)
             };
             (out.anon, out.phases, verified)
@@ -270,12 +267,7 @@ fn verify_transaction(
                     &default
                 }
             };
-            secreta_transaction::satisfies_privacy(
-                anon,
-                privacy,
-                k,
-                ctx.item_hierarchy.as_ref(),
-            )
+            secreta_transaction::satisfies_privacy(anon, privacy, k, ctx.item_hierarchy.as_ref())
         }
         other => secreta_transaction::is_km_anonymous(
             anon,
@@ -448,12 +440,7 @@ mod rho_tests {
         let mut spec = DatasetSpec::adult_like(200, 3);
         spec.n_items = 20;
         let ctx = SessionContext::auto(spec.generate(), 3).unwrap();
-        let label = ctx
-            .table
-            .item_pool()
-            .unwrap()
-            .resolve(0)
-            .to_owned();
+        let label = ctx.table.item_pool().unwrap().resolve(0).to_owned();
         let method = MethodSpec::Rho {
             rho: 0.3,
             sensitive: vec![label],
@@ -476,10 +463,7 @@ mod rho_tests {
             max_antecedent: 1,
             generalize: false,
         };
-        assert!(matches!(
-            run(&ctx, &method, 0),
-            Err(RunError::BadConfig(_))
-        ));
+        assert!(matches!(run(&ctx, &method, 0), Err(RunError::BadConfig(_))));
     }
 
     #[test]
@@ -510,9 +494,6 @@ mod rho_tests {
             max_antecedent: 1,
             generalize: false,
         };
-        assert!(matches!(
-            run(&ctx, &method, 0),
-            Err(RunError::BadConfig(_))
-        ));
+        assert!(matches!(run(&ctx, &method, 0), Err(RunError::BadConfig(_))));
     }
 }

@@ -68,9 +68,7 @@ impl ComparisonResult {
             chart.push(Series::new(
                 label.clone(),
                 pts.iter()
-                    .filter_map(|(v, r)| {
-                        r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators)))
-                    })
+                    .filter_map(|(v, r)| r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators))))
                     .collect(),
             ));
         }

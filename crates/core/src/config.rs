@@ -218,7 +218,11 @@ impl MethodSpec {
                 generalize,
             } => format!(
                 "ρ-uncertainty/{} (ρ={rho}, {} sensitive, |q|≤{max_antecedent})",
-                if *generalize { "TDControl" } else { "SuppressControl" },
+                if *generalize {
+                    "TDControl"
+                } else {
+                    "SuppressControl"
+                },
                 sensitive.len()
             ),
         }

@@ -100,10 +100,7 @@ mod tests {
         assert_eq!(ctx.hierarchies.len(), 4);
         assert!(ctx.item_hierarchy.is_some());
         for (pos, &attr) in ctx.qi_attrs.iter().enumerate() {
-            assert_eq!(
-                ctx.hierarchies[pos].n_leaves(),
-                ctx.table.domain_size(attr)
-            );
+            assert_eq!(ctx.hierarchies[pos].n_leaves(), ctx.table.domain_size(attr));
         }
         assert_eq!(
             ctx.item_hierarchy.as_ref().unwrap().n_leaves(),

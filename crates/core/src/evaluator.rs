@@ -8,11 +8,13 @@
 //!
 //! [`run_many`] executes a batch of independent jobs on a bounded
 //! scoped thread pool and returns results in submission order.
+//! Workers claim job indices from a shared atomic counter and buffer
+//! `(index, result)` pairs locally; the buffers are merged after the
+//! scope joins, so no lock is held while jobs execute.
 
 use crate::anonymizer::{run, RunError, RunResult};
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One unit of work for the evaluator.
@@ -37,25 +39,36 @@ pub fn run_many(
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<RunResult, RunError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let mut buffers: Vec<Vec<(usize, Result<RunResult, RunError>)>> = Vec::with_capacity(threads);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let result = run(ctx, &jobs[i].spec, jobs[i].seed);
-                results.lock()[i] = Some(result);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, run(ctx, &jobs[i].spec, jobs[i].seed)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buffers.push(h.join().expect("evaluator workers do not panic"));
         }
-    })
-    .expect("evaluator workers do not panic");
+    });
 
-    results
-        .into_inner()
+    let mut slots: Vec<Option<Result<RunResult, RunError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    for (i, result) in buffers.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    slots
         .into_iter()
         .map(|r| r.expect("every job index was claimed"))
         .collect()

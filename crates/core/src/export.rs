@@ -52,9 +52,7 @@ pub fn write_anonymized<W: Write>(
         for col in &anon.rel {
             let h = ctx.hierarchy_of(col.attr);
             let pool = table.pool(col.attr);
-            let label = col
-                .entry(row)
-                .display(h, |v| pool.resolve(v).to_owned());
+            let label = col.entry(row).display(h, |v| pool.resolve(v).to_owned());
             fields.push(quote(&label));
         }
         if let Some(tx) = &anon.tx {

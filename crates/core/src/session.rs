@@ -140,15 +140,12 @@ impl SessionSpec {
         for (attr_name, file) in &self.hierarchy_files {
             let path = resolve(file);
             if attr_name == "@items" {
-                let pool = ctx
-                    .table
-                    .item_pool()
-                    .ok_or_else(|| {
-                        SessionError::Inconsistent(
-                            "@items hierarchy given but the dataset has no transaction attribute"
-                                .into(),
-                        )
-                    })?;
+                let pool = ctx.table.item_pool().ok_or_else(|| {
+                    SessionError::Inconsistent(
+                        "@items hierarchy given but the dataset has no transaction attribute"
+                            .into(),
+                    )
+                })?;
                 let h = hio::read_hierarchy_path(&path, pool, ';')
                     .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
                 ctx.item_hierarchy = Some(h);
@@ -290,8 +287,7 @@ mod tests {
         let back = SessionSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
         // defaults apply when fields are omitted
-        let min: SessionSpec =
-            SessionSpec::from_json(r#"{"dataset":"x.csv"}"#).unwrap();
+        let min: SessionSpec = SessionSpec::from_json(r#"{"dataset":"x.csv"}"#).unwrap();
         assert_eq!(min.fanout, 4);
         assert!(min.hierarchy_files.is_empty());
     }

@@ -57,7 +57,12 @@ impl Sweep {
         let mut v = self.start;
         while v <= self.end {
             out.push(v);
-            v += step;
+            // `v + step` can exceed usize::MAX for end values near the
+            // top of the range; wrapping would loop forever
+            match v.checked_add(step) {
+                Some(next) => v = next,
+                None => break,
+            }
         }
         out
     }
@@ -122,9 +127,7 @@ pub fn series_of(
         label,
         points
             .iter()
-            .filter_map(|(v, r)| {
-                r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators)))
-            })
+            .filter_map(|(v, r)| r.as_ref().ok().map(|p| (*v as f64, pick(&p.indicators))))
             .collect(),
     )
 }
@@ -190,6 +193,25 @@ mod tests {
             step: 0,
         };
         assert_eq!(s0.values(), vec![1, 2, 3], "step 0 clamps to 1");
+    }
+
+    #[test]
+    fn sweep_values_near_usize_max_terminate() {
+        // v += step used to wrap past usize::MAX and loop forever
+        let s = Sweep {
+            param: VaryingParam::K,
+            start: usize::MAX - 3,
+            end: usize::MAX,
+            step: 2,
+        };
+        assert_eq!(s.values(), vec![usize::MAX - 3, usize::MAX - 1]);
+        let s2 = Sweep {
+            param: VaryingParam::K,
+            start: usize::MAX,
+            end: usize::MAX,
+            step: 1,
+        };
+        assert_eq!(s2.values(), vec![usize::MAX]);
     }
 
     #[test]

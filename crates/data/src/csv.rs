@@ -209,7 +209,9 @@ pub fn write_table<W: Write>(
         let mut fields: Vec<String> = Vec::with_capacity(schema.len());
         for (attr, a) in schema.attributes().iter().enumerate() {
             if Some(attr) == tx_idx {
-                let items = table.transaction_strs(row).join(&opts.item_delimiter.to_string());
+                let items = table
+                    .transaction_strs(row)
+                    .join(&opts.item_delimiter.to_string());
                 fields.push(quote_field(&items, delim));
             } else {
                 let _ = a;
@@ -249,7 +251,10 @@ mod tests {
         let t = read_table(SAMPLE.as_bytes(), &rt_opts()).unwrap();
         assert_eq!(t.n_rows(), 3);
         assert!(t.schema().is_rt());
-        assert_eq!(t.schema().attribute(0).unwrap().kind, AttributeKind::Numeric);
+        assert_eq!(
+            t.schema().attribute(0).unwrap().kind,
+            AttributeKind::Numeric
+        );
         assert_eq!(t.value_str(1, 1), "MSc");
         // items are stored in interned-id (first-seen) order
         assert_eq!(t.transaction_strs(0), vec!["milk", "bread"]);
@@ -288,7 +293,11 @@ mod tests {
         let src = "A,B\n1,2\n1,2,3\n";
         let err = read_table(src.as_bytes(), &CsvOptions::default()).unwrap_err();
         match err {
-            DataError::RaggedRow { line, found, expected } => {
+            DataError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
                 assert_eq!((line, found, expected), (3, 3, 2));
             }
             other => panic!("unexpected error {other:?}"),

@@ -44,10 +44,7 @@ impl fmt::Display for DataError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line}: found {found} fields, expected {expected}"
-            ),
+            } => write!(f, "line {line}: found {found} fields, expected {expected}"),
             DataError::EmptyInput => write!(f, "input contains no data"),
             DataError::UnknownAttribute(name) => {
                 write!(f, "unknown attribute {name:?}")
@@ -113,8 +110,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error;
-        let e: DataError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.source().is_some());
     }
 }

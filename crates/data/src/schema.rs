@@ -138,8 +138,7 @@ impl Schema {
     /// True when the schema describes an RT-dataset (relational *and*
     /// transaction attributes present).
     pub fn is_rt(&self) -> bool {
-        self.transaction_index().is_some()
-            && self.attributes.iter().any(|a| a.kind.is_relational())
+        self.transaction_index().is_some() && self.attributes.iter().any(|a| a.kind.is_relational())
     }
 
     /// Rename the attribute at `idx` (Dataset Editor operation).

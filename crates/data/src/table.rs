@@ -439,7 +439,8 @@ mod tests {
         let mut t = RtTable::new(schema);
         t.push_row(&["30", "BSc"], &["milk", "bread"]).unwrap();
         t.push_row(&["41", "MSc"], &["beer"]).unwrap();
-        t.push_row(&["30", "BSc"], &["bread", "milk", "milk"]).unwrap();
+        t.push_row(&["30", "BSc"], &["bread", "milk", "milk"])
+            .unwrap();
         t
     }
 

@@ -11,15 +11,11 @@ use std::fmt;
 
 /// Interned id of a relational attribute value within its attribute's
 /// [`ValuePool`]. Ids are dense: `0..pool.len()`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ValueId(pub u32);
 
 /// Interned id of a transaction item within the dataset's item pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ItemId(pub u32);
 
 impl ValueId {

@@ -190,11 +190,7 @@ impl DatasetSpec {
             tx_buf.clear();
             if let Some(sampler) = &item_sampler {
                 let (lo, hi) = self.tx_len;
-                let len = if hi > lo {
-                    rng.gen_range(lo..=hi)
-                } else {
-                    lo
-                };
+                let len = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
                 // Correlated rotation: each bucket of the first
                 // relational attribute shifts the popularity ranking,
                 // so demographics prefer different items.

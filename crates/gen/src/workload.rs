@@ -10,8 +10,8 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use secreta_metrics::{Query, QueryAtom, Workload};
 use secreta_data::RtTable;
+use secreta_metrics::{Query, QueryAtom, Workload};
 
 /// Specification of a random workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,10 +149,7 @@ mod tests {
         let t = DatasetSpec::census(50, 1).generate();
         let w = WorkloadSpec::default().generate(&t);
         for q in &w.queries {
-            assert!(q
-                .atoms
-                .iter()
-                .all(|a| matches!(a, QueryAtom::Rel { .. })));
+            assert!(q.atoms.iter().all(|a| matches!(a, QueryAtom::Rel { .. })));
         }
     }
 
@@ -161,10 +158,7 @@ mod tests {
         let t = DatasetSpec::basket(50, 20, 1).generate();
         let w = WorkloadSpec::default().generate(&t);
         for q in &w.queries {
-            assert!(q
-                .atoms
-                .iter()
-                .all(|a| matches!(a, QueryAtom::Items { .. })));
+            assert!(q.atoms.iter().all(|a| matches!(a, QueryAtom::Items { .. })));
         }
         assert!(w.counts(&t).iter().all(|&c| c >= 1));
     }

@@ -19,7 +19,10 @@ impl Zipf {
     /// uniform distribution.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n >= 1, "Zipf needs a non-empty support");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 0..n {

@@ -180,7 +180,7 @@ mod tests {
         let h3 = auto_hierarchy(&p, AttributeKind::Categorical, 3).unwrap();
         assert!(h3.height() < h2.height());
         assert_eq!(h3.height(), 3); // 27 = 3^3
-        // all leaves present in both
+                                    // all leaves present in both
         assert_eq!(h2.n_leaves(), 27);
         assert_eq!(h3.n_leaves(), 27);
     }

@@ -81,11 +81,7 @@ impl Cut {
     /// (deduplicated, sorted). Applying any of them keeps the cut a
     /// valid antichain.
     pub fn generalization_candidates(&self, h: &Hierarchy) -> Vec<NodeId> {
-        let mut parents: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter_map(|&n| h.parent(n))
-            .collect();
+        let mut parents: Vec<NodeId> = self.nodes.iter().filter_map(|&n| h.parent(n)).collect();
         parents.sort_unstable();
         parents.dedup();
         parents
@@ -133,8 +129,8 @@ impl Cut {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secreta_data::{AttributeKind, ValuePool};
     use crate::build::auto_hierarchy;
+    use secreta_data::{AttributeKind, ValuePool};
 
     fn hierarchy(n: usize) -> Hierarchy {
         let mut p = ValuePool::new();

@@ -43,10 +43,7 @@ pub fn read_hierarchy<R: Read>(
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<String> = line
-            .split(delimiter)
-            .map(|s| s.trim().to_owned())
-            .collect();
+        let fields: Vec<String> = line.split(delimiter).map(|s| s.trim().to_owned()).collect();
         if fields.len() < 2 {
             return Err(HierarchyError::Parse {
                 line: lineno + 1,
@@ -69,9 +66,7 @@ pub fn read_hierarchy<R: Read>(
         if p.last().expect("non-empty path") != &root_label {
             return Err(HierarchyError::Parse {
                 line: i + 1,
-                message: format!(
-                    "all paths must end at the same root ({root_label:?})"
-                ),
+                message: format!("all paths must end at the same root ({root_label:?})"),
             });
         }
     }
@@ -191,10 +186,7 @@ Primary;School;*
         let p = pool(&["a1", "b1"]);
         let h = read_hierarchy(src.as_bytes(), &p, ';').unwrap();
         // two distinct "Other" nodes
-        let others: Vec<_> = h
-            .all_nodes()
-            .filter(|&n| h.label(n) == "Other")
-            .collect();
+        let others: Vec<_> = h.all_nodes().filter(|&n| h.label(n) == "Other").collect();
         assert_eq!(others.len(), 2);
         assert_eq!(h.lca(h.leaf(0), h.leaf(1)), h.root());
     }

@@ -3,15 +3,17 @@
 //! Leaves correspond 1:1 to the interned value ids (`0..n_leaves`) of
 //! the attribute the hierarchy governs. Each node stores the DFS span
 //! of leaves below it, so subset/containment tests, `leaf_count` and
-//! NCP are O(1), and LCA is a short parent walk.
+//! NCP are O(1). LCA queries are answered in O(1) from an Euler tour
+//! plus a sparse table (depth range-minimum), built once at
+//! construction; the information-loss penalty of every node is also
+//! precomputed, so the `ncp(lca(a, b))` kernel at the heart of the
+//! clustering algorithms costs two array reads.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node within its [`Hierarchy`]'s arena.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -90,6 +92,16 @@ pub struct Hierarchy {
     /// Value id at each DFS position (inverse of `leaf_pos`).
     pos_leaf: Vec<u32>,
     height: u32,
+    /// Euler tour of the tree: node at each tour step (2n-1 steps).
+    euler: Vec<u32>,
+    /// First tour step at which each node appears.
+    first_visit: Vec<u32>,
+    /// Sparse table over the tour for O(1) depth range-minimum:
+    /// `rmq[k][i]` is the tour step of the shallowest node in the
+    /// window `[i, i + 2^k)`; ties keep the leftmost step.
+    rmq: Vec<Vec<u32>>,
+    /// Precomputed `ncp()` per node.
+    ncp_of: Vec<f64>,
 }
 
 impl Hierarchy {
@@ -178,8 +190,45 @@ impl Hierarchy {
         alo <= nlo && nhi <= ahi && self.depth(anc) <= self.depth(node)
     }
 
-    /// Lowest common ancestor of two nodes.
+    /// Lowest common ancestor of two nodes, in O(1).
+    ///
+    /// Answers a depth range-minimum query on the Euler tour between
+    /// the nodes' first visits. The shallowest node on that tour
+    /// segment is unique (leaving the LCA's subtree is impossible
+    /// without stepping above it), so no tie-breaking is needed.
+    #[inline]
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return a;
+        }
+        let (mut i, mut j) = (
+            self.first_visit[a.index()] as usize,
+            self.first_visit[b.index()] as usize,
+        );
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let k = (j - i + 1).ilog2() as usize;
+        let left = self.rmq[k][i];
+        let right = self.rmq[k][j + 1 - (1usize << k)];
+        let best = if self.depth_at_step(right) < self.depth_at_step(left) {
+            right
+        } else {
+            left
+        };
+        NodeId(self.euler[best as usize])
+    }
+
+    #[inline]
+    fn depth_at_step(&self, step: u32) -> u32 {
+        self.nodes[self.euler[step as usize] as usize].depth
+    }
+
+    /// Lowest common ancestor by walking parent pointers — O(height).
+    ///
+    /// The pre-Euler-tour implementation, kept as an independently
+    /// correct reference for property tests and kernel benchmarks.
+    pub fn lca_walk(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut a, mut b) = (a, b);
         while self.depth(a) > self.depth(b) {
             a = self.parent(a).expect("deeper node has a parent");
@@ -226,12 +275,10 @@ impl Hierarchy {
     /// Normalized Certainty Penalty of publishing `node` instead of a
     /// leaf: `(leaves(node) - 1) / (n_leaves - 1)`; 0 for leaves and
     /// for degenerate single-value domains, 1 for the root.
+    /// Precomputed at construction — a single array read.
+    #[inline]
     pub fn ncp(&self, node: NodeId) -> f64 {
-        let total = self.n_leaves();
-        if total <= 1 {
-            return 0.0;
-        }
-        (self.leaf_count(node) - 1) as f64 / (total - 1) as f64
+        self.ncp_of[node.index()]
     }
 
     /// First node carrying `label` in arena order (labels are unique in
@@ -314,9 +361,7 @@ impl HierarchyBuilder {
         for (i, p) in self.parents.iter().enumerate() {
             if p.is_none() {
                 if root.is_some() {
-                    return Err(HierarchyError::NotATree(
-                        "multiple parentless nodes".into(),
-                    ));
+                    return Err(HierarchyError::NotATree("multiple parentless nodes".into()));
                 }
                 root = Some(NodeId(i as u32));
             }
@@ -437,6 +482,9 @@ impl HierarchyBuilder {
             })
             .collect();
 
+        let (euler, first_visit, rmq) = build_lca_tables(&nodes, root);
+        let ncp_of = build_ncp_table(&nodes, n_values);
+
         Ok(Hierarchy {
             nodes,
             root,
@@ -444,8 +492,81 @@ impl HierarchyBuilder {
             leaf_pos,
             pos_leaf,
             height,
+            euler,
+            first_visit,
+            rmq,
+            ncp_of,
         })
     }
+}
+
+/// Euler tour + sparse table for O(1) LCA queries.
+///
+/// The tour visits a node once on entry and again after each child's
+/// subtree (2n-1 steps for n nodes); an LCA query becomes a depth
+/// range-minimum over the tour segment between the two nodes' first
+/// visits. The sparse table answers that in O(1) with
+/// O(n log n) u32s of storage.
+fn build_lca_tables(nodes: &[Node], root: NodeId) -> (Vec<u32>, Vec<u32>, Vec<Vec<u32>>) {
+    let n = nodes.len();
+    let mut euler: Vec<u32> = Vec::with_capacity(2 * n - 1);
+    let mut first_visit = vec![u32::MAX; n];
+
+    // iterative tour: (node, next-child cursor)
+    let mut stack: Vec<(u32, usize)> = vec![(root.0, 0)];
+    while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+        let ni = node as usize;
+        if *cursor == 0 {
+            first_visit[ni] = euler.len() as u32;
+        }
+        euler.push(node);
+        if *cursor < nodes[ni].children.len() {
+            let child = nodes[ni].children[*cursor];
+            *cursor += 1;
+            stack.push((child.0, 0));
+        } else {
+            stack.pop();
+        }
+    }
+
+    let m = euler.len();
+    let levels = if m <= 1 { 1 } else { m.ilog2() as usize + 1 };
+    let mut rmq: Vec<Vec<u32>> = Vec::with_capacity(levels);
+    rmq.push((0..m as u32).collect());
+    let mut k = 1usize;
+    while (1usize << k) <= m {
+        let half = 1usize << (k - 1);
+        let prev = &rmq[k - 1];
+        let mut row = Vec::with_capacity(m + 1 - (1 << k));
+        for i in 0..=m - (1 << k) {
+            let a = prev[i];
+            let b = prev[i + half];
+            // ties keep the leftmost step
+            let da = nodes[euler[a as usize] as usize].depth;
+            let db = nodes[euler[b as usize] as usize].depth;
+            row.push(if db < da { b } else { a });
+        }
+        rmq.push(row);
+        k += 1;
+    }
+
+    (euler, first_visit, rmq)
+}
+
+/// NCP of every node, precomputed with the same formula as the old
+/// on-demand implementation: `(leaves(node) - 1) / (n_leaves - 1)`.
+fn build_ncp_table(nodes: &[Node], n_values: usize) -> Vec<f64> {
+    if n_values <= 1 {
+        return vec![0.0; nodes.len()];
+    }
+    let denom = (n_values - 1) as f64;
+    nodes
+        .iter()
+        .map(|node| {
+            let leaves = (node.span.1 - node.span.0) as usize;
+            (leaves - 1) as f64 / denom
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -518,6 +639,35 @@ mod tests {
         assert!(h.is_ancestor_or_self(a, a));
         assert!(!h.is_ancestor_or_self(a, b));
         assert!(!h.is_ancestor_or_self(h.leaf(0), a));
+    }
+
+    #[test]
+    fn euler_lca_agrees_with_parent_walk() {
+        let h = sample();
+        for a in h.all_nodes() {
+            for b in h.all_nodes() {
+                assert_eq!(h.lca(a, b), h.lca_walk(a, b), "lca({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn euler_lca_on_single_node_tree() {
+        let mut b = HierarchyBuilder::new();
+        let root = b.add_node("*", None);
+        b.add_leaf("x", root, 0);
+        let h = b.build(1).unwrap();
+        assert_eq!(h.lca(h.root(), h.root()), h.root());
+        assert_eq!(h.lca(h.leaf(0), h.root()), h.root());
+    }
+
+    #[test]
+    fn precomputed_ncp_matches_formula() {
+        let h = sample();
+        for n in h.all_nodes() {
+            let expected = (h.leaf_count(n) - 1) as f64 / (h.n_leaves() - 1) as f64;
+            assert_eq!(h.ncp(n), expected, "{n}");
+        }
     }
 
     #[test]

@@ -84,6 +84,24 @@ proptest! {
     }
 
     #[test]
+    fn euler_tour_lca_matches_parent_walk(
+        n in 2usize..300,
+        fanout in 2usize..7,
+        pairs in prop::collection::vec((0u32..300, 0u32..300), 1..40),
+    ) {
+        let p = pool_of(n);
+        let h = auto_hierarchy(&p, AttributeKind::Categorical, fanout).unwrap();
+        for (a, b) in pairs {
+            let la = h.leaf(a % n as u32);
+            let lb = h.leaf(b % n as u32);
+            prop_assert_eq!(h.lca(la, lb), h.lca_walk(la, lb));
+            // interior nodes too: lift one side to an arbitrary ancestor
+            let anc = h.ancestor_up(la, (a % 4) + 1);
+            prop_assert_eq!(h.lca(anc, lb), h.lca_walk(anc, lb));
+        }
+    }
+
+    #[test]
     fn cut_moves_preserve_partition(
         n in 2usize..100,
         fanout in 2usize..5,

@@ -211,8 +211,7 @@ impl AnonTransaction {
                     }
                 }
             }
-            let mut row_items: Vec<(u32, u16)> =
-                row_buf.iter().map(|(&g, &c)| (g, c)).collect();
+            let mut row_items: Vec<(u32, u16)> = row_buf.iter().map(|(&g, &c)| (g, c)).collect();
             row_items.sort_unstable_by_key(|&(g, _)| g);
             for (g, c) in row_items {
                 items.push(g);
@@ -256,10 +255,15 @@ impl AnonTable {
             .iter()
             .map(|&attr| {
                 let n_values = table.domain_size(attr);
-                let domain: Vec<GenEntry> =
-                    (0..n_values as u32).map(|v| GenEntry::Set(vec![v])).collect();
+                let domain: Vec<GenEntry> = (0..n_values as u32)
+                    .map(|v| GenEntry::Set(vec![v]))
+                    .collect();
                 let cells: Vec<u32> = table.column(attr).iter().map(|v| v.0).collect();
-                RelColumn { attr, domain, cells }
+                RelColumn {
+                    attr,
+                    domain,
+                    cells,
+                }
             })
             .collect();
         let tx = table.schema().transaction_index().map(|_| {
@@ -423,9 +427,9 @@ pub fn rel_column_from_value_map(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secreta_data::AttributeKind;
     use secreta_data::{Attribute, Schema};
     use secreta_hierarchy::auto_hierarchy;
-    use secreta_data::AttributeKind;
 
     fn table() -> RtTable {
         let schema = Schema::new(vec![
@@ -525,13 +529,8 @@ mod tests {
         let t = table();
         // merge a,b into one generalized item; suppress c
         let domain = vec![GenEntry::set(vec![0, 1])];
-        let tx = AnonTransaction::from_mapping(&t, domain, |it| {
-            if it.0 <= 1 {
-                Some(0)
-            } else {
-                None
-            }
-        });
+        let tx =
+            AnonTransaction::from_mapping(&t, domain, |it| if it.0 <= 1 { Some(0) } else { None });
         assert_eq!(tx.row_items(0), &[0]);
         assert_eq!(tx.row_multiplicity(0), &[2]); // a and b merged
         assert_eq!(tx.row_items(3), &[] as &[u32]); // only c, suppressed

@@ -210,9 +210,7 @@ mod tests {
         let t = table();
         // merge a,b into one gen item; keep c
         let dom = vec![GenEntry::set(vec![0, 1]), GenEntry::Set(vec![2])];
-        let tx = AnonTransaction::from_mapping(&t, dom, |it| {
-            Some(if it.0 < 2 { 0 } else { 1 })
-        });
+        let tx = AnonTransaction::from_mapping(&t, dom, |it| Some(if it.0 < 2 { 0 } else { 1 }));
         let a = AnonTable {
             rel: vec![],
             tx: Some(tx),
@@ -235,13 +233,8 @@ mod tests {
     fn suppressed_items_estimate_zero() {
         let t = table();
         let dom = vec![GenEntry::Set(vec![0]), GenEntry::Set(vec![1])];
-        let tx = AnonTransaction::from_mapping(&t, dom, |it| {
-            if it.0 < 2 {
-                Some(it.0)
-            } else {
-                None
-            }
-        });
+        let tx =
+            AnonTransaction::from_mapping(&t, dom, |it| if it.0 < 2 { Some(it.0) } else { None });
         let a = AnonTable {
             rel: vec![],
             tx: Some(tx),

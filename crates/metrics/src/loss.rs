@@ -53,11 +53,7 @@ pub fn gcp(
 
 /// Mean NCP over original item occurrences of the anonymized
 /// transaction attribute. Suppressed occurrences score 1.0.
-pub fn transaction_gcp(
-    table: &RtTable,
-    anon: &AnonTable,
-    tx_hierarchy: Option<&Hierarchy>,
-) -> f64 {
+pub fn transaction_gcp(table: &RtTable, anon: &AnonTable, tx_hierarchy: Option<&Hierarchy>) -> f64 {
     let tx = match &anon.tx {
         Some(tx) => tx,
         None => return 0.0,
@@ -113,11 +109,7 @@ fn pow2m1(n: usize) -> f64 {
 /// `[0, 1]`; 0 for identity recoding... strictly, identity recoding
 /// scores `occurrences · 1 / worst`, so the measure is rescaled so
 /// singleton recoding = 0.
-pub fn utility_loss(
-    table: &RtTable,
-    anon: &AnonTable,
-    tx_hierarchy: Option<&Hierarchy>,
-) -> f64 {
+pub fn utility_loss(table: &RtTable, anon: &AnonTable, tx_hierarchy: Option<&Hierarchy>) -> f64 {
     let tx = match &anon.tx {
         Some(tx) => tx,
         None => return 0.0,
@@ -251,13 +243,18 @@ mod tests {
         let t = table();
         // keep a and b as singletons, suppress c (rows 2,3 lose one occurrence each)
         let tx_domain = vec![GenEntry::Set(vec![0]), GenEntry::Set(vec![1])];
-        let tx = AnonTransaction::from_mapping(&t, tx_domain, |it| {
-            if it.0 < 2 {
-                Some(it.0)
-            } else {
-                None
-            }
-        });
+        let tx =
+            AnonTransaction::from_mapping(
+                &t,
+                tx_domain,
+                |it| {
+                    if it.0 < 2 {
+                        Some(it.0)
+                    } else {
+                        None
+                    }
+                },
+            );
         let a = AnonTable {
             rel: vec![],
             tx: Some(tx),
@@ -275,9 +272,8 @@ mod tests {
         let t = table();
         // variant A: one gen item of size 2 ({a,b}), c kept
         let dom_a = vec![GenEntry::set(vec![0, 1]), GenEntry::Set(vec![2])];
-        let tx_a = AnonTransaction::from_mapping(&t, dom_a, |it| {
-            Some(if it.0 < 2 { 0 } else { 1 })
-        });
+        let tx_a =
+            AnonTransaction::from_mapping(&t, dom_a, |it| Some(if it.0 < 2 { 0 } else { 1 }));
         // variant B: everything into one gen item of size 3
         let dom_b = vec![GenEntry::set(vec![0, 1, 2])];
         let tx_b = AnonTransaction::from_mapping(&t, dom_b, |_| Some(0));

@@ -23,10 +23,7 @@ impl PhaseTimes {
 
     /// Duration of the phase called `name`, if recorded.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Merge another run's phases onto this one (used when an

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use secreta_data::{Attribute, ItemId, RtTable, Schema};
 use secreta_metrics::anon::{rel_column_from_value_map, AnonTransaction};
 use secreta_metrics::{
-    average_relative_error, gcp, loss, transaction_gcp, utility_loss, AnonTable, GenEntry,
-    Query, QueryAtom, Workload,
+    average_relative_error, gcp, loss, transaction_gcp, utility_loss, AnonTable, GenEntry, Query,
+    QueryAtom, Workload,
 };
 
 /// Build a table with one relational attribute of domain `dom` and a

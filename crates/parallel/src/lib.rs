@@ -1,0 +1,291 @@
+//! Deterministic data-parallel primitives for the anonymization hot
+//! paths.
+//!
+//! Every helper here carries a hard determinism contract: **the result
+//! is byte-identical to the sequential left-to-right computation, for
+//! every thread count.** That is achieved by splitting the index space
+//! into contiguous chunks, computing per-chunk partial results with
+//! the same operators the sequential code uses, and reducing the
+//! partials in chunk order. [`par_argmin`] keeps the *first* index
+//! attaining the minimum (matching `Iterator::min_by` semantics), and
+//! [`par_map`] reassembles outputs in index order so any downstream
+//! fold sees the sequential ordering.
+//!
+//! Thread count resolution: [`set_threads`] override (tests, CLI
+//! `--threads`), else the `SECRETA_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`. Small inputs fall back to
+//! the sequential path to avoid spawn overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs smaller than this run sequentially: thread spawn overhead
+/// dwarfs the work.
+const MIN_PARALLEL: usize = 512;
+
+/// 0 = no override (resolve from env / hardware).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the thread count used by all helpers in this module.
+///
+/// `0` clears the override. Intended for tests (pinning both sides of
+/// a determinism comparison) and the CLI's `--threads` flag.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The thread count the helpers will use for large inputs.
+pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SECRETA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn effective_threads(n_items: usize) -> usize {
+    if n_items < MIN_PARALLEL {
+        return 1;
+    }
+    max_threads().min(n_items).max(1)
+}
+
+/// Contiguous chunk bounds for worker `t` of `threads` over `0..n`.
+fn chunk_bounds(n: usize, threads: usize, t: usize) -> (usize, usize) {
+    let chunk = n.div_ceil(threads);
+    let lo = (t * chunk).min(n);
+    let hi = ((t + 1) * chunk).min(n);
+    (lo, hi)
+}
+
+/// Index (in `0..n`) of the minimal cost, plus that cost.
+///
+/// Ties resolve to the smallest index, exactly like a sequential
+/// `min_by` scan keeping the first minimum. `NaN` costs lose every
+/// comparison (they are never selected unless all costs are `NaN`, in
+/// which case index 0 wins).
+pub fn par_argmin<F>(n: usize, cost: F) -> Option<(usize, f64)>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if n == 0 {
+        return None;
+    }
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        return Some(seq_argmin(0, n, &cost));
+    }
+    let mut partials: Vec<(usize, f64)> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cost = &cost;
+                let (lo, hi) = chunk_bounds(n, threads, t);
+                s.spawn(move || seq_argmin(lo, hi, cost))
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("argmin worker panicked"));
+        }
+    });
+    // reduce in chunk order with strict `<`: the earliest chunk
+    // holding the global minimum wins, and within a chunk the scan
+    // already kept the earliest index
+    let mut best = partials[0];
+    for &(idx, c) in &partials[1..] {
+        if c < best.1 || (best.1.is_nan() && !c.is_nan()) {
+            best = (idx, c);
+        }
+    }
+    Some(best)
+}
+
+fn seq_argmin<F: Fn(usize) -> f64>(lo: usize, hi: usize, cost: &F) -> (usize, f64) {
+    debug_assert!(lo < hi);
+    let mut best_idx = lo;
+    let mut best_cost = cost(lo);
+    for i in lo + 1..hi {
+        let c = cost(i);
+        // NaN loses every comparison: a finite cost also displaces a
+        // NaN incumbent (plain `<` would let a leading NaN stick)
+        if c < best_cost || (best_cost.is_nan() && !c.is_nan()) {
+            best_cost = c;
+            best_idx = i;
+        }
+    }
+    (best_idx, best_cost)
+}
+
+/// `(0..n).map(f).collect()`, computed on multiple threads with the
+/// output in index order.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let (lo, hi) = chunk_bounds(n, threads, t);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// [`par_map`] without the [`MIN_PARALLEL`] small-input fallback, for
+/// *coarse-grained* items (e.g. workload queries, each a full table
+/// scan) where even a handful of items outweigh thread-spawn cost.
+pub fn par_map_heavy<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads().min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let (lo, hi) = chunk_bounds(n, threads, t);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_reference_argmin(costs: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in costs.iter().enumerate() {
+            match best {
+                None => best = Some((i, c)),
+                Some((_, bc)) if c < bc => best = Some((i, c)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    fn pseudo_costs(n: usize, buckets: u64) -> Vec<f64> {
+        // deliberately tie-heavy: costs land in a few buckets
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 29;
+                (z % buckets) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn argmin_matches_sequential_with_ties_across_thread_counts() {
+        for n in [1usize, 7, 511, 512, 513, 5000] {
+            let costs = pseudo_costs(n, 4);
+            let expected = seq_reference_argmin(&costs);
+            for threads in [1usize, 2, 3, 8] {
+                set_threads(threads);
+                let got = par_argmin(n, |i| costs[i]);
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn argmin_empty_is_none() {
+        assert_eq!(par_argmin(0, |_| 0.0), None);
+    }
+
+    #[test]
+    fn argmin_ignores_nan_unless_all_nan() {
+        set_threads(4);
+        let costs = [f64::NAN, 3.0, f64::NAN, 1.0, 1.0];
+        assert_eq!(par_argmin(costs.len(), |i| costs[i]), Some((3, 1.0)));
+        let all_nan = [f64::NAN, f64::NAN];
+        let (idx, c) = par_argmin(all_nan.len(), |i| all_nan[i]).unwrap();
+        assert_eq!(idx, 0);
+        assert!(c.is_nan());
+        set_threads(0);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for n in [0usize, 1, 511, 512, 2000] {
+            for threads in [1usize, 2, 5] {
+                set_threads(threads);
+                let out = par_map(n, |i| i * 3);
+                assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn float_fold_over_par_map_matches_sequential() {
+        // the ARE pattern: parallel per-item errors, sequential sum
+        let n = 4000;
+        set_threads(3);
+        let errs = par_map(n, |i| ((i as f64) * 0.1).sin());
+        set_threads(0);
+        let seq: f64 = (0..n).map(|i| ((i as f64) * 0.1).sin()).sum();
+        let par: f64 = errs.iter().sum();
+        assert_eq!(seq.to_bits(), par.to_bits(), "bit-identical fold");
+    }
+
+    #[test]
+    fn heavy_map_parallelizes_small_inputs_in_order() {
+        for n in [0usize, 1, 2, 25, 600] {
+            for threads in [1usize, 2, 5] {
+                set_threads(threads);
+                let out = par_map_heavy(n, |i| i as f64 * 0.5);
+                assert_eq!(out, (0..n).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn thread_override_wins() {
+        set_threads(7);
+        assert_eq!(max_threads(), 7);
+        set_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

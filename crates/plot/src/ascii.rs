@@ -103,8 +103,14 @@ mod tests {
 
     fn chart() -> XyChart {
         let mut c = XyChart::new("ARE vs k", "k", "ARE");
-        c.push(Series::new("algo-a", vec![(2.0, 0.1), (4.0, 0.3), (8.0, 0.7)]));
-        c.push(Series::new("algo-b", vec![(2.0, 0.2), (4.0, 0.25), (8.0, 0.4)]));
+        c.push(Series::new(
+            "algo-a",
+            vec![(2.0, 0.1), (4.0, 0.3), (8.0, 0.7)],
+        ));
+        c.push(Series::new(
+            "algo-b",
+            vec![(2.0, 0.2), (4.0, 0.25), (8.0, 0.4)],
+        ));
         c
     }
 
@@ -143,11 +149,7 @@ mod tests {
 
     #[test]
     fn bar_render_scales_to_max() {
-        let b = BarChart::new(
-            "hist",
-            vec!["aa".into(), "bb".into()],
-            vec![10.0, 5.0],
-        );
+        let b = BarChart::new("hist", vec!["aa".into(), "bb".into()], vec![10.0, 5.0]);
         let s = render_bar(&b, 20);
         let lines: Vec<&str> = s.lines().collect();
         let full = lines[1].matches('█').count();
@@ -168,11 +170,7 @@ mod tests {
 
     #[test]
     fn bar_long_labels_clipped() {
-        let b = BarChart::new(
-            "t",
-            vec!["x".repeat(100)],
-            vec![1.0],
-        );
+        let b = BarChart::new("t", vec!["x".repeat(100)], vec![1.0]);
         let s = render_bar(&b, 20);
         assert!(s.lines().nth(1).unwrap().len() < 100);
     }

@@ -53,11 +53,7 @@ impl GroupedBarChart {
 
     /// Global maximum (0.0 when empty).
     pub fn max_value(&self) -> f64 {
-        self.values
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.values.iter().flatten().copied().fold(0.0, f64::max)
     }
 }
 
@@ -113,7 +109,11 @@ pub fn render_svg(chart: &GroupedBarChart, width: u32, height: u32) -> String {
     let pw = w - ml - mr;
     let ph = h - mt - mb;
     const PALETTE: &[&str] = &["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4"];
-    let esc = |s: &str| s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+    let esc = |s: &str| {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
 
     let mut out = String::new();
     let _ = write!(

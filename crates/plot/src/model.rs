@@ -157,11 +157,7 @@ mod tests {
 
     #[test]
     fn bar_chart_max() {
-        let b = BarChart::new(
-            "t",
-            vec!["a".into(), "b".into()],
-            vec![2.0, 9.0],
-        );
+        let b = BarChart::new("t", vec!["a".into(), "b".into()], vec![2.0, 9.0]);
         assert_eq!(b.max_value(), 9.0);
         let empty = BarChart::new("t", vec![], vec![]);
         assert_eq!(empty.max_value(), 0.0);

@@ -8,12 +8,13 @@ use crate::model::{BarChart, XyChart};
 use std::fmt::Write as _;
 
 const PALETTE: &[&str] = &[
-    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0",
-    "#797979",
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0", "#797979",
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a line chart to an SVG document string.
@@ -37,8 +38,16 @@ pub fn render_xy(chart: &XyChart, width: u32, height: u32) -> String {
     );
 
     if let Some(((xlo, xhi), (ylo, yhi))) = chart.bounds() {
-        let xspan = if (xhi - xlo).abs() < f64::EPSILON { 1.0 } else { xhi - xlo };
-        let yspan = if (yhi - ylo).abs() < f64::EPSILON { 1.0 } else { yhi - ylo };
+        let xspan = if (xhi - xlo).abs() < f64::EPSILON {
+            1.0
+        } else {
+            xhi - xlo
+        };
+        let yspan = if (yhi - ylo).abs() < f64::EPSILON {
+            1.0
+        } else {
+            yhi - ylo
+        };
         let px = |x: f64| ml + (x - xlo) / xspan * pw;
         let py = |y: f64| mt + ph - (y - ylo) / yspan * ph;
 
@@ -91,7 +100,12 @@ pub fn render_xy(chart: &XyChart, width: u32, height: u32) -> String {
                     .iter()
                     .enumerate()
                     .map(|(i, &(x, y))| {
-                        format!("{}{:.2},{:.2}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+                        format!(
+                            "{}{:.2},{:.2}",
+                            if i == 0 { "M" } else { "L" },
+                            px(x),
+                            py(y)
+                        )
                     })
                     .collect();
                 let _ = write!(

@@ -90,8 +90,7 @@ pub fn generate_privacy(table: &RtTable, strategy: &PrivacyStrategy) -> PrivacyP
                 attempts += 1;
                 let row = eligible[rng.gen_range(0..eligible.len())];
                 let tx = table.transaction(row);
-                let mut picked: Vec<ItemId> =
-                    tx.choose_multiple(&mut rng, size).copied().collect();
+                let mut picked: Vec<ItemId> = tx.choose_multiple(&mut rng, size).copied().collect();
                 picked.sort_unstable();
                 constraints.push(picked);
             }
@@ -110,15 +109,13 @@ pub fn generate_utility(
     match strategy {
         UtilityStrategy::Unconstrained => UtilityPolicy::unconstrained(table),
         UtilityStrategy::HierarchyLevel { depth } => {
-            let h = item_hierarchy
-                .expect("HierarchyLevel strategy requires the item hierarchy");
+            let h = item_hierarchy.expect("HierarchyLevel strategy requires the item hierarchy");
             let depth = (*depth).min(h.height());
             let groups = h
                 .nodes_at_depth(depth)
                 .into_iter()
                 .map(|n| {
-                    let mut g: Vec<ItemId> =
-                        h.leaves_under(n).map(ItemId).collect();
+                    let mut g: Vec<ItemId> = h.leaves_under(n).map(ItemId).collect();
                     g.sort_unstable();
                     g
                 })
@@ -134,8 +131,7 @@ pub fn generate_utility(
             let groups = order
                 .chunks(per_band)
                 .map(|chunk| {
-                    let mut g: Vec<ItemId> =
-                        chunk.iter().map(|&i| ItemId(i as u32)).collect();
+                    let mut g: Vec<ItemId> = chunk.iter().map(|&i| ItemId(i as u32)).collect();
                     g.sort_unstable();
                     g
                 })
@@ -171,10 +167,7 @@ mod tests {
     #[test]
     fn rare_items_strategy_filters_by_support() {
         let t = table();
-        let p = generate_privacy(
-            &t,
-            &PrivacyStrategy::RareItems { max_support: 0.3 },
-        );
+        let p = generate_privacy(&t, &PrivacyStrategy::RareItems { max_support: 0.3 });
         // only c and d have support 1/4 <= 0.3
         assert_eq!(p.len(), 2);
         for c in &p.constraints {
@@ -221,25 +214,12 @@ mod tests {
     #[test]
     fn hierarchy_level_groups_follow_taxonomy() {
         let t = table();
-        let h = auto_hierarchy(
-            t.item_pool().unwrap(),
-            AttributeKind::Categorical,
-            2,
-        )
-        .unwrap();
-        let u = generate_utility(
-            &t,
-            &UtilityStrategy::HierarchyLevel { depth: 1 },
-            Some(&h),
-        );
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+        let u = generate_utility(&t, &UtilityStrategy::HierarchyLevel { depth: 1 }, Some(&h));
         assert!(u.len() >= 2);
         assert!((u.coverage(&t) - 1.0).abs() < 1e-12);
         // depth beyond the height clamps to leaves -> singleton groups
-        let u_deep = generate_utility(
-            &t,
-            &UtilityStrategy::HierarchyLevel { depth: 99 },
-            Some(&h),
-        );
+        let u_deep = generate_utility(&t, &UtilityStrategy::HierarchyLevel { depth: 99 }, Some(&h));
         assert!(u_deep.groups.iter().all(|g| g.len() == 1));
     }
 

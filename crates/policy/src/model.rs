@@ -168,9 +168,9 @@ impl UtilityPolicy {
         if items.len() <= 1 {
             return true;
         }
-        self.groups.iter().any(|g| {
-            items.iter().all(|it| g.binary_search(it).is_ok())
-        })
+        self.groups
+            .iter()
+            .any(|g| items.iter().all(|it| g.binary_search(it).is_ok()))
     }
 
     /// Items of group `g` that may be merged with `item` — the
@@ -280,7 +280,10 @@ mod tests {
             vec![ItemId(0), ItemId(1), ItemId(2)],
             vec![ItemId(2), ItemId(3)],
         ]);
-        assert_eq!(u.mergeable_with(ItemId(2)), vec![ItemId(0), ItemId(1), ItemId(3)]);
+        assert_eq!(
+            u.mergeable_with(ItemId(2)),
+            vec![ItemId(0), ItemId(1), ItemId(3)]
+        );
         assert_eq!(u.mergeable_with(ItemId(3)), vec![ItemId(2)]);
         assert!(u.mergeable_with(ItemId(9)).is_empty());
     }

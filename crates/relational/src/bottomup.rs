@@ -12,8 +12,8 @@
 //! taken.
 
 use crate::common::{RelError, RelOutput, RelationalInput};
-use secreta_hierarchy::Cut;
 use secreta_data::hash::{FxHashMap, FxHashSet};
+use secreta_hierarchy::Cut;
 use secreta_hierarchy::NodeId;
 use secreta_metrics::anon::rel_column_from_value_map;
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
@@ -35,19 +35,28 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             c
         })
         .collect();
+    let totals: Vec<u64> = counts.iter().map(|c| c.iter().sum()).collect();
     let mut cuts: Vec<Cut> = input.hierarchies.iter().map(Cut::leaves).collect();
+    // row-major QI values: the signature grouping below re-reads every
+    // cell once per round, so table lookups must stay off that path
+    let matrix = input.value_matrix();
     timer.phase("setup");
 
     loop {
-        // group rows by current signature
+        // group rows by current signature; clone the key only when a
+        // new group appears (groups are few, rows are many)
         let mut groups: FxHashMap<Vec<NodeId>, Vec<usize>> = FxHashMap::default();
         let mut sig = Vec::with_capacity(q);
         for row in 0..input.table.n_rows() {
             sig.clear();
-            for (pos, &attr) in input.qi_attrs.iter().enumerate() {
-                sig.push(cuts[pos].node_of(input.table.value(row, attr).0));
+            for (pos, &v) in matrix.row(row).iter().enumerate() {
+                sig.push(cuts[pos].node_of(v));
             }
-            groups.entry(sig.clone()).or_default().push(row);
+            if let Some(rows) = groups.get_mut(&sig) {
+                rows.push(row);
+            } else {
+                groups.insert(sig.clone(), vec![row]);
+            }
         }
         // violating rows
         let violators: Vec<usize> = groups
@@ -63,8 +72,8 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
         // violating rows
         let mut cands: FxHashSet<(usize, NodeId)> = FxHashSet::default();
         for &row in &violators {
-            for (pos, &attr) in input.qi_attrs.iter().enumerate() {
-                let node = cuts[pos].node_of(input.table.value(row, attr).0);
+            for (pos, &v) in matrix.row(row).iter().enumerate() {
+                let node = cuts[pos].node_of(v);
                 if let Some(parent) = input.hierarchies[pos].parent(node) {
                     cands.insert((pos, parent));
                 }
@@ -86,8 +95,8 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
         let (best_pos, best_node) = ordered
             .into_iter()
             .min_by(|&(pa, na), &(pb, nb)| {
-                let da = ncp_increase(input, &cuts[pa], pa, na, &counts[pa]);
-                let db = ncp_increase(input, &cuts[pb], pb, nb, &counts[pb]);
+                let da = ncp_increase(input, &cuts[pa], pa, na, &counts[pa], totals[pa]);
+                let db = ncp_increase(input, &cuts[pb], pb, nb, &counts[pb], totals[pb]);
                 da.partial_cmp(&db).expect("NCP is finite")
             })
             .expect("candidates non-empty");
@@ -126,9 +135,9 @@ fn ncp_increase(
     pos: usize,
     target: NodeId,
     counts: &[u64],
+    total: u64,
 ) -> f64 {
     let h = &input.hierarchies[pos];
-    let total: u64 = counts.iter().sum();
     if total == 0 {
         return 0.0;
     }

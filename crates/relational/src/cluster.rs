@@ -12,13 +12,28 @@
 //! Comparison mode can show run-to-run variance; member selection is
 //! the standard greedy furthest/cheapest-insertion of k-member
 //! clustering.
+//!
+//! # Performance
+//!
+//! The greedy insertion scan is the hot path: every added member costs
+//! an argmin over all unassigned rows, each evaluating an
+//! `ncp(lca(cluster, row))` delta per QI attribute. [`anonymize`] runs
+//! that kernel on three accelerations — a precomputed row-major leaf
+//! matrix (no `table.value()` lookups in the loop), O(1) Euler-tour
+//! LCA with precomputed NCP, and a chunked parallel argmin whose
+//! first-minimum tie-breaking is byte-identical to the sequential
+//! scan. [`anonymize_reference`] preserves the original
+//! implementation (parent-walk LCA, per-access table reads, on-demand
+//! NCP, sequential argmin); tests assert both produce identical
+//! output, and `secreta bench` reports the speedup between them.
 
 use crate::common::{RelError, RelOutput, RelationalInput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secreta_data::hash::FxHashMap;
-use secreta_hierarchy::NodeId;
+use secreta_hierarchy::{Hierarchy, NodeId};
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer, RelColumn};
+use secreta_parallel::par_argmin;
 
 /// A cluster under construction: member rows plus the running LCA per
 /// QI attribute.
@@ -35,22 +50,56 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
     let n = input.table.n_rows();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // row -> leaf nodes per attribute, precomputed
-    let leaf_of_row = |row: usize, pos: usize| -> NodeId {
-        input.hierarchies[pos].leaf(input.table.value(row, input.qi_attrs[pos]).0)
-    };
+    // row-major leaf matrix: the argmin loops touch every row's QI
+    // tuple thousands of times, so resolve table cells to leaf nodes
+    // exactly once
+    let leaves = input.leaf_matrix();
+    let hierarchies = &input.hierarchies;
 
     let mut unassigned: Vec<usize> = (0..n).collect();
     let mut clusters: Vec<Building> = Vec::new();
+
+    // The absorption cost of a row depends only on its *leaf tuple*,
+    // not on the row itself, so per attribute the cost of every
+    // possible leaf can be tabulated once per cluster mutation
+    // (O(q·leaves) with O(1) lca/ncp) and the argmin scan over rows
+    // becomes pure flat-array lookups. `cost` is one flat buffer over
+    // all hierarchies' node ids, indexed by `offsets[pos] + leaf`.
+    let offsets: Vec<usize> = {
+        let mut offs = Vec::with_capacity(q);
+        let mut acc = 0usize;
+        for h in hierarchies.iter() {
+            offs.push(acc);
+            acc += h.n_nodes();
+        }
+        offs
+    };
+    let total_nodes: usize = hierarchies.iter().map(|h| h.n_nodes()).sum();
+    let mut cost = vec![0.0f64; total_nodes];
+    let rebuild = |cost: &mut [f64], lcas: &[NodeId]| {
+        for (pos, &lca) in lcas.iter().enumerate() {
+            let h = &hierarchies[pos];
+            let base = h.ncp(lca);
+            let off = offsets[pos];
+            for v in 0..h.n_leaves() as u32 {
+                let leaf = h.leaf(v);
+                // same expression and evaluation order as the
+                // reference delta, so the sums below are bit-identical
+                cost[off + leaf.index()] = h.ncp(h.lca(lca, leaf)) - base;
+            }
+        }
+    };
     timer.phase("setup");
 
-    // Cost of absorbing `row` into a cluster with LCAs `lcas`: summed
-    // NCP increase over attributes.
+    // Generic absorption cost (used on the sparse leftover path where
+    // tabulation would not pay off): summed NCP increase over
+    // attributes, O(q) via the constant-time kernels.
     let delta = |lcas: &[NodeId], row: usize| -> f64 {
+        let row_leaves = leaves.row(row);
         let mut d = 0.0;
         for (pos, &lca) in lcas.iter().enumerate() {
-            let h = &input.hierarchies[pos];
-            let merged = h.lca(lca, leaf_of_row(row, pos));
+            let h = &hierarchies[pos];
+            let merged = h.lca(lca, row_leaves[pos]);
             d += h.ncp(merged) - h.ncp(lca);
         }
         d
@@ -62,9 +111,107 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
         let seed_row = unassigned.swap_remove(si);
         let mut cluster = Building {
             rows: vec![seed_row],
+            lcas: leaves.row(seed_row).to_vec(),
+        };
+        rebuild(&mut cost, &cluster.lcas);
+        // greedily add the k-1 cheapest records
+        for _ in 1..input.k {
+            let (bi, _) = {
+                let cost = &cost[..];
+                par_argmin(unassigned.len(), |i| {
+                    let row_leaves = leaves.row(unassigned[i]);
+                    let mut d = 0.0;
+                    for pos in 0..q {
+                        d += cost[offsets[pos] + row_leaves[pos].index()];
+                    }
+                    d
+                })
+            }
+            .expect("unassigned non-empty: len >= k");
+            let row = unassigned.swap_remove(bi);
+            let mut changed = false;
+            for (pos, h) in hierarchies.iter().enumerate() {
+                let merged = h.lca(cluster.lcas[pos], leaves.row(row)[pos]);
+                if merged != cluster.lcas[pos] {
+                    cluster.lcas[pos] = merged;
+                    changed = true;
+                }
+            }
+            cluster.rows.push(row);
+            if changed {
+                rebuild(&mut cost, &cluster.lcas);
+            }
+        }
+        clusters.push(cluster);
+    }
+    timer.phase("clustering");
+
+    // leftovers (fewer than k) each join the cheapest cluster
+    for row in unassigned.drain(..) {
+        let (ci, _) = par_argmin(clusters.len(), |i| delta(&clusters[i].lcas, row))
+            .expect("k <= n guarantees at least one cluster");
+        let c = &mut clusters[ci];
+        for (pos, h) in hierarchies.iter().enumerate() {
+            c.lcas[pos] = h.lca(c.lcas[pos], leaves.row(row)[pos]);
+        }
+        c.rows.push(row);
+    }
+    timer.phase("leftover assignment");
+
+    let anon = recode(input, &clusters, n, q);
+    timer.phase("recode");
+
+    Ok(RelOutput {
+        anon,
+        phases: timer.finish(),
+    })
+}
+
+/// The pre-optimization implementation, retained verbatim as the
+/// benchmark baseline and the independent oracle for equivalence
+/// tests: parent-walk LCA, per-access `table.value()` reads, NCP
+/// recomputed from leaf counts, sequential argmin scans.
+pub fn anonymize_reference(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelError> {
+    input.validate()?;
+    let mut timer = PhaseTimer::new();
+    let q = input.qi_attrs.len();
+    let n = input.table.n_rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // row -> leaf nodes per attribute, resolved on every access
+    let leaf_of_row = |row: usize, pos: usize| -> NodeId {
+        input.hierarchies[pos].leaf(input.table.value(row, input.qi_attrs[pos]).0)
+    };
+    // the original on-demand NCP (the precomputed table did not exist)
+    let ncp_of = |h: &Hierarchy, node: NodeId| -> f64 {
+        let total = h.n_leaves();
+        if total <= 1 {
+            return 0.0;
+        }
+        (h.leaf_count(node) - 1) as f64 / (total - 1) as f64
+    };
+
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut clusters: Vec<Building> = Vec::new();
+    timer.phase("setup");
+
+    let delta = |lcas: &[NodeId], row: usize| -> f64 {
+        let mut d = 0.0;
+        for (pos, &lca) in lcas.iter().enumerate() {
+            let h = &input.hierarchies[pos];
+            let merged = h.lca_walk(lca, leaf_of_row(row, pos));
+            d += ncp_of(h, merged) - ncp_of(h, lca);
+        }
+        d
+    };
+
+    while unassigned.len() >= input.k {
+        let si = rng.gen_range(0..unassigned.len());
+        let seed_row = unassigned.swap_remove(si);
+        let mut cluster = Building {
+            rows: vec![seed_row],
             lcas: (0..q).map(|pos| leaf_of_row(seed_row, pos)).collect(),
         };
-        // greedily add the k-1 cheapest records
         for _ in 1..input.k {
             let (bi, _) = unassigned
                 .iter()
@@ -75,7 +222,7 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
             let row = unassigned.swap_remove(bi);
             for pos in 0..q {
                 let h = &input.hierarchies[pos];
-                cluster.lcas[pos] = h.lca(cluster.lcas[pos], leaf_of_row(row, pos));
+                cluster.lcas[pos] = h.lca_walk(cluster.lcas[pos], leaf_of_row(row, pos));
             }
             cluster.rows.push(row);
         }
@@ -83,7 +230,6 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
     }
     timer.phase("clustering");
 
-    // leftovers (fewer than k) each join the cheapest cluster
     for row in unassigned.drain(..) {
         let (ci, _) = clusters
             .iter()
@@ -94,19 +240,29 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
         let c = &mut clusters[ci];
         for pos in 0..q {
             let h = &input.hierarchies[pos];
-            c.lcas[pos] = h.lca(c.lcas[pos], leaf_of_row(row, pos));
+            c.lcas[pos] = h.lca_walk(c.lcas[pos], leaf_of_row(row, pos));
         }
         c.rows.push(row);
     }
     timer.phase("leftover assignment");
 
-    // recode: per attribute, per cluster LCA
+    let anon = recode(input, &clusters, n, q);
+    timer.phase("recode");
+
+    Ok(RelOutput {
+        anon,
+        phases: timer.finish(),
+    })
+}
+
+/// Publish each cluster's LCA per QI attribute (local recoding).
+fn recode(input: &RelationalInput, clusters: &[Building], n: usize, q: usize) -> AnonTable {
     let mut rel = Vec::with_capacity(q);
     for pos in 0..q {
         let mut domain: Vec<GenEntry> = Vec::new();
         let mut index: FxHashMap<NodeId, u32> = FxHashMap::default();
         let mut cells = vec![0u32; n];
-        for c in &clusters {
+        for c in clusters {
             let node = c.lcas[pos];
             let next = domain.len() as u32;
             let gid = *index.entry(node).or_insert(next);
@@ -123,17 +279,11 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
             cells,
         });
     }
-    let anon = AnonTable {
+    AnonTable {
         rel,
         tx: None,
         n_rows: n,
-    };
-    timer.phase("recode");
-
-    Ok(RelOutput {
-        anon,
-        phases: timer.finish(),
-    })
+    }
 }
 
 /// Row sets of the clusters produced by the clustering phase — needed
@@ -184,6 +334,24 @@ mod tests {
         t
     }
 
+    /// A table wide enough (> the parallel threshold) that the argmin
+    /// scans actually split across worker threads.
+    fn big_table(rows: usize) -> RtTable {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Age"),
+            Attribute::categorical("Edu"),
+        ])
+        .unwrap();
+        let mut t = RtTable::new(schema);
+        let edus = ["BSc", "MSc", "PhD", "HS"];
+        for i in 0..rows {
+            let age = (18 + (i * 13) % 60).to_string();
+            t.push_row(&[&age, edus[(i * 7) % edus.len()]], &[])
+                .unwrap();
+        }
+        t
+    }
+
     fn input(t: &RtTable, k: usize) -> RelationalInput<'_> {
         RelationalInput {
             table: t,
@@ -213,6 +381,41 @@ mod tests {
         let a = anonymize(&input(&t, 3), 7).unwrap();
         let b = anonymize(&input(&t, 3), 7).unwrap();
         assert_eq!(a.anon, b.anon);
+    }
+
+    #[test]
+    fn optimized_matches_reference_implementation() {
+        let t = table();
+        for seed in 0..4 {
+            for k in [1, 2, 3, 5] {
+                let fast = anonymize(&input(&t, k), seed).unwrap();
+                let slow = anonymize_reference(&input(&t, k), seed).unwrap();
+                assert_eq!(fast.anon, slow.anon, "seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_large_input() {
+        let t = big_table(700);
+        let fast = anonymize(&input(&t, 10), 3).unwrap();
+        let slow = anonymize_reference(&input(&t, 10), 3).unwrap();
+        assert_eq!(fast.anon, slow.anon);
+    }
+
+    #[test]
+    fn parallel_byte_identical_to_sequential() {
+        // > MIN_PARALLEL rows so the chunked argmin really engages
+        let t = big_table(1200);
+        let i = input(&t, 10);
+        secreta_parallel::set_threads(1);
+        let sequential = anonymize(&i, 9).unwrap();
+        for threads in [2usize, 3, 8] {
+            secreta_parallel::set_threads(threads);
+            let parallel = anonymize(&i, 9).unwrap();
+            assert_eq!(sequential.anon, parallel.anon, "threads={threads}");
+        }
+        secreta_parallel::set_threads(0);
     }
 
     #[test]

@@ -93,6 +93,80 @@ impl<'a> RelationalInput<'a> {
         }
         Ok(())
     }
+
+    /// Row-major `n_rows × qi_attrs.len()` matrix of QI value ids.
+    ///
+    /// The greedy argmin loops of the clustering algorithms scan every
+    /// row's QI tuple many thousands of times; materializing the ids
+    /// once replaces repeated `table.value()` virtual-layout lookups
+    /// with a dense sequential read.
+    pub fn value_matrix(&self) -> ValueMatrix {
+        let q = self.qi_attrs.len();
+        let n = self.table.n_rows();
+        let mut values = Vec::with_capacity(n * q);
+        for row in 0..n {
+            for &attr in &self.qi_attrs {
+                values.push(self.table.value(row, attr).0);
+            }
+        }
+        ValueMatrix { values, width: q }
+    }
+
+    /// Row-major `n_rows × qi_attrs.len()` matrix of leaf [`NodeId`]s
+    /// (each QI value resolved through its hierarchy).
+    pub fn leaf_matrix(&self) -> LeafMatrix {
+        let q = self.qi_attrs.len();
+        let n = self.table.n_rows();
+        let mut leaves = Vec::with_capacity(n * q);
+        for row in 0..n {
+            for (pos, &attr) in self.qi_attrs.iter().enumerate() {
+                leaves.push(self.hierarchies[pos].leaf(self.table.value(row, attr).0));
+            }
+        }
+        LeafMatrix { leaves, width: q }
+    }
+}
+
+/// Dense row-major matrix of QI value ids (see
+/// [`RelationalInput::value_matrix`]).
+pub struct ValueMatrix {
+    values: Vec<u32>,
+    width: usize,
+}
+
+impl ValueMatrix {
+    /// The QI value ids of `row`, in `qi_attrs` order.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u32] {
+        &self.values[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Number of QI attributes per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Dense row-major matrix of QI leaf nodes (see
+/// [`RelationalInput::leaf_matrix`]).
+pub struct LeafMatrix {
+    leaves: Vec<NodeId>,
+    width: usize,
+}
+
+impl LeafMatrix {
+    /// The QI leaf nodes of `row`, in `qi_attrs` order.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[NodeId] {
+        &self.leaves[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Number of QI attributes per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
 }
 
 /// Result of a relational run: the anonymized table and phase timings.
@@ -165,30 +239,101 @@ pub fn min_class_size(
     qi_attrs: &[usize],
     recode: impl Fn(usize, u32) -> NodeId,
 ) -> usize {
-    if table.n_rows() == 0 {
+    let q = qi_attrs.len();
+    let n = table.n_rows();
+    let mut values = Vec::with_capacity(n * q);
+    for row in 0..n {
+        for &attr in qi_attrs {
+            values.push(table.value(row, attr).0);
+        }
+    }
+    let matrix = ValueMatrix { values, width: q };
+    let domains: Vec<usize> = qi_attrs.iter().map(|&a| table.domain_size(a)).collect();
+    min_class_size_matrix(&matrix, &domains, recode)
+}
+
+/// [`min_class_size`] over a prebuilt [`ValueMatrix`].
+///
+/// The lattice/specialization searches call the k-anonymity check once
+/// per candidate recoding; building the matrix once per run and
+/// passing it here removes the per-candidate `table.value()` pass.
+/// `domains[pos]` is the domain size of `qi_attrs[pos]`.
+///
+/// Rows are bucketed by a dense per-attribute group code folded into a
+/// single `u64` — no per-row allocation, and when the code space is
+/// small the counts live in a flat vector instead of a hash map.
+pub fn min_class_size_matrix(
+    matrix: &ValueMatrix,
+    domains: &[usize],
+    recode: impl Fn(usize, u32) -> NodeId,
+) -> usize {
+    let n = matrix.values.len().checked_div(matrix.width).unwrap_or(0);
+    if n == 0 {
         return 0;
     }
-    // Precompute per-attribute value -> node maps (domains are small,
-    // rows are many).
-    let maps: Vec<Vec<NodeId>> = qi_attrs
-        .iter()
-        .enumerate()
-        .map(|(pos, &attr)| {
-            (0..table.domain_size(attr) as u32)
-                .map(|v| recode(pos, v))
-                .collect()
-        })
-        .collect();
-    let mut groups: FxHashMap<Vec<NodeId>, usize> = FxHashMap::default();
-    let mut sig = Vec::with_capacity(qi_attrs.len());
-    for row in 0..table.n_rows() {
-        sig.clear();
-        for (pos, &attr) in qi_attrs.iter().enumerate() {
-            sig.push(maps[pos][table.value(row, attr).index()]);
+    // Per attribute: value id -> dense group index (domains are small,
+    // rows are many), plus the number of distinct groups.
+    let mut dense: Vec<Vec<u64>> = Vec::with_capacity(domains.len());
+    let mut strides: Vec<u64> = Vec::with_capacity(domains.len());
+    let mut code_space: u64 = 1;
+    let mut overflow = false;
+    for (pos, &dom) in domains.iter().enumerate() {
+        let mut ids: FxHashMap<NodeId, u64> = FxHashMap::default();
+        let mut map = Vec::with_capacity(dom);
+        for v in 0..dom as u32 {
+            let node = recode(pos, v);
+            let next = ids.len() as u64;
+            map.push(*ids.entry(node).or_insert(next));
         }
-        *groups.entry(sig.clone()).or_insert(0) += 1;
+        strides.push(code_space);
+        match code_space.checked_mul(ids.len().max(1) as u64) {
+            Some(p) => code_space = p,
+            None => overflow = true,
+        }
+        dense.push(map);
+        if overflow {
+            break;
+        }
     }
-    groups.values().copied().min().unwrap_or(0)
+
+    let code_of = |row: usize| -> u64 {
+        let vals = matrix.row(row);
+        let mut code = 0u64;
+        for (pos, &v) in vals.iter().enumerate() {
+            code += dense[pos][v as usize] * strides[pos];
+        }
+        code
+    };
+
+    if overflow {
+        // astronomically wide code space: group on the full signature
+        let mut groups: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
+        for row in 0..n {
+            let sig: Vec<u64> = matrix
+                .row(row)
+                .iter()
+                .enumerate()
+                .map(|(pos, &v)| dense[pos][v as usize])
+                .collect();
+            *groups.entry(sig).or_insert(0) += 1;
+        }
+        return groups.values().copied().min().unwrap_or(0);
+    }
+
+    if code_space <= (n as u64) * 4 && code_space <= (1 << 22) {
+        // dense counting: one flat vector, no hashing at all
+        let mut counts = vec![0usize; code_space as usize];
+        for row in 0..n {
+            counts[code_of(row) as usize] += 1;
+        }
+        counts.into_iter().filter(|&c| c > 0).min().unwrap_or(0)
+    } else {
+        let mut groups: FxHashMap<u64, usize> = FxHashMap::default();
+        for row in 0..n {
+            *groups.entry(code_of(row)).or_insert(0) += 1;
+        }
+        groups.values().copied().min().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -235,10 +380,7 @@ mod tests {
         let mut i = input(&t, 0);
         assert!(matches!(i.validate(), Err(RelError::BadInput(_))));
         i.k = 9;
-        assert_eq!(
-            i.validate(),
-            Err(RelError::Infeasible { k: 9, n: 4 })
-        );
+        assert_eq!(i.validate(), Err(RelError::Infeasible { k: 9, n: 4 }));
         i.k = 2;
         i.qi_attrs = vec![];
         i.hierarchies = vec![];

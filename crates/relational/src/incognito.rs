@@ -17,7 +17,7 @@
 //! is published, matching how SECRETA's Evaluation mode reports a
 //! single anonymized dataset.
 
-use crate::common::{min_class_size, RelError, RelOutput, RelationalInput};
+use crate::common::{min_class_size, min_class_size_matrix, RelError, RelOutput, RelationalInput};
 use secreta_data::hash::FxHashSet;
 use secreta_metrics::anon::rel_column_from_value_map;
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
@@ -41,6 +41,15 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             }
             c
         })
+        .collect();
+    let totals: Vec<u64> = counts.iter().map(|c| c.iter().sum()).collect();
+    // row-major QI values: every lattice-node anonymity check scans
+    // all rows, so table lookups must stay out of that loop
+    let matrix = input.value_matrix();
+    let domains: Vec<usize> = input
+        .qi_attrs
+        .iter()
+        .map(|&a| input.table.domain_size(a))
         .collect();
     timer.phase("setup");
 
@@ -94,7 +103,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
                 continue;
             }
             checks += 1;
-            let m = min_class_size(input.table, &input.qi_attrs, |pos, v| {
+            let m = min_class_size_matrix(&matrix, &domains, |pos, v| {
                 input.hierarchies[pos].generalize(v, node[pos])
             });
             if m >= input.k {
@@ -110,13 +119,14 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     // `minimal` is non-empty.
     debug_assert!(!minimal.is_empty());
 
-    // choose the minimal node with the lowest weighted GCP
+    // choose the minimal node with the lowest weighted GCP (scored
+    // once per node, not once per comparison)
     let gcp_of = |node: &[u32]| -> f64 {
         let mut total = 0.0;
         for pos in 0..q {
             let h = &input.hierarchies[pos];
             let c = &counts[pos];
-            let rows: u64 = c.iter().sum();
+            let rows = totals[pos];
             if rows == 0 {
                 continue;
             }
@@ -132,12 +142,10 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     };
     let best = minimal
         .iter()
-        .min_by(|a, b| {
-            gcp_of(a)
-                .partial_cmp(&gcp_of(b))
-                .expect("GCP is finite")
-        })
+        .map(|node| (node, gcp_of(node)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("GCP is finite"))
         .expect("minimal set non-empty")
+        .0
         .clone();
     timer.phase("node selection");
 
@@ -237,9 +245,7 @@ mod tests {
             let out = anonymize(&input(&t, k)).unwrap();
             assert!(is_k_anonymous(&out.anon, k), "k={k}");
             let hs = input(&t, k).hierarchies;
-            assert!(out
-                .anon
-                .is_truthful(&t, |a| Some(hs[a].clone()), None));
+            assert!(out.anon.is_truthful(&t, |a| Some(hs[a].clone()), None));
         }
     }
 
@@ -279,9 +285,7 @@ mod tests {
                 .domain
                 .iter()
                 .map(|e| match e {
-                    GenEntry::Node(n) => {
-                        h.height() - (h.depth(*n))
-                    }
+                    GenEntry::Node(n) => h.height() - (h.depth(*n)),
                     _ => panic!("Incognito emits Node entries"),
                 })
                 .collect();
@@ -304,12 +308,7 @@ mod tests {
     fn phases_recorded() {
         let t = table();
         let out = anonymize(&input(&t, 2)).unwrap();
-        let names: Vec<&str> = out
-            .phases
-            .phases
-            .iter()
-            .map(|(n, _)| n.as_str())
-            .collect();
+        let names: Vec<&str> = out.phases.phases.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
             vec![
@@ -347,9 +346,7 @@ mod tests {
         for l0 in 0..=heights[0] {
             for l1 in 0..=heights[1] {
                 let node = vec![l0, l1];
-                let m = min_class_size(&t, &i.qi_attrs, |pos, v| {
-                    hs[pos].generalize(v, node[pos])
-                });
+                let m = min_class_size(&t, &i.qi_attrs, |pos, v| hs[pos].generalize(v, node[pos]));
                 if m < 4 {
                     continue;
                 }
@@ -360,9 +357,7 @@ mod tests {
                     }
                     let mut pred = node.clone();
                     pred[pos] -= 1;
-                    min_class_size(&t, &i.qi_attrs, |p, v| {
-                        hs[p].generalize(v, pred[p])
-                    }) < 4
+                    min_class_size(&t, &i.qi_attrs, |p, v| hs[p].generalize(v, pred[p])) < 4
                 });
                 if !minimal {
                     continue;

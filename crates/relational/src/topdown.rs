@@ -11,7 +11,7 @@
 //! framework evaluates — the greedy structure, cut representation and
 //! stopping rule are Fung et al.'s.
 
-use crate::common::{min_class_size, RelError, RelOutput, RelationalInput};
+use crate::common::{min_class_size_matrix, RelError, RelOutput, RelationalInput};
 use secreta_hierarchy::Cut;
 use secreta_metrics::anon::rel_column_from_value_map;
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
@@ -33,7 +33,17 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             c
         })
         .collect();
+    let totals: Vec<u64> = counts.iter().map(|c| c.iter().sum()).collect();
     let mut cuts: Vec<Cut> = input.hierarchies.iter().map(Cut::root).collect();
+    // QI values in row-major form: the k-anonymity check below runs
+    // once per candidate per round, so table lookups must not sit on
+    // that path
+    let matrix = input.value_matrix();
+    let domains: Vec<usize> = input
+        .qi_attrs
+        .iter()
+        .map(|&a| input.table.domain_size(a))
+        .collect();
     timer.phase("setup");
 
     // Greedy specialization loop.
@@ -44,7 +54,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             for cand in cuts[pos].specialization_candidates(h) {
                 // NCP gain of splitting `cand` into its children,
                 // weighted by the records it covers.
-                let total: u64 = counts[pos].iter().sum();
+                let total = totals[pos];
                 if total == 0 {
                     continue;
                 }
@@ -70,7 +80,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
                 // validity: still k-anonymous after the split
                 let mut trial = cuts[pos].clone();
                 trial.specialize(h, cand);
-                let m = min_class_size(input.table, &input.qi_attrs, |p, v| {
+                let m = min_class_size_matrix(&matrix, &domains, |p, v| {
                     if p == pos {
                         trial.node_of(v)
                     } else {

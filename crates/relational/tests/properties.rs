@@ -9,11 +9,7 @@ use secreta_relational::common::min_class_size;
 use secreta_relational::{is_k_anonymous, RelationalAlgorithm, RelationalInput};
 
 fn build_table(rows: &[(usize, usize)], dom_a: usize, dom_b: usize) -> RtTable {
-    let schema = Schema::new(vec![
-        Attribute::numeric("A"),
-        Attribute::categorical("B"),
-    ])
-    .unwrap();
+    let schema = Schema::new(vec![Attribute::numeric("A"), Attribute::categorical("B")]).unwrap();
     let mut t = RtTable::new(schema);
     for v in 0..dom_a {
         t.intern_value(0, &v.to_string()).unwrap();
@@ -138,6 +134,40 @@ proptest! {
                 "{algo:?} must keep duplicated data untouched, gcp={g}"
             );
         }
+    }
+
+    #[test]
+    fn cluster_optimized_matches_reference(
+        rows in rows_strategy(),
+        dom_a in 2usize..12,
+        dom_b in 2usize..8,
+        k in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(rows.len() >= k);
+        let t = build_table(&rows, dom_a, dom_b);
+        let i = input(&t, k, 3);
+        let fast = secreta_relational::cluster::anonymize(&i, seed).expect("feasible");
+        let slow = secreta_relational::cluster::anonymize_reference(&i, seed).expect("feasible");
+        prop_assert_eq!(fast.anon, slow.anon);
+    }
+
+    #[test]
+    fn cluster_output_invariant_under_thread_count(
+        rows in rows_strategy(),
+        k in 2usize..5,
+        seed in 0u64..50,
+        threads in 2usize..6,
+    ) {
+        prop_assume!(rows.len() >= k);
+        let t = build_table(&rows, 10, 6);
+        let i = input(&t, k, 3);
+        secreta_parallel::set_threads(1);
+        let sequential = secreta_relational::cluster::anonymize(&i, seed).expect("feasible");
+        secreta_parallel::set_threads(threads);
+        let parallel = secreta_relational::cluster::anonymize(&i, seed).expect("feasible");
+        secreta_parallel::set_threads(0);
+        prop_assert_eq!(sequential.anon, parallel.anon);
     }
 
     #[test]

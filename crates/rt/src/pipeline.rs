@@ -112,12 +112,7 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
         .into_iter()
         .map(|rows| ClusterSummary::new(input.table, rows, &input.qi_attrs, &input.hierarchies))
         .collect();
-    let mut clusters = merge_clusters(
-        summaries,
-        input.bounding,
-        &input.hierarchies,
-        input.delta,
-    );
+    let mut clusters = merge_clusters(summaries, input.bounding, &input.hierarchies, input.delta);
     timer.phase("cluster merging");
 
     // 3. per-cluster transaction anonymization, with feasibility
@@ -342,8 +337,7 @@ mod tests {
 
     fn hierarchies(t: &RtTable) -> (Vec<Hierarchy>, Hierarchy) {
         let hs = vec![auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap()];
-        let ih =
-            auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+        let ih = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
         (hs, ih)
     }
 
@@ -368,11 +362,7 @@ mod tests {
                         "{rel:?}+{tx:?}+{b:?}"
                     );
                     assert!(
-                        out.anon.is_truthful(
-                            &t,
-                            |a| Some(hs[a].clone()),
-                            Some(&ih)
-                        ),
+                        out.anon.is_truthful(&t, |a| Some(hs[a].clone()), Some(&ih)),
                         "{rel:?}+{tx:?}+{b:?} truthfulness"
                     );
                 }
@@ -400,12 +390,8 @@ mod tests {
         };
         let d1 = run(1);
         let d4 = run(4);
-        let rel_loss = |o: &RtOutput| {
-            secreta_metrics::gcp(&t, &o.anon, |_| Some(hs[0].clone()))
-        };
-        let tx_loss = |o: &RtOutput| {
-            secreta_metrics::transaction_gcp(&t, &o.anon, Some(&ih))
-        };
+        let rel_loss = |o: &RtOutput| secreta_metrics::gcp(&t, &o.anon, |_| Some(hs[0].clone()));
+        let tx_loss = |o: &RtOutput| secreta_metrics::transaction_gcp(&t, &o.anon, Some(&ih));
         // merging clusters can only coarsen the relational side...
         assert!(rel_loss(&d4) >= rel_loss(&d1) - 1e-9);
         // ...and gives the transaction side more room (never worse)
@@ -495,8 +481,7 @@ mod tests {
         t.push_row(&["60"], &["a"]).unwrap();
         t.push_row(&["61"], &[]).unwrap();
         let hs = vec![auto_hierarchy(t.pool(0), AttributeKind::Numeric, 2).unwrap()];
-        let ih =
-            auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+        let ih = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
         let i = input(
             &t,
             &hs,

@@ -125,8 +125,7 @@ pub(crate) fn anonymize_rows(
                     Some((bp, binv, bncp)) => {
                         inv > binv
                             || (inv == binv
-                                && (ncp < bncp - 1e-15
-                                    || (ncp <= bncp + 1e-15 && parent < bp)))
+                                && (ncp < bncp - 1e-15 || (ncp <= bncp + 1e-15 && parent < bp)))
                     }
                 };
                 if better {
@@ -235,9 +234,8 @@ pub(crate) fn build_anon(
             }
         }
     }
-    let tx = AnonTransaction::from_row_mapping(table, domain, |row, it| {
-        map(row, it).map(|n| index[&n])
-    });
+    let tx =
+        AnonTransaction::from_row_mapping(table, domain, |row, it| map(row, it).map(|n| index[&n]));
     AnonTable {
         rel: Vec::new(),
         tx: Some(tx),
@@ -282,10 +280,7 @@ mod tests {
         for k in [2, 3, 4] {
             for m in [1, 2, 3] {
                 let out = anonymize(&TransactionInput::km(&t, k, m, &h)).unwrap();
-                assert!(
-                    is_km_anonymous(&out.anon, k, m, Some(&h)),
-                    "k={k} m={m}"
-                );
+                assert!(is_km_anonymous(&out.anon, k, m, Some(&h)), "k={k} m={m}");
                 assert!(out.anon.is_truthful(&t, |_| None, Some(&h)));
                 assert!(out.anon.is_complete(&t, Some(&h)));
             }

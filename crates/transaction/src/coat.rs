@@ -129,7 +129,11 @@ pub(crate) fn constrain(
             let partner_items: Vec<u32> = if global_partner_pool {
                 (0..universe as u32).collect()
             } else {
-                utility.mergeable_with(*it).into_iter().map(|j| j.0).collect()
+                utility
+                    .mergeable_with(*it)
+                    .into_iter()
+                    .map(|j| j.0)
+                    .collect()
             };
             let mut seen_roots: Vec<u32> = Vec::new();
             for j in partner_items {

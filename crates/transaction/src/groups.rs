@@ -66,8 +66,7 @@ impl ItemGroups {
             return ra;
         }
         // small-to-large on member lists
-        let (big, small) = if self.members[ra as usize].len() >= self.members[rb as usize].len()
-        {
+        let (big, small) = if self.members[ra as usize].len() >= self.members[rb as usize].len() {
             (ra, rb)
         } else {
             (rb, ra)
@@ -114,7 +113,9 @@ impl ItemGroups {
 
     /// All current roots (deterministic order).
     pub fn roots(&mut self) -> Vec<u32> {
-        (0..self.len() as u32).filter(|&i| self.find(i) == i).collect()
+        (0..self.len() as u32)
+            .filter(|&i| self.find(i) == i)
+            .collect()
     }
 }
 

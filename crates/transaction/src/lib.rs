@@ -20,15 +20,15 @@ pub mod coat;
 pub mod common;
 pub mod groups;
 pub mod lra;
-pub mod scoped;
 pub mod pcta;
 pub mod rho;
 pub mod rho_td;
+pub mod scoped;
 pub mod verify;
 pub mod vpa;
 
 pub use common::{TransactionAlgorithm, TransactionInput, TxError, TxOutput};
-pub use scoped::{anonymize_scoped, ClusterTx, ItemMap};
 pub use rho::{is_rho_uncertain, RhoParams};
 pub use rho_td::is_rho_uncertain_published;
+pub use scoped::{anonymize_scoped, ClusterTx, ItemMap};
 pub use verify::{is_km_anonymous, satisfies_privacy};

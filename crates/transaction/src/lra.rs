@@ -45,10 +45,7 @@ pub fn anonymize(input: &TransactionInput, partitions: usize) -> Result<TxOutput
         if let Some(last) = chunks.last() {
             if last.len() < input.k && chunks.len() > 1 {
                 let tail = chunks.pop().expect("checked non-empty");
-                chunks
-                    .last_mut()
-                    .expect("len > 1 before pop")
-                    .extend(tail);
+                chunks.last_mut().expect("len > 1 before pop").extend(tail);
             }
         }
     }
@@ -121,10 +118,7 @@ mod tests {
         let h = hierarchy(&t);
         for p in [1, 2, 4] {
             let out = anonymize(&TransactionInput::km(&t, 2, 2, &h), p).unwrap();
-            assert!(
-                is_km_anonymous(&out.anon, 2, 2, Some(&h)),
-                "partitions={p}"
-            );
+            assert!(is_km_anonymous(&out.anon, 2, 2, Some(&h)), "partitions={p}");
             assert!(out.anon.is_truthful(&t, |_| None, Some(&h)));
         }
     }
@@ -136,9 +130,8 @@ mod tests {
         let lra = anonymize(&TransactionInput::km(&t, 2, 2, &h), 1).unwrap();
         let aa = apriori::anonymize(&TransactionInput::km(&t, 2, 2, &h)).unwrap();
         assert!(
-            (transaction_gcp(&t, &lra.anon, Some(&h))
-                - transaction_gcp(&t, &aa.anon, Some(&h)))
-            .abs()
+            (transaction_gcp(&t, &lra.anon, Some(&h)) - transaction_gcp(&t, &aa.anon, Some(&h)))
+                .abs()
                 < 1e-12
         );
     }
@@ -149,12 +142,16 @@ mod tests {
         let h = hierarchy(&t);
         let g1 = transaction_gcp(
             &t,
-            &anonymize(&TransactionInput::km(&t, 3, 2, &h), 1).unwrap().anon,
+            &anonymize(&TransactionInput::km(&t, 3, 2, &h), 1)
+                .unwrap()
+                .anon,
             Some(&h),
         );
         let g4 = transaction_gcp(
             &t,
-            &anonymize(&TransactionInput::km(&t, 3, 2, &h), 4).unwrap().anon,
+            &anonymize(&TransactionInput::km(&t, 3, 2, &h), 4)
+                .unwrap()
+                .anon,
             Some(&h),
         );
         // local recoding on separable data should not lose more

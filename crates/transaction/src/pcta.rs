@@ -256,10 +256,15 @@ mod tests {
         let pool = t.item_pool().unwrap();
         let hiv = pool.get("hiv").unwrap();
         let herpes = pool.get("herpes").unwrap();
-        let merged_rare = tx.domain.iter().any(|e| {
-            matches!(e, GenEntry::Set(s) if s.contains(&hiv) && s.contains(&herpes))
-        });
-        assert!(merged_rare, "rare items should cluster together: {:?}", tx.domain);
+        let merged_rare = tx
+            .domain
+            .iter()
+            .any(|e| matches!(e, GenEntry::Set(s) if s.contains(&hiv) && s.contains(&herpes)));
+        assert!(
+            merged_rare,
+            "rare items should cluster together: {:?}",
+            tx.domain
+        );
     }
 
     #[test]

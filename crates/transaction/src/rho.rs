@@ -144,7 +144,13 @@ fn violations(
 }
 
 fn enumerate_subsets(items: &[u32], size: usize, f: &mut impl FnMut(&[u32])) {
-    fn rec(items: &[u32], size: usize, start: usize, cur: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    fn rec(
+        items: &[u32],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
         if cur.len() == size {
             f(cur);
             return;

@@ -62,7 +62,12 @@ impl State {
         let mut toks: Vec<Token> = Vec::new();
         for &r in rows {
             toks.clear();
-            toks.extend(table.transaction(r).iter().filter_map(|&it| self.token_of(it)));
+            toks.extend(
+                table
+                    .transaction(r)
+                    .iter()
+                    .filter_map(|&it| self.token_of(it)),
+            );
             toks.sort_unstable();
             toks.dedup();
             if toks.is_empty() {
@@ -94,7 +99,13 @@ impl State {
 }
 
 fn subsets(items: &[Token], size: usize, f: &mut impl FnMut(&[Token])) {
-    fn rec(items: &[Token], size: usize, start: usize, cur: &mut Vec<Token>, f: &mut impl FnMut(&[Token])) {
+    fn rec(
+        items: &[Token],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<Token>,
+        f: &mut impl FnMut(&[Token]),
+    ) {
         if cur.len() == size {
             f(cur);
             return;
@@ -180,9 +191,9 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
         for cand in cands {
             // skip nodes that only cover sensitive/suppressed leaves —
             // splitting them changes nothing
-            let relevant = h.leaves_under(cand).any(|v| {
-                !state.sensitive.contains(&v) && !state.suppressed[v as usize]
-            });
+            let relevant = h
+                .leaves_under(cand)
+                .any(|v| !state.sensitive.contains(&v) && !state.suppressed[v as usize]);
             if !relevant {
                 continue;
             }
@@ -246,11 +257,7 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
 /// Verify ρ-uncertainty of a TDControl-style published output: mines
 /// rules over the published generalized tokens, treating singleton
 /// entries of sensitive items as the rule targets.
-pub fn is_rho_uncertain_published(
-    _table: &RtTable,
-    anon: &AnonTable,
-    params: &RhoParams,
-) -> bool {
+pub fn is_rho_uncertain_published(_table: &RtTable, anon: &AnonTable, params: &RhoParams) -> bool {
     let tx = match &anon.tx {
         Some(tx) => tx,
         None => return true,
@@ -284,9 +291,7 @@ pub fn is_rho_uncertain_published(
                 *sup_q.entry(q.to_vec()).or_insert(0) += 1;
                 for &s in &present {
                     // the antecedent may not contain the target itself
-                    let contains_target = q
-                        .iter()
-                        .any(|&g| target_of[g as usize] == Some(s));
+                    let contains_target = q.iter().any(|&g| target_of[g as usize] == Some(s));
                     if !contains_target {
                         *sup_qs.entry((q.to_vec(), s)).or_insert(0) += 1;
                     }
@@ -301,7 +306,13 @@ pub fn is_rho_uncertain_published(
 }
 
 fn subsets_u32(items: &[u32], size: usize, f: &mut impl FnMut(&[u32])) {
-    fn rec(items: &[u32], size: usize, start: usize, cur: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    fn rec(
+        items: &[u32],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
         if cur.len() == size {
             f(cur);
             return;
@@ -467,14 +478,11 @@ mod tests {
         let params = RhoParams::new(0.6, vec![hiv]);
         let td = anonymize(&input(&t, &h), &params).unwrap();
         let sc = crate::rho::anonymize(&input(&t, &h), &params).unwrap();
-        let td_dropped = td
-            .anon
-            .tx
-            .as_ref()
-            .unwrap()
-            .suppressed
-            .len();
+        let td_dropped = td.anon.tx.as_ref().unwrap().suppressed.len();
         let sc_dropped = sc.anon.tx.as_ref().unwrap().suppressed.len();
-        assert!(td_dropped <= sc_dropped, "TD {td_dropped} > SC {sc_dropped}");
+        assert!(
+            td_dropped <= sc_dropped,
+            "TD {td_dropped} > SC {sc_dropped}"
+        );
     }
 }

@@ -31,9 +31,7 @@ impl ItemMap {
     pub fn entry(&self, it: ItemId) -> Option<GenEntry> {
         match self {
             ItemMap::Nodes(v) => v[it.index()].map(GenEntry::Node),
-            ItemMap::Sets(v) => v[it.index()]
-                .as_ref()
-                .map(|s| GenEntry::Set(s.clone())),
+            ItemMap::Sets(v) => v[it.index()].as_ref().map(|s| GenEntry::Set(s.clone())),
         }
     }
 
@@ -86,9 +84,8 @@ pub fn anonymize_scoped(
     utility: Option<&UtilityPolicy>,
 ) -> Result<ClusterTx, TxError> {
     let need_h = || {
-        hierarchy.ok_or_else(|| {
-            TxError::BadInput(format!("{} requires an item hierarchy", algo.name()))
-        })
+        hierarchy
+            .ok_or_else(|| TxError::BadInput(format!("{} requires an item hierarchy", algo.name())))
     };
     let default_privacy;
     let privacy = match privacy {
@@ -127,9 +124,7 @@ pub fn anonymize_scoped(
             let mut order: Vec<usize> = (0..rows.len())
                 .filter(|&p| !table.transaction(rows[p]).is_empty())
                 .collect();
-            order.sort_by(|&a, &b| {
-                table.transaction(rows[a]).cmp(table.transaction(rows[b]))
-            });
+            order.sort_by(|&a, &b| table.transaction(rows[a]).cmp(table.transaction(rows[b])));
             let mut chunk_of_row = vec![0u32; rows.len()];
             let mut chunks: Vec<ItemMap> = Vec::new();
             if order.is_empty() {
@@ -142,13 +137,9 @@ pub fn anonymize_scoped(
                     });
                 }
                 let target = order.len().div_ceil(partitions).max(k);
-                let mut chunk_rows: Vec<Vec<usize>> = order
-                    .chunks(target)
-                    .map(|c| c.to_vec())
-                    .collect();
-                if chunk_rows.len() > 1
-                    && chunk_rows.last().map(Vec::len).unwrap_or(0) < k
-                {
+                let mut chunk_rows: Vec<Vec<usize>> =
+                    order.chunks(target).map(|c| c.to_vec()).collect();
+                if chunk_rows.len() > 1 && chunk_rows.last().map(Vec::len).unwrap_or(0) < k {
                     let tail = chunk_rows.pop().expect("non-empty");
                     chunk_rows
                         .last_mut()
@@ -157,8 +148,7 @@ pub fn anonymize_scoped(
                 }
                 for positions in chunk_rows {
                     let abs: Vec<usize> = positions.iter().map(|&p| rows[p]).collect();
-                    let state =
-                        anonymize_rows(table, &abs, k, m, h, |_| true, |_| true, false)?;
+                    let state = anonymize_rows(table, &abs, k, m, h, |_| true, |_| true, false)?;
                     let ci = chunks.len() as u32;
                     for &p in &positions {
                         chunk_of_row[p] = ci;
@@ -298,8 +288,7 @@ mod tests {
     fn scoped_coat_and_pcta_work_without_hierarchy() {
         let t = table();
         for algo in [TransactionAlgorithm::Coat, TransactionAlgorithm::Pcta] {
-            let ct = anonymize_scoped(algo, &t, &[0, 1, 2, 3], 2, 1, None, None, None)
-                .unwrap();
+            let ct = anonymize_scoped(algo, &t, &[0, 1, 2, 3], 2, 1, None, None, None).unwrap();
             assert_eq!(ct.chunks.len(), 1);
             // every in-scope item published somehow (merge, not suppress)
             for pos in 0..4usize {

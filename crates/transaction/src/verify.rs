@@ -108,9 +108,7 @@ mod tests {
         assert!(!is_km_anonymous(&a, 2, 1, None), "c has support 1");
         // merge c into a gen item with a? then supports change
         let dom = vec![GenEntry::set(vec![0, 2]), GenEntry::Set(vec![1])];
-        let tx = AnonTransaction::from_mapping(&t, dom, |it| {
-            Some(if it.0 == 1 { 1 } else { 0 })
-        });
+        let tx = AnonTransaction::from_mapping(&t, dom, |it| Some(if it.0 == 1 { 1 } else { 0 }));
         let merged = AnonTable {
             rel: vec![],
             tx: Some(tx),

@@ -54,9 +54,7 @@ pub fn anonymize(input: &TransactionInput, parts: usize) -> Result<TxOutput, TxE
     }
     timer.phase("per-part recoding");
 
-    let anon = build_anon(input.table, h, |_, it| {
-        states[part_of[it.index()]].map(it)
-    });
+    let anon = build_anon(input.table, h, |_, it| states[part_of[it.index()]].map(it));
     timer.phase("publish");
 
     Ok(TxOutput {
@@ -102,10 +100,7 @@ mod tests {
         let h = hierarchy(&t);
         for parts in [1, 2, 3] {
             let out = anonymize(&TransactionInput::km(&t, 2, 1, &h), parts).unwrap();
-            assert!(
-                is_km_anonymous(&out.anon, 2, 1, Some(&h)),
-                "parts={parts}"
-            );
+            assert!(is_km_anonymous(&out.anon, 2, 1, Some(&h)), "parts={parts}");
             assert!(out.anon.is_truthful(&t, |_| None, Some(&h)));
         }
     }
@@ -117,9 +112,8 @@ mod tests {
         let vpa = anonymize(&TransactionInput::km(&t, 2, 2, &h), 1).unwrap();
         let aa = apriori::anonymize(&TransactionInput::km(&t, 2, 2, &h)).unwrap();
         assert!(
-            (transaction_gcp(&t, &vpa.anon, Some(&h))
-                - transaction_gcp(&t, &aa.anon, Some(&h)))
-            .abs()
+            (transaction_gcp(&t, &vpa.anon, Some(&h)) - transaction_gcp(&t, &aa.anon, Some(&h)))
+                .abs()
                 < 1e-12
         );
         assert!(is_km_anonymous(&vpa.anon, 2, 2, Some(&h)));
@@ -152,9 +146,9 @@ mod tests {
                     .filter(|&g| {
                         // a gen item belongs to the part of its leaves
                         match &tx.domain[g as usize] {
-                            secreta_metrics::GenEntry::Node(n) => h
-                                .leaves_under(*n)
-                                .all(|v| part_of[v as usize] == p),
+                            secreta_metrics::GenEntry::Node(n) => {
+                                h.leaves_under(*n).all(|v| part_of[v as usize] == p)
+                            }
                             _ => false,
                         }
                     })

@@ -8,8 +8,8 @@ use secreta_metrics::transaction_gcp;
 use secreta_policy::{PrivacyPolicy, UtilityPolicy};
 use secreta_transaction::rho::{self, RhoParams};
 use secreta_transaction::{
-    is_km_anonymous, is_rho_uncertain, satisfies_privacy, TransactionAlgorithm,
-    TransactionInput, TxError,
+    is_km_anonymous, is_rho_uncertain, satisfies_privacy, TransactionAlgorithm, TransactionInput,
+    TxError,
 };
 
 fn build_table(rows: &[Vec<usize>], universe: usize) -> RtTable {

@@ -34,9 +34,7 @@ fn main() {
     };
     let configurations: Vec<Configuration> = RelAlgo::all()
         .into_iter()
-        .map(|algo| {
-            Configuration::new(MethodSpec::Relational { algo, k: 0 }, sweep, 11)
-        })
+        .map(|algo| Configuration::new(MethodSpec::Relational { algo, k: 0 }, sweep, 11))
         .collect();
 
     println!(
@@ -73,8 +71,7 @@ fn main() {
                 _ => i.runtime_ms,
             },
         );
-        let (svg, csv) =
-            export::export_xy_chart(&chart, dir.join(name)).expect("write charts");
+        let (svg, csv) = export::export_xy_chart(&chart, dir.join(name)).expect("write charts");
         println!("wrote {} and {}", svg.display(), csv.display());
     }
 }

@@ -68,7 +68,10 @@ fn main() {
         ),
     ];
 
-    println!("comparing {} configurations over k = 5..25\n", configurations.len());
+    println!(
+        "comparing {} configurations over k = 5..25\n",
+        configurations.len()
+    );
     let result = compare(&ctx, &configurations, 4);
 
     for (label, pts) in result.labels.iter().zip(&result.points) {

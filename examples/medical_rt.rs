@@ -17,9 +17,7 @@
 //! workflow of the paper.
 
 use secreta::core::config::{MethodSpec, TxAlgo};
-use secreta::core::policy::{
-    generate_privacy, generate_utility, PrivacyStrategy, UtilityStrategy,
-};
+use secreta::core::policy::{generate_privacy, generate_utility, PrivacyStrategy, UtilityStrategy};
 use secreta::core::transaction::satisfies_privacy;
 use secreta::core::{anonymizer, SessionContext};
 use secreta::gen::DatasetSpec;
@@ -60,11 +58,7 @@ fn main() {
     assert!(ok, "COAT must satisfy its privacy policy");
 
     let tx = out.anon.tx.as_ref().expect("transaction part");
-    let merged = tx
-        .domain
-        .iter()
-        .filter(|e| e.leaf_count(None) > 1)
-        .count();
+    let merged = tx.domain.iter().filter(|e| e.leaf_count(None) > 1).count();
     println!(
         "published item domain: {} generalized items ({merged} merged sets), {} suppressed diagnoses",
         tx.domain.len(),

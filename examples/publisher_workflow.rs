@@ -72,7 +72,10 @@ fn main() {
     .generate(&ctx.table);
     let mut f = std::fs::File::create(dir.join("queries.txt")).expect("workload file");
     write_workload(&workload, &ctx.table, &mut f).expect("workload");
-    let privacy = generate_privacy(&ctx.table, &PrivacyStrategy::RareItems { max_support: 0.03 });
+    let privacy = generate_privacy(
+        &ctx.table,
+        &PrivacyStrategy::RareItems { max_support: 0.03 },
+    );
     let mut f = std::fs::File::create(dir.join("privacy.txt")).expect("policy file");
     write_privacy(&privacy, &ctx.table, &mut f).expect("policy");
     println!(

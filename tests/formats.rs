@@ -30,8 +30,7 @@ fn hierarchy_files_roundtrip_for_every_attribute() {
     let ih = ctx.item_hierarchy.as_ref().unwrap();
     let mut buf = Vec::new();
     hio::write_hierarchy(ih, &mut buf, ';').unwrap();
-    let back =
-        hio::read_hierarchy(buf.as_slice(), ctx.table.item_pool().unwrap(), ';').unwrap();
+    let back = hio::read_hierarchy(buf.as_slice(), ctx.table.item_pool().unwrap(), ';').unwrap();
     assert_eq!(back.n_nodes(), ih.n_nodes());
 }
 

@@ -1,0 +1,605 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: integer-range, tuple,
+//! `prop::collection::vec`, `any::<T>()` and character-class string
+//! strategies, `.prop_map`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. Cases are generated from
+//! a deterministic per-case RNG rather than upstream proptest's
+//! shrinking engine: a failure reports the sampled inputs but is not
+//! minimized.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn pick(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.pick(rng))
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    if span == 0 {
+                        return lo + rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+    macro_rules! impl_tuples {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.pick(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuples! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn pick(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // ------------------------------------------------- string patterns
+
+    /// String literals act as character-class pattern strategies.
+    ///
+    /// Supported pattern grammar (covers this workspace's usage):
+    /// `[CLASS]{N}`, `[CLASS]{M,N}` where CLASS is a sequence of
+    /// literal characters and `a-z` ranges, optionally followed by
+    /// `&&[^CLASS]` subtraction. `\` escapes the next character.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn pick(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_pattern(self)
+                .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+            assert!(!alphabet.is_empty(), "empty alphabet in pattern {self:?}");
+            let span = (hi - lo + 1) as u64;
+            let len = lo + (rng.next_u64() % span) as usize;
+            (0..len)
+                .map(|_| alphabet[(rng.next_u64() % alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Result<(Vec<char>, usize, usize), String> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0usize;
+        let include = parse_class(&chars, &mut pos)?;
+        let exclude = if chars[pos..].starts_with(&['&', '&']) {
+            pos += 2;
+            if chars.get(pos) != Some(&'[') {
+                return Err("expected class after &&".into());
+            }
+            parse_class(&chars, &mut pos)?
+        } else {
+            Vec::new()
+        };
+        if chars.get(pos) != Some(&'{') {
+            return Err("expected {repetition}".into());
+        }
+        pos += 1;
+        let rep: String = chars[pos..].iter().take_while(|&&c| c != '}').collect();
+        pos += rep.len();
+        if chars.get(pos) != Some(&'}') || pos + 1 != chars.len() {
+            return Err("malformed repetition".into());
+        }
+        let (lo, hi) = match rep.split_once(',') {
+            Some((a, b)) => (
+                a.parse().map_err(|_| "bad repetition lower bound")?,
+                b.parse().map_err(|_| "bad repetition upper bound")?,
+            ),
+            None => {
+                let n: usize = rep.parse().map_err(|_| "bad repetition count")?;
+                (n, n)
+            }
+        };
+        let alphabet: Vec<char> = include
+            .into_iter()
+            .filter(|c| !exclude.contains(c))
+            .collect();
+        Ok((alphabet, lo, hi))
+    }
+
+    /// Parse a `[...]` class (possibly `[^...]`) starting at `*pos`;
+    /// negation is interpreted against printable ASCII.
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Vec<char>, String> {
+        if chars.get(*pos) != Some(&'[') {
+            return Err("expected [".into());
+        }
+        *pos += 1;
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut set = Vec::new();
+        loop {
+            match chars.get(*pos) {
+                None => return Err("unterminated class".into()),
+                Some(']') => {
+                    *pos += 1;
+                    break;
+                }
+                Some('\\') => {
+                    let c = *chars.get(*pos + 1).ok_or("trailing escape")?;
+                    set.push(c);
+                    *pos += 2;
+                }
+                // class intersection: [A&&[B]] keeps chars in both
+                Some('&')
+                    if chars.get(*pos + 1) == Some(&'&') && chars.get(*pos + 2) == Some(&'[') =>
+                {
+                    *pos += 2;
+                    let rhs = parse_class(chars, pos)?;
+                    set.retain(|c| rhs.contains(c));
+                }
+                Some(&c) => {
+                    // range a-b (only when a dash sits between two members)
+                    if chars.get(*pos + 1) == Some(&'-')
+                        && chars.get(*pos + 2).is_some_and(|&e| e != ']')
+                    {
+                        let end = chars[*pos + 2];
+                        for v in c as u32..=end as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        *pos += 3;
+                    } else {
+                        set.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        if negated {
+            let all: Vec<char> = (0x20u32..=0x7E).filter_map(char::from_u32).collect();
+            Ok(all.into_iter().filter(|c| !set.contains(c)).collect())
+        } else {
+            Ok(set)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors of `elem` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 generator driving case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this input; retry with another.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drive `case` until `config.cases` inputs have been accepted.
+    ///
+    /// `case` returns a description of the sampled inputs plus the
+    /// case outcome; failures panic with both.
+    pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let max_rejects = (config.cases as u64).saturating_mul(20).max(1000);
+        let mut accepted = 0u32;
+        let mut rejected = 0u64;
+        let mut attempt = 0u64;
+        while accepted < config.cases {
+            // fixed global salt so runs are reproducible build-to-build
+            let seed = 0x5ec2_e7a0_0000_0000u64 ^ attempt.wrapping_mul(0x9E37_79B9);
+            let mut rng = TestRng::from_seed(seed);
+            let (desc, outcome) = case(&mut rng);
+            attempt += 1;
+            match outcome {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest `{test_name}`: too many rejected inputs \
+                             ({rejected}) — weaken prop_assume! conditions"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{test_name}` failed at case {accepted}: {msg}\n\
+                         inputs: {desc}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            // one tuple strategy over all parameters; per case the
+            // sampled tuple is destructured by the declared patterns
+            let __strategies = ($(($strat),)+);
+            $crate::test_runner::run_cases(__config, stringify!($name), |__rng| {
+                let __values =
+                    $crate::strategy::Strategy::pick(&__strategies, __rng);
+                let __desc = format!(
+                    concat!("(", $(stringify!($arg), ", ",)+ ") = {:?}"),
+                    __values
+                );
+                let ($($arg,)+) = __values;
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (|| { $body Ok(()) })();
+                (__desc, __outcome)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 3usize..17,
+            m in 0u32..5,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!(m < 5);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            rows in prop::collection::vec((0usize..10, 0usize..10), 1..20),
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 20);
+            for (a, b) in &rows {
+                prop_assert!(*a < 10 && *b < 10);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn string_patterns(
+            s in "[ -~]{0,12}",
+            t in "[!-~&&[^,\"]]{1,8}",
+        ) {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(!t.is_empty() && t.len() <= 8);
+            prop_assert!(t.chars().all(|c| c != ',' && c != '"' && !c.is_whitespace()));
+        }
+
+        #[test]
+        fn prop_map_applies(
+            s in "[a-z]{1,4}".prop_map(|s| s.to_uppercase()),
+        ) {
+            prop_assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+}

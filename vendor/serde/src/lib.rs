@@ -1,0 +1,435 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of serde that the SECRETA workspace actually
+//! uses: `#[derive(Serialize, Deserialize)]` (via the sibling
+//! `serde_derive` stub), the `#[serde(skip)]` / `#[serde(default)]` /
+//! `#[serde(default = "path")]` field attributes, and enough trait
+//! machinery for `serde_json`-style round-trips.
+//!
+//! Instead of serde's visitor architecture, everything funnels through
+//! an owned JSON-like [`Value`]: `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one. The derive macro follows
+//! serde's default data conventions (externally tagged enums, newtype
+//! transparency, field-name objects) so JSON written by hand for the
+//! real serde parses identically here.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::BuildHasher;
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion order preserved for stable output.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object entries, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content coerced to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `u64`, when non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `i64`, when integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::I64(n) => Some(n),
+            Value::F64(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|o| obj_get(o, key))
+    }
+}
+
+/// First entry named `key` in an object body.
+pub fn obj_get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Free-form error.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` while reading {ty}"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn mismatch(expected: &str, got: &Value) -> DeError {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Arr(_) => "an array",
+            Value::Obj(_) => "an object",
+        };
+        DeError(format!("expected {expected}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render into the [`Value`] data model.
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn ser(&self) -> Value;
+}
+
+/// Rebuild from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of `v`.
+    fn de(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::mismatch("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::mismatch("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::mismatch("a number", v))
+    }
+}
+impl Serialize for f32 {
+    fn ser(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::de(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::mismatch("a boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::mismatch("a string", v))
+    }
+}
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::mismatch("a string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single character")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(t) => t.ser(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::de(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::mismatch("an array", v))?
+            .iter()
+            .map(T::de)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::de(v)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.ser()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_arr().ok_or_else(|| DeError::mismatch("a tuple array", v))?;
+                let expected = [$($idx),+].len();
+                if a.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of {expected} elements, found {}", a.len()
+                    )));
+                }
+                Ok(($($name::de(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn ser(&self) -> Value {
+        Value::Obj(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            ("nanos".to_owned(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+impl Deserialize for Duration {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| DeError::mismatch("a duration object", v))?;
+        let secs = obj_get(obj, "secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::missing_field("Duration", "secs"))?;
+        let nanos = obj_get(obj, "nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::missing_field("Duration", "nanos"))?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+impl Serialize for PathBuf {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+impl Deserialize for PathBuf {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        Ok(PathBuf::from(String::de(v)?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::mismatch("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: BuildHasher> Serialize for HashMap<String, V, S> {
+    fn ser(&self) -> Value {
+        // sorted for deterministic output
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.ser())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+impl<V: Deserialize, S: BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::mismatch("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::de(&42u32.ser()), Ok(42));
+        assert_eq!(i64::de(&(-7i64).ser()), Ok(-7));
+        assert_eq!(bool::de(&true.ser()), Ok(true));
+        assert_eq!(String::de(&"hi".to_owned().ser()), Ok("hi".to_owned()));
+        assert_eq!(Vec::<u32>::de(&vec![1u32, 2, 3].ser()), Ok(vec![1, 2, 3]));
+        assert_eq!(Option::<u32>::de(&Value::Null), Ok(None));
+        let d = Duration::new(3, 17);
+        assert_eq!(Duration::de(&d.ser()), Ok(d));
+    }
+
+    #[test]
+    fn mismatches_reported() {
+        assert!(u32::de(&Value::Str("x".into())).is_err());
+        assert!(bool::de(&Value::U64(1)).is_err());
+        assert!(Vec::<u32>::de(&Value::Bool(false)).is_err());
+    }
+}

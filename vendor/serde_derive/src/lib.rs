@@ -1,0 +1,526 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the `Value`-based facade in the sibling `serde` stub,
+//! parsing the item's token stream by hand (no `syn`/`quote` in this
+//! offline environment). Supported shapes — the ones the workspace
+//! uses — are non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), with the `#[serde(skip)]`,
+//! `#[serde(default)]` and `#[serde(default = "path")]` field
+//! attributes. Enums follow serde's externally-tagged convention so
+//! hand-written JSON for the real serde parses identically.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level `#[serde(...)]` switches.
+#[derive(Clone, Copy, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Clone)]
+struct FieldAttrInfo {
+    attrs: FieldAttrs,
+    default_path: Option<String>,
+}
+
+#[derive(Clone)]
+struct NamedField {
+    name: String,
+    info: FieldAttrInfo,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume leading attributes, extracting `#[serde(...)]` info.
+    fn parse_attrs(&mut self) -> Result<FieldAttrInfo, String> {
+        let mut info = FieldAttrInfo {
+            attrs: FieldAttrs::default(),
+            default_path: None,
+        };
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("expected attribute body, found {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => continue,
+            };
+            let args: Vec<TokenTree> = args.into_iter().collect();
+            let mut i = 0;
+            while i < args.len() {
+                match &args[i] {
+                    TokenTree::Ident(id) => match id.to_string().as_str() {
+                        "skip" | "skip_serializing" | "skip_deserializing" => {
+                            info.attrs.skip = true;
+                            i += 1;
+                        }
+                        "default" => {
+                            info.attrs.default = true;
+                            i += 1;
+                            if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                            {
+                                i += 1;
+                                match args.get(i) {
+                                    Some(TokenTree::Literal(l)) => {
+                                        let s = l.to_string();
+                                        info.default_path = Some(s.trim_matches('"').to_owned());
+                                        i += 1;
+                                    }
+                                    other => {
+                                        return Err(format!(
+                                        "expected path literal after `default =`, found {other:?}"
+                                    ))
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported serde attribute `{other}` (stub derive)"
+                            ))
+                        }
+                    },
+                    TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                    other => return Err(format!("unexpected token in serde attribute: {other:?}")),
+                }
+            }
+        }
+        Ok(info)
+    }
+
+    /// Consume an optional visibility qualifier.
+    fn parse_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip a type, stopping at a top-level `,` (angle-bracket aware).
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let info = c.parse_attrs()?;
+        c.parse_vis();
+        let name = c.expect_ident()?;
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(NamedField { name, info });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        // per-field attrs and visibility, then the type
+        let _ = c.parse_attrs();
+        c.parse_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.parse_attrs()?;
+    c.parse_vis();
+    let kw = c.expect_ident()?;
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    let name = c.expect_ident()?;
+    if c.at_punct('<') {
+        return Err(format!(
+            "stub serde derive does not support generics (type `{name}`)"
+        ));
+    }
+    if is_enum {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let mut vc = Cursor::new(body);
+        let mut variants = Vec::new();
+        while vc.peek().is_some() {
+            vc.parse_attrs()?;
+            let vname = vc.expect_ident()?;
+            let shape = match vc.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vc.next();
+                    Shape::Tuple(n)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream())?;
+                    vc.next();
+                    Shape::Named(fields)
+                }
+                _ => Shape::Unit,
+            };
+            if vc.at_punct(',') {
+                vc.next();
+            }
+            variants.push(Variant { name: vname, shape });
+        }
+        Ok(Item::Enum { name, variants })
+    } else {
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        };
+        Ok(Item::Struct { name, shape })
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn ser_named_body(fields: &[NamedField], access: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "{ let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.info.attrs.skip {
+            continue;
+        }
+        s.push_str(&format!(
+            "__o.push((\"{n}\".to_string(), ::serde::Serialize::ser({a})));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    s.push_str("::serde::Value::Obj(__o) }");
+    s
+}
+
+fn de_named_body(ty: &str, ctor: &str, fields: &[NamedField], obj_var: &str) -> String {
+    let mut s = format!("{ctor} {{\n");
+    for f in fields {
+        let missing = if f.info.attrs.skip || f.info.attrs.default {
+            match &f.info.default_path {
+                Some(p) => format!("{p}()"),
+                None => "::std::default::Default::default()".to_owned(),
+            }
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        if f.info.attrs.skip {
+            s.push_str(&format!("{n}: {missing},\n", n = f.name));
+        } else {
+            s.push_str(&format!(
+                "{n}: match ::serde::obj_get({obj_var}, \"{n}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::de(__x)?,\n\
+                 ::std::option::Option::None => {missing},\n}},\n",
+                n = f.name
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_owned(),
+                Shape::Tuple(1) => "::serde::Serialize::ser(&self.0)".to_owned(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => ser_named_body(fields, &|f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::ser(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Arr(vec![{e}]))]),\n",
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_named_body(fields, &|f| f.to_owned());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => ::serde::Value::Obj(vec![(\"{vn}\"\
+                             .to_string(), {body})]),\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}(::serde::Deserialize::de(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::de(&__a[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __a = __v.as_arr().ok_or_else(|| \
+                         ::serde::DeError::mismatch(\"an array for `{name}`\", __v))?;\n\
+                         if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\"expected {n} elements for `{name}`, \
+                         found {{}}\", __a.len()))); }}\n\
+                         ::std::result::Result::Ok({name}({e}))",
+                        e = elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let ctor = de_named_body(name, name, fields, "__obj");
+                    format!(
+                        "let __obj = __v.as_obj().ok_or_else(|| \
+                         ::serde::DeError::mismatch(\"an object for `{name}`\", __v))?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+                 {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        tag_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tag_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::de(__payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::de(&__a[{i}])?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = __payload.as_arr().ok_or_else(|| \
+                             ::serde::DeError::mismatch(\"an array for `{name}::{vn}`\", \
+                             __payload))?;\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for `{name}::{vn}`\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({e}))\n}}\n",
+                            e = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = de_named_body(name, &format!("{name}::{vn}"), fields, "__o");
+                        tag_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o = __payload.as_obj().ok_or_else(|| \
+                             ::serde::DeError::mismatch(\"an object for `{name}::{vn}`\", \
+                             __payload))?;\n\
+                             ::std::result::Result::Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}}\n\
+                 let __obj = __v.as_obj().ok_or_else(|| \
+                 ::serde::DeError::mismatch(\"a variant of `{name}`\", __v))?;\n\
+                 if __obj.len() != 1 {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"expected a single-key variant object for `{name}`\")); }}\n\
+                 let (__tag, __payload) = (&__obj[0].0, &__obj[0].1);\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n{tag_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
