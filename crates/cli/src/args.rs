@@ -19,7 +19,7 @@ pub struct Args {
 }
 
 /// Boolean flags (no value follows them).
-const BOOL_FLAGS: &[&str] = &["help", "ascii", "verify", "json"];
+const BOOL_FLAGS: &[&str] = &["help", "ascii", "verify", "json", "no-cache", "all"];
 
 impl Args {
     /// Parse from an iterator of tokens (excluding argv\[0\]).

@@ -7,14 +7,18 @@ use secreta_core::metrics::query as q;
 use secreta_core::policy::{
     generate_privacy, generate_utility, io as pio, PrivacyStrategy, UtilityStrategy,
 };
+use secreta_core::store::RunStore;
 use secreta_core::{
-    compare,
     config::{Bounding, MethodSpec, RelAlgo, TxAlgo},
-    evaluate_sweep, export, Configuration, SessionContext, SessionSpec, Sweep, VaryingParam,
+    export, Configuration, Orchestrator, SessionContext, SessionSpec, Sweep, VaryingParam,
 };
 use secreta_gen::{DatasetSpec, WorkloadSpec};
 use secreta_plot::BarChart;
+use serde::{Serialize, Value};
 use std::path::Path;
+
+/// Default run-store location for `--store-dir`-aware commands.
+pub(crate) const DEFAULT_STORE_DIR: &str = ".secreta-store";
 
 const HELP: &str = "\
 secreta — evaluate and compare relational & transaction anonymization algorithms
@@ -39,16 +43,24 @@ COMMANDS
              [--queries N] [--seed S] [--threads N]
              [--vary k|m|delta --start N --end N --step N]
              [--out-dir DIR] [--export-anon FILE]
+             [--store-dir DIR] [--no-cache]
   compare    Comparison mode            DATA [--tx COL] --config FILE.json
              [--queries N] [--threads N] [--out-dir DIR]
+             [--store-dir DIR] [--no-cache]
+  runs       run-store management       list|show KEY|chart|gc|resume [ID]
+             [--store-dir DIR] [--all] [--indicator gcp|are|runtime]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
-  bench      kernel benchmark            [--rows N,N,...] [--k N] [--seed S]
-             [--threads N] [--json] [--out FILE]
+  bench      benchmark                  [--suite kernels|store] [--rows N,N,...]
+             [--k N] [--seed S] [--threads N] [--json] [--out FILE]
   help       this text
 
 evaluate/compare also accept --session FILE.json instead of a dataset
 path; the session bundles dataset, hierarchies, policies and workload.
+With --store-dir, results are content-addressed into a persistent run
+store: re-running an identical experiment replays stored results
+(--no-cache forces re-execution while still recording), and a sweep
+killed mid-run can be finished with `secreta runs resume`.
 
 Relational algorithms: incognito, cluster, topdown, bottomup
 Transaction algorithms: coat, pcta, apriori, lra, vpa
@@ -70,6 +82,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "policy" => cmd_policy(args),
         "evaluate" => cmd_evaluate(args),
         "compare" => cmd_compare(args),
+        "runs" => crate::runs::cmd_runs(args),
         "edit" => cmd_edit(args),
         "session" => cmd_session(args),
         "bench" => cmd_bench(args),
@@ -117,7 +130,7 @@ fn with_generated_workload(args: &Args, ctx: SessionContext) -> Result<SessionCo
 
 /// Resolve the session for evaluate/compare: `--session FILE` loads a
 /// saved session spec; otherwise the positional dataset + flags apply.
-fn load_context(args: &Args) -> Result<SessionContext, String> {
+pub(crate) fn load_context(args: &Args) -> Result<SessionContext, String> {
     match args.opt("session") {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -418,7 +431,7 @@ fn parse_sweep(args: &Args) -> Result<Option<Sweep>, String> {
     }))
 }
 
-fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
+pub(crate) fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
     println!(
         "{label}: GCP={:.4} txGCP={:.4} UL={:.4} ARE={:.4} freqErr={:.4} \
          disc={} avgClass={:.2} runtime={:.1}ms verified={}",
@@ -434,17 +447,78 @@ fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
     );
 }
 
+/// Build the orchestrator for evaluate/compare from `--store-dir` /
+/// `--no-cache` / `--threads`.
+fn orchestrator_of(args: &Args, threads: usize) -> Result<Orchestrator, String> {
+    let mut orch = Orchestrator::new(threads);
+    if let Some(dir) = args.opt("store-dir") {
+        orch = orch.with_store(RunStore::open(dir).map_err(|e| e.to_string())?);
+    }
+    Ok(orch.bypass_cache(args.flag("no-cache")))
+}
+
+/// The opaque invocation payload journaled with every orchestrated
+/// sweep: enough of the command line to rebuild the session context
+/// and configurations in `secreta runs resume`.
+fn invocation_of(command: &str, args: &Args, configs: &[Configuration]) -> Value {
+    Value::Obj(vec![
+        ("command".to_owned(), Value::Str(command.to_owned())),
+        (
+            "positional".to_owned(),
+            Value::Arr(
+                args.positional
+                    .iter()
+                    .map(|p| Value::Str(p.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "options".to_owned(),
+            Value::Obj(
+                args.options
+                    .iter()
+                    // store flags are per-invocation, not part of the
+                    // experiment; resume supplies its own store
+                    .filter(|(k, _)| k.as_str() != "store-dir" && k.as_str() != "no-cache")
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "configurations".to_owned(),
+            Value::Arr(configs.iter().map(Serialize::ser).collect()),
+        ),
+    ])
+}
+
+fn print_cache_stats(orch: &Orchestrator, out: &secreta_core::Orchestrated) {
+    if let Some(store) = orch.store() {
+        println!(
+            "cache: {} hits, {} misses, {} failures (sweep {}, store {})",
+            out.stats.hits,
+            out.stats.misses,
+            out.stats.failures,
+            out.sweep_id,
+            store.root().display()
+        );
+    }
+}
+
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let ctx = load_context(args)?;
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
+    let orch = orchestrator_of(args, threads)?;
 
     match parse_sweep(args)? {
         None => {
-            let out =
-                secreta_core::anonymizer::run(&ctx, &spec, seed).map_err(|e| e.to_string())?;
+            let (result, cache_hit) = orch.run_one(&ctx, &spec, seed).map_err(|e| e.to_string())?;
+            let out = result.map_err(|e| e.to_string())?;
             println!("method: {}", spec.label());
+            if cache_hit {
+                println!("(replayed from the run store — no anonymization executed)");
+            }
             print_indicators("result", &out.indicators);
             println!("phases:");
             for (name, d) in &out.phases.phases {
@@ -459,7 +533,13 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             }
         }
         Some(sweep) => {
-            let points = evaluate_sweep(&ctx, &spec, &sweep, threads, seed);
+            let cfg = Configuration::new(spec.clone(), sweep, seed);
+            let invocation = invocation_of("evaluate", args, std::slice::from_ref(&cfg));
+            let out = orch
+                .compare(&ctx, std::slice::from_ref(&cfg), invocation)
+                .map_err(|e| e.to_string())?;
+            print_cache_stats(&orch, &out);
+            let points = out.result.points.into_iter().next().unwrap_or_default();
             println!("method: {} varying {}", spec.label(), sweep.param.label());
             for (v, r) in &points {
                 match r {
@@ -509,7 +589,13 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         return Err("configuration file contains no configurations".into());
     }
     let threads = args.usize_or("threads", 4)?;
-    let result = compare(&ctx, &configs, threads);
+    let orch = orchestrator_of(args, threads)?;
+    let invocation = invocation_of("compare", args, &configs);
+    let out = orch
+        .compare(&ctx, &configs, invocation)
+        .map_err(|e| e.to_string())?;
+    print_cache_stats(&orch, &out);
+    let result = out.result;
 
     for (label, pts) in result.labels.iter().zip(&result.points) {
         println!("== {label}");
@@ -571,16 +657,27 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `secreta bench`: time the Cluster hot path before and after the
-/// kernel optimizations (parent-walk vs Euler-tour LCA, per-access
-/// table reads vs the leaf matrix, sequential vs parallel argmin) on
-/// the adult-like generator, and report per-phase timings plus the
-/// end-to-end speedup. `--json` writes the machine-readable report
-/// (default `BENCH_1.json`, override with `--out`).
+/// `secreta bench`: two suites.
+///
+/// * `--suite kernels` (default) times the Cluster hot path before and
+///   after the kernel optimizations (parent-walk vs Euler-tour LCA,
+///   per-access table reads vs the leaf matrix, sequential vs parallel
+///   argmin) on the adult-like generator; `--json` writes the report
+///   to `BENCH_1.json` (override with `--out`).
+/// * `--suite store` times the orchestrated comparison path cold
+///   (empty store, every job executes) vs warm (second identical
+///   invocation, every job replays from the store); `--json` writes
+///   the report to `BENCH_2.json` (override with `--out`).
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use secreta_core::relational::{cluster, RelationalInput};
     use std::fmt::Write as _;
     use std::time::Instant;
+
+    match args.opt("suite").unwrap_or("kernels") {
+        "kernels" => {}
+        "store" => return bench_store(args),
+        other => return Err(format!("unknown --suite {other:?} (kernels|store)")),
+    }
 
     let k = args.usize_or("k", 10)?;
     let seed = args.u64_or("seed", 42)?;
@@ -694,6 +791,138 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// Cold vs warm-cache benchmark of the orchestrated comparison path:
+/// the same multi-algorithm k-sweep runs twice against a fresh store;
+/// the first pass executes every job, the second must be a pure
+/// replay. Reports wall times, the replay speedup, cache counters and
+/// whether the warm pass reproduced the cold indicators exactly.
+fn bench_store(args: &Args) -> Result<(), String> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let rows = args.usize_or("rows", 4000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.usize_or("threads", 4)?;
+    let table = DatasetSpec::adult_like(rows, seed).generate();
+    let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+    let ctx = {
+        let w = WorkloadSpec {
+            n_queries: 50,
+            seed,
+            ..Default::default()
+        }
+        .generate(&ctx.table);
+        ctx.with_workload(w)
+    };
+    let sweep = Sweep {
+        param: VaryingParam::K,
+        start: 2,
+        end: 10,
+        step: 2,
+    };
+    let configs = vec![
+        Configuration::new(
+            MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k: 0,
+            },
+            sweep,
+            seed,
+        ),
+        Configuration::new(
+            MethodSpec::Relational {
+                algo: RelAlgo::TopDown,
+                k: 0,
+            },
+            sweep,
+            seed,
+        ),
+    ];
+    let jobs: usize = configs.len() * sweep.values().len();
+
+    let dir = std::env::temp_dir().join(format!("secreta-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunStore::open(&dir).map_err(|e| e.to_string())?;
+    let orch = Orchestrator::new(threads).with_store(store.clone());
+
+    println!("orchestrated store benchmark (adult-like, {rows} rows, {jobs} jobs)");
+    let t0 = Instant::now();
+    let cold = orch
+        .compare(&ctx, &configs, Value::Null)
+        .map_err(|e| e.to_string())?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let warm = orch
+        .compare(&ctx, &configs, Value::Null)
+        .map_err(|e| e.to_string())?;
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let identical = cold
+        .result
+        .points
+        .iter()
+        .zip(&warm.result.points)
+        .all(|(c, w)| {
+            c.iter().zip(w).all(|((_, cr), (_, wr))| match (cr, wr) {
+                (Ok(a), Ok(b)) => a.indicators == b.indicators,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            })
+        });
+    println!(
+        "  cold: {cold_ms:>9.1}ms  ({} executed, {} failed)",
+        cold.stats.misses, cold.stats.failures
+    );
+    println!(
+        "  warm: {warm_ms:>9.1}ms  ({} replayed, {} executed)",
+        warm.stats.hits, warm.stats.misses
+    );
+    println!(
+        "  replay speedup {:>6.1}x  indicators identical: {identical}",
+        cold_ms / warm_ms.max(1e-9)
+    );
+    if warm.stats.misses != 0 || warm.stats.hits as usize != jobs {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(format!(
+            "warm pass was not a full cache hit: {} hits, {} misses of {jobs} jobs",
+            warm.stats.hits, warm.stats.misses
+        ));
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_2.json");
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"orchestrated-store\",\n  \"dataset\": \"adult-like\",\n  \
+             \"rows\": {rows},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+             \"configurations\": [\"Cluster\", \"TopDown\"],\n  \
+             \"sweep\": {{\"param\": \"k\", \"start\": {}, \"end\": {}, \"step\": {}}},\n  \
+             \"jobs\": {jobs},\n  \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \
+             \"replay_speedup\": {:.3},\n  \
+             \"cold\": {{\"hits\": {}, \"misses\": {}, \"failures\": {}}},\n  \
+             \"warm\": {{\"hits\": {}, \"misses\": {}, \"failures\": {}}},\n  \
+             \"indicators_identical\": {identical}\n}}\n",
+            sweep.start,
+            sweep.end,
+            sweep.step,
+            cold_ms / warm_ms.max(1e-9),
+            cold.stats.hits,
+            cold.stats.misses,
+            cold.stats.failures,
+            warm.stats.hits,
+            warm.stats.misses,
+            warm.stats.failures,
+        );
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 

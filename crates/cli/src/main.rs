@@ -7,6 +7,7 @@
 
 mod args;
 mod commands;
+mod runs;
 
 use args::Args;
 

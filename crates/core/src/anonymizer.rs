@@ -17,8 +17,9 @@ use secreta_policy::PrivacyPolicy;
 use secreta_relational::{RelError, RelationalInput};
 use secreta_rt::{RtError, RtInput};
 use secreta_transaction::{TransactionInput, TxError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
+
+pub use secreta_metrics::Indicators;
 
 /// Errors from a configured run.
 #[derive(Debug, PartialEq, Eq)]
@@ -46,30 +47,6 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
-
-/// The data-utility and efficiency indicators SECRETA reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Indicators {
-    /// Relational information loss (mean NCP over cells), in \[0,1\].
-    pub gcp: f64,
-    /// Transaction information loss (mean NCP over occurrences).
-    pub tx_gcp: f64,
-    /// Normalized UL of the transaction attribute.
-    pub ul: f64,
-    /// Average Relative Error over the session workload.
-    pub are: f64,
-    /// Mean relative error of per-item frequencies (Figure 3(d)
-    /// summary).
-    pub item_freq_error: f64,
-    /// Discernibility (Σ |EC|²) of the relational part.
-    pub discernibility: u64,
-    /// Average equivalence-class size.
-    pub avg_class_size: f64,
-    /// Total wall-clock runtime in milliseconds.
-    pub runtime_ms: f64,
-    /// Did the output pass post-hoc verification of its guarantee?
-    pub verified: bool,
-}
 
 /// Everything a single run produces.
 #[derive(Debug, Clone)]

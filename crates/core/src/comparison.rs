@@ -13,10 +13,10 @@
 use crate::anonymizer::{Indicators, RunError};
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
-use crate::evaluator::{run_many, Job};
+use crate::orchestrator::Orchestrator;
 use crate::sweep::{Sweep, SweepPoint, VaryingParam};
 use secreta_plot::{Series, XyChart};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// One entry of the comparison screen's "experimenter area".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,56 +78,19 @@ impl ComparisonResult {
 
 /// Execute every configuration's sweep (all points of all
 /// configurations share one thread pool).
+///
+/// This is the store-less path through the [`Orchestrator`]; attach a
+/// run store via [`Orchestrator::with_store`] to get caching,
+/// journaling and resumability on top of the same expansion.
 pub fn compare(
     ctx: &SessionContext,
     configurations: &[Configuration],
     threads: usize,
 ) -> ComparisonResult {
-    // flatten all (config, value) pairs into one job list
-    let mut jobs: Vec<Job> = Vec::new();
-    let mut shape: Vec<Vec<usize>> = Vec::new(); // per config: values
-    for cfg in configurations {
-        let values = cfg.sweep.values();
-        for &v in &values {
-            let mut s = cfg.spec.clone();
-            match cfg.sweep.param {
-                VaryingParam::K => s.set_k(v),
-                VaryingParam::M => s.set_m(v),
-                VaryingParam::Delta => s.set_delta(v),
-            }
-            jobs.push(Job {
-                spec: s,
-                seed: cfg.seed,
-            });
-        }
-        shape.push(values);
-    }
-
-    let mut results = run_many(ctx, &jobs, threads).into_iter();
-    let mut points = Vec::with_capacity(configurations.len());
-    for values in shape {
-        let mut cfg_points = Vec::with_capacity(values.len());
-        for v in values {
-            let r = results.next().expect("one result per job");
-            cfg_points.push((
-                v,
-                r.map(|rr| SweepPoint {
-                    value: v,
-                    indicators: rr.indicators,
-                }),
-            ));
-        }
-        points.push(cfg_points);
-    }
-
-    ComparisonResult {
-        labels: configurations.iter().map(|c| c.label.clone()).collect(),
-        param: configurations
-            .first()
-            .map(|c| c.sweep.param)
-            .unwrap_or(VaryingParam::K),
-        points,
-    }
+    Orchestrator::new(threads)
+        .compare(ctx, configurations, Value::Null)
+        .expect("store-less orchestration performs no store i/o")
+        .result
 }
 
 #[cfg(test)]

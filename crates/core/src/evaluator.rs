@@ -33,9 +33,31 @@ pub fn run_many(
     jobs: &[Job],
     threads: usize,
 ) -> Vec<Result<RunResult, RunError>> {
+    run_many_with(ctx, jobs, threads, |_, _| {})
+}
+
+/// [`run_many`] plus a completion hook: `on_complete(index, result)`
+/// fires on the worker thread the moment each job finishes, before
+/// the batch joins. The orchestrator uses it to persist results as
+/// they land, so a killed sweep keeps everything completed so far.
+/// The hook must be `Sync`; workers call it concurrently.
+pub fn run_many_with(
+    ctx: &SessionContext,
+    jobs: &[Job],
+    threads: usize,
+    on_complete: impl Fn(usize, &Result<RunResult, RunError>) + Sync,
+) -> Vec<Result<RunResult, RunError>> {
     let threads = threads.clamp(1, jobs.len().max(1));
     if threads == 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|j| run(ctx, &j.spec, j.seed)).collect();
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let r = run(ctx, &j.spec, j.seed);
+                on_complete(i, &r);
+                r
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -45,6 +67,7 @@ pub fn run_many(
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let on_complete = &on_complete;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -52,7 +75,9 @@ pub fn run_many(
                         if i >= jobs.len() {
                             break;
                         }
-                        local.push((i, run(ctx, &jobs[i].spec, jobs[i].seed)));
+                        let r = run(ctx, &jobs[i].spec, jobs[i].seed);
+                        on_complete(i, &r);
+                        local.push((i, r));
                     }
                     local
                 })

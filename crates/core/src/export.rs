@@ -8,8 +8,9 @@
 //! place of Qt's raster formats).
 
 use crate::context::SessionContext;
-use secreta_metrics::AnonTable;
+use secreta_metrics::{AnonTable, Indicators};
 use secreta_plot::{ascii, csv as plot_csv, grouped, svg, BarChart, GroupedBarChart, XyChart};
+use secreta_store::RunManifest;
 use std::io::Write;
 use std::path::Path;
 
@@ -73,6 +74,31 @@ pub fn write_anonymized<W: Write>(
         writeln!(writer, "{}", fields.join(","))?;
     }
     Ok(())
+}
+
+/// Build a multi-series chart of one indicator straight from stored
+/// run manifests — no re-execution. Sweep-less manifests (no recorded
+/// sweep value) are skipped; series are grouped by run label in
+/// first-appearance order.
+pub fn chart_from_manifests(
+    manifests: &[RunManifest],
+    title: impl Into<String>,
+    y_label: impl Into<String>,
+    pick: impl Fn(&Indicators) -> f64,
+) -> XyChart {
+    let x_label = manifests
+        .iter()
+        .find_map(|m| m.sweep_param.clone())
+        .unwrap_or_else(|| "k".to_owned());
+    XyChart::from_rows(
+        title,
+        x_label,
+        y_label,
+        manifests.iter().filter_map(|m| {
+            m.sweep_value
+                .map(|v| (m.label.clone(), v, pick(&m.indicators)))
+        }),
+    )
 }
 
 fn quote(field: &str) -> String {
@@ -202,6 +228,50 @@ mod tests {
         assert!(csv.exists());
         assert!(terminal_grouped(&g).contains("s1"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chart_renders_straight_from_stored_manifests() {
+        fn manifest(label: &str, value: f64, gcp: f64) -> RunManifest {
+            RunManifest {
+                key: format!("{label}-{value}"),
+                schema_version: 1,
+                context: "d".into(),
+                label: label.into(),
+                config: serde::Value::Null,
+                seed: 1,
+                sweep_param: Some("k".into()),
+                sweep_value: Some(value),
+                created_unix_ms: 0,
+                indicators: Indicators {
+                    gcp,
+                    tx_gcp: 0.0,
+                    ul: 0.0,
+                    are: 0.0,
+                    item_freq_error: 0.0,
+                    discernibility: 0,
+                    avg_class_size: 0.0,
+                    runtime_ms: 0.0,
+                    verified: true,
+                },
+                phases: Default::default(),
+            }
+        }
+        let mut no_sweep = manifest("solo", 0.0, 0.9);
+        no_sweep.sweep_param = None;
+        no_sweep.sweep_value = None;
+        let manifests = vec![
+            manifest("Cluster", 4.0, 0.2),
+            manifest("Cluster", 2.0, 0.1),
+            manifest("Incognito", 2.0, 0.3),
+            no_sweep,
+        ];
+        let chart = chart_from_manifests(&manifests, "GCP vs k", "GCP", |i| i.gcp);
+        assert_eq!(chart.x_label, "k");
+        assert_eq!(chart.series.len(), 2, "sweep-less manifest skipped");
+        assert_eq!(chart.series[0].name, "Cluster");
+        assert_eq!(chart.series[0].points, vec![(2.0, 0.1), (4.0, 0.2)]);
+        assert_eq!(chart.series[1].points, vec![(2.0, 0.3)]);
     }
 
     #[test]

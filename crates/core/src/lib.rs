@@ -28,6 +28,7 @@ pub mod config;
 pub mod context;
 pub mod evaluator;
 pub mod export;
+pub mod orchestrator;
 pub mod session;
 pub mod sweep;
 
@@ -35,6 +36,7 @@ pub use anonymizer::{Indicators, RunError, RunResult};
 pub use comparison::{compare, ComparisonResult, Configuration};
 pub use config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
 pub use context::SessionContext;
+pub use orchestrator::{context_digest, CacheStats, Orchestrated, Orchestrator};
 pub use session::{SessionError, SessionSpec};
 pub use sweep::{evaluate_sweep, Sweep, SweepPoint, VaryingParam};
 
@@ -49,4 +51,5 @@ pub use secreta_plot as plot;
 pub use secreta_policy as policy;
 pub use secreta_relational as relational;
 pub use secreta_rt as rt;
+pub use secreta_store as store;
 pub use secreta_transaction as transaction;

@@ -23,8 +23,8 @@
 //! Configuration Editor's "derive from data" path.
 
 use crate::context::SessionContext;
-use secreta_data::{csv as dcsv, stats, CsvOptions};
-use secreta_hierarchy::io as hio;
+use secreta_data::{csv as dcsv, stats, CsvOptions, DataError};
+use secreta_hierarchy::{io as hio, HierarchyError};
 use secreta_metrics::query::read_workload;
 use secreta_policy::io as pio;
 use serde::{Deserialize, Serialize};
@@ -83,6 +83,23 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Convert a dataset error into [`SessionError::File`] without
+/// repeating the path when the error already carries it.
+fn data_file_error(path: &Path, e: DataError) -> SessionError {
+    match e {
+        DataError::InFile { path, error } => SessionError::File(path, error.to_string()),
+        e => SessionError::File(path.to_owned(), e.to_string()),
+    }
+}
+
+/// Same as [`data_file_error`], for hierarchy errors.
+fn hierarchy_file_error(path: &Path, e: HierarchyError) -> SessionError {
+    match e {
+        HierarchyError::Io { path, message } => SessionError::File(path, message),
+        e => SessionError::File(path.to_owned(), e.to_string()),
+    }
+}
+
 impl SessionSpec {
     /// Minimal spec for a dataset file.
     pub fn new(dataset: impl Into<PathBuf>) -> Self {
@@ -124,15 +141,15 @@ impl SessionSpec {
             transaction_column: self.transaction_column.clone(),
             ..CsvOptions::default()
         };
-        let probe = dcsv::read_table_path(&data_path, &opts)
-            .map_err(|e| SessionError::File(data_path.clone(), e.to_string()))?;
+        let probe =
+            dcsv::read_table_path(&data_path, &opts).map_err(|e| data_file_error(&data_path, e))?;
         opts.numeric_columns = stats::summarize(&probe)
             .into_iter()
             .filter(|s| s.min.is_some())
             .map(|s| s.name)
             .collect();
-        let table = dcsv::read_table_path(&data_path, &opts)
-            .map_err(|e| SessionError::File(data_path.clone(), e.to_string()))?;
+        let table =
+            dcsv::read_table_path(&data_path, &opts).map_err(|e| data_file_error(&data_path, e))?;
 
         // start from auto hierarchies, then overlay explicit files
         let mut ctx = SessionContext::auto(table, self.fanout)
@@ -147,7 +164,7 @@ impl SessionSpec {
                     )
                 })?;
                 let h = hio::read_hierarchy_path(&path, pool, ';')
-                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+                    .map_err(|e| hierarchy_file_error(&path, e))?;
                 ctx.item_hierarchy = Some(h);
             } else {
                 let attr = ctx.table.schema().index_of(attr_name).ok_or_else(|| {
@@ -163,7 +180,7 @@ impl SessionSpec {
                         ))
                     })?;
                 let h = hio::read_hierarchy_path(&path, ctx.table.pool(attr), ';')
-                    .map_err(|e| SessionError::File(path.clone(), e.to_string()))?;
+                    .map_err(|e| hierarchy_file_error(&path, e))?;
                 ctx.hierarchies[pos] = h;
             }
         }

@@ -7,11 +7,12 @@
 //! indicators and runtime vs. the varying parameter."
 
 use crate::anonymizer::{Indicators, RunError};
+use crate::comparison::Configuration;
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
-use crate::evaluator::{run_many, Job};
+use crate::orchestrator::Orchestrator;
 use secreta_plot::{Series, XyChart};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Which parameter varies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,33 +88,15 @@ pub fn evaluate_sweep(
     threads: usize,
     seed: u64,
 ) -> Vec<(usize, Result<SweepPoint, RunError>)> {
-    let values = sweep.values();
-    let jobs: Vec<Job> = values
-        .iter()
-        .map(|&v| {
-            let mut s = spec.clone();
-            match sweep.param {
-                VaryingParam::K => s.set_k(v),
-                VaryingParam::M => s.set_m(v),
-                VaryingParam::Delta => s.set_delta(v),
-            }
-            Job { spec: s, seed }
-        })
-        .collect();
-    let results = run_many(ctx, &jobs, threads);
-    values
+    let cfg = Configuration::new(spec.clone(), *sweep, seed);
+    Orchestrator::new(threads)
+        .compare(ctx, &[cfg], Value::Null)
+        .expect("store-less orchestration performs no store i/o")
+        .result
+        .points
         .into_iter()
-        .zip(results)
-        .map(|(v, r)| {
-            (
-                v,
-                r.map(|rr| SweepPoint {
-                    value: v,
-                    indicators: rr.indicators,
-                }),
-            )
-        })
-        .collect()
+        .next()
+        .unwrap_or_default()
 }
 
 /// Extract one indicator from sweep output as a plot series, skipping

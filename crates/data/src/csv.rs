@@ -182,10 +182,16 @@ pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, Data
     Ok(table)
 }
 
-/// Read a dataset from a file path.
+/// Read a dataset from a file path. Failures — I/O and parse alike —
+/// are wrapped in [`DataError::InFile`] so the message names the file.
 pub fn read_table_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<RtTable, DataError> {
-    let file = std::fs::File::open(path)?;
-    read_table(file, opts)
+    let path = path.as_ref();
+    let in_file = |e: DataError| DataError::InFile {
+        path: path.to_path_buf(),
+        error: Box::new(e),
+    };
+    let file = std::fs::File::open(path).map_err(|e| in_file(e.into()))?;
+    read_table(file, opts).map_err(in_file)
 }
 
 /// Write a dataset to any writer (Data Export Module).
@@ -223,14 +229,21 @@ pub fn write_table<W: Write>(
     Ok(())
 }
 
-/// Write a dataset to a file path.
+/// Write a dataset to a file path. Failures are wrapped in
+/// [`DataError::InFile`] so the message names the file.
 pub fn write_table_path(
     table: &RtTable,
     path: impl AsRef<Path>,
     opts: &CsvOptions,
 ) -> Result<(), DataError> {
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_table(table, &mut file, opts)
+    let path = path.as_ref();
+    let in_file = |e: DataError| DataError::InFile {
+        path: path.to_path_buf(),
+        error: Box::new(e),
+    };
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| in_file(e.into()))?);
+    write_table(table, &mut file, opts).map_err(in_file)
 }
 
 #[cfg(test)]
@@ -354,6 +367,25 @@ mod tests {
         let src = "Age,Items\n30,\n";
         let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
         assert_eq!(t.transaction(0).len(), 0);
+    }
+
+    #[test]
+    fn path_errors_name_the_file() {
+        let err = read_table_path("/nonexistent/data.csv", &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/data.csv"));
+        assert!(matches!(err, DataError::InFile { .. }));
+        // parse errors gain the same context
+        let dir = std::env::temp_dir().join("secreta_csv_path_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ragged.csv");
+        std::fs::write(&p, "A,B\n1,2,3\n").unwrap();
+        let err = read_table_path(&p, &CsvOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("ragged.csv") && msg.contains("line 2"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum DataError {
     DuplicateAttribute(String),
     /// Free-form invariant violation with context.
     Invalid(String),
+    /// An error raised while reading or writing a specific file; the
+    /// path gives users actionable context the bare error lacks.
+    InFile {
+        /// The file being read or written.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        error: Box<DataError>,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -66,6 +74,7 @@ impl fmt::Display for DataError {
                 write!(f, "duplicate attribute name {name:?}")
             }
             DataError::Invalid(msg) => write!(f, "{msg}"),
+            DataError::InFile { path, error } => write!(f, "{}: {error}", path.display()),
         }
     }
 }
@@ -74,6 +83,7 @@ impl std::error::Error for DataError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DataError::Io(e) => Some(e),
+            DataError::InFile { error, .. } => Some(error),
             _ => None,
         }
     }

@@ -34,7 +34,8 @@ pub fn read_hierarchy<R: Read>(
     pool: &ValuePool,
     delimiter: char,
 ) -> Result<Hierarchy, HierarchyError> {
-    let mut paths: Vec<(u32, Vec<String>)> = Vec::new();
+    // (file line number, leaf value id, path fields)
+    let mut paths: Vec<(usize, u32, Vec<String>)> = Vec::new();
     for (lineno, line) in BufReader::new(reader).lines().enumerate() {
         let line = line.map_err(|e| HierarchyError::Parse {
             line: lineno + 1,
@@ -54,18 +55,19 @@ pub fn read_hierarchy<R: Read>(
         let Some(value) = pool.get(&fields[0]) else {
             continue;
         };
-        paths.push((value, fields));
+        paths.push((lineno + 1, value, fields));
     }
-    if paths.is_empty() {
+    let Some((_, _, first_path)) = paths.first() else {
         return Err(HierarchyError::Empty);
-    }
+    };
 
-    // All paths must share the same root label.
-    let root_label = paths[0].1.last().expect("non-empty path").clone();
-    for (i, (_, p)) in paths.iter().enumerate() {
-        if p.last().expect("non-empty path") != &root_label {
+    // All paths must share the same root label. Every path has ≥ 2
+    // fields (checked above), so `last()` cannot fail.
+    let root_label = first_path.last().cloned().unwrap_or_default();
+    for (lineno, _, p) in &paths {
+        if p.last() != Some(&root_label) {
             return Err(HierarchyError::Parse {
-                line: i + 1,
+                line: *lineno,
                 message: format!("all paths must end at the same root ({root_label:?})"),
             });
         }
@@ -78,7 +80,7 @@ pub fn read_hierarchy<R: Read>(
     let mut interior: FxHashMap<String, NodeId> = FxHashMap::default();
     interior.insert(root_label.clone(), root);
 
-    for (value, path) in &paths {
+    for (_, value, path) in &paths {
         // walk from root (last field) towards the leaf (first field)
         let mut parent = root;
         let mut key = root_label.clone();
@@ -109,14 +111,17 @@ pub fn write_hierarchy<W: Write>(
     Ok(())
 }
 
-/// Read a hierarchy from a file path.
+/// Read a hierarchy from a file path. I/O failures (missing file,
+/// permissions) surface as [`HierarchyError::Io`] carrying the path;
+/// malformed content keeps its line-numbered [`HierarchyError::Parse`].
 pub fn read_hierarchy_path(
     path: impl AsRef<std::path::Path>,
     pool: &ValuePool,
     delimiter: char,
 ) -> Result<Hierarchy, HierarchyError> {
-    let file = std::fs::File::open(path).map_err(|e| HierarchyError::Parse {
-        line: 0,
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| HierarchyError::Io {
+        path: path.to_path_buf(),
         message: e.to_string(),
     })?;
     read_hierarchy(file, pool, delimiter)
@@ -218,6 +223,35 @@ Primary;School;*
         let p = pool(&["a", "b"]);
         let err = read_hierarchy("a;*\nb;ROOT\n".as_bytes(), &p, ';').unwrap_err();
         assert!(matches!(err, HierarchyError::Parse { .. }));
+    }
+
+    #[test]
+    fn inconsistent_root_reports_the_file_line() {
+        // blank lines and taxonomy-only leaves sit between the good
+        // path and the bad one: the error must name the file line of
+        // the offending path, not its index among the kept paths
+        let p = pool(&["a", "b"]);
+        let src = "a;*\n\nskipped;*\nb;ROOT\n";
+        let err = read_hierarchy(src.as_bytes(), &p, ';').unwrap_err();
+        assert_eq!(
+            err,
+            HierarchyError::Parse {
+                line: 4,
+                message: "all paths must end at the same root (\"*\")".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_with_the_path() {
+        let p = pool(&["a"]);
+        let err = read_hierarchy_path("/nonexistent/h.csv", &p, ';').unwrap_err();
+        match err {
+            HierarchyError::Io { path, .. } => {
+                assert_eq!(path, std::path::PathBuf::from("/nonexistent/h.csv"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

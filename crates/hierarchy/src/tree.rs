@@ -41,6 +41,11 @@ pub enum HierarchyError {
     NotATree(String),
     /// Hierarchy file was malformed.
     Parse { line: usize, message: String },
+    /// Reading or writing a hierarchy file failed at the I/O layer.
+    Io {
+        path: std::path::PathBuf,
+        message: String,
+    },
     /// The hierarchy has no nodes.
     Empty,
 }
@@ -57,6 +62,9 @@ impl fmt::Display for HierarchyError {
             HierarchyError::NotATree(msg) => write!(f, "not a tree: {msg}"),
             HierarchyError::Parse { line, message } => {
                 write!(f, "hierarchy file line {line}: {message}")
+            }
+            HierarchyError::Io { path, message } => {
+                write!(f, "hierarchy file {}: {message}", path.display())
             }
             HierarchyError::Empty => write!(f, "hierarchy has no nodes"),
         }

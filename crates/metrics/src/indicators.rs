@@ -1,0 +1,57 @@
+//! The indicator set SECRETA reports for every run.
+//!
+//! Lives in the metrics crate (rather than next to the Anonymization
+//! Module in `secreta-core`) so that layers below the experimentation
+//! framework — notably the persistent run store — can record and
+//! replay indicator values without depending on the framework itself.
+
+use serde::{Deserialize, Serialize};
+
+/// The data-utility and efficiency indicators SECRETA reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Indicators {
+    /// Relational information loss (mean NCP over cells), in \[0,1\].
+    pub gcp: f64,
+    /// Transaction information loss (mean NCP over occurrences).
+    pub tx_gcp: f64,
+    /// Normalized UL of the transaction attribute.
+    pub ul: f64,
+    /// Average Relative Error over the session workload.
+    pub are: f64,
+    /// Mean relative error of per-item frequencies (Figure 3(d)
+    /// summary).
+    pub item_freq_error: f64,
+    /// Discernibility (Σ |EC|²) of the relational part.
+    pub discernibility: u64,
+    /// Average equivalence-class size.
+    pub avg_class_size: f64,
+    /// Total wall-clock runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Did the output pass post-hoc verification of its guarantee?
+    pub verified: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let ind = Indicators {
+            gcp: 0.123456789123,
+            tx_gcp: 0.25,
+            ul: 1.0 / 3.0,
+            are: 7.5e-3,
+            item_freq_error: 0.0,
+            discernibility: 123_456,
+            avg_class_size: 12.5,
+            runtime_ms: 1.0625,
+            verified: true,
+        };
+        let json = serde_json::to_string(&ind).unwrap();
+        let back: Indicators = serde_json::from_str(&json).unwrap();
+        // exact f64 equality: Display uses the shortest representation
+        // that round-trips, so replayed runs are bit-identical
+        assert_eq!(ind, back);
+    }
+}

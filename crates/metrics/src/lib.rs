@@ -25,11 +25,13 @@
 
 pub mod anon;
 pub mod freq;
+pub mod indicators;
 pub mod loss;
 pub mod query;
 pub mod timing;
 
 pub use anon::{AnonTable, AnonTransaction, GenEntry, RelColumn};
+pub use indicators::Indicators;
 pub use loss::{average_class_size, discernibility, gcp, transaction_gcp, utility_loss};
 pub use query::{average_relative_error, Query, QueryAtom, Workload};
 pub use timing::{PhaseTimer, PhaseTimes};

@@ -70,6 +70,34 @@ impl XyChart {
         self.series.push(series);
     }
 
+    /// Build a chart from flat `(series label, x, y)` rows — the shape
+    /// that falls out of tabular run records (e.g. a run store's
+    /// manifests). Series keep first-appearance order; points within a
+    /// series are sorted by x as usual.
+    pub fn from_rows(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        rows: impl IntoIterator<Item = (String, f64, f64)>,
+    ) -> Self {
+        let mut chart = XyChart::new(title, x_label, y_label);
+        let mut order: Vec<String> = Vec::new();
+        let mut buckets: Vec<Vec<(f64, f64)>> = Vec::new();
+        for (label, x, y) in rows {
+            match order.iter().position(|l| *l == label) {
+                Some(i) => buckets[i].push((x, y)),
+                None => {
+                    order.push(label);
+                    buckets.push(vec![(x, y)]);
+                }
+            }
+        }
+        for (label, points) in order.into_iter().zip(buckets) {
+            chart.push(Series::new(label, points));
+        }
+        chart
+    }
+
     /// Bounding box over all series: `((x_min, x_max), (y_min, y_max))`.
     pub fn bounds(&self) -> Option<((f64, f64), (f64, f64))> {
         let mut xs: Option<(f64, f64)> = None;
@@ -135,6 +163,22 @@ mod tests {
     #[test]
     fn empty_series_has_no_range() {
         assert_eq!(Series::new("e", vec![]).y_range(), None);
+    }
+
+    #[test]
+    fn from_rows_groups_by_label_in_first_seen_order() {
+        let rows = vec![
+            ("b".to_owned(), 2.0, 0.2),
+            ("a".to_owned(), 1.0, 0.5),
+            ("b".to_owned(), 1.0, 0.1),
+            ("a".to_owned(), 2.0, 0.6),
+        ];
+        let c = XyChart::from_rows("t", "k", "GCP", rows);
+        assert_eq!(c.series.len(), 2);
+        assert_eq!(c.series[0].name, "b");
+        assert_eq!(c.series[0].points, vec![(1.0, 0.1), (2.0, 0.2)]);
+        assert_eq!(c.series[1].name, "a");
+        assert_eq!(c.series[1].points, vec![(1.0, 0.5), (2.0, 0.6)]);
     }
 
     #[test]

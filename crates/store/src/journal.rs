@@ -1,0 +1,288 @@
+//! The write-ahead event journal.
+//!
+//! Every orchestrated experiment appends JSONL events to
+//! `journal.jsonl` in the store root. The journal serves two roles:
+//!
+//! 1. **Intent log** — a [`JournalEvent::SweepStarted`] record is
+//!    written *before* any job runs. It carries the full invocation
+//!    (enough to re-expand the job DAG) and the precomputed run key of
+//!    every job. If the process dies mid-sweep, `secreta runs resume`
+//!    replays the invocation; jobs whose results already reached the
+//!    store are cache hits, so only the missing tail is recomputed.
+//! 2. **Observability** — `JobStarted` / `JobFinished` /
+//!    `SweepFinished` events record per-job wall time, cache
+//!    hit/miss/failure counters and scheduling order, without any
+//!    extra instrumentation in the algorithms themselves.
+//!
+//! Appends are line-atomic on POSIX (single short `write` + flush);
+//! the reader tolerates a torn final line, treating it as truncation
+//! from a crash mid-append.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The intent record for one orchestrated experiment (a sweep of one
+/// or more configurations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Identifier of this sweep, unique within the journal (derived
+    /// from its job keys, so re-running the same experiment produces
+    /// the same id).
+    pub id: String,
+    /// Digest of the session inputs.
+    pub context: String,
+    /// Label of the varied parameter (`k`, `m`, `δ`).
+    pub param: String,
+    /// One label per configuration, in order.
+    pub labels: Vec<String>,
+    /// For each configuration, the `(sweep value, run key)` of every
+    /// job it expands to, in sweep order.
+    pub jobs: Vec<Vec<(f64, String)>>,
+    /// The full invocation as an opaque JSON payload, sufficient for
+    /// `runs resume` to rebuild the session context and re-run.
+    pub invocation: Value,
+}
+
+/// One line of the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// A sweep is about to execute; written before any job starts.
+    SweepStarted(SweepRecord),
+    /// A job was picked up by a worker (cache misses only).
+    JobStarted {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// Configuration label.
+        label: String,
+        /// Sweep-point value.
+        value: f64,
+    },
+    /// A job completed (by cache replay or by running).
+    JobFinished {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// `true` when the result was replayed from the store without
+        /// doing any anonymization work.
+        cache_hit: bool,
+        /// `false` when the run returned an error (errors are not
+        /// cached; they re-run on resume).
+        ok: bool,
+        /// Wall-clock milliseconds to produce the result.
+        wall_ms: f64,
+    },
+    /// All jobs of a sweep completed.
+    SweepFinished {
+        /// Sweep identifier.
+        sweep: String,
+        /// Jobs served from the store.
+        hits: u64,
+        /// Jobs actually executed.
+        misses: u64,
+        /// Jobs that returned an error.
+        failures: u64,
+    },
+}
+
+/// Append handle on a journal file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Open (creating if necessary) the journal at `path` for append.
+    pub fn open(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Append one event as a JSONL line and flush it to the OS.
+    pub fn append(&mut self, event: &JournalEvent) -> io::Result<()> {
+        let mut line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read every event in the journal at `path`.
+///
+/// A missing file reads as empty. A final line that fails to parse is
+/// treated as a torn append from a crash and ignored; an unparseable
+/// line *followed by* further lines is real corruption and an error.
+pub fn read_events(path: &Path) -> io::Result<Vec<JournalEvent>> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<JournalEvent>(line) {
+            Ok(ev) => events.push(ev),
+            Err(_) if i + 1 == lines.len() => break, // torn tail
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("journal {} line {}: {e}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// The most recent `SweepStarted` record with the given id, if any.
+pub fn find_sweep(events: &[JournalEvent], id: &str) -> Option<SweepRecord> {
+    events.iter().rev().find_map(|ev| match ev {
+        JournalEvent::SweepStarted(rec) if rec.id == id => Some(rec.clone()),
+        _ => None,
+    })
+}
+
+/// Ids of sweeps that have a `SweepStarted` but no `SweepFinished`,
+/// oldest first — the candidates for `secreta runs resume`.
+pub fn unfinished_sweeps(events: &[JournalEvent]) -> Vec<SweepRecord> {
+    let mut started: Vec<SweepRecord> = Vec::new();
+    for ev in events {
+        match ev {
+            JournalEvent::SweepStarted(rec) => {
+                started.retain(|r| r.id != rec.id);
+                started.push(rec.clone());
+            }
+            JournalEvent::SweepFinished { sweep, .. } => {
+                started.retain(|r| &r.id != sweep);
+            }
+            _ => {}
+        }
+    }
+    started
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> SweepRecord {
+        SweepRecord {
+            id: id.to_owned(),
+            context: "ctx".to_owned(),
+            param: "k".to_owned(),
+            labels: vec!["A".to_owned(), "B".to_owned()],
+            jobs: vec![
+                vec![(2.0, "kA2".to_owned()), (5.0, "kA5".to_owned())],
+                vec![(2.0, "kB2".to_owned())],
+            ],
+            invocation: Value::Obj(vec![("dataset".to_owned(), Value::Str("d.csv".into()))]),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("secreta-journal-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn round_trips_and_reads_back() {
+        let path = tmp("rt");
+        let mut j = Journal::open(&path).unwrap();
+        let events = vec![
+            JournalEvent::SweepStarted(record("s1")),
+            JournalEvent::JobStarted {
+                sweep: "s1".into(),
+                key: "kA2".into(),
+                label: "A".into(),
+                value: 2.0,
+            },
+            JournalEvent::JobFinished {
+                sweep: "s1".into(),
+                key: "kA2".into(),
+                cache_hit: false,
+                ok: true,
+                wall_ms: 12.5,
+            },
+            JournalEvent::SweepFinished {
+                sweep: "s1".into(),
+                hits: 0,
+                misses: 3,
+                failures: 0,
+            },
+        ];
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        assert_eq!(read_events(&path).unwrap(), events);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = tmp("none");
+        assert_eq!(read_events(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn torn_tail_is_truncation() {
+        let path = tmp("torn");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&JournalEvent::SweepStarted(record("s1"))).unwrap();
+        // simulate a crash mid-append
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"JobFinished\":{\"sweep\":\"s1\",\"ke")
+            .unwrap();
+        drop(f);
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json\n{\"SweepFinished\":{\"sweep\":\"s\",\"hits\":0,\"misses\":0,\"failures\":0}}\n").unwrap();
+        assert!(read_events(&path).is_err());
+    }
+
+    #[test]
+    fn unfinished_tracking() {
+        let events = vec![
+            JournalEvent::SweepStarted(record("s1")),
+            JournalEvent::SweepStarted(record("s2")),
+            JournalEvent::SweepFinished {
+                sweep: "s1".into(),
+                hits: 1,
+                misses: 0,
+                failures: 0,
+            },
+        ];
+        let open = unfinished_sweeps(&events);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].id, "s2");
+        assert!(find_sweep(&events, "s1").is_some());
+        assert!(find_sweep(&events, "nope").is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Cache-key derivation.
+//!
+//! A run is addressed by the SHA-256 of a *canonical* JSON document
+//! covering everything that can change its output:
+//!
+//! * `schema` — [`STORE_SCHEMA_VERSION`], bumped whenever the stored
+//!   representation or the algorithms' observable behaviour changes,
+//!   so stale results can never be replayed across incompatible code;
+//! * `context` — a digest of the session inputs (dataset bytes,
+//!   hierarchies, workload, policies), computed by the caller;
+//! * `config` — the method configuration, canonicalized (see below);
+//! * `seed` — the RNG seed;
+//! * `sweep` — the sweep point applied on top of the base config, when
+//!   the run is part of a varying-parameter experiment.
+//!
+//! Canonicalization sorts every object's keys recursively, so two
+//! configurations that serialize the same fields in different orders
+//! (e.g. hand-written JSON vs. derive output) hash identically, while
+//! any *semantic* change — a different k, algorithm, bound — produces
+//! a different key.
+
+use crate::sha::Sha256;
+use serde::Value;
+
+/// Version of the store's on-disk schema and key derivation. Part of
+/// every run key: bump it to invalidate all previously cached runs.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Content address of a single run (64 lowercase hex chars).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(pub String);
+
+impl RunKey {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Recursively sort object keys; arrays keep their order (element
+/// order in JSON arrays is semantic).
+pub fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Arr(items) => Value::Arr(items.iter().map(canonicalize).collect()),
+        Value::Obj(entries) => {
+            let mut out: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(k, val)| (k.clone(), canonicalize(val)))
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Obj(out)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Compact canonical JSON rendering (sorted keys, no whitespace).
+pub fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(&canonicalize(v)).expect("serialization to a string is infallible")
+}
+
+/// Derive the content address of one run.
+///
+/// `config` is hashed in canonical form, so field order never matters.
+/// `sweep` is the `(parameter label, value)` pair of the sweep point
+/// this run realizes, or `None` for a single-point evaluation.
+pub fn run_key(
+    context_digest: &str,
+    config: &Value,
+    seed: u64,
+    sweep: Option<(&str, f64)>,
+) -> RunKey {
+    let mut doc = vec![
+        ("config".to_owned(), canonicalize(config)),
+        ("context".to_owned(), Value::Str(context_digest.to_owned())),
+        ("schema".to_owned(), Value::U64(STORE_SCHEMA_VERSION as u64)),
+        ("seed".to_owned(), Value::U64(seed)),
+    ];
+    if let Some((param, value)) = sweep {
+        doc.push((
+            "sweep".to_owned(),
+            Value::Obj(vec![
+                ("param".to_owned(), Value::Str(param.to_owned())),
+                ("value".to_owned(), Value::F64(value)),
+            ]),
+        ));
+    }
+    let rendered = canonical_json(&Value::Obj(doc));
+    let mut h = Sha256::new();
+    h.update(rendered.as_bytes());
+    RunKey(h.finalize_hex())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn key_invariant_under_field_order() {
+        let a = obj(vec![
+            ("k", Value::U64(5)),
+            ("algo", Value::Str("cluster".into())),
+            (
+                "nested",
+                obj(vec![("x", Value::U64(1)), ("y", Value::U64(2))]),
+            ),
+        ]);
+        let b = obj(vec![
+            (
+                "nested",
+                obj(vec![("y", Value::U64(2)), ("x", Value::U64(1))]),
+            ),
+            ("algo", Value::Str("cluster".into())),
+            ("k", Value::U64(5)),
+        ]);
+        assert_eq!(run_key("ctx", &a, 7, None), run_key("ctx", &b, 7, None));
+    }
+
+    #[test]
+    fn key_changes_with_semantics() {
+        let base = obj(vec![("k", Value::U64(5))]);
+        let k = run_key("ctx", &base, 7, None);
+        assert_ne!(k, run_key("ctx", &obj(vec![("k", Value::U64(6))]), 7, None));
+        assert_ne!(k, run_key("ctx", &base, 8, None));
+        assert_ne!(k, run_key("other", &base, 7, None));
+        assert_ne!(k, run_key("ctx", &base, 7, Some(("k", 5.0))));
+        assert_ne!(
+            run_key("ctx", &base, 7, Some(("k", 5.0))),
+            run_key("ctx", &base, 7, Some(("k", 10.0))),
+        );
+        assert_ne!(
+            run_key("ctx", &base, 7, Some(("k", 5.0))),
+            run_key("ctx", &base, 7, Some(("m", 5.0))),
+        );
+    }
+
+    #[test]
+    fn arrays_keep_order() {
+        let a = obj(vec![("qs", Value::Arr(vec![Value::U64(1), Value::U64(2)]))]);
+        let b = obj(vec![("qs", Value::Arr(vec![Value::U64(2), Value::U64(1)]))]);
+        assert_ne!(run_key("ctx", &a, 0, None), run_key("ctx", &b, 0, None));
+    }
+}

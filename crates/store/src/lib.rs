@@ -1,0 +1,45 @@
+//! # secreta-store
+//!
+//! A content-addressed, persistent store of anonymization runs, plus
+//! the write-ahead event journal that makes SECRETA's experiment
+//! sweeps resumable and observable.
+//!
+//! The paper's workflow is experiment-heavy: evaluating one method or
+//! comparing several expands into a grid of (configuration × sweep
+//! point × seed) runs, and typical sessions re-run most of that grid
+//! with one knob changed. This crate gives those runs durable
+//! identity:
+//!
+//! * [`key`] — cache-key derivation: a run is addressed by the SHA-256
+//!   of its canonicalized configuration, session-input digest, seed,
+//!   sweep point and schema version;
+//! * [`manifest`] — the per-run record ([`RunManifest`]): indicators,
+//!   phase timings and provenance, round-tripping byte-identically
+//!   through JSON;
+//! * [`store`] — the on-disk layout ([`RunStore`]): crash-atomic puts
+//!   via staging + rename, listing, prefix resolution, gc;
+//! * [`journal`] — the JSONL write-ahead journal ([`Journal`]): intent
+//!   records written before a sweep runs (making `runs resume`
+//!   possible after a crash) and per-job observability events;
+//! * [`sha`] — a dependency-free SHA-256 and a digest [`io::Write`]
+//!   sink ([`sha::DigestWriter`]) for hashing session inputs through
+//!   the existing writers.
+//!
+//! The crate deliberately sits *below* the experimentation framework:
+//! it depends only on `secreta-metrics` (for the anonymized-table and
+//! indicator models) so any layer — core orchestrator, CLI, plotting
+//! — can read stored runs without dragging in the algorithms.
+//!
+//! [`io::Write`]: std::io::Write
+
+pub mod journal;
+pub mod key;
+pub mod manifest;
+pub mod sha;
+pub mod store;
+
+pub use journal::{find_sweep, read_events, unfinished_sweeps, Journal, JournalEvent, SweepRecord};
+pub use key::{canonical_json, canonicalize, run_key, RunKey, STORE_SCHEMA_VERSION};
+pub use manifest::RunManifest;
+pub use sha::{sha256_hex, DigestWriter, Sha256};
+pub use store::{RunStore, StoreError, StoredRun};

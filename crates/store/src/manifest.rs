@@ -1,0 +1,103 @@
+//! The per-run manifest: everything a cached run records besides the
+//! anonymized table itself.
+
+use secreta_metrics::{Indicators, PhaseTimes};
+use serde::{Deserialize, Serialize, Value};
+
+/// Metadata and measurements of one completed run.
+///
+/// Stored as `manifest.json` next to the anonymized output. Replaying
+/// a cache hit reconstructs the framework's `RunResult` from this plus
+/// the stored table, byte-identically: every field round-trips exactly
+/// through JSON (floats use shortest-roundtrip formatting, durations
+/// are integer seconds/nanos, tables are integers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Content address of this run (64 hex chars); also its directory
+    /// name under `runs/`.
+    pub key: String,
+    /// Store schema the run was written under.
+    pub schema_version: u32,
+    /// Digest of the session inputs the run was computed against.
+    pub context: String,
+    /// Human-readable method label, e.g. `RMERGE_r(CLUSTER+NCP)`.
+    pub label: String,
+    /// The method configuration, as canonical JSON (sorted keys).
+    pub config: Value,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sweep parameter label (`k`, `m`, `δ`) when part of a sweep.
+    #[serde(default)]
+    pub sweep_param: Option<String>,
+    /// Sweep-point value when part of a sweep.
+    #[serde(default)]
+    pub sweep_value: Option<f64>,
+    /// Milliseconds since the Unix epoch at which the run finished.
+    pub created_unix_ms: u64,
+    /// The indicator set the run produced.
+    pub indicators: Indicators,
+    /// Per-phase wall-clock timings.
+    pub phases: PhaseTimes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    pub(crate) fn sample(key: &str) -> RunManifest {
+        RunManifest {
+            key: key.to_owned(),
+            schema_version: crate::key::STORE_SCHEMA_VERSION,
+            context: "c0ffee".to_owned(),
+            label: "CLUSTER+NCP".to_owned(),
+            config: Value::Obj(vec![("k".to_owned(), Value::U64(5))]),
+            seed: 42,
+            sweep_param: Some("k".to_owned()),
+            sweep_value: Some(5.0),
+            created_unix_ms: 1_700_000_000_000,
+            indicators: Indicators {
+                gcp: 0.125,
+                tx_gcp: 1.0 / 3.0,
+                ul: 0.5,
+                are: 0.0625,
+                item_freq_error: 0.01,
+                discernibility: 1234,
+                avg_class_size: 6.5,
+                runtime_ms: 17.25,
+                verified: true,
+            },
+            phases: PhaseTimes {
+                phases: vec![
+                    ("anonymize".to_owned(), Duration::new(1, 500)),
+                    ("metrics".to_owned(), Duration::from_millis(3)),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = sample("ab".repeat(32).as_str());
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn optional_sweep_fields_default() {
+        // manifests written for single-point runs omit sweep info
+        let json = r#"{
+            "key": "k", "schema_version": 1, "context": "c",
+            "label": "L", "config": {"k": 5}, "seed": 1,
+            "created_unix_ms": 0,
+            "indicators": {"gcp":0.0,"tx_gcp":0.0,"ul":0.0,"are":0.0,
+                "item_freq_error":0.0,"discernibility":0,
+                "avg_class_size":0.0,"runtime_ms":0.0,"verified":true},
+            "phases": {"phases": []}
+        }"#;
+        let m: RunManifest = serde_json::from_str(json).unwrap();
+        assert_eq!(m.sweep_param, None);
+        assert_eq!(m.sweep_value, None);
+    }
+}

@@ -1,0 +1,467 @@
+//! The on-disk run store.
+//!
+//! Layout of a store root:
+//!
+//! ```text
+//! <root>/
+//!   runs/<kk>/<key>/manifest.json   # kk = first two hex chars of key
+//!   runs/<kk>/<key>/anon.json       # the anonymized table
+//!   tmp/                            # staging for atomic puts
+//!   journal.jsonl                   # write-ahead event journal
+//! ```
+//!
+//! Puts are crash-atomic: both files are written into a unique
+//! directory under `tmp/` and the whole directory is `rename(2)`d into
+//! place, so a reader can never observe a half-written run. A run
+//! directory either has both files (complete) or is garbage that
+//! `gc` removes.
+
+use crate::journal::{Journal, JournalEvent};
+use crate::key::RunKey;
+use crate::manifest::RunManifest;
+use secreta_metrics::AnonTable;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Failures of store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed at the given path.
+    Io(PathBuf, io::Error),
+    /// A stored file exists but does not parse as what it should be.
+    Corrupt(PathBuf, String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(path, e) => write!(f, "store i/o error at {}: {e}", path.display()),
+            StoreError::Corrupt(path, msg) => {
+                write!(f, "corrupt store entry at {}: {msg}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A run read back from the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRun {
+    /// Metadata and measurements.
+    pub manifest: RunManifest,
+    /// The anonymized table the run produced.
+    pub anon: AnonTable,
+}
+
+/// A content-addressed store of completed runs.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(path: &Path) -> impl FnOnce(io::Error) -> StoreError + '_ {
+    move |e| StoreError::Io(path.to_path_buf(), e)
+}
+
+impl RunStore {
+    /// Open a store rooted at `root`, creating the layout if absent.
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, StoreError> {
+        let root = root.into();
+        for sub in ["runs", "tmp"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(io_err(&dir))?;
+        }
+        Ok(RunStore { root })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the event journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.jsonl")
+    }
+
+    /// Open the journal for appending.
+    pub fn journal(&self) -> Result<Journal, StoreError> {
+        let path = self.journal_path();
+        Journal::open(&path).map_err(io_err(&path))
+    }
+
+    /// Read every journal event (empty when no journal exists).
+    pub fn read_journal(&self) -> Result<Vec<JournalEvent>, StoreError> {
+        let path = self.journal_path();
+        crate::journal::read_events(&path).map_err(io_err(&path))
+    }
+
+    fn run_dir(&self, key: &str) -> PathBuf {
+        let shard = key.get(..2).unwrap_or("xx");
+        self.root.join("runs").join(shard).join(key)
+    }
+
+    /// Is a complete run stored under `key`?
+    pub fn contains(&self, key: &RunKey) -> bool {
+        let dir = self.run_dir(key.as_str());
+        dir.join("manifest.json").is_file() && dir.join("anon.json").is_file()
+    }
+
+    /// Load the run stored under `key`, if complete.
+    pub fn get(&self, key: &RunKey) -> Result<Option<StoredRun>, StoreError> {
+        let dir = self.run_dir(key.as_str());
+        let manifest_path = dir.join("manifest.json");
+        let anon_path = dir.join("anon.json");
+        if !manifest_path.is_file() || !anon_path.is_file() {
+            return Ok(None);
+        }
+        let manifest_text = fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
+        let manifest: RunManifest = serde_json::from_str(&manifest_text)
+            .map_err(|e| StoreError::Corrupt(manifest_path.clone(), e.to_string()))?;
+        let anon_text = fs::read_to_string(&anon_path).map_err(io_err(&anon_path))?;
+        let anon: AnonTable = serde_json::from_str(&anon_text)
+            .map_err(|e| StoreError::Corrupt(anon_path.clone(), e.to_string()))?;
+        Ok(Some(StoredRun { manifest, anon }))
+    }
+
+    /// Store a completed run atomically. A run already present under
+    /// the same key is left untouched (first write wins; contents are
+    /// deterministic in the key, so any duplicate is identical).
+    pub fn put(&self, manifest: &RunManifest, anon: &AnonTable) -> Result<(), StoreError> {
+        let key = RunKey(manifest.key.clone());
+        if self.contains(&key) {
+            return Ok(());
+        }
+        let stage = self.root.join("tmp").join(format!(
+            "{}-{}-{}",
+            &manifest.key[..manifest.key.len().min(16)],
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::create_dir_all(&stage).map_err(io_err(&stage))?;
+        let write_json = |name: &str, text: String| -> Result<(), StoreError> {
+            let path = stage.join(name);
+            fs::write(&path, text).map_err(io_err(&path))
+        };
+        write_json(
+            "manifest.json",
+            serde_json::to_string_pretty(manifest)
+                .map_err(|e| StoreError::Corrupt(stage.clone(), e.to_string()))?,
+        )?;
+        write_json(
+            "anon.json",
+            serde_json::to_string(anon)
+                .map_err(|e| StoreError::Corrupt(stage.clone(), e.to_string()))?,
+        )?;
+        let dest = self.run_dir(&manifest.key);
+        if let Some(parent) = dest.parent() {
+            fs::create_dir_all(parent).map_err(io_err(parent))?;
+        }
+        match fs::rename(&stage, &dest) {
+            Ok(()) => Ok(()),
+            Err(_) if self.contains(&key) => {
+                // lost a race with a concurrent writer of the same run
+                let _ = fs::remove_dir_all(&stage);
+                Ok(())
+            }
+            Err(e) => Err(StoreError::Io(dest, e)),
+        }
+    }
+
+    /// Manifests of every complete run, oldest first (ties broken by
+    /// key, so the order is deterministic).
+    pub fn list(&self) -> Result<Vec<RunManifest>, StoreError> {
+        let runs = self.root.join("runs");
+        let mut out = Vec::new();
+        for shard in read_dir_sorted(&runs)? {
+            if !shard.is_dir() {
+                continue;
+            }
+            for dir in read_dir_sorted(&shard)? {
+                let manifest_path = dir.join("manifest.json");
+                if !manifest_path.is_file() || !dir.join("anon.json").is_file() {
+                    continue;
+                }
+                let text = fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
+                let manifest: RunManifest = serde_json::from_str(&text)
+                    .map_err(|e| StoreError::Corrupt(manifest_path.clone(), e.to_string()))?;
+                out.push(manifest);
+            }
+        }
+        out.sort_by(|a, b| {
+            a.created_unix_ms
+                .cmp(&b.created_unix_ms)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        Ok(out)
+    }
+
+    /// Resolve a (possibly abbreviated) key to the unique stored run
+    /// it prefixes. Errors on ambiguity; `Ok(None)` when nothing
+    /// matches.
+    pub fn resolve(&self, prefix: &str) -> Result<Option<RunKey>, StoreError> {
+        let matches: Vec<String> = self
+            .list()?
+            .into_iter()
+            .map(|m| m.key)
+            .filter(|k| k.starts_with(prefix))
+            .collect();
+        match matches.len() {
+            0 => Ok(None),
+            1 => Ok(Some(RunKey(matches.into_iter().next().unwrap()))),
+            n => Err(StoreError::Corrupt(
+                self.root.clone(),
+                format!("key prefix `{prefix}` is ambiguous ({n} matches)"),
+            )),
+        }
+    }
+
+    /// Remove the run stored under `key`. Returns whether anything
+    /// was deleted.
+    pub fn remove(&self, key: &RunKey) -> Result<bool, StoreError> {
+        let dir = self.run_dir(key.as_str());
+        if !dir.exists() {
+            return Ok(false);
+        }
+        fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
+        // drop the shard directory too once it empties
+        if let Some(shard) = dir.parent() {
+            let _ = fs::remove_dir(shard);
+        }
+        Ok(true)
+    }
+
+    /// Remove staging leftovers and incomplete run directories (a
+    /// crash between `create_dir_all` and `rename` can leave either).
+    /// Returns the number of directories removed.
+    pub fn gc_incomplete(&self) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        let tmp = self.root.join("tmp");
+        for entry in read_dir_sorted(&tmp)? {
+            fs::remove_dir_all(&entry)
+                .or_else(|_| fs::remove_file(&entry))
+                .map_err(io_err(&entry))?;
+            removed += 1;
+        }
+        let runs = self.root.join("runs");
+        for shard in read_dir_sorted(&runs)? {
+            if !shard.is_dir() {
+                continue;
+            }
+            for dir in read_dir_sorted(&shard)? {
+                if dir.join("manifest.json").is_file() && dir.join("anon.json").is_file() {
+                    continue;
+                }
+                fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
+                removed += 1;
+            }
+            let _ = fs::remove_dir(&shard);
+        }
+        Ok(removed)
+    }
+
+    /// Remove *everything* — every run, the staging area, the journal
+    /// — leaving the store root empty. Returns the number of runs
+    /// removed.
+    pub fn gc_all(&self) -> Result<usize, StoreError> {
+        let count = self.list()?.len();
+        for sub in ["runs", "tmp"] {
+            let dir = self.root.join(sub);
+            if dir.exists() {
+                fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
+            }
+        }
+        let journal = self.journal_path();
+        if journal.exists() {
+            fs::remove_file(&journal).map_err(io_err(&journal))?;
+        }
+        Ok(count)
+    }
+}
+
+/// Directory entries sorted by name; a missing directory reads as
+/// empty.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let rd = match fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(StoreError::Io(dir.to_path_buf(), e)),
+    };
+    let mut entries = Vec::new();
+    for entry in rd {
+        entries.push(entry.map_err(io_err(dir))?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::STORE_SCHEMA_VERSION;
+    use secreta_metrics::Indicators;
+    use serde::Value;
+    use std::time::Duration;
+
+    fn tmp_store(name: &str) -> RunStore {
+        let dir =
+            std::env::temp_dir().join(format!("secreta-store-{}-{}", std::process::id(), name));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    fn manifest(key: &str, created: u64) -> RunManifest {
+        RunManifest {
+            key: key.to_owned(),
+            schema_version: STORE_SCHEMA_VERSION,
+            context: "ctx".to_owned(),
+            label: "CLUSTER".to_owned(),
+            config: Value::Obj(vec![("k".to_owned(), Value::U64(5))]),
+            seed: 1,
+            sweep_param: None,
+            sweep_value: None,
+            created_unix_ms: created,
+            indicators: Indicators {
+                gcp: 0.5,
+                tx_gcp: 0.25,
+                ul: 0.0,
+                are: 0.0,
+                item_freq_error: 0.0,
+                discernibility: 8,
+                avg_class_size: 2.0,
+                runtime_ms: 1.5,
+                verified: true,
+            },
+            phases: secreta_metrics::PhaseTimes {
+                phases: vec![("anonymize".to_owned(), Duration::from_millis(1))],
+            },
+        }
+    }
+
+    fn empty_anon() -> AnonTable {
+        AnonTable {
+            rel: vec![],
+            tx: None,
+            n_rows: 0,
+        }
+    }
+
+    fn key64(seed: u8) -> String {
+        let c = char::from_digit((seed % 16) as u32, 16).unwrap();
+        std::iter::repeat_n(c, 64).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = tmp_store("putget");
+        let key = key64(0xa);
+        let m = manifest(&key, 10);
+        let anon = empty_anon();
+        store.put(&m, &anon).unwrap();
+        assert!(store.contains(&RunKey(key.clone())));
+        let back = store.get(&RunKey(key)).unwrap().unwrap();
+        assert_eq!(back.manifest, m);
+        assert_eq!(back.anon, anon);
+        // tmp staging is clean after a successful put
+        assert!(read_dir_sorted(&store.root().join("tmp"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let store = tmp_store("missing");
+        assert!(store.get(&RunKey(key64(1))).unwrap().is_none());
+        assert!(!store.contains(&RunKey(key64(1))));
+    }
+
+    #[test]
+    fn list_sorts_by_creation() {
+        let store = tmp_store("list");
+        store.put(&manifest(&key64(2), 20), &empty_anon()).unwrap();
+        store.put(&manifest(&key64(3), 10), &empty_anon()).unwrap();
+        let all = store.list().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].created_unix_ms, 10);
+        assert_eq!(all[1].created_unix_ms, 20);
+    }
+
+    #[test]
+    fn resolve_prefix() {
+        let store = tmp_store("resolve");
+        store.put(&manifest(&key64(4), 1), &empty_anon()).unwrap();
+        store.put(&manifest(&key64(5), 2), &empty_anon()).unwrap();
+        assert_eq!(store.resolve("44").unwrap(), Some(RunKey(key64(4))));
+        assert_eq!(store.resolve("ff").unwrap(), None);
+        // "" prefixes both keys
+        assert!(store.resolve("").is_err());
+    }
+
+    #[test]
+    fn remove_and_gc_all_leave_store_empty() {
+        let store = tmp_store("gc");
+        store.put(&manifest(&key64(6), 1), &empty_anon()).unwrap();
+        store.put(&manifest(&key64(7), 2), &empty_anon()).unwrap();
+        store
+            .journal()
+            .unwrap()
+            .append(&JournalEvent::SweepFinished {
+                sweep: "s".into(),
+                hits: 0,
+                misses: 0,
+                failures: 0,
+            })
+            .unwrap();
+        assert!(store.remove(&RunKey(key64(6))).unwrap());
+        assert!(!store.remove(&RunKey(key64(6))).unwrap());
+        assert_eq!(store.list().unwrap().len(), 1);
+        assert_eq!(store.gc_all().unwrap(), 1);
+        let leftovers: Vec<PathBuf> = fs::read_dir(store.root())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "store not empty after gc: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn gc_incomplete_removes_partial_runs() {
+        let store = tmp_store("gcpartial");
+        store.put(&manifest(&key64(8), 1), &empty_anon()).unwrap();
+        // a run dir missing anon.json, as left by a crash
+        let partial = store.root().join("runs").join("99").join(key64(9));
+        fs::create_dir_all(&partial).unwrap();
+        fs::write(partial.join("manifest.json"), "{}").unwrap();
+        // staging leftovers
+        fs::create_dir_all(store.root().join("tmp").join("stale")).unwrap();
+        assert_eq!(store.gc_incomplete().unwrap(), 2);
+        assert!(!partial.exists());
+        assert_eq!(store.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let store = tmp_store("corrupt");
+        let key = key64(0xb);
+        store.put(&manifest(&key, 1), &empty_anon()).unwrap();
+        let path = store
+            .root()
+            .join("runs")
+            .join("bb")
+            .join(&key)
+            .join("manifest.json");
+        fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            store.get(&RunKey(key)),
+            Err(StoreError::Corrupt(_, _))
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests of the store's serialization and key derivation.
+
+use proptest::prelude::*;
+use secreta_metrics::{Indicators, PhaseTimes};
+use secreta_store::{canonicalize, run_key, RunManifest, STORE_SCHEMA_VERSION};
+use serde::Value;
+use std::time::Duration;
+
+/// A strategy over finite floats with awkward fractional parts. JSON
+/// round-trips every finite f64 exactly (shortest-roundtrip
+/// formatting), so any finite value must survive.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<u32>(), 1u32..997).prop_map(|(n, d)| n as f64 / d as f64 - 1.0e6)
+}
+
+fn indicators_strategy() -> impl Strategy<Value = Indicators> {
+    (
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+        (finite_f64(), 0u64..u64::MAX / 2, finite_f64()),
+        (finite_f64(), any::<bool>()),
+    )
+        .prop_map(
+            |((gcp, tx_gcp, ul, are), (item_freq_error, discernibility, avg), (rt, verified))| {
+                Indicators {
+                    gcp,
+                    tx_gcp,
+                    ul,
+                    are,
+                    item_freq_error,
+                    discernibility,
+                    avg_class_size: avg,
+                    runtime_ms: rt,
+                    verified,
+                }
+            },
+        )
+}
+
+fn phases_strategy() -> impl Strategy<Value = PhaseTimes> {
+    prop::collection::vec((0usize..6, 0u64..10_000, 0u32..1_000_000_000), 0..5).prop_map(|v| {
+        PhaseTimes {
+            phases: v
+                .into_iter()
+                .map(|(name, secs, nanos)| (format!("phase{name}"), Duration::new(secs, nanos)))
+                .collect(),
+        }
+    })
+}
+
+fn manifest_strategy() -> impl Strategy<Value = RunManifest> {
+    (
+        ("[a-f0-9]{64}", "[A-Za-z0-9_+()]{1,24}", 0u64..u64::MAX / 2),
+        (0usize..4, finite_f64()), // sweep: index 3 = "no sweep"
+        (0u64..u64::MAX / 2, indicators_strategy(), phases_strategy()),
+        prop::collection::vec((0usize..8, 0u64..1000), 0..6),
+    )
+        .prop_map(
+            |(
+                (key, label, seed),
+                (sweep_idx, sweep_val),
+                (created, indicators, phases),
+                config_fields,
+            )| {
+                let params = ["k", "m", "δ"];
+                let config = Value::Obj(
+                    config_fields
+                        .into_iter()
+                        .map(|(name, v)| (format!("f{name}"), Value::U64(v)))
+                        .collect(),
+                );
+                let sweep = params.get(sweep_idx).map(|p| (p.to_string(), sweep_val));
+                RunManifest {
+                    key,
+                    schema_version: STORE_SCHEMA_VERSION,
+                    context: "ctx".to_owned(),
+                    label,
+                    config,
+                    seed,
+                    sweep_param: sweep.as_ref().map(|(p, _)| p.clone()),
+                    sweep_value: sweep.map(|(_, v)| v),
+                    created_unix_ms: created,
+                    indicators,
+                    phases,
+                }
+            },
+        )
+}
+
+/// Shuffle an object's fields (and, recursively, nested objects) by
+/// rotating them, producing a semantically identical value.
+fn rotate_fields(v: &Value, by: usize) -> Value {
+    match v {
+        Value::Obj(entries) if !entries.is_empty() => {
+            let mut rotated: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(k, val)| (k.clone(), rotate_fields(val, by)))
+                .collect();
+            rotated.rotate_left(by % entries.len());
+            Value::Obj(rotated)
+        }
+        Value::Arr(items) => Value::Arr(items.iter().map(|x| rotate_fields(x, by)).collect()),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifest_serialization_round_trips(m in manifest_strategy()) {
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&m, &back);
+        // and a second trip is byte-stable
+        let json2 = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn run_key_invariant_under_field_reordering(
+        fields in prop::collection::vec(("[a-z]{1,6}", 0u64..1000), 1..8),
+        seed in 0u64..1000,
+        rot in 1usize..7,
+    ) {
+        let mut entries: Vec<(String, Value)> = fields
+            .into_iter()
+            .map(|(k, v)| (k, Value::U64(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        let config = Value::Obj(entries);
+        let shuffled = rotate_fields(&config, rot);
+        prop_assert_eq!(
+            run_key("ctx", &config, seed, None),
+            run_key("ctx", &shuffled, seed, None)
+        );
+        prop_assert_eq!(canonicalize(&config), canonicalize(&shuffled));
+    }
+
+    #[test]
+    fn run_key_sensitive_to_semantic_changes(
+        base in prop::collection::vec(("[a-z]{1,6}", 0u64..1000), 1..6),
+        seed in 0u64..1000,
+        bump in 1u64..100,
+    ) {
+        let mut entries: Vec<(String, Value)> = base
+            .into_iter()
+            .map(|(k, v)| (k, Value::U64(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        let config = Value::Obj(entries.clone());
+        let key = run_key("ctx", &config, seed, None);
+
+        // changing any one field value changes the key
+        for i in 0..entries.len() {
+            let mut changed = entries.clone();
+            if let Value::U64(v) = changed[i].1 {
+                changed[i].1 = Value::U64(v + bump);
+            }
+            prop_assert_ne!(&key, &run_key("ctx", &Value::Obj(changed), seed, None));
+        }
+        // changing the seed or the context changes the key
+        prop_assert_ne!(&key, &run_key("ctx", &config, seed + bump, None));
+        prop_assert_ne!(&key, &run_key("ctx2", &config, seed, None));
+    }
+}

@@ -172,6 +172,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls so already-parsed values can be embedded in derived
+// structs (e.g. a stored manifest carrying an opaque config payload).
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
