@@ -43,16 +43,20 @@ COMMANDS
              [--queries N] [--seed S] [--threads N]
              [--vary k|m|delta --start N --end N --step N]
              [--out-dir DIR] [--export-anon FILE]
-             [--store-dir DIR] [--no-cache]
+             [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
+  profile    profile one run            DATA [--tx COL] (same method flags as
+             evaluate, no --vary) [--trace-out FILE.ndjson]
   compare    Comparison mode            DATA [--tx COL] --config FILE.json
              [--queries N] [--threads N] [--out-dir DIR]
-             [--store-dir DIR] [--no-cache]
+             [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
   runs       run-store management       list|show KEY|chart|gc|resume [ID]
-             [--store-dir DIR] [--all] [--indicator gcp|are|runtime]
+             [--store-dir DIR] [--all]
+             [--indicator gcp|are|runtime|phases]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
-  bench      benchmark                  [--suite kernels|store] [--rows N,N,...]
-             [--k N] [--seed S] [--threads N] [--json] [--out FILE]
+  bench      benchmark                  [--suite kernels|store|obsv]
+             [--rows N,N,...] [--k N] [--seed S] [--threads N] [--reps N]
+             [--json] [--out FILE]
   help       this text
 
 evaluate/compare also accept --session FILE.json instead of a dataset
@@ -61,6 +65,9 @@ With --store-dir, results are content-addressed into a persistent run
 store: re-running an identical experiment replays stored results
 (--no-cache forces re-execution while still recording), and a sweep
 killed mid-run can be finished with `secreta runs resume`.
+With --trace-out, every executed run streams its spans and counters to
+FILE as NDJSON (one JSON object per line); `secreta profile` prints the
+same data as a per-phase/per-counter table instead.
 
 Relational algorithms: incognito, cluster, topdown, bottomup
 Transaction algorithms: coat, pcta, apriori, lra, vpa
@@ -81,6 +88,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "workload" => cmd_workload(args),
         "policy" => cmd_policy(args),
         "evaluate" => cmd_evaluate(args),
+        "profile" => cmd_profile(args),
         "compare" => cmd_compare(args),
         "runs" => crate::runs::cmd_runs(args),
         "edit" => cmd_edit(args),
@@ -447,6 +455,20 @@ pub(crate) fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
     );
 }
 
+/// Observability settings from `--trace-out` (and, for `profile`,
+/// forced-on recording): traces stream as NDJSON to the given file.
+fn obsv_of(args: &Args, force_enabled: bool) -> Result<secreta_core::obsv::ObsvConfig, String> {
+    use secreta_core::obsv::{ObsvConfig, TraceSink};
+    match args.opt("trace-out") {
+        Some(path) => {
+            let sink = TraceSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(ObsvConfig::with_trace(sink))
+        }
+        None if force_enabled => Ok(ObsvConfig::enabled()),
+        None => Ok(ObsvConfig::disabled()),
+    }
+}
+
 /// Build the orchestrator for evaluate/compare from `--store-dir` /
 /// `--no-cache` / `--threads`.
 fn orchestrator_of(args: &Args, threads: usize) -> Result<Orchestrator, String> {
@@ -505,7 +527,7 @@ fn print_cache_stats(orch: &Orchestrator, out: &secreta_core::Orchestrated) {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let ctx = load_context(args)?;
+    let ctx = load_context(args)?.with_obsv(obsv_of(args, false)?);
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
@@ -579,8 +601,41 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `secreta profile`: run one method with the recorder on and print
+/// the hierarchical phase/counter table. Accepts the same method flags
+/// as single-run `evaluate`; `--trace-out FILE` additionally streams
+/// the NDJSON trace.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    if args.opt("vary").is_some() {
+        return Err("profile runs a single configuration; use `evaluate --vary` for sweeps".into());
+    }
+    let ctx = load_context(args)?.with_obsv(obsv_of(args, true)?);
+    let spec = build_spec(args)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.usize_or("threads", 4)?;
+    let orch = orchestrator_of(args, threads)?;
+    let (result, cache_hit) = orch.run_one(&ctx, &spec, seed).map_err(|e| e.to_string())?;
+    let out = result.map_err(|e| e.to_string())?;
+    println!("method: {}", spec.label());
+    if cache_hit {
+        println!("(replayed from the run store — profile reflects the original execution)");
+    }
+    print_indicators("result", &out.indicators);
+    match &out.profile {
+        Some(profile) => {
+            println!("profile:");
+            print!("{}", profile.render_table());
+        }
+        None => println!("(no profile was recorded for this run)"),
+    }
+    if let Some(path) = args.opt("trace-out") {
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    let ctx = load_context(args)?;
+    let ctx = load_context(args)?.with_obsv(obsv_of(args, false)?);
     let config_path = args.req("config")?;
     let text = std::fs::read_to_string(config_path).map_err(|e| e.to_string())?;
     let configs: Vec<Configuration> =
@@ -657,7 +712,7 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `secreta bench`: two suites.
+/// `secreta bench`: three suites.
 ///
 /// * `--suite kernels` (default) times the Cluster hot path before and
 ///   after the kernel optimizations (parent-walk vs Euler-tour LCA,
@@ -668,6 +723,10 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 ///   (empty store, every job executes) vs warm (second identical
 ///   invocation, every job replays from the store); `--json` writes
 ///   the report to `BENCH_2.json` (override with `--out`).
+/// * `--suite obsv` measures the observability layer's cost: the same
+///   Cluster run with the recorder absent vs installed-but-disabled vs
+///   enabled; `--json` writes the report to `BENCH_3.json` (override
+///   with `--out`).
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use secreta_core::relational::{cluster, RelationalInput};
     use std::fmt::Write as _;
@@ -676,7 +735,8 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     match args.opt("suite").unwrap_or("kernels") {
         "kernels" => {}
         "store" => return bench_store(args),
-        other => return Err(format!("unknown --suite {other:?} (kernels|store)")),
+        "obsv" => return bench_obsv(args),
+        other => return Err(format!("unknown --suite {other:?} (kernels|store|obsv)")),
     }
 
     let k = args.usize_or("k", 10)?;
@@ -923,6 +983,123 @@ fn bench_store(args: &Args) -> Result<(), String> {
         println!("wrote {path}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Observability overhead benchmark: the Cluster hot path runs with
+/// the recorder disabled (the production default), enabled, and
+/// enabled with an in-memory NDJSON sink; each mode keeps the best of
+/// `--reps` runs. The disabled column is what every un-profiled run
+/// pays for carrying the instrumentation; the enabled column is the
+/// cost of `secreta profile` / `--trace-out`.
+fn bench_obsv(args: &Args) -> Result<(), String> {
+    use secreta_core::obsv::{self, ObsvConfig, TraceSink};
+    use secreta_core::relational::{cluster, RelationalInput};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let k = args.usize_or("k", 10)?;
+    let seed = args.u64_or("seed", 42)?;
+    let reps = args.usize_or("reps", 5)?.max(1);
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    struct Case {
+        rows: usize,
+        disabled_ms: f64,
+        enabled_ms: f64,
+        traced_ms: f64,
+        counters: usize,
+    }
+    let mut cases = Vec::new();
+
+    println!("observability overhead benchmark (adult-like, k={k}, seed={seed}, best of {reps})");
+    for &n in &rows {
+        let table = DatasetSpec::adult_like(n, seed).generate();
+        let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+        let input = RelationalInput {
+            table: &ctx.table,
+            qi_attrs: ctx.qi_attrs.clone(),
+            hierarchies: ctx.hierarchies.clone(),
+            k,
+        };
+        let time_with = |cfg: &ObsvConfig| -> Result<(f64, usize), String> {
+            let mut best = f64::INFINITY;
+            let mut counters = 0;
+            for _ in 0..reps {
+                let rec = cfg.recorder();
+                let guard = obsv::install(&rec);
+                let t0 = Instant::now();
+                cluster::anonymize(&input, seed).map_err(|e| e.to_string())?;
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                drop(guard);
+                if let Some(p) = rec.finish("bench") {
+                    counters = p.counters.len();
+                }
+            }
+            Ok((best, counters))
+        };
+        let (disabled_ms, _) = time_with(&ObsvConfig::disabled())?;
+        let (enabled_ms, counters) = time_with(&ObsvConfig::enabled())?;
+        let (sink, _buf) = TraceSink::buffer();
+        let (traced_ms, _) = time_with(&ObsvConfig::with_trace(sink))?;
+        let pct = |ms: f64| 100.0 * (ms - disabled_ms) / disabled_ms.max(1e-9);
+        println!(
+            "  n={n:>6}: disabled {disabled_ms:>8.1}ms  enabled {enabled_ms:>8.1}ms \
+             ({:>+5.1}%)  traced {traced_ms:>8.1}ms ({:>+5.1}%)  {counters} counters",
+            pct(enabled_ms),
+            pct(traced_ms),
+        );
+        cases.push(Case {
+            rows: n,
+            disabled_ms,
+            enabled_ms,
+            traced_ms,
+            counters,
+        });
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_3.json");
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"obsv-overhead\",\n  \"dataset\": \"adult-like\",\n  \
+             \"k\": {k},\n  \"seed\": {seed},\n  \"reps\": {reps},\n  \"cases\": ["
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let pct = |ms: f64| 100.0 * (ms - c.disabled_ms) / c.disabled_ms.max(1e-9);
+            let _ = write!(
+                body,
+                "\n    {{\n      \"rows\": {},\n      \"disabled_ms\": {:.3},\n      \
+                 \"enabled_ms\": {:.3},\n      \"traced_ms\": {:.3},\n      \
+                 \"enabled_overhead_pct\": {:.2},\n      \
+                 \"traced_overhead_pct\": {:.2},\n      \
+                 \"counters_recorded\": {}\n    }}{sep}",
+                c.rows,
+                c.disabled_ms,
+                c.enabled_ms,
+                c.traced_ms,
+                pct(c.enabled_ms),
+                pct(c.traced_ms),
+                c.counters,
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 

@@ -123,6 +123,10 @@ fn cmd_show(args: &Args) -> Result<(), String> {
     for (name, d) in &m.phases.phases {
         println!("  {:<32} {:>10.2}ms", name, d.as_secs_f64() * 1e3);
     }
+    if let Some(profile) = &m.profile {
+        println!("profile:");
+        print!("{}", profile.render_table());
+    }
     println!(
         "anonymized table: {} rows, {} relational columns, transactions: {}",
         run.anon.n_rows,
@@ -139,11 +143,32 @@ fn cmd_chart(args: &Args) -> Result<(), String> {
         return Err(format!("store {} holds no runs", store.root().display()));
     }
     let indicator = args.opt("indicator").unwrap_or("gcp");
+    if indicator == "phases" {
+        let chart = export::phase_chart_from_manifests(&manifests);
+        if chart.categories.is_empty() {
+            return Err("no stored run carries phase timings to plot".into());
+        }
+        if args.flag("ascii") || args.opt("out-dir").is_none() {
+            print!("{}", export::terminal_grouped(&chart));
+        }
+        if let Some(dir) = args.opt("out-dir") {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let stem = std::path::Path::new(dir).join("runs_phases");
+            let (svg, csv) =
+                export::export_grouped_chart(&chart, &stem).map_err(|e| e.to_string())?;
+            println!("wrote {} and {}", svg.display(), csv.display());
+        }
+        return Ok(());
+    }
     let pick: fn(&secreta_core::Indicators) -> f64 = match indicator {
         "gcp" => |i| i.gcp,
         "are" => |i| i.are,
         "runtime" => |i| i.runtime_ms,
-        other => return Err(format!("unknown --indicator {other:?} (gcp|are|runtime)")),
+        other => {
+            return Err(format!(
+                "unknown --indicator {other:?} (gcp|are|runtime|phases)"
+            ))
+        }
     };
     let chart = export::chart_from_manifests(
         &manifests,

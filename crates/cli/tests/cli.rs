@@ -340,6 +340,168 @@ fn edit_script_applies_and_exports() {
 }
 
 #[test]
+fn profile_table_and_trace_agree() {
+    let dir = tmpdir("prof");
+    let data = generate_dataset(&dir);
+    let trace = dir.join("trace.ndjson");
+    let out = secreta()
+        .arg("profile")
+        .arg(&data)
+        .args([
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "cluster",
+            "--k",
+            "4",
+            "--queries",
+            "10",
+            "--trace-out",
+        ])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("profile:"));
+    assert!(text.contains("clustering"), "span rows printed");
+    assert!(text.contains("cluster/ncp_evals"), "counter rows printed");
+
+    // the NDJSON trace must be internally consistent: the run record's
+    // total equals the sum of the root span durations, and its span /
+    // counter tallies match the record counts
+    let ndjson = std::fs::read_to_string(&trace).unwrap();
+    let mut root_span_us: u64 = 0;
+    let mut root_spans = 0u64;
+    let mut spans = 0u64;
+    let mut counters = 0u64;
+    let mut run_total: Option<(u64, u64, u64)> = None;
+    let field = |line: &str, key: &str| -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    };
+    for line in ndjson.lines() {
+        if line.contains("\"ev\":\"span\"") {
+            spans += 1;
+            if !line.contains('/') {
+                root_spans += 1;
+                root_span_us += field(line, "dur_us").expect("span has dur_us");
+            }
+        } else if line.contains("\"ev\":\"counter\"") {
+            counters += 1;
+        } else if line.contains("\"ev\":\"run\"") {
+            run_total = Some((
+                field(line, "total_us").expect("run has total_us"),
+                field(line, "spans").expect("run has spans"),
+                field(line, "counters").expect("run has counters"),
+            ));
+        }
+    }
+    let (total_us, n_spans, n_counters) = run_total.expect("trace ends with a run record");
+    // per-span dur_us truncates each duration to whole microseconds
+    // while total_us truncates their exact sum, so the totals may
+    // differ by up to one microsecond per root span
+    assert!(
+        total_us >= root_span_us && total_us - root_span_us < root_spans.max(1),
+        "run total {total_us}µs vs root span sum {root_span_us}µs over {root_spans} spans"
+    );
+    assert_eq!(n_spans, spans, "span record count");
+    assert_eq!(n_counters, counters, "counter record count");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stored_profile_survives_runs_show_and_phase_chart() {
+    let dir = tmpdir("sprof");
+    let data = generate_dataset(&dir);
+    let store = dir.join("store");
+    let trace = dir.join("trace.ndjson");
+    let eval = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "cluster",
+            "--k",
+            "4",
+            "--queries",
+            "10",
+            "--store-dir",
+        ])
+        .arg(&store)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        eval.status.success(),
+        "{}",
+        String::from_utf8_lossy(&eval.stderr)
+    );
+
+    let list = secreta()
+        .args(["runs", "list", "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(list.status.success());
+    let key = String::from_utf8_lossy(&list.stdout)
+        .lines()
+        .nth(1)
+        .and_then(|l| l.split_whitespace().next())
+        .expect("one stored run")
+        .to_owned();
+
+    let show = secreta()
+        .args(["runs", "show", &key, "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        show.status.success(),
+        "{}",
+        String::from_utf8_lossy(&show.stderr)
+    );
+    let text = String::from_utf8_lossy(&show.stdout);
+    assert!(text.contains("profile:"), "show prints the stored profile");
+    assert!(text.contains("cluster/ncp_evals"), "counters persisted");
+
+    let chart = secreta()
+        .args([
+            "runs",
+            "chart",
+            "--indicator",
+            "phases",
+            "--ascii",
+            "--store-dir",
+        ])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        chart.status.success(),
+        "{}",
+        String::from_utf8_lossy(&chart.stderr)
+    );
+    let text = String::from_utf8_lossy(&chart.stdout);
+    assert!(text.contains("Runtime phases"));
+    assert!(text.contains("clustering"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn session_file_drives_evaluate() {
     let dir = tmpdir("sess");
     generate_dataset(&dir);

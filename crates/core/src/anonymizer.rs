@@ -57,6 +57,10 @@ pub struct RunResult {
     pub phases: PhaseTimes,
     /// Computed indicators.
     pub indicators: Indicators,
+    /// The recorded span/counter profile, when the session's
+    /// [`secreta_obsv::ObsvConfig`] enables observability (`None`
+    /// otherwise).
+    pub profile: Option<secreta_obsv::RunProfile>,
 }
 
 /// Execute `spec` against `ctx`. `seed` feeds the randomized pieces
@@ -75,6 +79,12 @@ pub struct RunResult {
 /// assert!(out.indicators.avg_class_size >= 5.0);
 /// ```
 pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResult, RunError> {
+    // per-run recorder, installed for the duration of the run so every
+    // PhaseTimer window and algorithm counter lands on it (a disabled
+    // config installs the no-op recorder)
+    let recorder = ctx.obsv.recorder();
+    let _obsv_guard = secreta_obsv::install(&recorder);
+
     let (anon, phases, verified) = match spec {
         MethodSpec::Relational { algo, k } => {
             if ctx.qi_attrs.is_empty() {
@@ -207,11 +217,16 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
         }
     };
 
-    let indicators = compute_indicators(ctx, &anon, &phases, verified);
+    let indicators = {
+        let _span = recorder.span("metrics");
+        compute_indicators(ctx, &anon, &phases, verified)
+    };
+    let profile = recorder.finish(&spec.label());
     Ok(RunResult {
         anon,
         phases,
         indicators,
+        profile,
     })
 }
 
@@ -377,6 +392,77 @@ mod tests {
             run(&basket, &rel_spec, 0),
             Err(RunError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn profile_follows_obsv_config() {
+        let spec = MethodSpec::Rt {
+            rel: RelAlgo::Cluster,
+            tx: TxAlgo::Apriori,
+            bounding: Bounding::RMerge,
+            k: 4,
+            m: 2,
+            delta: 2,
+        };
+        // disabled (the default): no profile
+        let ctx = rt_ctx();
+        assert!(run(&ctx, &spec, 1).unwrap().profile.is_none());
+
+        // enabled: a span tree mirroring the phases, plus counters
+        let ctx = ctx.with_obsv(secreta_obsv::ObsvConfig::enabled());
+        let out = run(&ctx, &spec, 1).unwrap();
+        let p = out.profile.expect("enabled config records a profile");
+        let tops: Vec<&str> = p.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            tops,
+            [
+                "relational partitioning",
+                "cluster merging",
+                "transaction anonymization",
+                "publish",
+                "metrics"
+            ]
+        );
+        // the relational sub-run's phases nest under partitioning
+        let rel = &p.spans[0];
+        assert!(
+            rel.children.iter().any(|c| c.name == "clustering"),
+            "sub-algorithm phases adopt into the outer phase: {rel:?}"
+        );
+        assert!(p.counter("rt/clusters").unwrap_or(0) > 0);
+        // identical run, same seed: indicators must not change when
+        // observability is on (recording is passive)
+        let base = run(&rt_ctx(), &spec, 1).unwrap();
+        assert_eq!(base.indicators.gcp, out.indicators.gcp);
+    }
+
+    #[test]
+    fn trace_sink_round_trips_profile_totals() {
+        let (sink, buf) = secreta_obsv::TraceSink::buffer();
+        let ctx = rt_ctx().with_obsv(secreta_obsv::ObsvConfig::with_trace(sink));
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        let out = run(&ctx, &spec, 1).unwrap();
+        let p = out.profile.expect("trace config records a profile");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let mut span_lines = 0usize;
+        let mut summary_total = None;
+        for line in text.lines() {
+            let v = serde_json::parse_value(line).expect("every trace line is JSON");
+            match v.get("ev").and_then(|e| e.as_str()) {
+                Some("span") => span_lines += 1,
+                Some("run") => summary_total = v.get("total_us").and_then(|t| t.as_u64()),
+                _ => {}
+            }
+        }
+        assert_eq!(span_lines, p.flat().len(), "one span record per span");
+        assert_eq!(
+            summary_total,
+            Some(p.total().as_micros() as u64),
+            "NDJSON summary total matches the profile's"
+        );
     }
 
     #[test]

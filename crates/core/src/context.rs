@@ -8,6 +8,7 @@
 use secreta_data::{AttributeKind, RtTable};
 use secreta_hierarchy::{auto_hierarchy, Hierarchy, HierarchyError};
 use secreta_metrics::Workload;
+use secreta_obsv::ObsvConfig;
 use secreta_policy::{PrivacyPolicy, UtilityPolicy};
 
 /// A fully prepared session.
@@ -27,6 +28,10 @@ pub struct SessionContext {
     pub privacy: Option<PrivacyPolicy>,
     /// Utility policy for COAT/PCTA (None = unconstrained).
     pub utility: Option<UtilityPolicy>,
+    /// Observability settings: whether runs record profiles and where
+    /// traces stream. Deliberately excluded from run identity (cache
+    /// keys) — tracing a run must not change what it computes.
+    pub obsv: ObsvConfig,
 }
 
 impl SessionContext {
@@ -58,12 +63,19 @@ impl SessionContext {
             workload: Workload::default(),
             privacy: None,
             utility: None,
+            obsv: ObsvConfig::disabled(),
         })
     }
 
     /// Replace the query workload.
     pub fn with_workload(mut self, workload: Workload) -> Self {
         self.workload = workload;
+        self
+    }
+
+    /// Replace the observability settings.
+    pub fn with_obsv(mut self, obsv: ObsvConfig) -> Self {
+        self.obsv = obsv;
         self
     }
 

@@ -101,6 +101,42 @@ pub fn chart_from_manifests(
     )
 }
 
+/// Build a grouped bar chart of per-phase runtimes (milliseconds)
+/// straight from stored run manifests — the Figure 3(b) "time of the
+/// different phases" view, replayed from the store. One series per
+/// manifest (labelled with its sweep point when it has one), one
+/// category per phase name in first-appearance order; phases a run
+/// did not record plot as zero.
+pub fn phase_chart_from_manifests(manifests: &[RunManifest]) -> GroupedBarChart {
+    let mut phases: Vec<String> = Vec::new();
+    for m in manifests {
+        for (name, _) in &m.phases.phases {
+            if !phases.contains(name) {
+                phases.push(name.clone());
+            }
+        }
+    }
+    let mut series = Vec::with_capacity(manifests.len());
+    let mut values = Vec::with_capacity(manifests.len());
+    for m in manifests {
+        series.push(match m.sweep_value {
+            Some(v) => format!(
+                "{} ({}={v})",
+                m.label,
+                m.sweep_param.as_deref().unwrap_or("x")
+            ),
+            None => m.label.clone(),
+        });
+        values.push(
+            phases
+                .iter()
+                .map(|p| m.phases.get(p).map_or(0.0, |d| d.as_secs_f64() * 1e3))
+                .collect(),
+        );
+    }
+    GroupedBarChart::new("Runtime phases (ms)", phases, series, values)
+}
+
 fn quote(field: &str) -> String {
     if field.contains(',') || field.contains('"') {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -255,6 +291,7 @@ mod tests {
                     verified: true,
                 },
                 phases: Default::default(),
+                profile: None,
             }
         }
         let mut no_sweep = manifest("solo", 0.0, 0.9);
@@ -272,6 +309,51 @@ mod tests {
         assert_eq!(chart.series[0].name, "Cluster");
         assert_eq!(chart.series[0].points, vec![(2.0, 0.1), (4.0, 0.2)]);
         assert_eq!(chart.series[1].points, vec![(2.0, 0.3)]);
+    }
+
+    #[test]
+    fn phase_chart_aligns_runs_on_phase_names() {
+        use secreta_metrics::PhaseTimes;
+        use std::time::Duration;
+        fn manifest(label: &str, phases: Vec<(&str, u64)>) -> RunManifest {
+            RunManifest {
+                key: label.into(),
+                schema_version: 2,
+                context: "d".into(),
+                label: label.into(),
+                config: serde::Value::Null,
+                seed: 1,
+                sweep_param: None,
+                sweep_value: None,
+                created_unix_ms: 0,
+                indicators: Indicators {
+                    gcp: 0.0,
+                    tx_gcp: 0.0,
+                    ul: 0.0,
+                    are: 0.0,
+                    item_freq_error: 0.0,
+                    discernibility: 0,
+                    avg_class_size: 0.0,
+                    runtime_ms: 0.0,
+                    verified: true,
+                },
+                phases: PhaseTimes {
+                    phases: phases
+                        .into_iter()
+                        .map(|(n, ms)| (n.to_owned(), Duration::from_millis(ms)))
+                        .collect(),
+                },
+                profile: None,
+            }
+        }
+        let chart = phase_chart_from_manifests(&[
+            manifest("A", vec![("setup", 2), ("recode", 4)]),
+            manifest("B", vec![("setup", 1), ("lattice search", 8)]),
+        ]);
+        assert_eq!(chart.categories, ["setup", "recode", "lattice search"]);
+        assert_eq!(chart.series, ["A", "B"]);
+        assert_eq!(chart.values[0], [2.0, 4.0, 0.0]);
+        assert_eq!(chart.values[1], [1.0, 0.0, 8.0]);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub use secreta_data as data;
 pub use secreta_gen as gen;
 pub use secreta_hierarchy as hierarchy;
 pub use secreta_metrics as metrics;
+pub use secreta_obsv as obsv;
 pub use secreta_parallel as parallel;
 pub use secreta_plot as plot;
 pub use secreta_policy as policy;

@@ -6,7 +6,7 @@
 //! parameter, yielding a DAG of independent (spec, sweep point, seed)
 //! jobs fanned out over the evaluator's worker pool. This module owns
 //! that expansion and adds three properties on top of the plain
-//! [`run_many`] fan-out:
+//! [`run_many`](crate::evaluator::run_many) fan-out:
 //!
 //! * **Caching** — with a [`RunStore`] attached, every job is content
 //!   addressed (see [`secreta_store::key`]) and looked up before it
@@ -393,6 +393,16 @@ impl Orchestrator {
             })
             .map_err(|err| StoreError::Io(j.path().to_path_buf(), err))?;
         }
+        // mirror the summary into the NDJSON trace stream, when one is
+        // configured — the per-run records are already there
+        if let Some(sink) = ctx.obsv.sink() {
+            sink.write_record(&secreta_obsv::trace::cache_record(
+                &sweep_id,
+                stats.hits,
+                stats.misses,
+                stats.failures,
+            ));
+        }
 
         // reassemble per-configuration point lists, in sweep order
         let mut results = slots.into_iter();
@@ -433,6 +443,7 @@ fn replay(stored: secreta_store::StoredRun) -> RunResult {
         anon: stored.anon,
         phases: stored.manifest.phases,
         indicators: stored.manifest.indicators,
+        profile: stored.manifest.profile,
     }
 }
 
@@ -460,6 +471,7 @@ fn manifest_of(
             .unwrap_or(0),
         indicators: rr.indicators.clone(),
         phases: rr.phases.clone(),
+        profile: rr.profile.clone(),
     }
 }
 

@@ -21,7 +21,11 @@
 //! * [`query`] — COUNT query workloads and **ARE** under the standard
 //!   uniformity estimate;
 //! * [`freq`] — original-vs-anonymized frequency statistics backing
-//!   the paper's Figure 3(c) and 3(d) plots.
+//!   the paper's Figure 3(c) and 3(d) plots;
+//! * [`timing`] — the flat per-phase stopwatch ([`PhaseTimer`]) whose
+//!   windows also feed the hierarchical `secreta-obsv` recorder.
+
+#![deny(missing_docs)]
 
 pub mod anon;
 pub mod freq;

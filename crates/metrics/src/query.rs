@@ -27,9 +27,17 @@ pub enum QueryAtom {
     /// The relational attribute `attr` takes a value in `values`
     /// (sorted ids). A single id is a point predicate; a contiguous
     /// numeric run models a range predicate.
-    Rel { attr: usize, values: Vec<u32> },
+    Rel {
+        /// Schema index of the relational attribute.
+        attr: usize,
+        /// Accepted value ids, sorted ascending.
+        values: Vec<u32>,
+    },
     /// The transaction contains **all** of `items`.
-    Items { items: Vec<ItemId> },
+    Items {
+        /// Items that must all be present.
+        items: Vec<ItemId>,
+    },
 }
 
 /// A COUNT query: conjunction of atoms.

@@ -4,6 +4,13 @@
 //! and its different phases" (Figure 3(b)). Algorithms record named
 //! phases with a [`PhaseTimer`]; the experimentation layer turns the
 //! result into bar charts and sweep series.
+//!
+//! The timer doubles as an instrumentation point for the
+//! observability layer: every closed phase window is forwarded to the
+//! thread's current [`secreta_obsv::Recorder`], so when a run records
+//! a profile, the flat phase list reappears there as a span tree
+//! (with delegated sub-algorithms' phases nested under the phase that
+//! ran them) without any extra call sites.
 
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -26,8 +33,14 @@ impl PhaseTimes {
         self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
-    /// Merge another run's phases onto this one (used when an
-    /// algorithm delegates to a sub-algorithm), prefixing names.
+    /// Merge another run's phases onto this one, prefixing names.
+    ///
+    /// Appends at the *end* of the list — only correct when the
+    /// receiver is no longer recording (post-hoc aggregation). An
+    /// algorithm absorbing a sub-run mid-flight must use
+    /// [`PhaseTimer::absorb`] instead, which splices the sub-phases in
+    /// at the current position so they stay ordered before later
+    /// top-level phases.
     pub fn absorb(&mut self, prefix: &str, other: PhaseTimes) {
         for (name, d) in other.phases {
             self.phases.push((format!("{prefix}/{name}"), d));
@@ -58,13 +71,29 @@ impl PhaseTimer {
     }
 
     /// Close the current phase under `name`; the next begins
-    /// immediately.
+    /// immediately. The closed window is also forwarded to the
+    /// thread's current observability recorder as a span.
     pub fn phase(&mut self, name: impl Into<String>) {
         let now = Instant::now();
+        let name = name.into();
+        secreta_obsv::current().record_window(&name, self.current, now);
         self.times
             .phases
-            .push((name.into(), now.duration_since(self.current)));
+            .push((name, now.duration_since(self.current)));
         self.current = now;
+    }
+
+    /// Absorb a completed sub-run's phases *at the current position*,
+    /// prefixing names. Unlike [`PhaseTimes::absorb`] (which appends
+    /// at the end, after every phase of the receiver), the sub-phases
+    /// land between the receiver's already-closed phases and whatever
+    /// phase is currently in flight — i.e. in execution order. The
+    /// in-flight phase keeps timing: its eventual duration still
+    /// covers the sub-run it delegated to.
+    pub fn absorb(&mut self, prefix: &str, other: PhaseTimes) {
+        for (name, d) in other.phases {
+            self.times.phases.push((format!("{prefix}/{name}"), d));
+        }
     }
 
     /// Finish, returning the recorded phases.
@@ -108,5 +137,46 @@ mod tests {
     #[test]
     fn empty_total_is_zero() {
         assert_eq!(PhaseTimes::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn timer_absorb_keeps_execution_order() {
+        // Regression: absorbing a sub-run through PhaseTimes after
+        // finish() appended its phases after every top-level phase —
+        // including ones that ran *after* the sub-run. Absorbing
+        // through the timer splices them in at the current position.
+        let mut t = PhaseTimer::new();
+        t.phase("a");
+        let sub = PhaseTimes {
+            phases: vec![
+                ("x".into(), Duration::from_millis(1)),
+                ("y".into(), Duration::from_millis(2)),
+            ],
+        };
+        t.absorb("sub", sub);
+        t.phase("b");
+        let times = t.finish();
+        let names: Vec<&str> = times.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "sub/x", "sub/y", "b"]);
+    }
+
+    #[test]
+    fn phases_forward_to_installed_recorder() {
+        let rec = secreta_obsv::Recorder::enabled();
+        let _g = secreta_obsv::install(&rec);
+        let mut t = PhaseTimer::new();
+        t.phase("first");
+        {
+            // a span opened mid-phase nests under that phase's window
+            let _s = secreta_obsv::current().span("inner");
+        }
+        t.phase("second");
+        let times = t.finish();
+        let profile = rec.finish("T").unwrap();
+        let tops: Vec<&str> = profile.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(tops, ["first", "second"]);
+        assert_eq!(profile.spans[1].children.len(), 1);
+        assert_eq!(profile.spans[1].children[0].name, "inner");
+        assert_eq!(times.phases.len(), 2);
     }
 }

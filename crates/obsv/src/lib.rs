@@ -1,0 +1,108 @@
+//! # secreta-obsv
+//!
+//! Structured tracing and profiling for SECRETA-rs.
+//!
+//! The paper's Evaluation mode plots "the time needed to execute the
+//! algorithm and its different phases" (Figure 3(b)); this crate is
+//! the layer that *measures* those phases — and everything beneath
+//! them — systematically instead of with one-off timers:
+//!
+//! * [`recorder`] — the per-run [`Recorder`] handle: hierarchical
+//!   spans (nested phases with parent/child relations, e.g.
+//!   `relational partitioning/clustering`), monotonic counters (NCP
+//!   evaluations, lattice nodes, merges, cache hits) and a
+//!   thread-local installation point so instrumented algorithm code
+//!   never threads a handle through its signatures. A disabled
+//!   recorder costs one branch per call.
+//! * [`profile`] — the drained result: a [`RunProfile`] span tree plus
+//!   counter totals and a peak-RSS sample, JSON-round-trip-exact so it
+//!   can live inside persisted run manifests.
+//! * [`trace`] — NDJSON trace streams ([`TraceSink`]): span, counter,
+//!   run-summary and cache records, one JSON object per line, written
+//!   whole-run-at-a-time so concurrent sweep jobs never interleave.
+//! * [`mem`] — peak resident-set sampling (`VmHWM` on Linux).
+//!
+//! The crate sits below `secreta-metrics`: the flat
+//! `PhaseTimer`/`PhaseTimes` surface forwards each phase window here,
+//! so every already-instrumented algorithm contributes spans with no
+//! changes, and algorithms add finer spans and counters on top.
+
+#![deny(missing_docs)]
+
+pub mod mem;
+pub mod profile;
+pub mod recorder;
+pub mod trace;
+
+pub use profile::{ProfileSpan, RunProfile};
+pub use recorder::{current, install, InstallGuard, Recorder, SpanGuard};
+pub use trace::TraceSink;
+
+/// Observability settings carried by a session context: whether runs
+/// record profiles, and where (if anywhere) NDJSON traces stream.
+#[derive(Debug, Clone, Default)]
+pub struct ObsvConfig {
+    enabled: bool,
+    sink: Option<TraceSink>,
+}
+
+impl ObsvConfig {
+    /// Recording off (the default): runs produce no profile.
+    pub fn disabled() -> ObsvConfig {
+        ObsvConfig::default()
+    }
+
+    /// Recording on, without a trace stream.
+    pub fn enabled() -> ObsvConfig {
+        ObsvConfig {
+            enabled: true,
+            sink: None,
+        }
+    }
+
+    /// Recording on, with every run's spans/counters streamed to
+    /// `sink` as NDJSON.
+    pub fn with_trace(sink: TraceSink) -> ObsvConfig {
+        ObsvConfig {
+            enabled: true,
+            sink: Some(sink),
+        }
+    }
+
+    /// Whether runs record profiles.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The configured trace sink, if any.
+    pub fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// A fresh per-run recorder honouring these settings.
+    pub fn recorder(&self) -> Recorder {
+        if self.enabled {
+            Recorder::with_sink(self.sink.clone())
+        } else {
+            Recorder::disabled()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_produces_matching_recorders() {
+        assert!(!ObsvConfig::disabled().recorder().is_enabled());
+        assert!(ObsvConfig::enabled().recorder().is_enabled());
+        let (sink, buf) = TraceSink::buffer();
+        let cfg = ObsvConfig::with_trace(sink);
+        assert!(cfg.is_enabled());
+        assert!(cfg.sink().is_some());
+        let rec = cfg.recorder();
+        let _ = rec.finish("L");
+        assert!(!buf.lock().unwrap().is_empty(), "finish streams NDJSON");
+    }
+}

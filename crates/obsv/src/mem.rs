@@ -1,0 +1,52 @@
+//! Peak-memory sampling.
+//!
+//! Reads the process high-water-mark RSS (`VmHWM`) from
+//! `/proc/self/status` on Linux. Other platforms (and failures to
+//! read) report `None`; callers treat that as "no sample".
+
+/// Peak resident-set size of this process in bytes, if the platform
+/// exposes one.
+///
+/// Note this is a *process-wide* high-water mark: within a sweep it
+/// only ever grows, so per-run values record the peak up to (and
+/// including) that run, not the run's own footprint in isolation.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extract `VmHWM` (reported in kB) from a `/proc/self/status` body.
+#[allow(dead_code)] // unused on non-Linux targets
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let status = "Name:\tsecreta\nVmPeak:\t  999 kB\nVmHWM:\t    5308 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(5308 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_sample_is_positive() {
+        assert!(peak_rss_bytes().unwrap() > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The persisted output of a recorded run: a span tree, counter
+//! totals and a peak-memory sample.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One node of the recorded span tree.
+///
+/// Spans nest: an algorithm phase (`clustering`) may contain the
+/// phases of a delegated sub-algorithm or finer-grained explicit
+/// spans, giving paths such as `relational partitioning/setup`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSpan {
+    /// Span name (one path segment, no `/`).
+    pub name: String,
+    /// Wall-clock offset from the start of the run.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+    /// Nested spans, in execution order.
+    pub children: Vec<ProfileSpan>,
+}
+
+impl ProfileSpan {
+    /// Number of spans in this subtree (including self).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(ProfileSpan::len).sum::<usize>()
+    }
+
+    /// Whether the subtree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Everything the [`Recorder`](crate::Recorder) collected over one
+/// run. Serializes round-trip-exactly through JSON (durations are
+/// integer seconds + nanos), so it can live inside persisted run
+/// manifests.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Top-level spans in execution order (typically the algorithm's
+    /// phases plus the framework's `metrics` span).
+    pub spans: Vec<ProfileSpan>,
+    /// Monotonic counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Peak resident-set size of the process sampled when the run
+    /// finished, in bytes; 0 when the platform offers no reading.
+    pub peak_rss_bytes: u64,
+}
+
+impl RunProfile {
+    /// Wall-clock total: the sum of *top-level* span durations.
+    /// Children are contained in their parents and are not re-added.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|s| s.duration).sum()
+    }
+
+    /// The counter called `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Flatten the span tree into `(path, depth, duration)` rows in
+    /// execution order, with `/`-joined paths (`clustering/assign`).
+    pub fn flat(&self) -> Vec<(String, usize, Duration)> {
+        fn walk(
+            out: &mut Vec<(String, usize, Duration)>,
+            prefix: &str,
+            depth: usize,
+            s: &ProfileSpan,
+        ) {
+            let path = if prefix.is_empty() {
+                s.name.clone()
+            } else {
+                format!("{prefix}/{}", s.name)
+            };
+            out.push((path.clone(), depth, s.duration));
+            for c in &s.children {
+                walk(out, &path, depth + 1, c);
+            }
+        }
+        let mut out = Vec::new();
+        for s in &self.spans {
+            walk(&mut out, "", 0, s);
+        }
+        out
+    }
+
+    /// Render the profile as the aligned phase/counter table the CLI
+    /// prints: indented span rows with durations and share of total,
+    /// followed by counter totals and the peak-RSS sample.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total().as_secs_f64() * 1e3;
+        let _ = writeln!(out, "  {:<40} {:>12} {:>7}", "phase", "ms", "%");
+        for (path, depth, d) in self.flat() {
+            let name = path.rsplit('/').next().unwrap_or(&path);
+            let ms = d.as_secs_f64() * 1e3;
+            let pct = if total > 0.0 { 100.0 * ms / total } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>12.3} {:>6.1}%",
+                format!("{}{}", "  ".repeat(depth), name),
+                ms,
+                pct
+            );
+        }
+        let _ = writeln!(out, "  {:<40} {:>12.3} {:>6.1}%", "total", total, 100.0);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  {:<40} {:>12}", "counter", "n");
+            for (name, n) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {n:>12}");
+            }
+        }
+        if self.peak_rss_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  peak RSS: {:.1} MiB",
+                self.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunProfile {
+        RunProfile {
+            spans: vec![
+                ProfileSpan {
+                    name: "clustering".into(),
+                    start: Duration::ZERO,
+                    duration: Duration::from_millis(10),
+                    children: vec![ProfileSpan {
+                        name: "setup".into(),
+                        start: Duration::from_millis(1),
+                        duration: Duration::from_millis(2),
+                        children: vec![],
+                    }],
+                },
+                ProfileSpan {
+                    name: "recode".into(),
+                    start: Duration::from_millis(10),
+                    duration: Duration::from_millis(5),
+                    children: vec![],
+                },
+            ],
+            counters: vec![("cluster/ncp_evals".into(), 42)],
+            peak_rss_bytes: 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn total_sums_top_level_only() {
+        assert_eq!(sample().total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn flat_paths_join_with_slash() {
+        let rows = sample().flat();
+        assert_eq!(rows[0].0, "clustering");
+        assert_eq!(
+            rows[1],
+            ("clustering/setup".into(), 1, Duration::from_millis(2))
+        );
+        assert_eq!(rows[2].0, "recode");
+    }
+
+    #[test]
+    fn counter_lookup() {
+        assert_eq!(sample().counter("cluster/ncp_evals"), Some(42));
+        assert_eq!(sample().counter("missing"), None);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RunProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn table_lists_phases_counters_and_rss() {
+        let t = sample().render_table();
+        assert!(t.contains("clustering"));
+        assert!(t.contains("  setup"), "children are indented");
+        assert!(t.contains("cluster/ncp_evals"));
+        assert!(t.contains("peak RSS"));
+    }
+
+    #[test]
+    fn span_len_counts_subtree() {
+        let p = sample();
+        assert_eq!(p.spans[0].len(), 2);
+        assert!(!p.spans[0].is_empty());
+        assert!(p.spans[1].is_empty());
+    }
+}

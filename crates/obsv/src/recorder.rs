@@ -1,0 +1,367 @@
+//! The recording handle and its thread-local installation.
+//!
+//! A [`Recorder`] is created per run (disabled by default), installed
+//! as the current thread's recorder for the duration of the run, and
+//! drained into a [`RunProfile`] at the end. Instrumentation sites
+//! grab the current handle once ([`current`]) and call [`Recorder::span`]
+//! / [`Recorder::count`] on it; on a disabled handle every call is a
+//! no-op behind a single pointer-sized branch, so instrumented code
+//! pays nothing measurable when observability is off.
+
+use crate::mem::peak_rss_bytes;
+use crate::profile::{ProfileSpan, RunProfile};
+use crate::trace::TraceSink;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One recorded span while the run is still in flight.
+#[derive(Debug)]
+struct SpanRec {
+    name: String,
+    parent: Option<usize>,
+    start: Duration,
+    end: Option<Duration>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRec>,
+    /// Indices of explicitly opened (guard-held) spans, innermost last.
+    stack: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    sink: Option<TraceSink>,
+}
+
+/// A per-run recording handle: cheap to clone, thread-safe, and a
+/// no-op in its disabled state.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every method returns immediately.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder; its epoch (span offset zero) is now.
+    pub fn enabled() -> Recorder {
+        Recorder::with_sink(None)
+    }
+
+    /// A live recorder that renders its profile to `sink` as NDJSON
+    /// when finished.
+    pub fn with_sink(sink: Option<TraceSink>) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+                counters: Mutex::new(BTreeMap::new()),
+                sink,
+            })),
+        }
+    }
+
+    /// Whether recording is live (false for the disabled handle).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a named span; it closes (and records its duration) when
+    /// the returned guard drops. Nested opens build the span tree.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { rec: None, idx: 0 };
+        };
+        let start = inner.epoch.elapsed();
+        let mut st = inner.state.lock().expect("recorder state never poisoned");
+        let idx = st.spans.len();
+        let parent = st.stack.last().copied();
+        st.spans.push(SpanRec {
+            name: name.to_owned(),
+            parent,
+            start,
+            end: None,
+        });
+        st.stack.push(idx);
+        SpanGuard {
+            rec: Some(inner.clone()),
+            idx,
+        }
+    }
+
+    /// Record a completed wall-clock window `[start, end]` as a span
+    /// named `name`. Completed top-level spans that began inside the
+    /// window are adopted as its children — this is how the flat
+    /// `PhaseTimer` windows of an outer algorithm become parents of a
+    /// delegated sub-algorithm's phases.
+    pub fn record_window(&self, name: &str, start: Instant, end: Instant) {
+        let Some(inner) = &self.inner else { return };
+        let s = start
+            .checked_duration_since(inner.epoch)
+            .unwrap_or(Duration::ZERO);
+        let e = end
+            .checked_duration_since(inner.epoch)
+            .unwrap_or(Duration::ZERO);
+        let mut st = inner.state.lock().expect("recorder state never poisoned");
+        let idx = st.spans.len();
+        let parent = st.stack.last().copied();
+        st.spans.push(SpanRec {
+            name: name.to_owned(),
+            parent,
+            start: s,
+            end: Some(e),
+        });
+        // adopt completed root spans whose lifetime falls inside the
+        // window (they ran while this phase was the open one)
+        for i in 0..idx {
+            let r = &st.spans[i];
+            if r.parent == parent && i != idx && r.start >= s && r.end.is_some_and(|re| re <= e) {
+                st.spans[i].parent = Some(idx);
+            }
+        }
+    }
+
+    /// Add `n` to the monotonic counter called `name`. Call sites
+    /// batch (accumulate locally, flush once per phase or loop), so
+    /// the lock is cold.
+    pub fn count(&self, name: &str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        if n == 0 {
+            return;
+        }
+        let mut counters = inner.counters.lock().expect("counters never poisoned");
+        *counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Close any still-open spans and drain the recording into a
+    /// [`RunProfile`]; renders the NDJSON trace (labelled `label`) to
+    /// the sink when one is attached. Returns `None` on a disabled
+    /// recorder.
+    pub fn finish(&self, label: &str) -> Option<RunProfile> {
+        let inner = self.inner.as_ref()?;
+        let now = inner.epoch.elapsed();
+        let mut st = inner.state.lock().expect("recorder state never poisoned");
+        st.stack.clear();
+        for s in st.spans.iter_mut() {
+            s.end.get_or_insert(now);
+        }
+
+        // assemble the forest: children keep execution (start) order
+        let n = st.spans.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots: Vec<usize> = Vec::new();
+        for i in 0..n {
+            match st.spans[i].parent {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        fn build(spans: &[SpanRec], children: &[Vec<usize>], i: usize) -> ProfileSpan {
+            let mut kids: Vec<ProfileSpan> = children[i]
+                .iter()
+                .map(|&c| build(spans, children, c))
+                .collect();
+            kids.sort_by_key(|k| k.start);
+            ProfileSpan {
+                name: spans[i].name.clone(),
+                start: spans[i].start,
+                duration: spans[i].end.expect("closed above") - spans[i].start,
+                children: kids,
+            }
+        }
+        let mut spans: Vec<ProfileSpan> = roots
+            .iter()
+            .map(|&r| build(&st.spans, &children, r))
+            .collect();
+        spans.sort_by_key(|s| s.start);
+        drop(st);
+
+        let counters: Vec<(String, u64)> = inner
+            .counters
+            .lock()
+            .expect("counters never poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let profile = RunProfile {
+            spans,
+            counters,
+            peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        };
+        if let Some(sink) = &inner.sink {
+            sink.write_lines(&crate::trace::render_run(label, &profile));
+        }
+        Some(profile)
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    rec: Option<Arc<Inner>>,
+    idx: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = &self.rec else { return };
+        let now = inner.epoch.elapsed();
+        let mut st = inner.state.lock().expect("recorder state never poisoned");
+        if st.spans[self.idx].end.is_none() {
+            st.spans[self.idx].end = Some(now);
+        }
+        // pop this span (and, defensively, anything opened above it
+        // that leaked without closing)
+        while let Some(&top) = st.stack.last() {
+            st.stack.pop();
+            if top == self.idx {
+                break;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Recorder> = RefCell::new(Recorder::disabled());
+}
+
+/// The recorder installed on this thread (disabled when none is).
+/// Instrumented code fetches this once per run, not per event.
+pub fn current() -> Recorder {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Install `rec` as this thread's current recorder until the returned
+/// guard drops (the previous recorder is then restored).
+#[must_use = "the recorder uninstalls when the guard drops"]
+pub fn install(rec: &Recorder) -> InstallGuard {
+    let prev = CURRENT.with(|c| c.replace(rec.clone()));
+    InstallGuard { prev: Some(prev) }
+}
+
+/// Guard returned by [`install`]; restores the previous recorder.
+#[derive(Debug)]
+pub struct InstallGuard {
+    prev: Option<Recorder>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| c.replace(prev));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let _g = r.span("x");
+        r.count("c", 5);
+        r.record_window("w", Instant::now(), Instant::now());
+        assert!(r.finish("L").is_none());
+    }
+
+    #[test]
+    fn explicit_spans_nest_via_guards() {
+        let r = Recorder::enabled();
+        {
+            let _a = r.span("a");
+            {
+                let _b = r.span("b");
+            }
+            let _c = r.span("c");
+        }
+        let p = r.finish("L").unwrap();
+        assert_eq!(p.spans.len(), 1);
+        assert_eq!(p.spans[0].name, "a");
+        let kids: Vec<&str> = p.spans[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(kids, ["b", "c"]);
+    }
+
+    #[test]
+    fn windows_adopt_completed_spans() {
+        let r = Recorder::enabled();
+        let t0 = Instant::now();
+        {
+            let _sub = r.span("sub-phase");
+        }
+        let t1 = Instant::now();
+        r.record_window("parent phase", t0, t1);
+        r.record_window("later phase", t1, Instant::now());
+        let p = r.finish("L").unwrap();
+        let names: Vec<&str> = p.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["parent phase", "later phase"]);
+        assert_eq!(p.spans[0].children.len(), 1);
+        assert_eq!(p.spans[0].children[0].name, "sub-phase");
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let r = Recorder::enabled();
+        r.count("b", 2);
+        r.count("a", 1);
+        r.count("b", 3);
+        r.count("zero", 0);
+        let p = r.finish("L").unwrap();
+        assert_eq!(p.counters, vec![("a".into(), 1), ("b".into(), 5)]);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let r = Recorder::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.count("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.finish("L").unwrap().counter("hits"), Some(400));
+    }
+
+    #[test]
+    fn install_scopes_the_current_recorder() {
+        assert!(!current().is_enabled());
+        let r = Recorder::enabled();
+        {
+            let _g = install(&r);
+            assert!(current().is_enabled());
+            current().count("c", 1);
+        }
+        assert!(!current().is_enabled());
+        assert_eq!(r.finish("L").unwrap().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_finish() {
+        let r = Recorder::enabled();
+        let g = r.span("open");
+        let p = r.finish("L").unwrap();
+        assert_eq!(p.spans[0].name, "open");
+        drop(g); // must not panic or corrupt anything
+    }
+}

@@ -1,0 +1,194 @@
+//! NDJSON trace streams.
+//!
+//! A [`TraceSink`] is a shared, line-buffered destination for trace
+//! records: one JSON object per line, safe to write from concurrent
+//! sweep jobs (each run's batch of lines is appended under one lock,
+//! so lines from different runs never interleave mid-record).
+//!
+//! Record shapes (`ev` discriminates):
+//!
+//! ```json
+//! {"ev":"span","run":"CLUSTER+NCP","path":"clustering/setup","start_us":12,"dur_us":340}
+//! {"ev":"counter","run":"CLUSTER+NCP","name":"cluster/ncp_evals","n":69420}
+//! {"ev":"run","run":"CLUSTER+NCP","total_us":99104,"peak_rss_bytes":5435392,"spans":6,"counters":3}
+//! {"ev":"cache","sweep":"ab12…","hits":3,"misses":0,"failures":0}
+//! ```
+
+use crate::profile::RunProfile;
+use serde::Value;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle on a shared NDJSON destination.
+#[derive(Clone)]
+pub struct TraceSink {
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl TraceSink {
+    /// Wrap any writer.
+    pub fn new(w: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            out: Arc::new(Mutex::new(w)),
+        }
+    }
+
+    /// Create (truncate) a file sink at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<TraceSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(TraceSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// A sink that accumulates into a shared buffer (tests and
+    /// in-process consumers).
+    pub fn buffer() -> (TraceSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = TraceSink::new(Box::new(SharedBuf(buf.clone())));
+        (sink, buf)
+    }
+
+    /// Append pre-rendered NDJSON lines atomically with respect to
+    /// other writers of this sink, then flush.
+    pub fn write_lines(&self, lines: &str) {
+        let mut out = self.out.lock().expect("trace sink never poisoned");
+        // trace output is best-effort: a full disk must not fail a run
+        let _ = out.write_all(lines.as_bytes());
+        let _ = out.flush();
+    }
+
+    /// Append one record as a single NDJSON line.
+    pub fn write_record(&self, record: &Value) {
+        let mut line = serde_json::to_string(record).expect("value renders infallibly");
+        line.push('\n');
+        self.write_lines(&line);
+    }
+}
+
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer never poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// Render a finished run's profile as NDJSON lines: one `span` record
+/// per span (flattened, paths `/`-joined), one `counter` record per
+/// counter, and a closing `run` summary record.
+pub fn render_run(label: &str, profile: &RunProfile) -> String {
+    let mut out = String::new();
+    let spans = profile.flat();
+    for (path, _, d) in &spans {
+        let rec = obj(vec![
+            ("ev", Value::Str("span".into())),
+            ("run", Value::Str(label.to_owned())),
+            ("path", Value::Str(path.clone())),
+            ("dur_us", Value::U64(d.as_micros() as u64)),
+        ]);
+        out.push_str(&serde_json::to_string(&rec).expect("value renders infallibly"));
+        out.push('\n');
+    }
+    for (name, n) in &profile.counters {
+        let rec = obj(vec![
+            ("ev", Value::Str("counter".into())),
+            ("run", Value::Str(label.to_owned())),
+            ("name", Value::Str(name.clone())),
+            ("n", Value::U64(*n)),
+        ]);
+        out.push_str(&serde_json::to_string(&rec).expect("value renders infallibly"));
+        out.push('\n');
+    }
+    let rec = obj(vec![
+        ("ev", Value::Str("run".into())),
+        ("run", Value::Str(label.to_owned())),
+        ("total_us", Value::U64(profile.total().as_micros() as u64)),
+        ("peak_rss_bytes", Value::U64(profile.peak_rss_bytes)),
+        ("spans", Value::U64(spans.len() as u64)),
+        ("counters", Value::U64(profile.counters.len() as u64)),
+    ]);
+    out.push_str(&serde_json::to_string(&rec).expect("value renders infallibly"));
+    out.push('\n');
+    out
+}
+
+/// Build the `cache` record the orchestrator appends after a sweep.
+pub fn cache_record(sweep_id: &str, hits: u64, misses: u64, failures: u64) -> Value {
+    obj(vec![
+        ("ev", Value::Str("cache".into())),
+        ("sweep", Value::Str(sweep_id.to_owned())),
+        ("hits", Value::U64(hits)),
+        ("misses", Value::U64(misses)),
+        ("failures", Value::U64(failures)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileSpan;
+    use std::time::Duration;
+
+    fn profile() -> RunProfile {
+        RunProfile {
+            spans: vec![ProfileSpan {
+                name: "clustering".into(),
+                start: Duration::ZERO,
+                duration: Duration::from_micros(250),
+                children: vec![ProfileSpan {
+                    name: "setup".into(),
+                    start: Duration::ZERO,
+                    duration: Duration::from_micros(50),
+                    children: vec![],
+                }],
+            }],
+            counters: vec![("x".into(), 7)],
+            peak_rss_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn ndjson_lines_parse_individually() {
+        let text = render_run("L", &profile());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "2 spans + 1 counter + 1 run summary");
+        for l in &lines {
+            let v = serde_json::parse_value(l).expect("each line is standalone JSON");
+            assert!(v.get("ev").is_some());
+        }
+        assert!(lines[1].contains("clustering/setup"));
+        assert!(lines[3].contains("\"total_us\""));
+    }
+
+    #[test]
+    fn buffer_sink_accumulates_whole_lines() {
+        let (sink, buf) = TraceSink::buffer();
+        sink.write_lines(&render_run("A", &profile()));
+        sink.write_record(&cache_record("s", 1, 2, 0));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.lines().last().unwrap().contains("\"cache\""));
+    }
+}

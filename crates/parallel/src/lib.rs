@@ -155,7 +155,7 @@ where
     out
 }
 
-/// [`par_map`] without the [`MIN_PARALLEL`] small-input fallback, for
+/// [`par_map`] without the `MIN_PARALLEL` small-input fallback, for
 /// *coarse-grained* items (e.g. workload queries, each a full table
 /// scan) where even a handful of items outweigh thread-spawn cost.
 pub fn par_map_heavy<T, F>(n: usize, f: F) -> Vec<T>

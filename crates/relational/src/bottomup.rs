@@ -42,6 +42,8 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     let matrix = input.value_matrix();
     timer.phase("setup");
 
+    let recorder = secreta_obsv::current();
+    let mut merges = 0u64;
     loop {
         // group rows by current signature; clone the key only when a
         // new group appears (groups are few, rows are many)
@@ -101,7 +103,9 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             })
             .expect("candidates non-empty");
         cuts[best_pos].generalize_to(&input.hierarchies[best_pos], best_node);
+        merges += 1;
     }
+    recorder.count("bottomup/generalizations", merges);
     timer.phase("generalization");
 
     let rel = input

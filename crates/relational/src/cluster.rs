@@ -46,6 +46,7 @@ struct Building {
 pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelError> {
     input.validate()?;
     let mut timer = PhaseTimer::new();
+    let recorder = secreta_obsv::current();
     let q = input.qi_attrs.len();
     let n = input.table.n_rows();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -105,6 +106,11 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
         d
     };
 
+    // counters batch in locals and flush once per phase — the hot
+    // loops never touch the recorder's lock
+    let mut ncp_evals = 0u64;
+    let mut cost_rebuilds = 0u64;
+
     while unassigned.len() >= input.k {
         // random seed record (the randomized choice of the original)
         let si = rng.gen_range(0..unassigned.len());
@@ -114,8 +120,10 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
             lcas: leaves.row(seed_row).to_vec(),
         };
         rebuild(&mut cost, &cluster.lcas);
+        cost_rebuilds += 1;
         // greedily add the k-1 cheapest records
         for _ in 1..input.k {
+            ncp_evals += unassigned.len() as u64;
             let (bi, _) = {
                 let cost = &cost[..];
                 par_argmin(unassigned.len(), |i| {
@@ -140,14 +148,19 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
             cluster.rows.push(row);
             if changed {
                 rebuild(&mut cost, &cluster.lcas);
+                cost_rebuilds += 1;
             }
         }
         clusters.push(cluster);
     }
+    recorder.count("cluster/clusters", clusters.len() as u64);
+    recorder.count("cluster/cost_rebuilds", cost_rebuilds);
     timer.phase("clustering");
 
     // leftovers (fewer than k) each join the cheapest cluster
+    recorder.count("cluster/leftovers", unassigned.len() as u64);
     for row in unassigned.drain(..) {
+        ncp_evals += clusters.len() as u64;
         let (ci, _) = par_argmin(clusters.len(), |i| delta(&clusters[i].lcas, row))
             .expect("k <= n guarantees at least one cluster");
         let c = &mut clusters[ci];
@@ -156,6 +169,7 @@ pub fn anonymize(input: &RelationalInput, seed: u64) -> Result<RelOutput, RelErr
         }
         c.rows.push(row);
     }
+    recorder.count("cluster/ncp_evals", ncp_evals);
     timer.phase("leftover assignment");
 
     let anon = recode(input, &clusters, n, q);

@@ -75,13 +75,16 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
 
     // Enumerate lattice nodes grouped by total level (levelwise,
     // bottom-up), applying the generalization property for pruning.
+    let recorder = secreta_obsv::current();
     let max_sum: u32 = heights.iter().sum();
     let mut anonymous: FxHashSet<Vec<u32>> = FxHashSet::default();
     let mut minimal: Vec<Vec<u32>> = Vec::new();
-    let mut checks = 0usize;
+    let mut checks = 0u64;
+    let mut visited = 0u64;
 
     for s in 0..=max_sum {
         for node in nodes_with_sum(&heights, s) {
+            visited += 1;
             // size-1 subset pruning
             if node.iter().zip(&min_level).any(|(&l, &ml)| l < ml) {
                 continue;
@@ -112,7 +115,9 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
             }
         }
     }
-    let _ = checks;
+    recorder.count("incognito/lattice_nodes", visited);
+    recorder.count("incognito/anonymity_checks", checks);
+    recorder.count("incognito/minimal_nodes", minimal.len() as u64);
     timer.phase("lattice search");
 
     // The root node is always k-anonymous once k <= n (validated), so

@@ -47,11 +47,15 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     timer.phase("setup");
 
     // Greedy specialization loop.
+    let recorder = secreta_obsv::current();
+    let mut splits = 0u64;
+    let mut candidate_checks = 0u64;
     loop {
         let mut best: Option<(usize, secreta_hierarchy::NodeId, f64)> = None;
         for pos in 0..q {
             let h = &input.hierarchies[pos];
             for cand in cuts[pos].specialization_candidates(h) {
+                candidate_checks += 1;
                 // NCP gain of splitting `cand` into its children,
                 // weighted by the records it covers.
                 let total = totals[pos];
@@ -97,11 +101,14 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
         }
         match best {
             Some((pos, node, _)) => {
+                splits += 1;
                 cuts[pos].specialize(&input.hierarchies[pos], node);
             }
             None => break,
         }
     }
+    recorder.count("topdown/splits", splits);
+    recorder.count("topdown/candidate_checks", candidate_checks);
     timer.phase("specialization");
 
     let rel = input

@@ -91,6 +91,7 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
         ));
     }
     let mut timer = PhaseTimer::new();
+    let recorder = secreta_obsv::current();
 
     // 1. relational partition
     let rel_input = RelationalInput {
@@ -105,6 +106,11 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
     for (row, &c) in row_class.iter().enumerate() {
         cluster_rows[c as usize].push(row);
     }
+    // splice the sub-run's phases in here, while "relational
+    // partitioning" is still the in-flight phase, so they keep
+    // execution order (absorbing via PhaseTimes after finish() used to
+    // drop them after "publish")
+    timer.absorb(input.rel_algo.name(), rel_out.phases);
     timer.phase("relational partitioning");
 
     // 2. bounded merging
@@ -112,13 +118,17 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
         .into_iter()
         .map(|rows| ClusterSummary::new(input.table, rows, &input.qi_attrs, &input.hierarchies))
         .collect();
+    let n_initial = summaries.len();
     let mut clusters = merge_clusters(summaries, input.bounding, &input.hierarchies, input.delta);
+    recorder.count("rt/clusters", n_initial as u64);
+    recorder.count("rt/merges", (n_initial - clusters.len()) as u64);
     timer.phase("cluster merging");
 
     // 3. per-cluster transaction anonymization, with feasibility
     // repair: an infeasible cluster (too few non-empty transactions)
     // fuses with its nearest neighbour and retries
     let mut results: Vec<ClusterTx> = Vec::with_capacity(clusters.len());
+    let mut repairs = 0u64;
     let mut idx = 0;
     while idx < clusters.len() {
         let scoped = anonymize_scoped(
@@ -138,6 +148,7 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
             }
             Err(TxError::Infeasible { .. }) if clusters.len() > 1 => {
                 // fuse with the nearest other cluster and retry
+                repairs += 1;
                 let mut best: Option<(usize, f64)> = None;
                 for (j, cand) in clusters.iter().enumerate() {
                     if j == idx {
@@ -162,6 +173,7 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
             Err(e) => return Err(RtError::Tx(e)),
         }
     }
+    recorder.count("rt/feasibility_repairs", repairs);
     timer.phase("transaction anonymization");
 
     // 4. publish
@@ -174,9 +186,10 @@ pub fn anonymize(input: &RtInput) -> Result<RtOutput, RtError> {
     };
     timer.phase("publish");
 
-    let mut phases = timer.finish();
-    phases.absorb(input.rel_algo.name(), rel_out.phases);
-    Ok(RtOutput { anon, phases })
+    Ok(RtOutput {
+        anon,
+        phases: timer.finish(),
+    })
 }
 
 /// Per-super-cluster LCA recoding of the QI attributes.
@@ -422,6 +435,18 @@ mod tests {
         ] {
             assert!(out.phases.get(phase).is_some(), "missing {phase}");
         }
+        // regression: the relational sub-run's phases must be spliced
+        // in at their execution position (they used to land after
+        // "publish")
+        let pos = |name: &str| {
+            out.phases
+                .phases
+                .iter()
+                .position(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!(pos("Cluster/setup") < pos("relational partitioning"));
+        assert!(pos("Cluster/recode") < pos("cluster merging"));
     }
 
     #[test]

@@ -24,13 +24,21 @@ use serde::Value;
 
 /// Version of the store's on-disk schema and key derivation. Part of
 /// every run key: bump it to invalidate all previously cached runs.
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * 1 — initial schema.
+/// * 2 — manifests gained an optional `profile` (observability span
+///   tree, counters, peak RSS). Version-1 manifests still *load* — the
+///   field defaults to absent — but no longer serve cache hits, so
+///   re-executed runs get profiles recorded.
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 /// Content address of a single run (64 lowercase hex chars).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunKey(pub String);
 
 impl RunKey {
+    /// The key as its 64-hex-char string form.
     pub fn as_str(&self) -> &str {
         &self.0
     }

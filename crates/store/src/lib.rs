@@ -27,10 +27,13 @@
 //!
 //! The crate deliberately sits *below* the experimentation framework:
 //! it depends only on `secreta-metrics` (for the anonymized-table and
-//! indicator models) so any layer — core orchestrator, CLI, plotting
-//! — can read stored runs without dragging in the algorithms.
+//! indicator models) and `secreta-obsv` (for the run profile stored in
+//! manifests) so any layer — core orchestrator, CLI, plotting — can
+//! read stored runs without dragging in the algorithms.
 //!
 //! [`io::Write`]: std::io::Write
+
+#![deny(missing_docs)]
 
 pub mod journal;
 pub mod key;

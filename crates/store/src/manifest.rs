@@ -2,6 +2,7 @@
 //! anonymized table itself.
 
 use secreta_metrics::{Indicators, PhaseTimes};
+use secreta_obsv::RunProfile;
 use serde::{Deserialize, Serialize, Value};
 
 /// Metadata and measurements of one completed run.
@@ -38,6 +39,11 @@ pub struct RunManifest {
     pub indicators: Indicators,
     /// Per-phase wall-clock timings.
     pub phases: PhaseTimes,
+    /// The observability profile (span tree, counters, peak RSS), when
+    /// the run was recorded with observability enabled. Defaults to
+    /// `None` so schema-1 manifests keep loading.
+    #[serde(default)]
+    pub profile: Option<RunProfile>,
 }
 
 #[cfg(test)]
@@ -73,6 +79,16 @@ mod tests {
                     ("metrics".to_owned(), Duration::from_millis(3)),
                 ],
             },
+            profile: Some(RunProfile {
+                spans: vec![secreta_obsv::ProfileSpan {
+                    name: "anonymize".to_owned(),
+                    start: Duration::ZERO,
+                    duration: Duration::new(1, 500),
+                    children: vec![],
+                }],
+                counters: vec![("cluster/ncp_evals".to_owned(), 99)],
+                peak_rss_bytes: 4096,
+            }),
         }
     }
 
@@ -99,5 +115,28 @@ mod tests {
         let m: RunManifest = serde_json::from_str(json).unwrap();
         assert_eq!(m.sweep_param, None);
         assert_eq!(m.sweep_value, None);
+    }
+
+    #[test]
+    fn schema_one_manifest_without_profile_still_loads() {
+        // golden: the exact shape schema-1 stores wrote (no `profile`
+        // field anywhere). Bumping the schema must never make these
+        // unreadable — `runs list`/`runs show` keep working on old
+        // stores even though such runs no longer serve cache hits.
+        let json = r#"{
+            "key": "deadbeef", "schema_version": 1, "context": "c",
+            "label": "CLUSTER+NCP", "config": {"algo": "cluster", "k": 5},
+            "seed": 42, "sweep_param": "k", "sweep_value": 5.0,
+            "created_unix_ms": 1700000000000,
+            "indicators": {"gcp":0.125,"tx_gcp":0.25,"ul":0.5,"are":0.0625,
+                "item_freq_error":0.01,"discernibility":1234,
+                "avg_class_size":6.5,"runtime_ms":17.25,"verified":true},
+            "phases": {"phases": [["anonymize", {"secs": 1, "nanos": 500}]]}
+        }"#;
+        let m: RunManifest = serde_json::from_str(json).unwrap();
+        assert_eq!(m.schema_version, 1);
+        assert_eq!(m.profile, None);
+        assert_eq!(m.indicators.discernibility, 1234);
+        assert_eq!(m.phases.phases.len(), 1);
     }
 }

@@ -36,6 +36,7 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
+    /// A fresh hasher in its initial state.
     pub fn new() -> Self {
         Sha256 {
             state: [
@@ -48,6 +49,7 @@ impl Sha256 {
         }
     }
 
+    /// Feed `data` into the digest.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
@@ -74,6 +76,7 @@ impl Sha256 {
         }
     }
 
+    /// Finalize, returning the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
         self.update(&[0x80]);
@@ -174,16 +177,20 @@ impl Default for DigestWriter {
 }
 
 impl DigestWriter {
+    /// A writer over a fresh hasher.
     pub fn new() -> Self {
         DigestWriter {
             hasher: Sha256::new(),
         }
     }
 
+    /// Feed `data` into the digest directly (without going through
+    /// [`io::Write`]).
     pub fn update(&mut self, data: &[u8]) {
         self.hasher.update(data);
     }
 
+    /// Finalize the underlying hasher as lowercase hex.
     pub fn finalize_hex(self) -> String {
         self.hasher.finalize_hex()
     }

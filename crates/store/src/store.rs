@@ -341,6 +341,7 @@ mod tests {
             phases: secreta_metrics::PhaseTimes {
                 phases: vec![("anonymize".to_owned(), Duration::from_millis(1))],
             },
+            profile: None,
         }
     }
 

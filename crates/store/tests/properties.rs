@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use secreta_metrics::{Indicators, PhaseTimes};
+use secreta_obsv::{ProfileSpan, RunProfile};
 use secreta_store::{canonicalize, run_key, RunManifest, STORE_SCHEMA_VERSION};
 use serde::Value;
 use std::time::Duration;
@@ -47,12 +48,47 @@ fn phases_strategy() -> impl Strategy<Value = PhaseTimes> {
     })
 }
 
+fn profile_strategy() -> impl Strategy<Value = Option<RunProfile>> {
+    let span = (0usize..6, 0u64..10_000_000, 0u64..10_000_000, 0usize..3).prop_map(
+        |(name, start_us, dur_us, n_children)| ProfileSpan {
+            name: format!("span{name}"),
+            start: Duration::from_micros(start_us),
+            duration: Duration::from_micros(dur_us),
+            children: (0..n_children)
+                .map(|c| ProfileSpan {
+                    name: format!("child{c}"),
+                    start: Duration::from_micros(start_us),
+                    duration: Duration::from_micros(dur_us / 2),
+                    children: vec![],
+                })
+                .collect(),
+        },
+    );
+    (
+        any::<bool>(),
+        prop::collection::vec(span, 0..4),
+        prop::collection::vec((0usize..6, 0u64..u64::MAX / 2), 0..4),
+        0u64..u64::MAX / 2,
+    )
+        .prop_map(|(some, spans, counters, peak)| {
+            some.then(|| RunProfile {
+                spans,
+                counters: counters
+                    .into_iter()
+                    .map(|(n, v)| (format!("c{n}"), v))
+                    .collect(),
+                peak_rss_bytes: peak,
+            })
+        })
+}
+
 fn manifest_strategy() -> impl Strategy<Value = RunManifest> {
     (
         ("[a-f0-9]{64}", "[A-Za-z0-9_+()]{1,24}", 0u64..u64::MAX / 2),
         (0usize..4, finite_f64()), // sweep: index 3 = "no sweep"
         (0u64..u64::MAX / 2, indicators_strategy(), phases_strategy()),
         prop::collection::vec((0usize..8, 0u64..1000), 0..6),
+        profile_strategy(),
     )
         .prop_map(
             |(
@@ -60,6 +96,7 @@ fn manifest_strategy() -> impl Strategy<Value = RunManifest> {
                 (sweep_idx, sweep_val),
                 (created, indicators, phases),
                 config_fields,
+                profile,
             )| {
                 let params = ["k", "m", "δ"];
                 let config = Value::Obj(
@@ -81,6 +118,7 @@ fn manifest_strategy() -> impl Strategy<Value = RunManifest> {
                     created_unix_ms: created,
                     indicators,
                     phases,
+                    profile,
                 }
             },
         )

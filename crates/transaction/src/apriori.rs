@@ -72,8 +72,15 @@ pub(crate) fn anonymize_rows(
     };
     let m = m.max(1);
 
+    let recorder = secreta_obsv::current();
+    let mut rounds = 0u64;
+    let mut violations = 0u64;
+    let mut generalizations = 0u64;
+    let mut suppressions = 0u64;
+
     for i in 1..=m {
         loop {
+            rounds += 1;
             // published transactions: distinct, sorted live cut nodes
             let mut sup: FxHashMap<Vec<NodeId>, u32> = FxHashMap::default();
             let mut nodes_buf: Vec<NodeId> = Vec::new();
@@ -100,6 +107,7 @@ pub(crate) fn anonymize_rows(
             for (subset, &count) in &sup {
                 if (count as usize) < k {
                     any = true;
+                    violations += 1;
                     for &n in subset {
                         *involvement.entry(n).or_insert(0) += (k as u64) - count as u64;
                     }
@@ -135,6 +143,7 @@ pub(crate) fn anonymize_rows(
 
             match best {
                 Some((parent, _, _)) => {
+                    generalizations += 1;
                     state.cut.generalize_to(h, parent);
                 }
                 None => {
@@ -145,12 +154,17 @@ pub(crate) fn anonymize_rows(
                         .max_by_key(|&(&n, &inv)| (inv, std::cmp::Reverse(n)))
                         .expect("violations imply involvement");
                     for v in h.leaves_under(node) {
+                        suppressions += 1;
                         state.suppressed[v as usize] = true;
                     }
                 }
             }
         }
     }
+    recorder.count("apriori/support_rounds", rounds);
+    recorder.count("apriori/violations", violations);
+    recorder.count("apriori/generalizations", generalizations);
+    recorder.count("apriori/suppressions", suppressions);
     Ok(state)
 }
 

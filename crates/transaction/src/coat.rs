@@ -99,7 +99,12 @@ pub(crate) fn constrain(
     let universe = table.item_universe();
     let mut groups = ItemGroups::new(universe);
 
+    let recorder = secreta_obsv::current();
+    let mut rounds = 0u64;
+    let mut merges = 0u64;
+    let mut suppressions = 0u64;
     loop {
+        rounds += 1;
         let rows_pub = published_rows(table, &mut groups, rows);
         // most-violated constraint (smallest positive support < k)
         let mut worst: Option<(usize, u32)> = None;
@@ -171,6 +176,7 @@ pub(crate) fn constrain(
 
         match best {
             Some((a, b, _)) => {
+                merges += 1;
                 groups.union(a, b);
             }
             None => {
@@ -187,11 +193,15 @@ pub(crate) fn constrain(
                 // constraint is already suppressed, in which case the
                 // support is 0 and the outer loop drops the constraint
                 if let Some(it) = victim {
+                    suppressions += 1;
                     groups.suppress(it.0);
                 }
             }
         }
     }
+    recorder.count("coat/repair_rounds", rounds);
+    recorder.count("coat/merges", merges);
+    recorder.count("coat/suppressions", suppressions);
     groups
 }
 

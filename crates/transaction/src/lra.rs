@@ -49,6 +49,7 @@ pub fn anonymize(input: &TransactionInput, partitions: usize) -> Result<TxOutput
             }
         }
     }
+    secreta_obsv::current().count("lra/partitions", chunks.len() as u64);
     timer.phase("partitioning");
 
     // AA per partition

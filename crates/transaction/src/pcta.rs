@@ -30,7 +30,12 @@ pub(crate) fn cluster_items(
     let universe = table.item_universe();
     let mut groups = ItemGroups::new(universe);
 
+    let recorder = secreta_obsv::current();
+    let mut rounds = 0u64;
+    let mut merges = 0u64;
+    let mut suppressions = 0u64;
     loop {
+        rounds += 1;
         let rows_pub = published_rows(table, &mut groups, rows);
         // all violated constraints this round
         let mut violated: Vec<usize> = Vec::new();
@@ -95,6 +100,7 @@ pub(crate) fn cluster_items(
 
         match best {
             Some((a, b, _)) => {
+                merges += 1;
                 groups.union(a, b);
             }
             None => {
@@ -109,12 +115,18 @@ pub(crate) fn cluster_items(
                         (sup.get(&g).copied().unwrap_or(0), it.0)
                     });
                 match victim {
-                    Some(&it) => groups.suppress(it.0),
+                    Some(&it) => {
+                        suppressions += 1;
+                        groups.suppress(it.0);
+                    }
                     None => break, // everything relevant suppressed
                 }
             }
         }
     }
+    recorder.count("pcta/clustering_rounds", rounds);
+    recorder.count("pcta/merges", merges);
+    recorder.count("pcta/suppressions", suppressions);
     groups
 }
 

@@ -192,8 +192,14 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
     let base_supports = item_supports(input.table);
     timer.phase("setup");
 
+    let recorder = secreta_obsv::current();
+    let mut mining_rounds = 0u64;
+    let mut rules_checked = 0u64;
+    let mut n_suppressed = 0u64;
     loop {
+        mining_rounds += 1;
         let viols = violations(input.table, &rows, &suppressed, params);
+        rules_checked += viols.len() as u64;
         if viols.is_empty() {
             break;
         }
@@ -220,7 +226,11 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
             })
             .expect("violations imply candidates");
         suppressed[victim as usize] = true;
+        n_suppressed += 1;
     }
+    recorder.count("rho/mining_rounds", mining_rounds);
+    recorder.count("rho/violating_rules", rules_checked);
+    recorder.count("rho/suppressions", n_suppressed);
     timer.phase("suppress-control");
 
     let domain: Vec<GenEntry> = (0..universe as u32)

@@ -156,6 +156,8 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
     // Priors first: a sensitive item violating at the fully general
     // cut can only be rescued by suppressing it (or, transitively,
     // other sensitive items feeding its rules).
+    let recorder = secreta_obsv::current();
+    let mut prior_suppressions = 0u64;
     while state.has_violation(input.table, &rows, params) {
         // suppress the most exposed sensitive item (highest prior)
         let victim = params
@@ -168,7 +170,10 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
                     .count()
             });
         match victim {
-            Some(s) => state.suppressed[s.index()] = true,
+            Some(s) => {
+                prior_suppressions += 1;
+                state.suppressed[s.index()] = true;
+            }
             None => {
                 // no sensitive item left, yet still violating: cannot
                 // happen (no rules without sensitive targets), but
@@ -179,11 +184,14 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
             }
         }
     }
+    recorder.count("rho_td/prior_suppressions", prior_suppressions);
     timer.phase("prior control");
 
     // Top-down specialization: keep splitting while some split leaves
     // the rules below rho. Candidates are ordered by how much
     // information the split recovers (leaf count first).
+    let mut specializations = 0u64;
+    let mut reverts = 0u64;
     loop {
         let mut cands = state.cut.specialization_candidates(h);
         cands.sort_by_key(|&n| std::cmp::Reverse(h.leaf_count(n)));
@@ -200,8 +208,10 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
             state.cut.specialize(h, cand);
             if state.has_violation(input.table, &rows, params) {
                 // revert: re-generalize the whole subtree
+                reverts += 1;
                 state.cut.generalize_to(h, cand);
             } else {
+                specializations += 1;
                 accepted = true;
             }
         }
@@ -209,6 +219,8 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
             break;
         }
     }
+    recorder.count("rho_td/specializations", specializations);
+    recorder.count("rho_td/reverts", reverts);
     timer.phase("top-down specialization");
 
     // publish: sensitive → singleton sets; non-sensitive → the cut

@@ -33,6 +33,7 @@ pub fn anonymize(input: &TransactionInput, parts: usize) -> Result<TxOutput, TxE
         part_of[leaf as usize] = pos / per_part;
     }
     let n_parts = dfs.len().div_ceil(per_part);
+    secreta_obsv::current().count("vpa/parts", n_parts as u64);
     timer.phase("vertical partitioning");
 
     let rows: Vec<usize> = (0..input.table.n_rows()).collect();

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Verify that every relative markdown link in the repo's documentation
+# points at a file that exists. Offline, zero dependencies beyond
+# POSIX sh + grep/sed. Usage: tools/check_doc_links.sh [repo-root]
+set -eu
+
+root="${1:-.}"
+fail=0
+
+files=$(find "$root" -maxdepth 1 -name '*.md'; find "$root/docs" -name '*.md' 2>/dev/null || true)
+
+for f in $files; do
+    dir=$(dirname "$f")
+    # extract inline link targets: [text](target)
+    targets=$(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//' || true)
+    for t in $targets; do
+        case "$t" in
+            http://*|https://*|mailto:*) continue ;;   # external: not checked (offline)
+            '#'*) continue ;;                           # same-file anchor
+        esac
+        path=${t%%#*}                                   # drop cross-file anchors
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN LINK: $f -> $t" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "documentation link check failed" >&2
+    exit 1
+fi
+echo "documentation links OK"
