@@ -54,9 +54,9 @@ COMMANDS
              [--indicator gcp|are|runtime|phases]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
-  bench      benchmark                  [--suite kernels|store|obsv]
-             [--rows N,N,...] [--k N] [--seed S] [--threads N] [--reps N]
-             [--json] [--out FILE]
+  bench      benchmark                  [--suite kernels|store|obsv|tx]
+             [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
+             [--threads N] [--reps N] [--json] [--out FILE]
   help       this text
 
 evaluate/compare also accept --session FILE.json instead of a dataset
@@ -712,7 +712,7 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `secreta bench`: three suites.
+/// `secreta bench`: four suites.
 ///
 /// * `--suite kernels` (default) times the Cluster hot path before and
 ///   after the kernel optimizations (parent-walk vs Euler-tour LCA,
@@ -727,6 +727,11 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 ///   Cluster run with the recorder absent vs installed-but-disabled vs
 ///   enabled; `--json` writes the report to `BENCH_3.json` (override
 ///   with `--out`).
+/// * `--suite tx` times every transaction algorithm (AA, LRA, VPA,
+///   COAT, PCTA, RHO, RHO-td) with the naive reference counters vs the
+///   interned/parallel support kernels on the basket generator;
+///   `--json` writes the report to `BENCH_4.json` (override with
+///   `--out`).
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use secreta_core::relational::{cluster, RelationalInput};
     use std::fmt::Write as _;
@@ -736,7 +741,8 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "kernels" => {}
         "store" => return bench_store(args),
         "obsv" => return bench_obsv(args),
-        other => return Err(format!("unknown --suite {other:?} (kernels|store|obsv)")),
+        "tx" => return bench_tx(args),
+        other => return Err(format!("unknown --suite {other:?} (kernels|store|obsv|tx)")),
     }
 
     let k = args.usize_or("k", 10)?;
@@ -835,6 +841,181 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                  \"optimized_ms\": {:.3},\n      \"speedup\": {:.3},\n      \
                  \"outputs_identical\": {},\n      \"baseline_phases_ms\": {{{}\n      }},\n      \
                  \"optimized_phases_ms\": {{{}\n      }}\n    }}{sep}",
+                c.rows,
+                c.baseline_ms,
+                c.optimized_ms,
+                c.baseline_ms / c.optimized_ms.max(1e-9),
+                c.identical,
+                phase_obj(&c.baseline_phases),
+                phase_obj(&c.optimized_phases),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        // fail loudly rather than commit a report with a broken shape
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Transaction support-kernel benchmark: every algorithm of the
+/// AA/COAT/PCTA/RHO family runs twice on the same basket table — once
+/// with the naive reference counters, once with the interned/parallel
+/// kernels — and the published outputs are compared byte-for-byte.
+fn bench_tx(args: &Args) -> Result<(), String> {
+    use secreta_core::data::ItemId;
+    use secreta_core::transaction::{self as tx, Counting, RhoParams, TransactionInput};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let k = args.usize_or("k", 10)?;
+    let m = args.usize_or("m", 2)?;
+    let items = args.usize_or("items", 80)?;
+    let seed = args.u64_or("seed", 42)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let phases_ms = |p: &secreta_core::metrics::PhaseTimes| -> Vec<(String, f64)> {
+        p.phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64() * 1e3))
+            .collect()
+    };
+
+    struct Case {
+        algorithm: &'static str,
+        rows: usize,
+        baseline_ms: f64,
+        optimized_ms: f64,
+        baseline_phases: Vec<(String, f64)>,
+        optimized_phases: Vec<(String, f64)>,
+        identical: bool,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+
+    println!("transaction kernel benchmark (basket, {items} items, k={k}, m={m}, seed={seed})");
+    for &n in &rows {
+        let table = DatasetSpec::basket(n, items, seed).generate();
+        let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+        let h = ctx
+            .item_hierarchy
+            .as_ref()
+            .ok_or("basket dataset has no item universe")?;
+        // sensitive targets for the rho family: the three rarest items
+        let sup = secreta_core::data::stats::item_supports(&ctx.table);
+        let mut by_sup: Vec<u32> = (0..sup.len() as u32).collect();
+        by_sup.sort_by_key(|&i| (sup[i as usize], i));
+        let params = RhoParams {
+            rho: 0.5,
+            sensitive: by_sup.iter().take(3).map(|&i| ItemId(i)).collect(),
+            max_antecedent: 2,
+        };
+
+        let km = TransactionInput::km(&ctx.table, k, m, h);
+        let plain = TransactionInput {
+            table: &ctx.table,
+            k,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let one = TransactionInput {
+            table: &ctx.table,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let td = TransactionInput::km(&ctx.table, 1, 1, h);
+
+        type RunFn<'a> = Box<dyn Fn(Counting) -> Result<tx::TxOutput, tx::TxError> + 'a>;
+        let algos: Vec<(&'static str, RunFn)> = vec![
+            ("apriori", Box::new(|c| tx::apriori::anonymize_with(&km, c))),
+            ("lra", Box::new(|c| tx::lra::anonymize_with(&km, 2, c))),
+            ("vpa", Box::new(|c| tx::vpa::anonymize_with(&km, 4, c))),
+            ("coat", Box::new(|c| tx::coat::anonymize_with(&plain, c))),
+            ("pcta", Box::new(|c| tx::pcta::anonymize_with(&plain, c))),
+            (
+                "rho",
+                Box::new(|c| tx::rho::anonymize_with(&one, &params, c)),
+            ),
+            (
+                "rho-td",
+                Box::new(|c| tx::rho_td::anonymize_with(&td, &params, c)),
+            ),
+        ];
+        println!("  n={n}");
+        for (name, run) in &algos {
+            let t0 = Instant::now();
+            let base = run(Counting::Naive).map_err(|e| format!("{name}: {e}"))?;
+            let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let fast = run(Counting::Kernel).map_err(|e| format!("{name}: {e}"))?;
+            let optimized_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let identical = base.anon == fast.anon;
+            println!(
+                "    {name:<8} baseline {baseline_ms:>10.1}ms  kernel {optimized_ms:>8.1}ms  \
+                 speedup {:>5.1}x  outputs identical: {identical}",
+                baseline_ms / optimized_ms.max(1e-9),
+            );
+            cases.push(Case {
+                algorithm: name,
+                rows: n,
+                baseline_ms,
+                optimized_ms,
+                baseline_phases: phases_ms(&base.phases),
+                optimized_phases: phases_ms(&fast.phases),
+                identical,
+            });
+        }
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_4.json");
+        let phase_obj = |phases: &[(String, f64)]| -> String {
+            let mut s = String::new();
+            for (i, (name, ms)) in phases.iter().enumerate() {
+                let sep = if i + 1 < phases.len() { "," } else { "" };
+                let _ = write!(s, "\n          \"{name}\": {ms:.3}{sep}");
+            }
+            s
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"tx-kernels\",\n  \"dataset\": \"basket\",\n  \
+             \"items\": {items},\n  \"k\": {k},\n  \"m\": {m},\n  \"seed\": {seed},\n  \
+             \"threads\": {},\n  \"cases\": [",
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let _ = write!(
+                body,
+                "\n    {{\n      \"algorithm\": \"{}\",\n      \"rows\": {},\n      \
+                 \"baseline_ms\": {:.3},\n      \"optimized_ms\": {:.3},\n      \
+                 \"speedup\": {:.3},\n      \"outputs_identical\": {},\n      \
+                 \"baseline_phases_ms\": {{{}\n      }},\n      \
+                 \"optimized_phases_ms\": {{{}\n      }}\n    }}{sep}",
+                c.algorithm,
                 c.rows,
                 c.baseline_ms,
                 c.optimized_ms,

@@ -16,6 +16,8 @@
 //! `std::thread::available_parallelism()`. Small inputs fall back to
 //! the sequential path to avoid spawn overhead.
 
+#![deny(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Inputs smaller than this run sequentially: thread spawn overhead
@@ -155,6 +157,51 @@ where
     out
 }
 
+/// Split `0..n` into contiguous chunks of at least `min_chunk` items,
+/// run `f(lo, hi)` on each chunk concurrently, and return the partial
+/// results **in chunk order**.
+///
+/// This is the primitive behind deterministic sharded counting: each
+/// worker builds a partial accumulator over its contiguous row range
+/// with the same operators the sequential code would use, and the
+/// caller reduces the partials left-to-right. Because chunk boundaries
+/// depend only on `n`, `min_chunk` and the resolved thread count — and
+/// the reduce order is fixed — a caller whose reduce operator is
+/// associative over row order (e.g. per-key `+=`) gets results
+/// identical to the sequential pass for every thread count.
+pub fn par_chunks<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let by_size = if min_chunk == 0 {
+        n
+    } else {
+        n / min_chunk.max(1)
+    };
+    let threads = max_threads().min(by_size.max(1)).max(1);
+    if threads <= 1 {
+        return vec![f(0, n)];
+    }
+    let mut parts: Vec<T> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let (lo, hi) = chunk_bounds(n, threads, t);
+                s.spawn(move || f(lo, hi))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("chunk worker panicked"));
+        }
+    });
+    parts
+}
+
 /// [`par_map`] without the `MIN_PARALLEL` small-input fallback, for
 /// *coarse-grained* items (e.g. workload queries, each a full table
 /// scan) where even a handful of items outweigh thread-spawn cost.
@@ -277,6 +324,51 @@ mod tests {
                 let out = par_map_heavy(n, |i| i as f64 * 0.5);
                 assert_eq!(out, (0..n).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
             }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        for n in [0usize, 1, 4, 5, 63, 64, 1000] {
+            for threads in [1usize, 2, 3, 8] {
+                set_threads(threads);
+                let parts = par_chunks(n, 16, |lo, hi| (lo..hi).collect::<Vec<_>>());
+                let flat: Vec<usize> = parts.into_iter().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn chunked_counting_matches_sequential() {
+        // the support-kernel pattern: per-chunk count maps merged in
+        // chunk order must agree with one sequential pass
+        let items: Vec<u32> = (0..5000).map(|i| (i * 7 % 23) as u32).collect();
+        let seq = {
+            let mut m = vec![0u32; 23];
+            for &it in &items {
+                m[it as usize] += 1;
+            }
+            m
+        };
+        for threads in [1usize, 2, 5] {
+            set_threads(threads);
+            let parts = par_chunks(items.len(), 8, |lo, hi| {
+                let mut m = vec![0u32; 23];
+                for &it in &items[lo..hi] {
+                    m[it as usize] += 1;
+                }
+                m
+            });
+            let mut merged = vec![0u32; 23];
+            for p in parts {
+                for (i, c) in p.into_iter().enumerate() {
+                    merged[i] += c;
+                }
+            }
+            assert_eq!(merged, seq, "threads={threads}");
         }
         set_threads(0);
     }

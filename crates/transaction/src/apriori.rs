@@ -16,6 +16,7 @@
 //! heuristic of the original.
 
 use crate::common::{TransactionInput, TxError, TxOutput};
+use crate::support::{Counting, InvertedIndex, KernelStats, RowSupport};
 use secreta_data::hash::FxHashMap;
 use secreta_data::ItemId;
 use secreta_hierarchy::{Cut, Hierarchy, NodeId};
@@ -43,6 +44,76 @@ impl AaState {
     }
 }
 
+/// The repair chosen from one round's involvement map.
+enum Repair {
+    /// Generalize the cut to this (allowed) parent node.
+    Generalize(NodeId),
+    /// No allowed parent exists: suppress this node's leaves.
+    Suppress(NodeId),
+}
+
+/// Pick the repair move from a round's involvement map: the node with
+/// the most outstanding violation mass is generalized one level,
+/// breaking ties by smaller parent NCP, then smaller parent id.
+///
+/// The comparison is a strict total order — involvement descending,
+/// then `f64::total_cmp` on NCP ascending, then `NodeId` ascending —
+/// so the choice is independent of map iteration order and exactly
+/// reproducible across platforms (the former epsilon tie-break could
+/// flip on sub-1e-15 NCP differences depending on visit order).
+fn select_repair(
+    h: &Hierarchy,
+    allowed: &impl Fn(NodeId) -> bool,
+    involvement: &FxHashMap<NodeId, u64>,
+) -> Repair {
+    let mut best: Option<(NodeId, u64, f64)> = None; // (parent, involvement, ncp)
+    for (&node, &inv) in involvement {
+        let Some(parent) = h.parent(node) else {
+            continue;
+        };
+        if !allowed(parent) {
+            continue;
+        }
+        let ncp = h.ncp(parent);
+        let better = match best {
+            None => true,
+            Some((bp, binv, bncp)) => {
+                inv > binv
+                    || (inv == binv
+                        && match ncp.total_cmp(&bncp) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => parent < bp,
+                            std::cmp::Ordering::Greater => false,
+                        })
+            }
+        };
+        if better {
+            best = Some((parent, inv, ncp));
+        }
+    }
+    match best {
+        Some((parent, _, _)) => Repair::Generalize(parent),
+        None => {
+            // ceiling reached everywhere (VPA): suppress the
+            // most-involved node's leaves
+            let (&node, _) = involvement
+                .iter()
+                .max_by_key(|&(&n, &inv)| (inv, std::cmp::Reverse(n)))
+                .expect("violations imply involvement");
+            Repair::Suppress(node)
+        }
+    }
+}
+
+/// Work counters of one `anonymize_rows` call, flushed once at exit.
+#[derive(Default)]
+struct AaCounters {
+    rounds: u64,
+    violations: u64,
+    generalizations: u64,
+    suppressions: u64,
+}
+
 /// Core AA loop over the rows in `rows`, with an optional ceiling:
 /// only nodes satisfying `allowed` may enter the cut (VPA confines
 /// recoding to a vertical part; `|_| true` for plain AA, where the
@@ -55,8 +126,9 @@ pub(crate) fn anonymize_rows(
     m: usize,
     h: &Hierarchy,
     allowed: impl Fn(NodeId) -> bool,
-    relevant: impl Fn(ItemId) -> bool,
+    relevant: impl Fn(ItemId) -> bool + Sync,
     allow_suppression: bool,
+    counting: Counting,
 ) -> Result<AaState, TxError> {
     let non_empty = rows
         .iter()
@@ -73,99 +145,170 @@ pub(crate) fn anonymize_rows(
     let m = m.max(1);
 
     let recorder = secreta_obsv::current();
-    let mut rounds = 0u64;
-    let mut violations = 0u64;
-    let mut generalizations = 0u64;
-    let mut suppressions = 0u64;
+    let mut c = AaCounters::default();
 
-    for i in 1..=m {
-        loop {
-            rounds += 1;
-            // published transactions: distinct, sorted live cut nodes
-            let mut sup: FxHashMap<Vec<NodeId>, u32> = FxHashMap::default();
-            let mut nodes_buf: Vec<NodeId> = Vec::new();
-            for &r in rows {
-                nodes_buf.clear();
-                for &it in table.transaction(r) {
-                    if relevant(it) && !state.suppressed[it.index()] {
-                        nodes_buf.push(state.cut.node_of(it.0));
-                    }
-                }
-                nodes_buf.sort_unstable();
-                nodes_buf.dedup();
-                if nodes_buf.len() < i {
-                    continue;
-                }
-                for_each_subset(&nodes_buf, i, &mut |subset| {
-                    *sup.entry(subset.to_vec()).or_insert(0) += 1;
-                });
+    match counting {
+        Counting::Naive => {
+            for i in 1..=m {
+                aa_level_naive(
+                    table, rows, k, i, h, &allowed, &relevant, &mut state, &mut c,
+                );
             }
+        }
+        Counting::Kernel => {
+            let index = InvertedIndex::build(table, rows, h.n_leaves(), &relevant);
+            let mut stats = KernelStats::default();
+            for i in 1..=m {
+                aa_level_kernel(
+                    table, rows, k, i, h, &allowed, &relevant, &index, &mut state, &mut c,
+                    &mut stats,
+                );
+            }
+            stats.flush(&recorder);
+        }
+    }
 
-            // violations: support strictly below k
-            let mut involvement: FxHashMap<NodeId, u64> = FxHashMap::default();
-            let mut any = false;
-            for (subset, &count) in &sup {
-                if (count as usize) < k {
-                    any = true;
-                    violations += 1;
-                    for &n in subset {
-                        *involvement.entry(n).or_insert(0) += (k as u64) - count as u64;
-                    }
-                }
-            }
-            if !any {
-                break;
-            }
+    recorder.count("apriori/support_rounds", c.rounds);
+    recorder.count("apriori/violations", c.violations);
+    recorder.count("apriori/generalizations", c.generalizations);
+    recorder.count("apriori/suppressions", c.suppressions);
+    Ok(state)
+}
 
-            // candidate moves: generalize an involved node to its
-            // parent (if the parent is allowed)
-            let mut best: Option<(NodeId, u64, f64)> = None; // (parent, involvement, ncp)
-            for (&node, &inv) in &involvement {
-                let Some(parent) = h.parent(node) else {
-                    continue;
-                };
-                if !allowed(parent) {
-                    continue;
-                }
-                let ncp = h.ncp(parent);
-                let better = match best {
-                    None => true,
-                    Some((bp, binv, bncp)) => {
-                        inv > binv
-                            || (inv == binv
-                                && (ncp < bncp - 1e-15 || (ncp <= bncp + 1e-15 && parent < bp)))
-                    }
-                };
-                if better {
-                    best = Some((parent, inv, ncp));
+/// Apply `repair` to `state`, updating counters. Returns the node
+/// whose subtree changed (the generalization target or suppressed
+/// node).
+fn apply_repair(h: &Hierarchy, state: &mut AaState, repair: Repair, c: &mut AaCounters) -> NodeId {
+    match repair {
+        Repair::Generalize(parent) => {
+            c.generalizations += 1;
+            state.cut.generalize_to(h, parent);
+            parent
+        }
+        Repair::Suppress(node) => {
+            for v in h.leaves_under(node) {
+                c.suppressions += 1;
+                state.suppressed[v as usize] = true;
+            }
+            node
+        }
+    }
+}
+
+/// One `i`-level of the naive (recount-everything) AA loop — the
+/// reference implementation the kernels are checked against.
+#[allow(clippy::too_many_arguments)]
+fn aa_level_naive(
+    table: &secreta_data::RtTable,
+    rows: &[usize],
+    k: usize,
+    i: usize,
+    h: &Hierarchy,
+    allowed: &impl Fn(NodeId) -> bool,
+    relevant: &impl Fn(ItemId) -> bool,
+    state: &mut AaState,
+    c: &mut AaCounters,
+) {
+    loop {
+        c.rounds += 1;
+        // published transactions: distinct, sorted live cut nodes
+        let mut sup: FxHashMap<Vec<NodeId>, u32> = FxHashMap::default();
+        let mut nodes_buf: Vec<NodeId> = Vec::new();
+        for &r in rows {
+            nodes_buf.clear();
+            for &it in table.transaction(r) {
+                if relevant(it) && !state.suppressed[it.index()] {
+                    nodes_buf.push(state.cut.node_of(it.0));
                 }
             }
+            nodes_buf.sort_unstable();
+            nodes_buf.dedup();
+            if nodes_buf.len() < i {
+                continue;
+            }
+            for_each_subset(&nodes_buf, i, &mut |subset| {
+                *sup.entry(subset.to_vec()).or_insert(0) += 1;
+            });
+        }
 
-            match best {
-                Some((parent, _, _)) => {
-                    generalizations += 1;
-                    state.cut.generalize_to(h, parent);
-                }
-                None => {
-                    // ceiling reached everywhere (VPA): suppress the
-                    // most-involved node's leaves
-                    let (&node, _) = involvement
-                        .iter()
-                        .max_by_key(|&(&n, &inv)| (inv, std::cmp::Reverse(n)))
-                        .expect("violations imply involvement");
-                    for v in h.leaves_under(node) {
-                        suppressions += 1;
-                        state.suppressed[v as usize] = true;
-                    }
+        // violations: support strictly below k
+        let mut involvement: FxHashMap<NodeId, u64> = FxHashMap::default();
+        let mut any = false;
+        for (subset, &count) in &sup {
+            if (count as usize) < k {
+                any = true;
+                c.violations += 1;
+                for &n in subset {
+                    *involvement.entry(n).or_insert(0) += (k as u64) - count as u64;
                 }
             }
         }
+        if !any {
+            break;
+        }
+
+        let repair = select_repair(h, allowed, &involvement);
+        apply_repair(h, state, repair, c);
     }
-    recorder.count("apriori/support_rounds", rounds);
-    recorder.count("apriori/violations", violations);
-    recorder.count("apriori/generalizations", generalizations);
-    recorder.count("apriori/suppressions", suppressions);
-    Ok(state)
+}
+
+/// One `i`-level of the kernelized AA loop: the level's subset
+/// supports are built once (sharded across threads), then each repair
+/// re-enumerates only the rows containing a leaf whose published node
+/// changed — found through the inverted index.
+#[allow(clippy::too_many_arguments)]
+fn aa_level_kernel(
+    table: &secreta_data::RtTable,
+    rows: &[usize],
+    k: usize,
+    i: usize,
+    h: &Hierarchy,
+    allowed: &impl Fn(NodeId) -> bool,
+    relevant: &(impl Fn(ItemId) -> bool + Sync),
+    index: &InvertedIndex,
+    state: &mut AaState,
+    c: &mut AaCounters,
+    stats: &mut KernelStats,
+) {
+    // the published token list of the row at position `pos`
+    let fill_row = |st: &AaState, pos: usize, buf: &mut Vec<u32>| {
+        for &it in table.transaction(rows[pos]) {
+            if relevant(it) && !st.suppressed[it.index()] {
+                buf.push(st.cut.node_of(it.0).0);
+            }
+        }
+        buf.sort_unstable();
+        buf.dedup();
+    };
+    let mut rs = RowSupport::build(rows.len(), i, |pos, buf| fill_row(state, pos, buf));
+    let mut dirty: Vec<u32> = Vec::new();
+    loop {
+        c.rounds += 1;
+        let mut involvement: FxHashMap<NodeId, u64> = FxHashMap::default();
+        let mut any = false;
+        for (subset, count) in rs.map.iter() {
+            // zero-count keys are stale leftovers of earlier rounds
+            if count > 0 && (count as usize) < k {
+                any = true;
+                c.violations += 1;
+                for &v in subset {
+                    *involvement.entry(NodeId(v)).or_insert(0) += (k as u64) - count as u64;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+
+        let repair = select_repair(h, allowed, &involvement);
+        let changed = apply_repair(h, state, repair, c);
+        // every row containing a leaf under the changed node must be
+        // re-enumerated; all others keep their counts
+        index.union_into(h.leaves_under(changed), &mut dirty);
+        rs.stats.posting_unions += 1;
+        rs.update(&dirty, |pos, buf| fill_row(state, pos, buf));
+    }
+    stats.absorb(&rs.stats);
 }
 
 /// Invoke `f` on every `i`-sized subset of `items` (which is sorted
@@ -197,8 +340,20 @@ pub(crate) fn for_each_subset(items: &[NodeId], i: usize, f: &mut impl FnMut(&[N
     rec(items, i, 0, &mut cur, f);
 }
 
-/// Run plain AA on `input` (global recoding, all rows).
+/// Run plain AA on `input` (global recoding, all rows) with the
+/// kernelized support counters.
 pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Kernel)
+}
+
+/// Run plain AA with the naive reference counters (the oracle for
+/// `bench --suite tx` and the kernel-agreement tests).
+pub fn anonymize_reference(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Naive)
+}
+
+/// Run plain AA with an explicit counting implementation.
+pub fn anonymize_with(input: &TransactionInput, counting: Counting) -> Result<TxOutput, TxError> {
     input.validate()?;
     let h = input
         .hierarchy
@@ -216,6 +371,7 @@ pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
         |_| true,
         |_| true,
         false,
+        counting,
     )?;
     timer.phase("apriori recoding");
 
@@ -375,6 +531,53 @@ mod tests {
         assert_eq!(none, 0);
         for_each_subset(&items, 0, &mut |_| none += 1);
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn tie_break_on_equal_ncp_is_total_and_deterministic() {
+        // a balanced universe of 4 leaves under a fanout-2 hierarchy:
+        // both internal parents have *identical* NCP, so the old
+        // epsilon comparison hit its tie window. The fixed order must
+        // pick by (involvement desc, ncp total_cmp asc, NodeId asc) —
+        // and must do so identically however the involvement map is
+        // iterated, which kernel vs. naive counting exercises.
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut t = RtTable::new(schema);
+        // p, q, r, s each appear once => every singleton violates k=2,
+        // with equal involvement and equal parent NCP
+        for items in [["p"], ["q"], ["r"], ["s"]] {
+            t.push_row(&[], &items).unwrap();
+        }
+        let h = hierarchy(&t);
+        // verify the tie premise: both parents share one NCP value
+        let l0 = h.leaf(0);
+        let l2 = h.leaf(2);
+        let p0 = h.parent(l0).unwrap();
+        let p2 = h.parent(l2).unwrap();
+        assert_ne!(p0, p2);
+        assert_eq!(h.ncp(p0).to_bits(), h.ncp(p2).to_bits(), "tie premise");
+
+        let naive = anonymize_reference(&TransactionInput::km(&t, 2, 1, &h)).unwrap();
+        let kernel = anonymize(&TransactionInput::km(&t, 2, 1, &h)).unwrap();
+        assert_eq!(naive.anon, kernel.anon, "tie resolution must agree");
+        assert!(is_km_anonymous(&kernel.anon, 2, 1, Some(&h)));
+
+        // and selection is reproducible run-to-run
+        let again = anonymize(&TransactionInput::km(&t, 2, 1, &h)).unwrap();
+        assert_eq!(kernel.anon, again.anon);
+    }
+
+    #[test]
+    fn kernel_and_reference_agree_on_fixture() {
+        let t = table();
+        let h = hierarchy(&t);
+        for k in [2, 3, 4] {
+            for m in [1, 2, 3] {
+                let a = anonymize_reference(&TransactionInput::km(&t, k, m, &h)).unwrap();
+                let b = anonymize(&TransactionInput::km(&t, k, m, &h)).unwrap();
+                assert_eq!(a.anon, b.anon, "k={k} m={m}");
+            }
+        }
     }
 
     #[test]

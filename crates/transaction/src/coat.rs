@@ -14,6 +14,7 @@
 
 use crate::common::{TransactionInput, TxError, TxOutput};
 use crate::groups::ItemGroups;
+use crate::support::{Counting, GroupSupportOracle};
 use secreta_data::hash::FxHashMap;
 use secreta_data::{ItemId, RtTable};
 use secreta_metrics::anon::AnonTransaction;
@@ -85,6 +86,74 @@ pub(crate) fn constraint_support(
         .count() as u32
 }
 
+/// Per-round support provider shared by COAT and PCTA: either the
+/// naive recount (published rows rebuilt and scanned from scratch
+/// every round) or the [`GroupSupportOracle`] answering the same
+/// queries from memoized posting-list unions and intersections.
+pub(crate) enum RoundSupport {
+    /// Rebuild-and-scan (the reference implementation).
+    Naive {
+        /// This round's published transactions.
+        rows_pub: Vec<Vec<u32>>,
+        /// This round's per-root supports.
+        sup: FxHashMap<u32, u32>,
+    },
+    /// Inverted-index oracle, memoized per round.
+    Kernel(GroupSupportOracle),
+}
+
+impl RoundSupport {
+    pub(crate) fn new(counting: Counting, table: &RtTable, rows: &[usize]) -> RoundSupport {
+        match counting {
+            Counting::Naive => RoundSupport::Naive {
+                rows_pub: Vec::new(),
+                sup: FxHashMap::default(),
+            },
+            Counting::Kernel => RoundSupport::Kernel(GroupSupportOracle::new(table, rows)),
+        }
+    }
+
+    /// Refresh for a new repair round (the recoding changed).
+    pub(crate) fn begin_round(&mut self, table: &RtTable, rows: &[usize], groups: &mut ItemGroups) {
+        match self {
+            RoundSupport::Naive { rows_pub, sup } => {
+                *rows_pub = published_rows(table, groups, rows);
+                *sup = group_supports(rows_pub);
+            }
+            RoundSupport::Kernel(oracle) => oracle.begin_round(),
+        }
+    }
+
+    /// Published support of `constraint` this round.
+    pub(crate) fn constraint_support(
+        &mut self,
+        groups: &mut ItemGroups,
+        constraint: &[ItemId],
+    ) -> u32 {
+        match self {
+            RoundSupport::Naive { rows_pub, .. } => {
+                constraint_support(rows_pub, groups, constraint)
+            }
+            RoundSupport::Kernel(oracle) => oracle.constraint_support(groups, constraint),
+        }
+    }
+
+    /// Published support of the group rooted at `root` this round.
+    pub(crate) fn sup_of(&mut self, groups: &mut ItemGroups, root: u32) -> u32 {
+        match self {
+            RoundSupport::Naive { sup, .. } => sup.get(&root).copied().unwrap_or(0),
+            RoundSupport::Kernel(oracle) => oracle.group_support(groups, root),
+        }
+    }
+
+    /// Flush kernel work counters (no-op for the naive provider).
+    pub(crate) fn flush(&self, recorder: &secreta_obsv::Recorder) {
+        if let RoundSupport::Kernel(oracle) = self {
+            oracle.stats.flush(recorder);
+        }
+    }
+}
+
 /// The COAT core, shared with PCTA (which plugs a different merge
 /// selector): repeatedly repair the most-violated constraint until
 /// the policy holds over `rows`.
@@ -95,9 +164,11 @@ pub(crate) fn constrain(
     privacy: &PrivacyPolicy,
     utility: &UtilityPolicy,
     global_partner_pool: bool,
+    counting: Counting,
 ) -> ItemGroups {
     let universe = table.item_universe();
     let mut groups = ItemGroups::new(universe);
+    let mut support = RoundSupport::new(counting, table, rows);
 
     let recorder = secreta_obsv::current();
     let mut rounds = 0u64;
@@ -105,11 +176,11 @@ pub(crate) fn constrain(
     let mut suppressions = 0u64;
     loop {
         rounds += 1;
-        let rows_pub = published_rows(table, &mut groups, rows);
+        support.begin_round(table, rows, &mut groups);
         // most-violated constraint (smallest positive support < k)
         let mut worst: Option<(usize, u32)> = None;
         for (ci, c) in privacy.constraints.iter().enumerate() {
-            let s = constraint_support(&rows_pub, &mut groups, c);
+            let s = support.constraint_support(&mut groups, c);
             if s > 0 && (s as usize) < k && worst.as_ref().is_none_or(|&(_, ws)| s < ws) {
                 worst = Some((ci, s));
             }
@@ -122,8 +193,6 @@ pub(crate) fn constrain(
         // candidate merges: for each live item of the constraint,
         // partners from its utility groups (COAT) or every live group
         // (PCTA's global pool), filtered by admissibility
-        let sup = group_supports(&rows_pub);
-        let sup_of = |g: u32| sup.get(&g).copied().unwrap_or(0) as f64;
         let mut best: Option<(u32, u32, f64)> = None; // (a, b, cost)
         for it in &constraint {
             if groups.is_suppressed(it.0) {
@@ -131,6 +200,7 @@ pub(crate) fn constrain(
             }
             let ga = groups.find(it.0);
             let members_a = groups.group_members(it.0);
+            let sup_a = support.sup_of(&mut groups, ga) as f64;
             let partner_items: Vec<u32> = if global_partner_pool {
                 (0..universe as u32).collect()
             } else {
@@ -165,9 +235,9 @@ pub(crate) fn constrain(
                 // bound of its support
                 let sa = members_a.len();
                 let sb = members_b.len();
-                let cost = pow2m1(sa + sb) * (sup_of(ga) + sup_of(gb))
-                    - pow2m1(sa) * sup_of(ga)
-                    - pow2m1(sb) * sup_of(gb);
+                let sup_b = support.sup_of(&mut groups, gb) as f64;
+                let cost =
+                    pow2m1(sa + sb) * (sup_a + sup_b) - pow2m1(sa) * sup_a - pow2m1(sb) * sup_b;
                 if best.as_ref().is_none_or(|&(_, _, c)| cost < c) {
                     best = Some((ga, gb, cost));
                 }
@@ -181,20 +251,25 @@ pub(crate) fn constrain(
             }
             None => {
                 // no admissible merge anywhere in the constraint:
-                // suppress its rarest live item
-                let victim = constraint
-                    .iter()
-                    .filter(|it| !groups.is_suppressed(it.0))
-                    .min_by_key(|it| {
-                        let g = groups.find_const(it.0);
-                        (sup.get(&g).copied().unwrap_or(0), it.0)
-                    });
+                // suppress its rarest live item (fewest published
+                // rows, then smallest item id — a strict total order)
+                let mut victim: Option<(u32, u32)> = None; // (sup, item)
+                for it in &constraint {
+                    if groups.is_suppressed(it.0) {
+                        continue;
+                    }
+                    let g = groups.find(it.0);
+                    let key = (support.sup_of(&mut groups, g), it.0);
+                    if victim.is_none_or(|v| key < v) {
+                        victim = Some(key);
+                    }
+                }
                 // victim is None only when every item of the
                 // constraint is already suppressed, in which case the
                 // support is 0 and the outer loop drops the constraint
-                if let Some(it) = victim {
+                if let Some((_, item)) = victim {
                     suppressions += 1;
-                    groups.suppress(it.0);
+                    groups.suppress(item);
                 }
             }
         }
@@ -202,6 +277,7 @@ pub(crate) fn constrain(
     recorder.count("coat/repair_rounds", rounds);
     recorder.count("coat/merges", merges);
     recorder.count("coat/suppressions", suppressions);
+    support.flush(&recorder);
     groups
 }
 
@@ -235,8 +311,18 @@ pub(crate) fn publish(table: &RtTable, groups: &mut ItemGroups) -> AnonTable {
     }
 }
 
-/// Run COAT on `input`.
+/// Run COAT on `input` with the kernelized support oracle.
 pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Kernel)
+}
+
+/// Run COAT with the naive reference counters.
+pub fn anonymize_reference(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Naive)
+}
+
+/// Run COAT with an explicit counting implementation.
+pub fn anonymize_with(input: &TransactionInput, counting: Counting) -> Result<TxOutput, TxError> {
     input.validate()?;
     let mut timer = PhaseTimer::new();
     let default_privacy;
@@ -255,10 +341,20 @@ pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
             &default_utility
         }
     };
-    let rows: Vec<usize> = (0..input.table.n_rows()).collect();
+    // empty transactions can never support a constraint: filter them
+    // once per run instead of rescanning them every round
+    let rows = input.non_empty_rows();
     timer.phase("setup");
 
-    let mut groups = constrain(input.table, &rows, input.k, privacy, utility, false);
+    let mut groups = constrain(
+        input.table,
+        &rows,
+        input.k,
+        privacy,
+        utility,
+        false,
+        counting,
+    );
     timer.phase("constraint repair");
 
     let anon = publish(input.table, &mut groups);

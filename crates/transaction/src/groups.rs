@@ -111,6 +111,13 @@ impl ItemGroups {
         }
     }
 
+    /// Members of the group rooted at `root`, in merge order (empty
+    /// for non-roots). Borrowed view for the support kernels; use
+    /// [`ItemGroups::group_members`] for a sorted copy.
+    pub fn members_of_root(&self, root: u32) -> &[u32] {
+        &self.members[root as usize]
+    }
+
     /// All current roots (deterministic order).
     pub fn roots(&mut self) -> Vec<u32> {
         (0..self.len() as u32)

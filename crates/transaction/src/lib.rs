@@ -14,6 +14,16 @@
 //! [`secreta_metrics::AnonTable`] (transaction part only) plus phase
 //! timings; [`verify`] re-checks k^m-anonymity and policy satisfaction
 //! from the published output alone.
+//!
+//! Support counting — the shared hot path of every algorithm here —
+//! runs on the kernels in [`support`] (interned itemset keys, inverted
+//! indexes, incremental rounds, deterministic sharded counting). Each
+//! algorithm also keeps its original recount-everything implementation
+//! behind [`support::Counting::Naive`], reachable through the
+//! `anonymize_reference` entry points, as the oracle for equivalence
+//! tests and `secreta bench --suite tx`.
+
+#![deny(missing_docs)]
 
 pub mod apriori;
 pub mod coat;
@@ -24,6 +34,7 @@ pub mod pcta;
 pub mod rho;
 pub mod rho_td;
 pub mod scoped;
+pub mod support;
 pub mod verify;
 pub mod vpa;
 
@@ -31,4 +42,5 @@ pub use common::{TransactionAlgorithm, TransactionInput, TxError, TxOutput};
 pub use rho::{is_rho_uncertain, RhoParams};
 pub use rho_td::is_rho_uncertain_published;
 pub use scoped::{anonymize_scoped, ClusterTx, ItemMap};
+pub use support::Counting;
 pub use verify::{is_km_anonymous, satisfies_privacy};

@@ -11,9 +11,10 @@
 //! constraints — is applied. The hierarchy-free recoding and the UL
 //! guidance are the signature properties of the original.
 
-use crate::coat::{constraint_support, group_supports, pow2m1, publish, published_rows};
+use crate::coat::{pow2m1, publish, RoundSupport};
 use crate::common::{TransactionInput, TxError, TxOutput};
 use crate::groups::ItemGroups;
+use crate::support::Counting;
 use secreta_data::ItemId;
 use secreta_metrics::PhaseTimer;
 use secreta_policy::{PrivacyPolicy, UtilityPolicy};
@@ -26,9 +27,11 @@ pub(crate) fn cluster_items(
     k: usize,
     privacy: &PrivacyPolicy,
     utility: &UtilityPolicy,
+    counting: Counting,
 ) -> ItemGroups {
     let universe = table.item_universe();
     let mut groups = ItemGroups::new(universe);
+    let mut support = RoundSupport::new(counting, table, rows);
 
     let recorder = secreta_obsv::current();
     let mut rounds = 0u64;
@@ -36,11 +39,11 @@ pub(crate) fn cluster_items(
     let mut suppressions = 0u64;
     loop {
         rounds += 1;
-        let rows_pub = published_rows(table, &mut groups, rows);
+        support.begin_round(table, rows, &mut groups);
         // all violated constraints this round
         let mut violated: Vec<usize> = Vec::new();
         for (ci, c) in privacy.constraints.iter().enumerate() {
-            let s = constraint_support(&rows_pub, &mut groups, c);
+            let s = support.constraint_support(&mut groups, c);
             if s > 0 && (s as usize) < k {
                 violated.push(ci);
             }
@@ -48,9 +51,6 @@ pub(crate) fn cluster_items(
         if violated.is_empty() {
             break;
         }
-
-        let sup = group_supports(&rows_pub);
-        let sup_of = |g: u32| sup.get(&g).copied().unwrap_or(0) as f64;
 
         // globally cheapest admissible merge over the items of every
         // violated constraint
@@ -67,6 +67,7 @@ pub(crate) fn cluster_items(
                 }
                 considered.push(ga);
                 let members_a = groups.group_members(it.0);
+                let sup_a = support.sup_of(&mut groups, ga) as f64;
                 let mut seen: Vec<u32> = Vec::new();
                 for j in 0..universe as u32 {
                     if groups.is_suppressed(j) {
@@ -88,9 +89,9 @@ pub(crate) fn cluster_items(
                         continue;
                     }
                     let (sa, sb) = (members_a.len(), members_b.len());
-                    let cost = pow2m1(sa + sb) * (sup_of(ga) + sup_of(gb))
-                        - pow2m1(sa) * sup_of(ga)
-                        - pow2m1(sb) * sup_of(gb);
+                    let sup_b = support.sup_of(&mut groups, gb) as f64;
+                    let cost =
+                        pow2m1(sa + sb) * (sup_a + sup_b) - pow2m1(sa) * sup_a - pow2m1(sb) * sup_b;
                     if best.as_ref().is_none_or(|&(_, _, c)| cost < c) {
                         best = Some((ga, gb, cost));
                     }
@@ -105,19 +106,26 @@ pub(crate) fn cluster_items(
             }
             None => {
                 // no admissible merge: suppress the rarest live item of
-                // the most violated constraint
-                let victim = violated
+                // the most violated constraint (fewest published rows,
+                // then smallest item id — a strict total order)
+                let mut victim: Option<(u32, u32)> = None; // (sup, item)
+                for it in violated
                     .iter()
                     .flat_map(|&ci| privacy.constraints[ci].iter())
-                    .filter(|it| !groups.is_suppressed(it.0))
-                    .min_by_key(|it| {
-                        let g = groups.find_const(it.0);
-                        (sup.get(&g).copied().unwrap_or(0), it.0)
-                    });
+                {
+                    if groups.is_suppressed(it.0) {
+                        continue;
+                    }
+                    let g = groups.find(it.0);
+                    let key = (support.sup_of(&mut groups, g), it.0);
+                    if victim.is_none_or(|v| key < v) {
+                        victim = Some(key);
+                    }
+                }
                 match victim {
-                    Some(&it) => {
+                    Some((_, item)) => {
                         suppressions += 1;
-                        groups.suppress(it.0);
+                        groups.suppress(item);
                     }
                     None => break, // everything relevant suppressed
                 }
@@ -127,11 +135,22 @@ pub(crate) fn cluster_items(
     recorder.count("pcta/clustering_rounds", rounds);
     recorder.count("pcta/merges", merges);
     recorder.count("pcta/suppressions", suppressions);
+    support.flush(&recorder);
     groups
 }
 
-/// Run PCTA on `input`.
+/// Run PCTA on `input` with the kernelized support oracle.
 pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Kernel)
+}
+
+/// Run PCTA with the naive reference counters.
+pub fn anonymize_reference(input: &TransactionInput) -> Result<TxOutput, TxError> {
+    anonymize_with(input, Counting::Naive)
+}
+
+/// Run PCTA with an explicit counting implementation.
+pub fn anonymize_with(input: &TransactionInput, counting: Counting) -> Result<TxOutput, TxError> {
     input.validate()?;
     let mut timer = PhaseTimer::new();
     let default_privacy;
@@ -150,10 +169,12 @@ pub fn anonymize(input: &TransactionInput) -> Result<TxOutput, TxError> {
             &default_utility
         }
     };
-    let rows: Vec<usize> = (0..input.table.n_rows()).collect();
+    // empty transactions can never support a constraint: filter them
+    // once per run instead of rescanning them every round
+    let rows = input.non_empty_rows();
     timer.phase("setup");
 
-    let mut groups = cluster_items(input.table, &rows, input.k, privacy, utility);
+    let mut groups = cluster_items(input.table, &rows, input.k, privacy, utility, counting);
     timer.phase("ul-guided clustering");
 
     let anon = publish(input.table, &mut groups);

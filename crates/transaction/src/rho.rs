@@ -25,6 +25,7 @@
 //! baseline configuration.
 
 use crate::common::{TransactionInput, TxError, TxOutput};
+use crate::support::{Counting, InvertedIndex, RuleCounts};
 use secreta_data::hash::{FxHashMap, FxHashSet};
 use secreta_data::{stats::item_supports, ItemId, RtTable};
 use secreta_metrics::anon::AnonTransaction;
@@ -87,15 +88,6 @@ fn violations(
     let mut sup_q: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
     let mut sup_qs: FxHashMap<(Vec<u32>, u32), u32> = FxHashMap::default();
     let mut live: Vec<u32> = Vec::new();
-    let n_live_rows = rows
-        .iter()
-        .filter(|&&r| {
-            table
-                .transaction(r)
-                .iter()
-                .any(|it| !suppressed[it.index()])
-        })
-        .count() as u32;
     for &r in rows {
         live.clear();
         live.extend(
@@ -126,7 +118,6 @@ fn violations(
             });
         }
     }
-    let _ = n_live_rows;
 
     let mut out = Vec::new();
     for ((q, s), &qs) in &sup_qs {
@@ -168,9 +159,49 @@ fn enumerate_subsets(items: &[u32], size: usize, f: &mut impl FnMut(&[u32])) {
     rec(items, size, 0, &mut Vec::with_capacity(size), f);
 }
 
-/// Run SuppressControl on `input` with `params`. `input.k`/`input.m`
-/// are unused — ρ-uncertainty has its own parameters.
+/// Pick the suppression victim from a round's kill counts: the item
+/// killing the most violations per unit of lost occurrences (the
+/// gain/loss greedy of SuppressControl). Ties break toward the
+/// smaller item id — a strict total order, so the choice is
+/// independent of map iteration order.
+fn select_victim(kill_count: &FxHashMap<u32, usize>, base_supports: &[u64]) -> u32 {
+    let (&victim, _) = kill_count
+        .iter()
+        .max_by(|(&a, &ka), (&b, &kb)| {
+            let la = (base_supports[a as usize] as f64).max(1.0);
+            let lb = (base_supports[b as usize] as f64).max(1.0);
+            (ka as f64 / la)
+                .partial_cmp(&(kb as f64 / lb))
+                .expect("finite scores")
+                // deterministic tie-break
+                .then(b.cmp(&a))
+        })
+        .expect("violations imply candidates");
+    victim
+}
+
+/// Run SuppressControl on `input` with `params` and the kernelized
+/// (incremental, sharded) rule counters. `input.k`/`input.m` are
+/// unused — ρ-uncertainty has its own parameters.
 pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutput, TxError> {
+    anonymize_with(input, params, Counting::Kernel)
+}
+
+/// Run SuppressControl with the naive reference counters (full rule
+/// re-mining every round).
+pub fn anonymize_reference(
+    input: &TransactionInput,
+    params: &RhoParams,
+) -> Result<TxOutput, TxError> {
+    anonymize_with(input, params, Counting::Naive)
+}
+
+/// Run SuppressControl with an explicit counting implementation.
+pub fn anonymize_with(
+    input: &TransactionInput,
+    params: &RhoParams,
+    counting: Counting,
+) -> Result<TxOutput, TxError> {
     input.validate()?;
     if !(params.rho > 0.0 && params.rho <= 1.0) {
         return Err(TxError::BadInput(format!(
@@ -187,7 +218,8 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
         }
     }
     let mut timer = PhaseTimer::new();
-    let rows: Vec<usize> = (0..input.table.n_rows()).collect();
+    // empty transactions carry no rules: filter them once per run
+    let rows = input.non_empty_rows();
     let mut suppressed = vec![false; universe];
     let base_supports = item_supports(input.table);
     timer.phase("setup");
@@ -196,37 +228,90 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
     let mut mining_rounds = 0u64;
     let mut rules_checked = 0u64;
     let mut n_suppressed = 0u64;
-    loop {
-        mining_rounds += 1;
-        let viols = violations(input.table, &rows, &suppressed, params);
-        rules_checked += viols.len() as u64;
-        if viols.is_empty() {
-            break;
-        }
-        // score: how many violations does suppressing `item` kill,
-        // per unit of lost occurrences (the gain/loss greedy of
-        // SuppressControl)
-        let mut kill_count: FxHashMap<u32, usize> = FxHashMap::default();
-        for v in &viols {
-            for &q in &v.antecedent {
-                *kill_count.entry(q).or_insert(0) += 1;
+    match counting {
+        Counting::Naive => loop {
+            mining_rounds += 1;
+            let viols = violations(input.table, &rows, &suppressed, params);
+            rules_checked += viols.len() as u64;
+            if viols.is_empty() {
+                break;
             }
-            *kill_count.entry(v.sensitive).or_insert(0) += 1;
+            let mut kill_count: FxHashMap<u32, usize> = FxHashMap::default();
+            for v in &viols {
+                for &q in &v.antecedent {
+                    *kill_count.entry(q).or_insert(0) += 1;
+                }
+                *kill_count.entry(v.sensitive).or_insert(0) += 1;
+            }
+            let victim = select_victim(&kill_count, &base_supports);
+            suppressed[victim as usize] = true;
+            n_suppressed += 1;
+        },
+        Counting::Kernel => {
+            let sensitive: FxHashSet<u32> = params.sensitive.iter().map(|s| s.0).collect();
+            // rho >= 1.0 (or no sensitive items) is vacuous — mirror
+            // the reference miner's short-circuit without counting
+            let vacuous = sensitive.is_empty() || params.rho >= 1.0;
+            let table = input.table;
+            // transactions are stored sorted+deduped, so the filtered
+            // live list is sorted too
+            let fill_row = |sup: &[bool], pos: usize, buf: &mut Vec<u32>| {
+                buf.extend(
+                    table
+                        .transaction(rows[pos])
+                        .iter()
+                        .filter(|it| !sup[it.index()])
+                        .map(|it| it.0),
+                );
+            };
+            let is_target = |t: u32| sensitive.contains(&t);
+            let index = InvertedIndex::build(table, &rows, universe, |_| true);
+            let mut rc = if vacuous {
+                RuleCounts::default()
+            } else {
+                RuleCounts::build(
+                    rows.len(),
+                    params.max_antecedent,
+                    true,
+                    |pos, buf| fill_row(&suppressed, pos, buf),
+                    is_target,
+                )
+            };
+            loop {
+                mining_rounds += 1;
+                let mut kill_count: FxHashMap<u32, usize> = FxHashMap::default();
+                let mut viols = 0u64;
+                if !vacuous {
+                    for (q, s, qs, q_sup) in rc.rules() {
+                        let confidence = qs as f64 / q_sup as f64;
+                        if confidence >= params.rho {
+                            viols += 1;
+                            for &v in q {
+                                *kill_count.entry(v).or_insert(0) += 1;
+                            }
+                            *kill_count.entry(s).or_insert(0) += 1;
+                        }
+                    }
+                }
+                rules_checked += viols;
+                if viols == 0 {
+                    break;
+                }
+                let victim = select_victim(&kill_count, &base_supports);
+                suppressed[victim as usize] = true;
+                n_suppressed += 1;
+                // only rows containing the victim change their live
+                // lists — everything else keeps its counts
+                let dirty = index.postings(victim).to_vec();
+                rc.stats.posting_unions += 1;
+                rc.update(
+                    &dirty,
+                    |pos, buf| fill_row(&suppressed, pos, buf),
+                    is_target,
+                );
+            }
+            rc.stats.flush(&recorder);
         }
-        let (&victim, _) = kill_count
-            .iter()
-            .max_by(|(&a, &ka), (&b, &kb)| {
-                let la = (base_supports[a as usize] as f64).max(1.0);
-                let lb = (base_supports[b as usize] as f64).max(1.0);
-                (ka as f64 / la)
-                    .partial_cmp(&(kb as f64 / lb))
-                    .expect("finite scores")
-                    // deterministic tie-break
-                    .then(b.cmp(&a))
-            })
-            .expect("violations imply candidates");
-        suppressed[victim as usize] = true;
-        n_suppressed += 1;
     }
     recorder.count("rho/mining_rounds", mining_rounds);
     recorder.count("rho/violating_rules", rules_checked);

@@ -18,11 +18,18 @@
 
 use crate::common::{TransactionInput, TxError, TxOutput};
 use crate::rho::RhoParams;
+use crate::support::{Counting, InvertedIndex, KernelStats, RuleCounts};
 use secreta_data::hash::{FxHashMap, FxHashSet};
 use secreta_data::{ItemId, RtTable};
 use secreta_hierarchy::{Cut, NodeId};
 use secreta_metrics::anon::AnonTransaction;
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
+
+/// Kernel token encoding: sensitive tokens carry the high bit so they
+/// sort after every generalized-node token, mirroring the
+/// `Gen < Sensitive` order of the naive [`Token`] enum. Node and item
+/// ids stay well below 2^31 in practice (they index in-memory arrays).
+const SENSITIVE_BIT: u32 = 0x8000_0000;
 
 /// The published state during the search: a cut for non-sensitive
 /// items, raw sensitive items, and per-item suppression.
@@ -48,6 +55,58 @@ impl State {
             Some(Token::Sensitive(it.0))
         } else {
             Some(Token::Gen(self.cut.node_of(it.0)))
+        }
+    }
+
+    /// [`State::token_of`] under the packed `u32` encoding used by the
+    /// interned kernel counters.
+    fn token_u32(&self, it: ItemId) -> Option<u32> {
+        if self.suppressed[it.index()] {
+            None
+        } else if self.sensitive.contains(&it.0) {
+            Some(SENSITIVE_BIT | it.0)
+        } else {
+            Some(self.cut.node_of(it.0).0)
+        }
+    }
+
+    /// [`State::has_violation`] with an explicit counting
+    /// implementation. The kernel path rebuilds the interned rule
+    /// counts from scratch each call — the specialize/revert search
+    /// mutates the whole cut between checks, so there is no dirty-row
+    /// set to maintain incrementally — but counts in parallel shards
+    /// with zero per-subset allocation.
+    fn has_violation_with(
+        &self,
+        table: &RtTable,
+        rows: &[usize],
+        params: &RhoParams,
+        counting: Counting,
+        stats: &mut KernelStats,
+    ) -> bool {
+        match counting {
+            Counting::Naive => self.has_violation(table, rows, params),
+            Counting::Kernel => {
+                if params.rho >= 1.0 {
+                    return false;
+                }
+                let fill = |pos: usize, buf: &mut Vec<u32>| {
+                    buf.extend(
+                        table
+                            .transaction(rows[pos])
+                            .iter()
+                            .filter_map(|&it| self.token_u32(it)),
+                    );
+                    buf.sort_unstable();
+                    buf.dedup();
+                };
+                let rc =
+                    RuleCounts::build(rows.len(), params.max_antecedent, false, fill, |t: u32| {
+                        t & SENSITIVE_BIT != 0
+                    });
+                stats.absorb(&rc.stats);
+                rc.any_violation(params.rho)
+            }
         }
     }
 
@@ -123,9 +182,28 @@ fn subsets(items: &[Token], size: usize, f: &mut impl FnMut(&[Token])) {
     rec(items, size, 0, &mut Vec::with_capacity(size), f);
 }
 
-/// Run TDControl on `input` with `params`. Requires the item
-/// hierarchy; `input.k`/`input.m` are unused.
+/// Run TDControl on `input` with `params` using the kernelized
+/// counters. Requires the item hierarchy; `input.k`/`input.m` are
+/// unused.
 pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutput, TxError> {
+    anonymize_with(input, params, Counting::Kernel)
+}
+
+/// Run TDControl with the naive reference counters (the oracle the
+/// kernel path is tested against).
+pub fn anonymize_reference(
+    input: &TransactionInput,
+    params: &RhoParams,
+) -> Result<TxOutput, TxError> {
+    anonymize_with(input, params, Counting::Naive)
+}
+
+/// Run TDControl with an explicit counting implementation.
+pub fn anonymize_with(
+    input: &TransactionInput,
+    params: &RhoParams,
+    counting: Counting,
+) -> Result<TxOutput, TxError> {
     input.validate()?;
     let h = input
         .hierarchy
@@ -145,11 +223,20 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
         }
     }
     let mut timer = PhaseTimer::new();
-    let rows: Vec<usize> = (0..input.table.n_rows()).collect();
+    // empty transactions contribute nothing to any rule or prior:
+    // filter them once per run instead of rescanning them every check
+    let rows = input.non_empty_rows();
     let mut state = State {
         cut: Cut::root(h),
         sensitive: params.sensitive.iter().map(|s| s.0).collect(),
         suppressed: vec![false; universe],
+    };
+    let mut stats = KernelStats::default();
+    // Raw supports never change under recoding, so the index answers
+    // every prior-victim scan for the whole run.
+    let index = match counting {
+        Counting::Kernel => Some(InvertedIndex::build(input.table, &rows, universe, |_| true)),
+        Counting::Naive => None,
     };
     timer.phase("setup");
 
@@ -158,16 +245,18 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
     // other sensitive items feeding its rules).
     let recorder = secreta_obsv::current();
     let mut prior_suppressions = 0u64;
-    while state.has_violation(input.table, &rows, params) {
+    while state.has_violation_with(input.table, &rows, params, counting, &mut stats) {
         // suppress the most exposed sensitive item (highest prior)
         let victim = params
             .sensitive
             .iter()
             .filter(|s| !state.suppressed[s.index()])
-            .max_by_key(|s| {
-                rows.iter()
+            .max_by_key(|s| match &index {
+                Some(ix) => ix.support(s.0),
+                None => rows
+                    .iter()
                     .filter(|&&r| input.table.transaction(r).binary_search(s).is_ok())
-                    .count()
+                    .count(),
             });
         match victim {
             Some(s) => {
@@ -206,7 +295,7 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
                 continue;
             }
             state.cut.specialize(h, cand);
-            if state.has_violation(input.table, &rows, params) {
+            if state.has_violation_with(input.table, &rows, params, counting, &mut stats) {
                 // revert: re-generalize the whole subtree
                 reverts += 1;
                 state.cut.generalize_to(h, cand);
@@ -221,6 +310,7 @@ pub fn anonymize(input: &TransactionInput, params: &RhoParams) -> Result<TxOutpu
     }
     recorder.count("rho_td/specializations", specializations);
     recorder.count("rho_td/reverts", reverts);
+    stats.flush(&recorder);
     timer.phase("top-down specialization");
 
     // publish: sensitive → singleton sets; non-sensitive → the cut
@@ -480,6 +570,24 @@ mod tests {
             anonymize(&input(&t, &h), &RhoParams::new(0.0, vec![hiv])),
             Err(TxError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn kernel_and_reference_agree_on_fixture() {
+        let t = table();
+        let (h, hiv) = setup(&t);
+        for rho in [0.25, 0.5, 0.6, 0.95, 1.0] {
+            for max_antecedent in [1, 2] {
+                let params = RhoParams {
+                    rho,
+                    sensitive: vec![hiv],
+                    max_antecedent,
+                };
+                let fast = anonymize(&input(&t, &h), &params).unwrap();
+                let base = anonymize_reference(&input(&t, &h), &params).unwrap();
+                assert_eq!(fast.anon, base.anon, "rho={rho} m={max_antecedent}");
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,25 @@
 
 use crate::apriori::{anonymize_rows, build_anon};
 use crate::common::{TransactionInput, TxError, TxOutput};
+use crate::support::Counting;
 use secreta_metrics::PhaseTimer;
 
-/// Run VPA with `parts` vertical parts.
+/// Run VPA with `parts` vertical parts (kernelized support counting).
 pub fn anonymize(input: &TransactionInput, parts: usize) -> Result<TxOutput, TxError> {
+    anonymize_with(input, parts, Counting::Kernel)
+}
+
+/// Run VPA with the naive reference counters.
+pub fn anonymize_reference(input: &TransactionInput, parts: usize) -> Result<TxOutput, TxError> {
+    anonymize_with(input, parts, Counting::Naive)
+}
+
+/// Run VPA with an explicit counting implementation.
+pub fn anonymize_with(
+    input: &TransactionInput,
+    parts: usize,
+    counting: Counting,
+) -> Result<TxOutput, TxError> {
     input.validate()?;
     let h = input
         .hierarchy
@@ -50,6 +65,7 @@ pub fn anonymize(input: &TransactionInput, parts: usize) -> Result<TxOutput, TxE
             |node| h.leaves_under(node).all(|v| part_of[v as usize] == p),
             |it| part_of[it.index()] == p,
             true,
+            counting,
         )?;
         states.push(state);
     }

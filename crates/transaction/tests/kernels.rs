@@ -1,0 +1,221 @@
+//! Cross-checks of the interned/parallel support kernels: every
+//! ported algorithm must produce byte-identical output to its naive
+//! reference counter on random RT-tables (random universes, duplicate
+//! items, empty transactions) and at any thread count.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use secreta_data::{Attribute, AttributeKind, ItemId, RtTable, Schema};
+use secreta_hierarchy::auto_hierarchy;
+use secreta_transaction::{
+    apriori, coat, lra, pcta, rho, rho_td, vpa, RhoParams, TransactionInput, TxError, TxOutput,
+};
+
+fn build_table(rows: &[Vec<usize>], universe: usize) -> RtTable {
+    let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+    let mut t = RtTable::new(schema);
+    for i in 0..universe {
+        t.intern_item(&format!("i{i:02}")).unwrap();
+    }
+    for tx in rows {
+        let items: Vec<String> = tx.iter().map(|i| format!("i{:02}", i % universe)).collect();
+        let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+        t.push_row(&[], &refs).unwrap();
+    }
+    t
+}
+
+/// Transactions may be empty and may repeat items — both must be
+/// handled identically by the naive and kernel counters.
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..32, 0..6), 4..40)
+}
+
+fn agree(
+    label: &str,
+    fast: Result<TxOutput, TxError>,
+    base: Result<TxOutput, TxError>,
+) -> Result<(), TestCaseError> {
+    match (fast, base) {
+        (Ok(f), Ok(b)) => prop_assert_eq!(&f.anon, &b.anon, "{} diverged", label),
+        (Err(_), Err(_)) => {}
+        (f, b) => prop_assert!(
+            false,
+            "{label}: kernel ok={} but naive ok={}",
+            f.is_ok(),
+            b.is_ok()
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every algorithm, kernel counters vs the naive reference, on the
+    /// same random table: identical published output (or identical
+    /// failure).
+    #[test]
+    fn kernels_agree_with_reference(
+        rows in rows_strategy(),
+        universe in 4usize..12,
+        k in 2usize..5,
+        m in 1usize..3,
+        fanout in 2usize..4,
+    ) {
+        use secreta_transaction::Counting::{Kernel, Naive};
+        let t = build_table(&rows, universe);
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, fanout)
+            .unwrap();
+        let km = TransactionInput::km(&t, k, m, &h);
+        agree(
+            "apriori",
+            apriori::anonymize_with(&km, Kernel),
+            apriori::anonymize_with(&km, Naive),
+        )?;
+        agree(
+            "lra",
+            lra::anonymize_with(&km, 2, Kernel),
+            lra::anonymize_with(&km, 2, Naive),
+        )?;
+        agree(
+            "vpa",
+            vpa::anonymize_with(&km, 3, Kernel),
+            vpa::anonymize_with(&km, 3, Naive),
+        )?;
+        let plain = TransactionInput {
+            table: &t,
+            k,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        agree(
+            "coat",
+            coat::anonymize_with(&plain, Kernel),
+            coat::anonymize_with(&plain, Naive),
+        )?;
+        agree(
+            "pcta",
+            pcta::anonymize_with(&plain, Kernel),
+            pcta::anonymize_with(&plain, Naive),
+        )?;
+        let params = RhoParams {
+            rho: k as f64 / 10.0,
+            sensitive: vec![ItemId(0), ItemId(1)],
+            max_antecedent: m,
+        };
+        let rho_in = TransactionInput {
+            table: &t,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        agree(
+            "rho",
+            rho::anonymize_with(&rho_in, &params, Kernel),
+            rho::anonymize_with(&rho_in, &params, Naive),
+        )?;
+        let td = TransactionInput::km(&t, 1, 1, &h);
+        agree(
+            "rho_td",
+            rho_td::anonymize_with(&td, &params, Kernel),
+            rho_td::anonymize_with(&td, &params, Naive),
+        )?;
+    }
+}
+
+/// Deterministic skewed basket table, large enough to shard
+/// (`support::MIN_ROWS_PER_SHARD` is 128).
+fn demo_table(n_rows: usize, universe: usize, max_items: u64) -> RtTable {
+    let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+    let mut t = RtTable::new(schema);
+    for i in 0..universe {
+        t.intern_item(&format!("i{i:02}")).unwrap();
+    }
+    let mut s: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for _ in 0..n_rows {
+        let len = 1 + (next() % max_items) as usize;
+        let items: Vec<String> = (0..len)
+            .map(|_| {
+                // quadratic skew: low ids frequent, high ids rare
+                let r = (next() % universe as u64) as usize;
+                format!("i{:02}", r * r / universe)
+            })
+            .collect();
+        let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+        t.push_row(&[], &refs).unwrap();
+    }
+    t
+}
+
+/// Sharded counting must be byte-identical at any thread count, for
+/// every ported algorithm. One test, sequential: the thread cap is
+/// process-global, so the sweep must not interleave with itself.
+#[test]
+fn outputs_invariant_under_thread_count() {
+    let t = demo_table(700, 40, 4);
+    let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+    let km = TransactionInput::km(&t, 10, 2, &h);
+    let plain = TransactionInput {
+        table: &t,
+        k: 10,
+        m: 1,
+        hierarchy: None,
+        privacy: None,
+        utility: None,
+    };
+    let rho_in = TransactionInput {
+        table: &t,
+        k: 1,
+        m: 1,
+        hierarchy: None,
+        privacy: None,
+        utility: None,
+    };
+    let td_in = TransactionInput::km(&t, 1, 1, &h);
+    // rare items under the quadratic skew: realistic sensitive targets
+    let params = RhoParams {
+        rho: 0.3,
+        sensitive: vec![ItemId(34), ItemId(37)],
+        max_antecedent: 2,
+    };
+    type Run<'a> = (&'a str, Box<dyn Fn() -> secreta_metrics::AnonTable + 'a>);
+    let algos: Vec<Run> = vec![
+        (
+            "apriori",
+            Box::new(|| apriori::anonymize(&km).unwrap().anon),
+        ),
+        ("lra", Box::new(|| lra::anonymize(&km, 2).unwrap().anon)),
+        ("vpa", Box::new(|| vpa::anonymize(&km, 4).unwrap().anon)),
+        ("coat", Box::new(|| coat::anonymize(&plain).unwrap().anon)),
+        ("pcta", Box::new(|| pcta::anonymize(&plain).unwrap().anon)),
+        (
+            "rho",
+            Box::new(|| rho::anonymize(&rho_in, &params).unwrap().anon),
+        ),
+        (
+            "rho_td",
+            Box::new(|| rho_td::anonymize(&td_in, &params).unwrap().anon),
+        ),
+    ];
+    for (name, run) in &algos {
+        secreta_parallel::set_threads(1);
+        let sequential = run();
+        for threads in [2, 8] {
+            secreta_parallel::set_threads(threads);
+            let parallel = run();
+            assert_eq!(parallel, sequential, "{name} differs at {threads} threads");
+        }
+    }
+    secreta_parallel::set_threads(0); // restore the default cap
+}
