@@ -19,7 +19,9 @@ pub struct Args {
 }
 
 /// Boolean flags (no value follows them).
-const BOOL_FLAGS: &[&str] = &["help", "ascii", "verify", "json", "no-cache", "all"];
+const BOOL_FLAGS: &[&str] = &[
+    "help", "ascii", "verify", "json", "no-cache", "all", "repair",
+];
 
 impl Args {
     /// Parse from an iterator of tokens (excluding argv\[0\]).

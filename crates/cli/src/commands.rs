@@ -44,12 +44,15 @@ COMMANDS
              [--vary k|m|delta --start N --end N --step N]
              [--out-dir DIR] [--export-anon FILE]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
+             [--job-timeout-ms MS]
   profile    profile one run            DATA [--tx COL] (same method flags as
              evaluate, no --vary) [--trace-out FILE.ndjson]
   compare    Comparison mode            DATA [--tx COL] --config FILE.json
              [--queries N] [--threads N] [--out-dir DIR]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
+             [--job-timeout-ms MS]
   runs       run-store management       list|show KEY|chart|gc|resume [ID]
+             |fsck [--repair]
              [--store-dir DIR] [--all]
              [--indicator gcp|are|runtime|phases]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
@@ -68,32 +71,47 @@ killed mid-run can be finished with `secreta runs resume`.
 With --trace-out, every executed run streams its spans and counters to
 FILE as NDJSON (one JSON object per line); `secreta profile` prints the
 same data as a per-phase/per-counter table instead.
+With --job-timeout-ms, every job in an evaluate/compare sweep gets a
+soft per-job deadline, enforced cooperatively at phase boundaries; a
+timed-out job is reported as failed and the sweep keeps going.
+
+A failing job does not abort its sweep: the remaining jobs complete,
+failures are journaled, and the process exits 3 (degraded) instead of
+0. `secreta runs resume` re-executes only the failed or missing jobs.
+Exit codes: 0 success, 1 fatal error, 2 usage error, 3 degraded.
 
 Relational algorithms: incognito, cluster, topdown, bottomup
 Transaction algorithms: coat, pcta, apriori, lra, vpa
 Bounding methods: rmerge, tmerge, rtmerge
 ";
 
-/// Dispatch to the selected subcommand.
-pub fn dispatch(args: &Args) -> Result<(), String> {
+/// Process exit code for a fully successful command.
+pub(crate) const EXIT_OK: i32 = 0;
+/// Process exit code when a sweep (or fsck) completed but left
+/// failures on record.
+pub(crate) const EXIT_DEGRADED: i32 = 3;
+
+/// Dispatch to the selected subcommand; returns the process exit code
+/// for the successful-dispatch cases (`EXIT_OK` or `EXIT_DEGRADED`).
+pub fn dispatch(args: &Args) -> Result<i32, String> {
     if args.flag("help") || args.command.is_empty() || args.command == "help" {
         print!("{HELP}");
-        return Ok(());
+        return Ok(EXIT_OK);
     }
     match args.command.as_str() {
-        "generate" => cmd_generate(args),
-        "info" => cmd_info(args),
-        "histogram" => cmd_histogram(args),
-        "hierarchy" => cmd_hierarchy(args),
-        "workload" => cmd_workload(args),
-        "policy" => cmd_policy(args),
+        "generate" => cmd_generate(args).map(|()| EXIT_OK),
+        "info" => cmd_info(args).map(|()| EXIT_OK),
+        "histogram" => cmd_histogram(args).map(|()| EXIT_OK),
+        "hierarchy" => cmd_hierarchy(args).map(|()| EXIT_OK),
+        "workload" => cmd_workload(args).map(|()| EXIT_OK),
+        "policy" => cmd_policy(args).map(|()| EXIT_OK),
         "evaluate" => cmd_evaluate(args),
-        "profile" => cmd_profile(args),
+        "profile" => cmd_profile(args).map(|()| EXIT_OK),
         "compare" => cmd_compare(args),
         "runs" => crate::runs::cmd_runs(args),
-        "edit" => cmd_edit(args),
-        "session" => cmd_session(args),
-        "bench" => cmd_bench(args),
+        "edit" => cmd_edit(args).map(|()| EXIT_OK),
+        "session" => cmd_session(args).map(|()| EXIT_OK),
+        "bench" => cmd_bench(args).map(|()| EXIT_OK),
         other => Err(format!("unknown command {other:?}; try `secreta help`")),
     }
 }
@@ -469,6 +487,19 @@ fn obsv_of(args: &Args, force_enabled: bool) -> Result<secreta_core::obsv::ObsvC
     }
 }
 
+/// Apply `--job-timeout-ms`: a per-job soft deadline enforced
+/// cooperatively at phase boundaries. Operational, like the store
+/// flags — it never becomes part of the experiment's identity.
+pub(crate) fn with_limits(args: &Args, ctx: SessionContext) -> Result<SessionContext, String> {
+    match args.opt("job-timeout-ms") {
+        Some(_) => {
+            let ms = args.u64_or("job-timeout-ms", 0)?;
+            Ok(ctx.with_job_deadline(std::time::Duration::from_millis(ms)))
+        }
+        None => Ok(ctx),
+    }
+}
+
 /// Build the orchestrator for evaluate/compare from `--store-dir` /
 /// `--no-cache` / `--threads`.
 fn orchestrator_of(args: &Args, threads: usize) -> Result<Orchestrator, String> {
@@ -499,9 +530,11 @@ fn invocation_of(command: &str, args: &Args, configs: &[Configuration]) -> Value
             Value::Obj(
                 args.options
                     .iter()
-                    // store flags are per-invocation, not part of the
-                    // experiment; resume supplies its own store
-                    .filter(|(k, _)| k.as_str() != "store-dir" && k.as_str() != "no-cache")
+                    // store and deadline flags are per-invocation, not
+                    // part of the experiment; resume supplies its own
+                    .filter(|(k, _)| {
+                        !matches!(k.as_str(), "store-dir" | "no-cache" | "job-timeout-ms")
+                    })
                     .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
                     .collect(),
             ),
@@ -526,13 +559,14 @@ fn print_cache_stats(orch: &Orchestrator, out: &secreta_core::Orchestrated) {
     }
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let ctx = load_context(args)?.with_obsv(obsv_of(args, false)?);
+fn cmd_evaluate(args: &Args) -> Result<i32, String> {
+    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, false)?))?;
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
     let orch = orchestrator_of(args, threads)?;
 
+    let mut failures = 0u64;
     match parse_sweep(args)? {
         None => {
             let (result, cache_hit) = orch.run_one(&ctx, &spec, seed).map_err(|e| e.to_string())?;
@@ -561,6 +595,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
                 .compare(&ctx, std::slice::from_ref(&cfg), invocation)
                 .map_err(|e| e.to_string())?;
             print_cache_stats(&orch, &out);
+            failures = out.stats.failures;
             let points = out.result.points.into_iter().next().unwrap_or_default();
             println!("method: {} varying {}", spec.label(), sweep.param.label());
             for (v, r) in &points {
@@ -598,7 +633,21 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(degraded_code("evaluate", failures))
+}
+
+/// Turn a sweep's failure count into the exit code, announcing the
+/// degraded result so scripts that only read stdout see it too.
+fn degraded_code(what: &str, failures: u64) -> i32 {
+    if failures == 0 {
+        EXIT_OK
+    } else {
+        println!(
+            "{what} completed degraded: {failures} job(s) failed; \
+             completed points were kept (resume with `secreta runs resume`)"
+        );
+        EXIT_DEGRADED
+    }
 }
 
 /// `secreta profile`: run one method with the recorder on and print
@@ -609,7 +658,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     if args.opt("vary").is_some() {
         return Err("profile runs a single configuration; use `evaluate --vary` for sweeps".into());
     }
-    let ctx = load_context(args)?.with_obsv(obsv_of(args, true)?);
+    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, true)?))?;
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
@@ -634,8 +683,8 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
-    let ctx = load_context(args)?.with_obsv(obsv_of(args, false)?);
+fn cmd_compare(args: &Args) -> Result<i32, String> {
+    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, false)?))?;
     let config_path = args.req("config")?;
     let text = std::fs::read_to_string(config_path).map_err(|e| e.to_string())?;
     let configs: Vec<Configuration> =
@@ -684,7 +733,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             println!("wrote {} and {}", svg.display(), csv.display());
         }
     }
-    Ok(())
+    Ok(degraded_code("compare", out.stats.failures))
 }
 
 fn cmd_edit(args: &Args) -> Result<(), String> {

@@ -4,6 +4,9 @@
 //! loading/statistics, hierarchy/policy/workload handling, the
 //! Evaluation and Comparison modes, data export) is a subcommand.
 //! Run `secreta help` for the full surface.
+//!
+//! Exit codes: `0` success, `1` fatal error, `2` usage error,
+//! `3` degraded (a sweep or fsck completed with failures on record).
 
 mod args;
 mod commands;
@@ -12,6 +15,13 @@ mod runs;
 use args::Args;
 
 fn main() {
+    // fault plans come from the environment so chaos tests can drive
+    // the stock binary; a bad spec is a usage error
+    if let Err(e) = secreta_core::faults::init_from_env() {
+        eprintln!("error: {}: {e}", secreta_core::faults::ENV_VAR);
+        std::process::exit(2);
+    }
+    install_panic_hook();
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -20,11 +30,34 @@ fn main() {
         }
     };
     let code = match commands::dispatch(&args) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             1
         }
     };
     std::process::exit(code);
+}
+
+/// Keep expected unwinds quiet. Cooperative cancellation travels as a
+/// typed panic payload and injected chaos panics are part of a fault
+/// plan; both are caught and classified by the evaluator's panic
+/// isolation, so the default hook's backtrace output would only bury
+/// real bugs under noise.
+fn install_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        if payload.is::<secreta_core::obsv::Cancelled>() {
+            return;
+        }
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        if msg.is_some_and(|m| m.starts_with(secreta_core::faults::fault::PANIC_PREFIX)) {
+            return;
+        }
+        default_hook(info);
+    }));
 }

@@ -2,33 +2,39 @@
 //!
 //! Subcommands:
 //!
-//! * `runs list`   — stored runs plus unfinished sweeps from the journal
+//! * `runs list`   — stored runs plus open/degraded sweeps and failed
+//!   jobs from the journal
 //! * `runs show`   — full manifest of one run (key prefixes accepted)
 //! * `runs chart`  — plot an indicator straight from stored manifests
 //! * `runs gc`     — drop incomplete entries (`--all` empties the store)
-//! * `runs resume` — finish an interrupted sweep from its journal intent
+//! * `runs resume` — finish an interrupted or degraded sweep from its
+//!   journal intent (only failed/missing jobs re-execute)
+//! * `runs fsck`   — verify every entry; `--repair` quarantines corrupt
+//!   ones and removes leftovers
 
 use crate::args::Args;
-use crate::commands::{load_context, print_indicators, DEFAULT_STORE_DIR};
-use secreta_core::store::{unfinished_sweeps, JournalEvent, RunStore, SweepRecord};
+use crate::commands::{load_context, print_indicators, with_limits, DEFAULT_STORE_DIR};
+use crate::commands::{EXIT_DEGRADED, EXIT_OK};
+use secreta_core::store::{resumable_sweeps, JournalEvent, RunStore, SweepRecord};
 use secreta_core::{export, Configuration, Orchestrator};
 use serde::{Deserialize, Value};
 
-/// Dispatch `secreta runs <subcommand>`.
-pub fn cmd_runs(args: &Args) -> Result<(), String> {
+/// Dispatch `secreta runs <subcommand>`; returns the process exit code.
+pub fn cmd_runs(args: &Args) -> Result<i32, String> {
     let sub = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("list");
     match sub {
-        "list" => cmd_list(args),
-        "show" => cmd_show(args),
-        "chart" => cmd_chart(args),
-        "gc" => cmd_gc(args),
+        "list" => cmd_list(args).map(|()| EXIT_OK),
+        "show" => cmd_show(args).map(|()| EXIT_OK),
+        "chart" => cmd_chart(args).map(|()| EXIT_OK),
+        "gc" => cmd_gc(args).map(|()| EXIT_OK),
         "resume" => cmd_resume(args),
+        "fsck" => cmd_fsck(args),
         other => Err(format!(
-            "unknown runs subcommand {other:?} (list|show|chart|gc|resume)"
+            "unknown runs subcommand {other:?} (list|show|chart|gc|resume|fsck)"
         )),
     }
 }
@@ -67,9 +73,9 @@ fn cmd_list(args: &Args) -> Result<(), String> {
         println!("{} runs in {}", manifests.len(), store.root().display());
     }
     let events = store.read_journal().map_err(|e| e.to_string())?;
-    let open = unfinished_sweeps(&events);
+    let open = resumable_sweeps(&events);
     if !open.is_empty() {
-        println!("unfinished sweeps (resume with `secreta runs resume <id>`):");
+        println!("open or degraded sweeps (resume with `secreta runs resume <id>`):");
         for rec in &open {
             let total: usize = rec.jobs.iter().map(Vec::len).sum();
             let done = events
@@ -85,6 +91,20 @@ fn cmd_list(args: &Args) -> Result<(), String> {
                 done,
                 total
             );
+            for e in &events {
+                if let JournalEvent::JobFailed {
+                    sweep,
+                    label,
+                    value,
+                    error,
+                    ..
+                } = e
+                {
+                    if *sweep == rec.id {
+                        println!("    failed: {label} @ {value}: {error}");
+                    }
+                }
+            }
         }
     }
     Ok(())
@@ -207,26 +227,26 @@ fn cmd_gc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_resume(args: &Args) -> Result<(), String> {
+fn cmd_resume(args: &Args) -> Result<i32, String> {
     let store = store_of(args)?;
     let events = store.read_journal().map_err(|e| e.to_string())?;
-    let open = unfinished_sweeps(&events);
+    let open = resumable_sweeps(&events);
     let record = match args.positional.get(1) {
         Some(id) => open
             .iter()
             .find(|r| r.id.starts_with(id.as_str()))
             .cloned()
-            .ok_or_else(|| format!("no unfinished sweep matches {id:?}"))?,
+            .ok_or_else(|| format!("no resumable sweep matches {id:?}"))?,
         None => match open.len() {
             0 => {
-                println!("nothing to resume: the journal has no unfinished sweep");
-                return Ok(());
+                println!("nothing to resume: the journal has no open or degraded sweep");
+                return Ok(EXIT_OK);
             }
             1 => open[0].clone(),
             _ => {
                 let ids: Vec<&str> = open.iter().map(|r| r.id.as_str()).collect();
                 return Err(format!(
-                    "multiple unfinished sweeps: {}; pick one with `secreta runs resume <id>`",
+                    "multiple resumable sweeps: {}; pick one with `secreta runs resume <id>`",
                     ids.join(", ")
                 ));
             }
@@ -236,10 +256,10 @@ fn cmd_resume(args: &Args) -> Result<(), String> {
 }
 
 /// Re-run a journaled sweep with the cache on: completed jobs replay
-/// from the store, only the missing tail executes.
-fn resume_sweep(args: &Args, store: &RunStore, record: &SweepRecord) -> Result<(), String> {
+/// from the store, only the failed or missing ones execute.
+fn resume_sweep(args: &Args, store: &RunStore, record: &SweepRecord) -> Result<i32, String> {
     let (rebuilt, configs) = decode_invocation(&record.invocation)?;
-    let ctx = load_context(&rebuilt)?;
+    let ctx = with_limits(args, load_context(&rebuilt)?)?;
     let threads = args.usize_or("threads", 4)?;
     let orch = Orchestrator::new(threads).with_store(store.clone());
     println!(
@@ -277,7 +297,50 @@ fn resume_sweep(args: &Args, store: &RunStore, record: &SweepRecord) -> Result<(
         "sweep {} complete: {} replayed, {} executed, {} failed",
         out.sweep_id, out.stats.hits, out.stats.misses, out.stats.failures
     );
-    Ok(())
+    Ok(if out.stats.failures == 0 {
+        EXIT_OK
+    } else {
+        EXIT_DEGRADED
+    })
+}
+
+/// `secreta runs fsck [--repair]`: verify every stored entry (manifest
+/// parse, payload checksum) and the journal. Without `--repair` the
+/// store is left untouched and problems exit 3; with it, corrupt
+/// entries are quarantined and leftovers removed. Journal damage is
+/// reported but never auto-repaired.
+fn cmd_fsck(args: &Args) -> Result<i32, String> {
+    let store = store_of(args)?;
+    let repair = args.flag("repair");
+    let report = store.fsck(repair).map_err(|e| e.to_string())?;
+    println!(
+        "fsck {}: {} scanned, {} ok, {} corrupt, {} incomplete, {} staging leftover(s)",
+        store.root().display(),
+        report.scanned,
+        report.ok,
+        report.corrupt.len(),
+        report.incomplete,
+        report.staging,
+    );
+    for (key, reason) in &report.corrupt {
+        let action = if repair { " (quarantined)" } else { "" };
+        println!("  corrupt {key}: {reason}{action}");
+    }
+    if let Some(err) = &report.journal_error {
+        println!("  journal: {err} — not auto-repaired; `runs gc --all` resets the store");
+    }
+    if report.is_clean() {
+        println!("store is clean");
+        Ok(EXIT_OK)
+    } else if repair && report.journal_error.is_none() {
+        println!("issues repaired: corrupt entries quarantined, leftovers removed");
+        Ok(EXIT_OK)
+    } else if repair {
+        Ok(EXIT_DEGRADED)
+    } else {
+        println!("store has issues; `secreta runs fsck --repair` fixes what it can");
+        Ok(EXIT_DEGRADED)
+    }
 }
 
 /// Decode the opaque invocation payload journaled by evaluate/compare

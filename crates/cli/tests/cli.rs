@@ -501,6 +501,234 @@ fn stored_profile_survives_runs_show_and_phase_chart() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Every manifest file under the store's `runs/` tree.
+fn manifests_in(store: &std::path::Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![store.join("runs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.file_name().and_then(|n| n.to_str()) == Some("manifest.json") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// The full failure lifecycle through the binary: an injected panic
+/// degrades a sweep (exit 3) without aborting it, the failure is
+/// journaled and listed, fsck finds and quarantines a corrupt entry,
+/// and a fault-free `runs resume` re-executes only the damaged points
+/// and converges to a clean store (exit 0).
+#[test]
+fn chaos_degraded_sweep_fsck_and_resume() {
+    let dir = tmpdir("chaos");
+    let data = generate_dataset(&dir);
+    let store = dir.join("store");
+    let sweep_args = [
+        "--tx",
+        "Items",
+        "--mode",
+        "rel",
+        "--rel-algo",
+        "cluster",
+        "--vary",
+        "k",
+        "--start",
+        "2",
+        "--end",
+        "6",
+        "--step",
+        "2",
+        "--queries",
+        "10",
+        "--threads",
+        "2",
+        "--store-dir",
+    ];
+
+    // one injected panic in the Cluster family: the sweep must finish
+    // degraded, not die
+    let degraded = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args(sweep_args)
+        .arg(&store)
+        .env("SECRETA_FAULTS", "seed=1;panic@run:Cluster*=1x1")
+        .output()
+        .unwrap();
+    assert_eq!(
+        degraded.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&degraded.stdout),
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let text = String::from_utf8_lossy(&degraded.stdout);
+    assert!(text.contains("1 failures"), "cache stats count the panic");
+    assert!(text.contains("completed degraded"), "degraded is announced");
+    assert!(
+        text.contains("injected fault:"),
+        "the error names its cause"
+    );
+
+    // the journal keeps the failure on record
+    let list = secreta()
+        .args(["runs", "list", "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(list.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&list.stdout);
+    assert!(text.contains("open or degraded sweeps"));
+    assert!(text.contains("failed:"), "failed jobs listed: {text}");
+
+    // corrupt one stored manifest on disk
+    let victims = manifests_in(&store);
+    assert!(!victims.is_empty(), "the degraded sweep stored something");
+    std::fs::write(&victims[0], "not json {").unwrap();
+
+    // fsck reports it (exit 3) without touching the store...
+    let fsck = secreta()
+        .args(["runs", "fsck", "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(fsck.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&fsck.stdout).contains("corrupt"));
+
+    // ...and --repair quarantines it (exit 0)
+    let repair = secreta()
+        .args(["runs", "fsck", "--repair", "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(
+        repair.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&repair.stdout)
+    );
+    assert!(
+        store.join("quarantine").is_dir(),
+        "corrupt entry moved aside, not destroyed"
+    );
+
+    // a fault-free resume re-executes only the failed and quarantined
+    // points and leaves the sweep clean
+    let resume = secreta()
+        .args(["runs", "resume", "--store-dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(
+        resume.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&resume.stdout),
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let text = String::from_utf8_lossy(&resume.stdout);
+    assert!(
+        text.contains("2 executed, 0 failed"),
+        "resume output: {text}"
+    );
+
+    // the same sweep now replays entirely from the store, exit 0
+    let warm = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args(sweep_args)
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(warm.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&warm.stdout).contains("cache: 3 hits, 0 misses"),
+        "{}",
+        String::from_utf8_lossy(&warm.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_codes_follow_failure_severity() {
+    let dir = tmpdir("codes");
+    let data = generate_dataset(&dir);
+
+    // usage errors exit 2
+    let usage = secreta().args(["evaluate", "--k"]).output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+    let bad_plan = secreta()
+        .arg("help")
+        .env("SECRETA_FAULTS", "nonsense")
+        .output()
+        .unwrap();
+    assert_eq!(bad_plan.status.code(), Some(2));
+
+    // a failing single run (no sweep to degrade) stays fatal: exit 1
+    let fatal = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "incognito",
+            "--k",
+            "1000000",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(fatal.status.code(), Some(1));
+
+    // a timed-out job in a sweep degrades instead: exit 3
+    let timeout = secreta()
+        .arg("evaluate")
+        .arg(&data)
+        .args([
+            "--tx",
+            "Items",
+            "--mode",
+            "rel",
+            "--rel-algo",
+            "cluster",
+            "--vary",
+            "k",
+            "--start",
+            "2",
+            "--end",
+            "4",
+            "--step",
+            "2",
+            "--job-timeout-ms",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        timeout.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&timeout.stdout),
+        String::from_utf8_lossy(&timeout.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&timeout.stdout).contains("deadline"),
+        "timeout errors name the deadline"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn session_file_drives_evaluate() {
     let dir = tmpdir("sess");

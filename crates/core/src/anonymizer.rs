@@ -33,6 +33,20 @@ pub enum RunError {
     /// The spec does not match the dataset (e.g. a transaction method
     /// on a relational-only dataset).
     BadConfig(String),
+    /// The algorithm panicked; the payload message is preserved. Only
+    /// produced by [`run_isolated`] — a raw [`run`] propagates the
+    /// panic.
+    Panicked(String),
+    /// The run exceeded its soft deadline (see
+    /// [`SessionContext::with_job_deadline`]) and was cancelled at a
+    /// phase boundary.
+    TimedOut {
+        /// The configured budget, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The run was cancelled via its session's
+    /// [`secreta_obsv::CancelToken`].
+    Cancelled,
 }
 
 impl fmt::Display for RunError {
@@ -42,6 +56,11 @@ impl fmt::Display for RunError {
             RunError::Tx(e) => write!(f, "{e}"),
             RunError::Rt(e) => write!(f, "{e}"),
             RunError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            RunError::Panicked(msg) => write!(f, "algorithm panicked: {msg}"),
+            RunError::TimedOut { limit_ms } => {
+                write!(f, "run exceeded its {limit_ms} ms deadline")
+            }
+            RunError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -84,6 +103,13 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
     // config installs the no-op recorder)
     let recorder = ctx.obsv.recorder();
     let _obsv_guard = secreta_obsv::install(&recorder);
+
+    // chaos-test hooks; `active()` is a single atomic load, so the
+    // label is only rendered when a fault plan is installed
+    if secreta_faults::active() {
+        secreta_faults::fault::panic_point(&format!("run:{}", spec.label()));
+        secreta_faults::fault::delay("run");
+    }
 
     let (anon, phases, verified) = match spec {
         MethodSpec::Relational { algo, k } => {
@@ -228,6 +254,50 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
         indicators,
         profile,
     })
+}
+
+/// [`run`] behind panic isolation: an unwinding algorithm becomes a
+/// typed [`RunError`] instead of tearing down the calling thread.
+///
+/// Two kinds of unwind are told apart by payload type: the cooperative
+/// cancellation raised by the run's limits (a typed
+/// [`secreta_obsv::Cancelled`]) maps to [`RunError::TimedOut`] /
+/// [`RunError::Cancelled`]; anything else is an organic bug (or an
+/// injected chaos panic) and maps to [`RunError::Panicked`] with its
+/// message preserved. This is what lets a sweep keep draining when one
+/// algorithm at one parameter point blows up.
+pub fn run_isolated(
+    ctx: &SessionContext,
+    spec: &MethodSpec,
+    seed: u64,
+) -> Result<RunResult, RunError> {
+    // AssertUnwindSafe: on Err the closure's captures are dropped with
+    // the run's partial state; nothing shared survives to observe a
+    // broken invariant (the per-run recorder dies with the run).
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(ctx, spec, seed))) {
+        Ok(result) => result,
+        Err(payload) => Err(classify_unwind(payload)),
+    }
+}
+
+/// Map a caught panic payload to the run error it represents.
+fn classify_unwind(payload: Box<dyn std::any::Any + Send>) -> RunError {
+    match payload.downcast::<secreta_obsv::Cancelled>() {
+        Ok(cancelled) => match *cancelled {
+            secreta_obsv::Cancelled::DeadlineExceeded { limit_ms } => {
+                RunError::TimedOut { limit_ms }
+            }
+            secreta_obsv::Cancelled::Requested => RunError::Cancelled,
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            RunError::Panicked(msg)
+        }
+    }
 }
 
 /// The `m` at which a transaction algorithm's guarantee is checked:
@@ -462,6 +532,82 @@ mod tests {
             summary_total,
             Some(p.total().as_micros() as u64),
             "NDJSON summary total matches the profile's"
+        );
+    }
+
+    #[test]
+    fn run_isolated_maps_deadline_to_timed_out() {
+        // A zero budget trips the cooperative check at the first phase
+        // boundary; run_isolated turns the typed unwind into TimedOut.
+        let ctx = rt_ctx().with_job_deadline(std::time::Duration::ZERO);
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        assert_eq!(
+            run_isolated(&ctx, &spec, 1).unwrap_err(),
+            RunError::TimedOut { limit_ms: 0 }
+        );
+    }
+
+    #[test]
+    fn run_isolated_maps_tripped_token_to_cancelled() {
+        let token = secreta_obsv::CancelToken::new();
+        token.cancel();
+        let ctx = rt_ctx().with_cancel(token);
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        assert_eq!(
+            run_isolated(&ctx, &spec, 1).unwrap_err(),
+            RunError::Cancelled
+        );
+    }
+
+    #[test]
+    fn limits_do_not_change_results() {
+        // A generous deadline must be invisible: identical output and
+        // indicators with and without limits attached.
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        let plain = run(&rt_ctx(), &spec, 1).unwrap();
+        let limited = run_isolated(
+            &rt_ctx().with_job_deadline(std::time::Duration::from_secs(3600)),
+            &spec,
+            1,
+        )
+        .unwrap();
+        assert_eq!(plain.anon, limited.anon);
+        assert_eq!(plain.indicators.gcp, limited.indicators.gcp);
+    }
+
+    #[test]
+    fn classify_unwind_tells_cancellation_from_panics() {
+        let boxed = |p: Box<dyn std::any::Any + Send>| p;
+        assert_eq!(
+            classify_unwind(boxed(Box::new(secreta_obsv::Cancelled::DeadlineExceeded {
+                limit_ms: 250
+            }))),
+            RunError::TimedOut { limit_ms: 250 }
+        );
+        assert_eq!(
+            classify_unwind(boxed(Box::new(secreta_obsv::Cancelled::Requested))),
+            RunError::Cancelled
+        );
+        assert_eq!(
+            classify_unwind(boxed(Box::new(String::from("boom")))),
+            RunError::Panicked("boom".into())
+        );
+        assert_eq!(
+            classify_unwind(boxed(Box::new("static boom"))),
+            RunError::Panicked("static boom".into())
+        );
+        assert_eq!(
+            classify_unwind(boxed(Box::new(42u32))),
+            RunError::Panicked("non-string panic payload".into())
         );
     }
 

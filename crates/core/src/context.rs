@@ -79,6 +79,26 @@ impl SessionContext {
         self
     }
 
+    /// Give every run in this session a soft wall-clock deadline. The
+    /// budget is per job (each run starts its own clock) and is
+    /// enforced cooperatively at phase boundaries, yielding
+    /// `RunError::TimedOut` through the evaluator's panic isolation.
+    /// Like all [`ObsvConfig`] settings, it is excluded from run
+    /// identity — a deadline changes whether a run finishes, never
+    /// what it computes.
+    pub fn with_job_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.obsv = self.obsv.with_deadline(budget);
+        self
+    }
+
+    /// Attach a cancellation token checked by every run at its phase
+    /// boundaries; tripping it yields `RunError::Cancelled` for the
+    /// jobs still in flight.
+    pub fn with_cancel(mut self, token: secreta_obsv::CancelToken) -> Self {
+        self.obsv = self.obsv.with_cancel(token);
+        self
+    }
+
     /// Attach COAT/PCTA policies.
     pub fn with_policies(
         mut self,

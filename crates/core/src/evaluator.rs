@@ -12,7 +12,7 @@
 //! `(index, result)` pairs locally; the buffers are merged after the
 //! scope joins, so no lock is held while jobs execute.
 
-use crate::anonymizer::{run, RunError, RunResult};
+use crate::anonymizer::{run_isolated, RunError, RunResult};
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,6 +41,10 @@ pub fn run_many(
 /// the batch joins. The orchestrator uses it to persist results as
 /// they land, so a killed sweep keeps everything completed so far.
 /// The hook must be `Sync`; workers call it concurrently.
+///
+/// Jobs are panic-isolated ([`run_isolated`]): a panicking or
+/// deadline-cancelled job yields its typed `Err` and the pool keeps
+/// draining the rest of the batch.
 pub fn run_many_with(
     ctx: &SessionContext,
     jobs: &[Job],
@@ -53,7 +57,7 @@ pub fn run_many_with(
             .iter()
             .enumerate()
             .map(|(i, j)| {
-                let r = run(ctx, &j.spec, j.seed);
+                let r = run_isolated(ctx, &j.spec, j.seed);
                 on_complete(i, &r);
                 r
             })
@@ -75,7 +79,7 @@ pub fn run_many_with(
                         if i >= jobs.len() {
                             break;
                         }
-                        let r = run(ctx, &jobs[i].spec, jobs[i].seed);
+                        let r = run_isolated(ctx, &jobs[i].spec, jobs[i].seed);
                         on_complete(i, &r);
                         local.push((i, r));
                     }
@@ -84,6 +88,8 @@ pub fn run_many_with(
             })
             .collect();
         for h in handles {
+            // jobs are individually isolated, so a worker unwind can
+            // only come from the on_complete hook itself
             buffers.push(h.join().expect("evaluator workers do not panic"));
         }
     });

@@ -292,6 +292,7 @@ mod tests {
                 },
                 phases: Default::default(),
                 profile: None,
+                anon_sha256: None,
             }
         }
         let mut no_sweep = manifest("solo", 0.0, 0.9);
@@ -344,6 +345,7 @@ mod tests {
                         .collect(),
                 },
                 profile: None,
+                anon_sha256: None,
             }
         }
         let chart = phase_chart_from_manifests(&[

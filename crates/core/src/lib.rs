@@ -43,6 +43,7 @@ pub use sweep::{evaluate_sweep, Sweep, SweepPoint, VaryingParam};
 // Re-export the substrate crates so downstream users need only one
 // dependency (the umbrella crate re-exports us in turn).
 pub use secreta_data as data;
+pub use secreta_faults as faults;
 pub use secreta_gen as gen;
 pub use secreta_hierarchy as hierarchy;
 pub use secreta_metrics as metrics;

@@ -30,7 +30,7 @@
 //! behaviour — [`crate::comparison::compare`] and
 //! [`crate::sweep::evaluate_sweep`] are thin wrappers over it.
 
-use crate::anonymizer::{run, RunError, RunResult};
+use crate::anonymizer::{run_isolated, RunError, RunResult};
 use crate::comparison::{ComparisonResult, Configuration};
 use crate::config::MethodSpec;
 use crate::context::SessionContext;
@@ -184,7 +184,7 @@ impl Orchestrator {
                 }
             }
         }
-        let result = run(ctx, spec, seed);
+        let result = run_isolated(ctx, spec, seed);
         if let (Some(store), Ok(rr)) = (&self.store, &result) {
             store.put(
                 &manifest_of(&key, &digest, &spec.label(), spec, seed, None, rr),
@@ -206,6 +206,13 @@ impl Orchestrator {
         configurations: &[Configuration],
         invocation: Value,
     ) -> Result<Orchestrated, StoreError> {
+        // one journal writer at a time: a second orchestrator sharing
+        // this store gets StoreError::Locked instead of interleaving
+        // sweep events (released when the guard drops at return)
+        let _store_lock = match &self.store {
+            Some(store) => Some(store.lock()?),
+            None => None,
+        };
         let digest = context_digest(ctx);
 
         // expand the DAG: one job per (configuration, sweep value)
@@ -324,7 +331,7 @@ impl Orchestrator {
         let journal_mx = Mutex::new(journal);
         let deferred_err: Mutex<Option<StoreError>> = Mutex::new(None);
         let defer = |err: StoreError| {
-            let mut slot = deferred_err.lock().expect("error slot never poisoned");
+            let mut slot = deferred_err.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(err);
         };
         let outcomes = run_many_with(ctx, &jobs, self.threads, |slot, outcome| {
@@ -348,8 +355,22 @@ impl Orchestrator {
                 Ok(rr) => (true, rr.indicators.runtime_ms),
                 Err(_) => (false, 0.0),
             };
-            let mut guard = journal_mx.lock().expect("journal never poisoned");
+            let mut guard = journal_mx.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(j) = guard.as_mut() {
+                // a failed job gets both lines: JobFinished keeps the
+                // counters consistent, JobFailed carries the error and
+                // marks the sweep degraded (hence resumable)
+                if let Err(run_err) = outcome {
+                    if let Err(err) = j.append(&JournalEvent::JobFailed {
+                        sweep: sweep_id.clone(),
+                        key: e.key.0.clone(),
+                        label: e.label.clone(),
+                        value: e.value as f64,
+                        error: run_err.to_string(),
+                    }) {
+                        defer(StoreError::Io(j.path().to_path_buf(), err));
+                    }
+                }
                 if let Err(err) = j.append(&JournalEvent::JobFinished {
                     sweep: sweep_id.clone(),
                     key: e.key.0.clone(),
@@ -361,11 +382,8 @@ impl Orchestrator {
                 }
             }
         });
-        let mut journal = journal_mx.into_inner().expect("journal never poisoned");
-        if let Some(err) = deferred_err
-            .into_inner()
-            .expect("error slot never poisoned")
-        {
+        let mut journal = journal_mx.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(err) = deferred_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
             return Err(err);
         }
         for (&i, outcome) in miss_indices.iter().zip(outcomes) {
@@ -472,6 +490,8 @@ fn manifest_of(
         indicators: rr.indicators.clone(),
         phases: rr.phases.clone(),
         profile: rr.profile.clone(),
+        // filled in by RunStore::put from the serialized table bytes
+        anon_sha256: None,
     }
 }
 
@@ -495,6 +515,7 @@ fn sweep_id_of(digest: &str, expanded: &[ExpandedJob]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anonymizer::run;
     use crate::config::RelAlgo;
     use crate::sweep::Sweep;
     use secreta_gen::{DatasetSpec, WorkloadSpec};

@@ -1,0 +1,468 @@
+//! Deterministic fault injection for chaos-testing the SECRETA pipeline.
+//!
+//! The rest of the workspace calls the three hook functions in [`fault`]
+//! ([`fault::io`], [`fault::panic_point`], [`fault::delay`]) at interesting
+//! failure sites. When no plan is installed — the default — every hook is a
+//! single relaxed atomic load and returns immediately, so shipping the hooks
+//! in release builds costs nothing measurable.
+//!
+//! A plan is installed either programmatically ([`install`]) or from the
+//! `SECRETA_FAULTS` environment variable ([`init_from_env`]). Plans are
+//! described by a compact spec string:
+//!
+//! ```text
+//! seed=42;io@store.put=1x1;panic@run:TOPDOWN=1x2;delay@*=0.1+5
+//! ```
+//!
+//! Clauses are `;`-separated. `seed=N` seeds the deterministic firing
+//! decisions; every other clause is `kind@site=prob[xMAX][+ms]` where
+//!
+//! * `kind` is one of `io`, `panic`, `delay`;
+//! * `site` names an injection point (e.g. `store.put`); a trailing `*`
+//!   matches any site with that prefix, and a bare `*` matches everything;
+//! * `prob` is the firing probability in `[0, 1]` (`1` fires on every
+//!   eligible occurrence);
+//! * `xMAX` caps the number of times the clause may fire (omit for
+//!   unlimited);
+//! * `+ms` is the sleep duration for `delay` clauses (default 1 ms).
+//!
+//! Firing is a pure function of the plan seed, the site name, and a
+//! per-clause occurrence counter, so a given spec produces the same fault
+//! sequence on every run — which is what lets chaos tests assert exact
+//! degraded-mode behaviour and byte-identical recovery.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable read by [`init_from_env`].
+pub const ENV_VAR: &str = "SECRETA_FAULTS";
+
+/// The kind of fault a clause injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return a transient `std::io::Error` (kind `Interrupted`) from the site.
+    Io,
+    /// Panic at the site with a recognizable message.
+    Panic,
+    /// Sleep for the clause's duration at the site.
+    Delay,
+}
+
+/// One `kind@site=prob[xMAX][+ms]` clause of a fault plan.
+#[derive(Debug)]
+struct Clause {
+    kind: FaultKind,
+    /// Site pattern; `wildcard` means `site` is a prefix to match.
+    site: String,
+    wildcard: bool,
+    /// Firing probability scaled to `0..=u32::MAX`.
+    threshold: u32,
+    /// Maximum number of firings (`u64::MAX` = unlimited).
+    max_fires: u64,
+    /// Sleep length for `Delay` clauses.
+    sleep: Duration,
+    /// How many times this clause has fired so far.
+    fired: AtomicU64,
+    /// Per-clause occurrence counter (eligible hits, fired or not).
+    seen: AtomicU64,
+}
+
+impl Clause {
+    fn matches(&self, site: &str) -> bool {
+        if self.wildcard {
+            site.starts_with(self.site.as_str())
+        } else {
+            site == self.site
+        }
+    }
+}
+
+/// A parsed, installable fault plan.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    clauses: Vec<Clause>,
+}
+
+/// Error produced when a fault-plan spec string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The clause that failed to parse.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault clause `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(clause: &str, reason: impl Into<String>) -> SpecError {
+    SpecError {
+        clause: clause.to_string(),
+        reason: reason.into(),
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from its spec string (see the crate docs for the grammar).
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, SpecError> {
+        let mut seed = 0u64;
+        let mut clauses = Vec::new();
+        for raw in spec.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(v) = part.strip_prefix("seed=") {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| err(part, "seed must be a non-negative integer"))?;
+                continue;
+            }
+            let (head, tail) = part
+                .split_once('=')
+                .ok_or_else(|| err(part, "expected kind@site=prob"))?;
+            let (kind_s, site_s) = head
+                .split_once('@')
+                .ok_or_else(|| err(part, "expected kind@site"))?;
+            let kind = match kind_s {
+                "io" => FaultKind::Io,
+                "panic" => FaultKind::Panic,
+                "delay" => FaultKind::Delay,
+                other => return Err(err(part, format!("unknown fault kind `{other}`"))),
+            };
+            if site_s.is_empty() {
+                return Err(err(part, "empty site"));
+            }
+            let (site, wildcard) = match site_s.strip_suffix('*') {
+                Some(prefix) => (prefix.to_string(), true),
+                None => (site_s.to_string(), false),
+            };
+            // tail is prob[xMAX][+ms]; split the optional suffixes off first
+            let (tail, sleep_ms) = match tail.split_once('+') {
+                Some((rest, ms)) => (
+                    rest,
+                    ms.parse::<u64>()
+                        .map_err(|_| err(part, "delay millis must be an integer"))?,
+                ),
+                None => (tail, 1),
+            };
+            let (prob_s, max_fires) = match tail.split_once('x') {
+                Some((p, m)) => (
+                    p,
+                    m.parse::<u64>()
+                        .map_err(|_| err(part, "xMAX must be an integer"))?,
+                ),
+                None => (tail, u64::MAX),
+            };
+            let prob = prob_s
+                .parse::<f64>()
+                .map_err(|_| err(part, "probability must be a number"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(err(part, "probability must be within [0, 1]"));
+            }
+            let threshold = if prob >= 1.0 {
+                u32::MAX
+            } else {
+                (prob * u32::MAX as f64) as u32
+            };
+            clauses.push(Clause {
+                kind,
+                site,
+                wildcard,
+                threshold,
+                max_fires,
+                sleep: Duration::from_millis(sleep_ms),
+                fired: AtomicU64::new(0),
+                seen: AtomicU64::new(0),
+            });
+        }
+        Ok(FaultPlan { seed, clauses })
+    }
+
+    /// Decide whether a clause that matched `site` fires on this occurrence.
+    ///
+    /// Deterministic: depends only on the plan seed, the site string, and the
+    /// clause's occurrence counter.
+    fn fires(&self, clause: &Clause, site: &str) -> bool {
+        if clause.fired.load(Ordering::Relaxed) >= clause.max_fires {
+            return false;
+        }
+        let occurrence = clause.seen.fetch_add(1, Ordering::Relaxed);
+        let roll = splitmix(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(hash_str(site))
+                .wrapping_add(occurrence),
+        );
+        if (roll >> 32) as u32 > clause.threshold {
+            return false;
+        }
+        // Cap enforcement: only the first `max_fires` winners actually fire.
+        clause.fired.fetch_add(1, Ordering::Relaxed) < clause.max_fires
+    }
+
+    fn first_match(&self, kind: FaultKind, site: &str) -> Option<&Clause> {
+        self.clauses
+            .iter()
+            .find(|c| c.kind == kind && c.matches(site) && self.fires(c, site))
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    // FNV-1a; stable across platforms and rust versions.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+    &SLOT
+}
+
+/// Install a fault plan process-wide. Replaces any previous plan.
+pub fn install(plan: FaultPlan) {
+    let mut slot = plan_slot().lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(Arc::new(plan));
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the installed fault plan; all hooks become no-ops again.
+pub fn clear() {
+    let mut slot = plan_slot().lock().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// Whether a fault plan is currently installed.
+///
+/// Callers can use this to skip building site strings (which may allocate)
+/// before calling a hook.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Install a plan from the `SECRETA_FAULTS` environment variable, if set.
+///
+/// Returns an error if the variable is set but does not parse; returns
+/// `Ok(false)` if it is unset or empty, `Ok(true)` if a plan was installed.
+pub fn init_from_env() -> Result<bool, SpecError> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            install(FaultPlan::from_spec(&spec)?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn with_plan<R>(f: impl FnOnce(&FaultPlan) -> R) -> Option<R> {
+    if !active() {
+        return None;
+    }
+    let plan = {
+        let slot = plan_slot().lock().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    plan.map(|p| f(&p))
+}
+
+/// The injection points called from the rest of the workspace.
+pub mod fault {
+    use super::*;
+
+    /// Message prefix used by [`panic_point`] payloads, so handlers can tell
+    /// injected panics from organic ones in test assertions.
+    pub const PANIC_PREFIX: &str = "injected fault:";
+
+    /// I/O injection point: returns a transient error (`ErrorKind::Interrupted`)
+    /// if an `io@` clause fires for `site`, else `None`.
+    #[inline]
+    pub fn io(site: &str) -> Option<std::io::Error> {
+        if !active() {
+            return None;
+        }
+        io_slow(site)
+    }
+
+    fn io_slow(site: &str) -> Option<std::io::Error> {
+        with_plan(|p| p.first_match(FaultKind::Io, site).is_some())
+            .unwrap_or(false)
+            .then(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("injected transient i/o fault at {site}"),
+                )
+            })
+    }
+
+    /// Panic injection point: panics with a recognizable message if a
+    /// `panic@` clause fires for `site`.
+    #[inline]
+    pub fn panic_point(site: &str) {
+        if !active() {
+            return;
+        }
+        if with_plan(|p| p.first_match(FaultKind::Panic, site).is_some()).unwrap_or(false) {
+            panic!("{PANIC_PREFIX} {site}");
+        }
+    }
+
+    /// Delay injection point: sleeps for the clause's duration if a
+    /// `delay@` clause fires for `site`.
+    #[inline]
+    pub fn delay(site: &str) {
+        if !active() {
+            return;
+        }
+        if let Some(d) =
+            with_plan(|p| p.first_match(FaultKind::Delay, site).map(|c| c.sleep)).flatten()
+        {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Process-wide plan slot means tests that install plans must not run
+    /// concurrently; a shared lock serialises them.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parses_full_grammar() {
+        let p =
+            FaultPlan::from_spec("seed=42;io@store.put=1x1;panic@run:TOPDOWN=0.5x2;delay@*=1+5")
+                .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.clauses.len(), 3);
+        assert_eq!(p.clauses[0].kind, FaultKind::Io);
+        assert_eq!(p.clauses[0].site, "store.put");
+        assert!(!p.clauses[0].wildcard);
+        assert_eq!(p.clauses[0].max_fires, 1);
+        assert_eq!(p.clauses[1].kind, FaultKind::Panic);
+        assert_eq!(p.clauses[1].max_fires, 2);
+        assert_eq!(p.clauses[2].kind, FaultKind::Delay);
+        assert!(p.clauses[2].wildcard);
+        assert_eq!(p.clauses[2].site, "");
+        assert_eq!(p.clauses[2].sleep, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "io@x",            // no probability
+            "boom@x=1",        // unknown kind
+            "io@=1",           // empty site
+            "io@x=2",          // probability out of range
+            "io@x=1xfoo",      // bad cap
+            "seed=abc",        // bad seed
+            "delay@x=1+zebra", // bad millis
+        ] {
+            assert!(FaultPlan::from_spec(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn inactive_hooks_are_noops() {
+        let _g = serial();
+        clear();
+        assert!(!active());
+        assert!(fault::io("store.put").is_none());
+        fault::panic_point("anything");
+        fault::delay("anything");
+    }
+
+    #[test]
+    fn io_clause_fires_exactly_capped_times() {
+        let _g = serial();
+        install(FaultPlan::from_spec("seed=1;io@store.put=1x2").unwrap());
+        let mut hits = 0;
+        for _ in 0..10 {
+            if fault::io("store.put").is_some() {
+                hits += 1;
+            }
+        }
+        clear();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn site_matching_is_exact_unless_wildcarded() {
+        let _g = serial();
+        install(FaultPlan::from_spec("io@store.put=1").unwrap());
+        assert!(fault::io("store.put.extra").is_none());
+        assert!(fault::io("store.put").is_some());
+        clear();
+
+        install(FaultPlan::from_spec("io@store.*=1").unwrap());
+        assert!(fault::io("store.put").is_some());
+        assert!(fault::io("journal.append").is_none());
+        clear();
+    }
+
+    #[test]
+    fn firing_sequence_is_deterministic() {
+        let _g = serial();
+        let run = || {
+            install(FaultPlan::from_spec("seed=7;io@x=0.5").unwrap());
+            let seq: Vec<bool> = (0..32).map(|_| fault::io("x").is_some()).collect();
+            clear();
+            seq
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // Not degenerate: a 0.5 probability should both fire and skip.
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn panic_point_panics_with_prefix() {
+        let _g = serial();
+        install(FaultPlan::from_spec("panic@run:TOPDOWN=1x1").unwrap());
+        let got = std::panic::catch_unwind(|| fault::panic_point("run:TOPDOWN"));
+        clear();
+        let payload = got.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with(fault::PANIC_PREFIX), "{msg}");
+    }
+
+    #[test]
+    fn init_from_env_rejects_bad_spec() {
+        let _g = serial();
+        std::env::set_var(ENV_VAR, "nonsense");
+        assert!(init_from_env().is_err());
+        std::env::remove_var(ENV_VAR);
+        assert!(!init_from_env().unwrap());
+        clear();
+    }
+}

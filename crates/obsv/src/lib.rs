@@ -29,21 +29,28 @@
 
 #![deny(missing_docs)]
 
+pub mod limits;
 pub mod mem;
 pub mod profile;
 pub mod recorder;
 pub mod trace;
 
+pub use limits::{CancelToken, Cancelled, Limits};
 pub use profile::{ProfileSpan, RunProfile};
 pub use recorder::{current, install, InstallGuard, Recorder, SpanGuard};
 pub use trace::TraceSink;
 
+use std::time::Duration;
+
 /// Observability settings carried by a session context: whether runs
-/// record profiles, and where (if anywhere) NDJSON traces stream.
+/// record profiles, where (if anywhere) NDJSON traces stream, and
+/// what execution limits each run gets.
 #[derive(Debug, Clone, Default)]
 pub struct ObsvConfig {
     enabled: bool,
     sink: Option<TraceSink>,
+    budget: Option<Duration>,
+    cancel: Option<CancelToken>,
 }
 
 impl ObsvConfig {
@@ -56,7 +63,7 @@ impl ObsvConfig {
     pub fn enabled() -> ObsvConfig {
         ObsvConfig {
             enabled: true,
-            sink: None,
+            ..ObsvConfig::default()
         }
     }
 
@@ -66,7 +73,28 @@ impl ObsvConfig {
         ObsvConfig {
             enabled: true,
             sink: Some(sink),
+            ..ObsvConfig::default()
         }
+    }
+
+    /// Give every run a soft wall-clock deadline: once exceeded, the
+    /// run cancels at its next phase boundary (independent of whether
+    /// profile recording is on).
+    pub fn with_deadline(mut self, budget: Duration) -> ObsvConfig {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attach a cancellation token checked by every run at its phase
+    /// boundaries.
+    pub fn with_cancel(mut self, token: CancelToken) -> ObsvConfig {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configured per-run deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.budget
     }
 
     /// Whether runs record profiles.
@@ -79,12 +107,18 @@ impl ObsvConfig {
         self.sink.as_ref()
     }
 
-    /// A fresh per-run recorder honouring these settings.
+    /// A fresh per-run recorder honouring these settings. The deadline
+    /// clock starts now — each run gets its own budget.
     pub fn recorder(&self) -> Recorder {
-        if self.enabled {
+        let rec = if self.enabled {
             Recorder::with_sink(self.sink.clone())
         } else {
             Recorder::disabled()
+        };
+        if self.budget.is_some() || self.cancel.is_some() {
+            rec.with_limits(Limits::new(self.budget, self.cancel.clone()))
+        } else {
+            rec
         }
     }
 }

@@ -1,0 +1,124 @@
+//! Per-run execution limits: soft deadlines and cooperative cancellation.
+//!
+//! A [`Limits`] value rides on the run's [`Recorder`](crate::Recorder) and is
+//! checked at every phase boundary the recorder already sees
+//! ([`Recorder::span`](crate::Recorder::span) /
+//! [`Recorder::record_window`](crate::Recorder::record_window)). When the
+//! budget is exhausted or the [`CancelToken`] has been tripped, the check
+//! raises a panic whose payload is the typed [`Cancelled`] value; the
+//! evaluator's per-job `catch_unwind` downcasts it back into a structured
+//! run error. Algorithm code needs no changes — any code instrumented
+//! enough to be profiled is instrumented enough to be cancelled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled; used as the panic payload raised by
+/// [`Limits::check`] so an unwinding handler can tell cooperative
+/// cancellation apart from an organic panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cancelled {
+    /// The run exceeded its soft deadline.
+    DeadlineExceeded {
+        /// The configured budget, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The run's [`CancelToken`] was tripped externally.
+    Requested,
+}
+
+/// A shared flag for cooperatively cancelling in-flight runs; cloning
+/// produces handles to the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the token: every run checking it cancels at its next
+    /// phase boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Execution limits for one run: an optional wall-clock budget
+/// (measured from `started`) and an optional cancellation token.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    started: Instant,
+    budget: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl Limits {
+    /// Limits clocked from now.
+    pub fn new(budget: Option<Duration>, cancel: Option<CancelToken>) -> Limits {
+        Limits {
+            started: Instant::now(),
+            budget,
+            cancel,
+        }
+    }
+
+    /// Raise the typed [`Cancelled`] panic if the deadline has passed
+    /// or the token is tripped; otherwise return normally.
+    pub fn check(&self) {
+        if let Some(budget) = self.budget {
+            if self.started.elapsed() > budget {
+                std::panic::panic_any(Cancelled::DeadlineExceeded {
+                    limit_ms: budget.as_millis() as u64,
+                });
+            }
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                std::panic::panic_any(Cancelled::Requested);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload_of(limits: &Limits) -> Cancelled {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| limits.check()))
+            .expect_err("limits should have tripped");
+        *err.downcast::<Cancelled>().expect("typed payload")
+    }
+
+    #[test]
+    fn unconstrained_limits_pass() {
+        Limits::new(None, None).check();
+    }
+
+    #[test]
+    fn expired_budget_raises_deadline_payload() {
+        let l = Limits::new(Some(Duration::ZERO), None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(payload_of(&l), Cancelled::DeadlineExceeded { limit_ms: 0 });
+    }
+
+    #[test]
+    fn tripped_token_raises_requested_payload() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let l = Limits::new(None, Some(token.clone()));
+        l.check();
+        token.cancel();
+        assert_eq!(payload_of(&l), Cancelled::Requested);
+    }
+}

@@ -8,6 +8,7 @@
 //! no-op behind a single pointer-sized branch, so instrumented code
 //! pays nothing measurable when observability is off.
 
+use crate::limits::Limits;
 use crate::mem::peak_rss_bytes;
 use crate::profile::{ProfileSpan, RunProfile};
 use crate::trace::TraceSink;
@@ -45,12 +46,16 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    limits: Option<Arc<Limits>>,
 }
 
 impl Recorder {
     /// The no-op recorder: every method returns immediately.
     pub fn disabled() -> Recorder {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            limits: None,
+        }
     }
 
     /// A live recorder; its epoch (span offset zero) is now.
@@ -68,7 +73,17 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 sink,
             })),
+            limits: None,
         }
+    }
+
+    /// Attach execution limits: every subsequent [`Recorder::span`] /
+    /// [`Recorder::record_window`] call first runs [`Limits::check`],
+    /// so a run over budget cancels at its next phase boundary even
+    /// when profiling itself is disabled.
+    pub fn with_limits(mut self, limits: Limits) -> Recorder {
+        self.limits = Some(Arc::new(limits));
+        self
     }
 
     /// Whether recording is live (false for the disabled handle).
@@ -80,6 +95,9 @@ impl Recorder {
     /// the returned guard drops. Nested opens build the span tree.
     #[must_use = "the span closes when the guard drops"]
     pub fn span(&self, name: &str) -> SpanGuard {
+        if let Some(limits) = &self.limits {
+            limits.check();
+        }
         let Some(inner) = &self.inner else {
             return SpanGuard { rec: None, idx: 0 };
         };
@@ -106,6 +124,9 @@ impl Recorder {
     /// `PhaseTimer` windows of an outer algorithm become parents of a
     /// delegated sub-algorithm's phases.
     pub fn record_window(&self, name: &str, start: Instant, end: Instant) {
+        if let Some(limits) = &self.limits {
+            limits.check();
+        }
         let Some(inner) = &self.inner else { return };
         let s = start
             .checked_duration_since(inner.epoch)

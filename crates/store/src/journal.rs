@@ -61,6 +61,23 @@ pub enum JournalEvent {
         /// Sweep-point value.
         value: f64,
     },
+    /// A job failed (panic, timeout, or run error). Written in
+    /// addition to the `ok: false` [`JournalEvent::JobFinished`] line
+    /// so failure counters keep working while the error itself stays
+    /// on record; sweeps with `JobFailed` events are degraded and show
+    /// up in [`resumable_sweeps`] until a later re-run finishes clean.
+    JobFailed {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// Configuration label.
+        label: String,
+        /// Sweep-point value.
+        value: f64,
+        /// Rendered run error.
+        error: String,
+    },
     /// A job completed (by cache replay or by running).
     JobFinished {
         /// Sweep this job belongs to.
@@ -107,12 +124,26 @@ impl Journal {
     }
 
     /// Append one event as a JSONL line and flush it to the OS.
+    ///
+    /// Transient I/O failures are retried with a bounded deterministic
+    /// backoff. The fault-injection point sits *before* any bytes are
+    /// written, so a retried append can never leave a torn line in the
+    /// middle of the file (`write_all` itself already retries
+    /// `Interrupted` writes internally).
     pub fn append(&mut self, event: &JournalEvent) -> io::Result<()> {
         let mut line = serde_json::to_string(event)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        crate::retry::RetryPolicy::store_default().run(
+            || {
+                if let Some(e) = secreta_faults::fault::io("journal.append") {
+                    return Err(e);
+                }
+                self.file.write_all(line.as_bytes())?;
+                self.file.flush()
+            },
+            crate::retry::transient_io,
+        )
     }
 
     /// Path of the underlying file.
@@ -180,6 +211,29 @@ pub fn unfinished_sweeps(events: &[JournalEvent]) -> Vec<SweepRecord> {
         }
     }
     started
+}
+
+/// Sweeps that still need work, oldest first: a `SweepStarted` with no
+/// `SweepFinished`, or one whose most recent `SweepFinished` reported
+/// failures. `secreta runs resume` replays these — completed jobs are
+/// cache hits, so only failed/missing points re-execute.
+pub fn resumable_sweeps(events: &[JournalEvent]) -> Vec<SweepRecord> {
+    let mut open: Vec<SweepRecord> = Vec::new();
+    for ev in events {
+        match ev {
+            JournalEvent::SweepStarted(rec) => {
+                open.retain(|r| r.id != rec.id);
+                open.push(rec.clone());
+            }
+            JournalEvent::SweepFinished {
+                sweep, failures, ..
+            } if *failures == 0 => {
+                open.retain(|r| &r.id != sweep);
+            }
+            _ => {}
+        }
+    }
+    open
 }
 
 #[cfg(test)]
@@ -284,5 +338,61 @@ mod tests {
         assert_eq!(open[0].id, "s2");
         assert!(find_sweep(&events, "s1").is_some());
         assert!(find_sweep(&events, "nope").is_none());
+    }
+
+    #[test]
+    fn degraded_sweeps_stay_resumable_until_a_clean_finish() {
+        let finished = |id: &str, failures: u64| JournalEvent::SweepFinished {
+            sweep: id.into(),
+            hits: 0,
+            misses: 3,
+            failures,
+        };
+        let events = vec![
+            JournalEvent::SweepStarted(record("clean")),
+            finished("clean", 0),
+            JournalEvent::SweepStarted(record("degraded")),
+            JournalEvent::JobFailed {
+                sweep: "degraded".into(),
+                key: "kA2".into(),
+                label: "A".into(),
+                value: 2.0,
+                error: "panicked: boom".into(),
+            },
+            finished("degraded", 1),
+            JournalEvent::SweepStarted(record("unfinished")),
+        ];
+        // a degraded finish is final for `unfinished_sweeps`...
+        let ids: Vec<String> = unfinished_sweeps(&events)
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, ["unfinished"]);
+        // ...but still resumable
+        let ids: Vec<String> = resumable_sweeps(&events)
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, ["degraded", "unfinished"]);
+        // a later clean re-run clears it
+        let mut more = events.clone();
+        more.push(JournalEvent::SweepStarted(record("degraded")));
+        more.push(finished("degraded", 0));
+        let ids: Vec<String> = resumable_sweeps(&more).into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, ["unfinished"]);
+    }
+
+    #[test]
+    fn append_retries_injected_transient_faults() {
+        let path = tmp("retry");
+        // one injected transient failure; the bounded retry absorbs it
+        secreta_faults::install(
+            secreta_faults::FaultPlan::from_spec("seed=3;io@journal.append=1x1").unwrap(),
+        );
+        let mut j = Journal::open(&path).unwrap();
+        let res = j.append(&JournalEvent::SweepStarted(record("s1")));
+        secreta_faults::clear();
+        res.unwrap();
+        assert_eq!(read_events(&path).unwrap().len(), 1);
     }
 }

@@ -31,7 +31,11 @@ use serde::Value;
 ///   tree, counters, peak RSS). Version-1 manifests still *load* — the
 ///   field defaults to absent — but no longer serve cache hits, so
 ///   re-executed runs get profiles recorded.
-pub const STORE_SCHEMA_VERSION: u32 = 2;
+/// * 3 — manifests record `anon_sha256`, the checksum of the stored
+///   `anon.json` bytes, verified on every read so silent corruption
+///   becomes a quarantined cache miss instead of a wrong result.
+///   Version-2 manifests still load but no longer serve cache hits.
+pub const STORE_SCHEMA_VERSION: u32 = 3;
 
 /// Content address of a single run (64 lowercase hex chars).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

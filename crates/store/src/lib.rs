@@ -37,12 +37,19 @@
 
 pub mod journal;
 pub mod key;
+pub mod lock;
 pub mod manifest;
+pub mod retry;
 pub mod sha;
 pub mod store;
 
-pub use journal::{find_sweep, read_events, unfinished_sweeps, Journal, JournalEvent, SweepRecord};
+pub use journal::{
+    find_sweep, read_events, resumable_sweeps, unfinished_sweeps, Journal, JournalEvent,
+    SweepRecord,
+};
 pub use key::{canonical_json, canonicalize, run_key, RunKey, STORE_SCHEMA_VERSION};
+pub use lock::{StoreLock, LOCK_FILE};
 pub use manifest::RunManifest;
+pub use retry::RetryPolicy;
 pub use sha::{sha256_hex, DigestWriter, Sha256};
-pub use store::{RunStore, StoreError, StoredRun};
+pub use store::{FsckReport, RunStore, StoreError, StoredRun};

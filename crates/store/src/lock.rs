@@ -1,0 +1,140 @@
+//! Advisory store locking.
+//!
+//! Two orchestrators sharing one `--store-dir` must not interleave
+//! journal writes: both would append `SweepStarted`/`JobFinished`
+//! lines for different sweeps and each other's `runs resume` view
+//! would be confused. A `store.lock` file in the store root holds the
+//! owning process id; the second writer gets a
+//! [`StoreError::Locked`] naming the
+//! holder instead of a corrupted journal.
+//!
+//! The lock is advisory — run puts themselves are rename-atomic and
+//! need no lock — and crash-safe: a lock whose holder is no longer
+//! alive (checked via `/proc` where available) is considered stale and
+//! silently reclaimed.
+
+use crate::store::StoreError;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the lock file inside a store root.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// Liveness of a process id: `Some(alive)` when the platform exposes
+/// `/proc`, `None` when it cannot be determined (lock then treated as
+/// live — never steal what might be held).
+pub(crate) fn pid_alive(pid: u32) -> Option<bool> {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return None;
+    }
+    Some(proc_root.join(pid.to_string()).exists())
+}
+
+/// Held advisory lock on a store; released (file removed) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquire the lock under `root`, erroring with
+    /// [`StoreError::Locked`] when another
+    /// live process holds it. A stale lock (dead holder) is reclaimed.
+    pub fn acquire(root: &Path) -> Result<StoreLock, StoreError> {
+        let path = root.join(LOCK_FILE);
+        // Two tries: the second only after removing a stale lock.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use io::Write;
+                    let pid = std::process::id();
+                    f.write_all(pid.to_string().as_bytes())
+                        .and_then(|_| f.flush())
+                        .map_err(|e| StoreError::Io(path.clone(), e))?;
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) == Some(false) => {
+                            // stale: holder died without releasing
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                        Some(pid) => return Err(StoreError::Locked(path, pid)),
+                        // unreadable/empty lock file: treat as held by
+                        // an unknown process rather than clobbering it
+                        None => return Err(StoreError::Locked(path, 0)),
+                    }
+                }
+                Err(e) => return Err(StoreError::Io(path, e)),
+            }
+        }
+        Err(StoreError::Locked(path, 0))
+    }
+
+    /// Path of the lock file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("secreta-lock-{}-{}", std::process::id(), name));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let root = tmp_root("cycle");
+        let lock = StoreLock::acquire(&root).unwrap();
+        assert!(lock.path().is_file());
+        drop(lock);
+        assert!(!root.join(LOCK_FILE).exists());
+        let _again = StoreLock::acquire(&root).unwrap();
+    }
+
+    #[test]
+    fn second_acquire_reports_live_holder() {
+        let root = tmp_root("held");
+        let _held = StoreLock::acquire(&root).unwrap();
+        // our own pid is alive, so the second acquire must refuse
+        match StoreLock::acquire(&root) {
+            Err(StoreError::Locked(_, pid)) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_lock_is_reclaimed() {
+        if pid_alive(1).is_none() {
+            return; // no /proc: staleness is undecidable on this platform
+        }
+        let root = tmp_root("stale");
+        // fabricate a lock held by a pid that cannot be running
+        fs::write(root.join(LOCK_FILE), u32::MAX.to_string()).unwrap();
+        let lock = StoreLock::acquire(&root).unwrap();
+        assert!(lock.path().is_file());
+    }
+}

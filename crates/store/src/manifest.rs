@@ -44,6 +44,13 @@ pub struct RunManifest {
     /// `None` so schema-1 manifests keep loading.
     #[serde(default)]
     pub profile: Option<RunProfile>,
+    /// SHA-256 (hex) of the stored `anon.json` bytes, filled in by
+    /// `RunStore::put` and verified on read. Defaults to `None` so
+    /// pre-schema-3 manifests keep loading (they skip verification but
+    /// also never serve cache hits — the schema version is part of the
+    /// run key).
+    #[serde(default)]
+    pub anon_sha256: Option<String>,
 }
 
 #[cfg(test)]
@@ -89,6 +96,7 @@ mod tests {
                 counters: vec![("cluster/ncp_evals".to_owned(), 99)],
                 peak_rss_bytes: 4096,
             }),
+            anon_sha256: None,
         }
     }
 

@@ -1,0 +1,154 @@
+//! Bounded retry with deterministic backoff for transient store I/O.
+//!
+//! A store operation can fail transiently (interrupted syscalls,
+//! overloaded filesystems, injected faults in chaos tests) without the
+//! store being broken. [`RetryPolicy::run`] retries such failures a
+//! bounded number of times with an exponential backoff whose jitter is
+//! derived from a fixed seed — the same failure sequence always
+//! produces the same sleep schedule, keeping chaos-test runs
+//! reproducible.
+
+use std::io;
+use std::time::Duration;
+
+/// A bounded retry schedule: up to `attempts` tries, sleeping
+/// `base * 2^i` plus deterministic jitter between consecutive tries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    attempts: u32,
+    base: Duration,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// A custom policy.
+    pub fn new(attempts: u32, base: Duration, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            base,
+            seed,
+        }
+    }
+
+    /// The store's default: three attempts, starting at 2 ms — enough
+    /// to absorb a transient hiccup without stalling a sweep when the
+    /// disk is genuinely gone.
+    pub fn store_default() -> RetryPolicy {
+        RetryPolicy::new(3, Duration::from_millis(2), 0x5ec2e7a)
+    }
+
+    /// Backoff before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base_ms = self.base.as_millis() as u64;
+        let jitter_ms = if base_ms == 0 {
+            0
+        } else {
+            // splitmix-style mix of (seed, attempt): deterministic,
+            // but decorrelated across attempts
+            let mut z = self
+                .seed
+                .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % base_ms
+        };
+        Duration::from_millis(base_ms.saturating_mul(1 << attempt.min(16)) + jitter_ms)
+    }
+
+    /// Run `op`, retrying failures that `transient` classifies as
+    /// retryable. The final error (transient or not) is returned once
+    /// the attempt budget is spent.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut() -> Result<T, E>,
+        transient: impl Fn(&E) -> bool,
+    ) -> Result<T, E> {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < self.attempts && transient(&e) => {
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Whether an I/O error is worth retrying: the kinds the OS reports
+/// for interrupted or momentarily-unavailable operations (and the kind
+/// `secreta-faults` injects for its transient faults).
+pub fn transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interrupted() -> io::Error {
+        io::Error::new(io::ErrorKind::Interrupted, "try again")
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy::new(3, Duration::ZERO, 1);
+        let mut calls = 0;
+        let out = policy.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(interrupted())
+                } else {
+                    Ok(calls)
+                }
+            },
+            transient_io,
+        );
+        assert_eq!(out.unwrap(), 3);
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget() {
+        let policy = RetryPolicy::new(3, Duration::ZERO, 1);
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(
+            || {
+                calls += 1;
+                Err(interrupted())
+            },
+            transient_io,
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_fast() {
+        let policy = RetryPolicy::new(5, Duration::ZERO, 1);
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            },
+            transient_io,
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let policy = RetryPolicy::new(4, Duration::from_millis(2), 7);
+        let a: Vec<Duration> = (0..3).map(|i| policy.backoff(i)).collect();
+        let b: Vec<Duration> = (0..3).map(|i| policy.backoff(i)).collect();
+        assert_eq!(a, b);
+        assert!(a[0] < a[2], "exponential component dominates: {a:?}");
+    }
+}

@@ -7,7 +7,9 @@
 //!   runs/<kk>/<key>/manifest.json   # kk = first two hex chars of key
 //!   runs/<kk>/<key>/anon.json       # the anonymized table
 //!   tmp/                            # staging for atomic puts
+//!   quarantine/                     # corrupt entries set aside by reads/fsck
 //!   journal.jsonl                   # write-ahead event journal
+//!   store.lock                      # advisory writer lock (pid inside)
 //! ```
 //!
 //! Puts are crash-atomic: both files are written into a unique
@@ -15,10 +17,20 @@
 //! place, so a reader can never observe a half-written run. A run
 //! directory either has both files (complete) or is garbage that
 //! `gc` removes.
+//!
+//! Reads are self-healing: manifests carry a checksum of the stored
+//! `anon.json` bytes, and an entry that fails to parse or verify is
+//! moved to `quarantine/` and reported as a cache miss — the
+//! orchestrator recomputes it instead of failing the sweep or, worse,
+//! replaying a silently corrupted result. [`RunStore::fsck`] runs the
+//! same verification store-wide on demand.
 
 use crate::journal::{Journal, JournalEvent};
 use crate::key::RunKey;
+use crate::lock::StoreLock;
 use crate::manifest::RunManifest;
+use crate::retry::{transient_io, RetryPolicy};
+use crate::sha::sha256_hex;
 use secreta_metrics::AnonTable;
 use std::fmt;
 use std::fs;
@@ -33,6 +45,20 @@ pub enum StoreError {
     Io(PathBuf, io::Error),
     /// A stored file exists but does not parse as what it should be.
     Corrupt(PathBuf, String),
+    /// The store's advisory lock is held by another live process (the
+    /// pid recorded in the lock file; 0 when it could not be read).
+    Locked(PathBuf, u32),
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation could plausibly succeed
+    /// (transient I/O only; corruption and held locks are not retried).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(_, e) => transient_io(e),
+            StoreError::Corrupt(_, _) | StoreError::Locked(_, _) => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -42,6 +68,11 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(path, msg) => {
                 write!(f, "corrupt store entry at {}: {msg}", path.display())
             }
+            StoreError::Locked(path, pid) => write!(
+                f,
+                "store is locked by pid {pid} ({}); wait for it to finish or remove a stale lock",
+                path.display()
+            ),
         }
     }
 }
@@ -55,6 +86,17 @@ pub struct StoredRun {
     pub manifest: RunManifest,
     /// The anonymized table the run produced.
     pub anon: AnonTable,
+}
+
+/// What reading one run directory found.
+#[derive(Debug)]
+enum ReadOutcome {
+    /// No complete entry at this key.
+    Missing,
+    /// A parsed, checksum-verified run.
+    Complete(Box<StoredRun>),
+    /// An entry exists but is unusable: the offending path and why.
+    Corrupt(PathBuf, String),
 }
 
 /// A content-addressed store of completed runs.
@@ -71,13 +113,52 @@ fn io_err(path: &Path) -> impl FnOnce(io::Error) -> StoreError + '_ {
 
 impl RunStore {
     /// Open a store rooted at `root`, creating the layout if absent.
+    ///
+    /// Staging leftovers from *dead* writers (a crash between staging
+    /// and rename) are swept on open; entries belonging to live
+    /// processes are left alone, since a concurrent put may be mid-
+    /// flight. Liveness comes from the pid embedded in every staging
+    /// directory name.
     pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, StoreError> {
         let root = root.into();
         for sub in ["runs", "tmp"] {
             let dir = root.join(sub);
             fs::create_dir_all(&dir).map_err(io_err(&dir))?;
         }
-        Ok(RunStore { root })
+        let store = RunStore { root };
+        store.sweep_dead_staging();
+        Ok(store)
+    }
+
+    /// Remove `tmp/` entries whose writing process is provably dead.
+    /// Best-effort: failures here never fail an open.
+    fn sweep_dead_staging(&self) {
+        let Ok(entries) = read_dir_sorted(&self.root.join("tmp")) else {
+            return;
+        };
+        for entry in entries {
+            let pid = entry
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.split('-').nth(1))
+                .and_then(|p| p.parse::<u32>().ok());
+            let dead = match pid {
+                Some(pid) => crate::lock::pid_alive(pid) == Some(false),
+                // name not in <key>-<pid>-<n> form: not one of ours,
+                // treat as garbage
+                None => true,
+            };
+            if dead {
+                let _ = fs::remove_dir_all(&entry).or_else(|_| fs::remove_file(&entry));
+            }
+        }
+    }
+
+    /// Acquire the store's advisory writer lock; released on drop.
+    /// Errors with [`StoreError::Locked`] while another live process
+    /// holds it.
+    pub fn lock(&self) -> Result<StoreLock, StoreError> {
+        StoreLock::acquire(&self.root)
     }
 
     /// The store root directory.
@@ -114,68 +195,153 @@ impl RunStore {
     }
 
     /// Load the run stored under `key`, if complete.
+    ///
+    /// Self-healing: an entry whose files fail to parse or whose
+    /// `anon.json` does not match the checksum in its manifest is
+    /// moved to `quarantine/` and reported as a miss (`Ok(None)`), so
+    /// the caller recomputes it. Only real I/O failures are errors.
     pub fn get(&self, key: &RunKey) -> Result<Option<StoredRun>, StoreError> {
         let dir = self.run_dir(key.as_str());
+        match self.read_run(&dir)? {
+            ReadOutcome::Missing => Ok(None),
+            ReadOutcome::Complete(run) => Ok(Some(*run)),
+            ReadOutcome::Corrupt(_, _) => {
+                self.quarantine(&dir, key.as_str())?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Read the run in `dir`, distinguishing corruption from real I/O
+    /// failure. Never quarantines — callers decide.
+    fn read_run(&self, dir: &Path) -> Result<ReadOutcome, StoreError> {
         let manifest_path = dir.join("manifest.json");
         let anon_path = dir.join("anon.json");
         if !manifest_path.is_file() || !anon_path.is_file() {
-            return Ok(None);
+            return Ok(ReadOutcome::Missing);
         }
+        let corrupt = |path: &Path, msg: String| Ok(ReadOutcome::Corrupt(path.to_path_buf(), msg));
         let manifest_text = fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
-        let manifest: RunManifest = serde_json::from_str(&manifest_text)
-            .map_err(|e| StoreError::Corrupt(manifest_path.clone(), e.to_string()))?;
+        let manifest: RunManifest = match serde_json::from_str(&manifest_text) {
+            Ok(m) => m,
+            Err(e) => return corrupt(&manifest_path, e.to_string()),
+        };
         let anon_text = fs::read_to_string(&anon_path).map_err(io_err(&anon_path))?;
-        let anon: AnonTable = serde_json::from_str(&anon_text)
-            .map_err(|e| StoreError::Corrupt(anon_path.clone(), e.to_string()))?;
-        Ok(Some(StoredRun { manifest, anon }))
+        if let Some(expected) = &manifest.anon_sha256 {
+            let actual = sha256_hex(anon_text.as_bytes());
+            if &actual != expected {
+                return corrupt(
+                    &anon_path,
+                    format!("checksum mismatch: manifest says {expected}, file is {actual}"),
+                );
+            }
+        }
+        let anon: AnonTable = match serde_json::from_str(&anon_text) {
+            Ok(a) => a,
+            Err(e) => return corrupt(&anon_path, e.to_string()),
+        };
+        Ok(ReadOutcome::Complete(Box::new(StoredRun {
+            manifest,
+            anon,
+        })))
+    }
+
+    /// Move the run directory `dir` into `quarantine/`, preserving it
+    /// for post-mortems while freeing its key for recomputation.
+    fn quarantine(&self, dir: &Path, key: &str) -> Result<PathBuf, StoreError> {
+        let qdir = self.root.join("quarantine");
+        fs::create_dir_all(&qdir).map_err(io_err(&qdir))?;
+        let dest = qdir.join(format!(
+            "{}-{}-{}",
+            &key[..key.len().min(16)],
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::rename(dir, &dest).map_err(io_err(dir))?;
+        if let Some(shard) = dir.parent() {
+            let _ = fs::remove_dir(shard);
+        }
+        Ok(dest)
     }
 
     /// Store a completed run atomically. A run already present under
     /// the same key is left untouched (first write wins; contents are
     /// deterministic in the key, so any duplicate is identical).
+    ///
+    /// The stored manifest gains an `anon_sha256` checksum over the
+    /// `anon.json` bytes, verified by every later [`RunStore::get`].
+    /// Transient I/O failures are retried with bounded deterministic
+    /// backoff; each attempt stages into a fresh directory, so a
+    /// failed attempt never pollutes the next.
     pub fn put(&self, manifest: &RunManifest, anon: &AnonTable) -> Result<(), StoreError> {
         let key = RunKey(manifest.key.clone());
         if self.contains(&key) {
             return Ok(());
         }
+        let anon_text = serde_json::to_string(anon)
+            .map_err(|e| StoreError::Corrupt(self.root.clone(), e.to_string()))?;
+        let mut manifest = manifest.clone();
+        manifest.anon_sha256 = Some(sha256_hex(anon_text.as_bytes()));
+        let manifest_text = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| StoreError::Corrupt(self.root.clone(), e.to_string()))?;
+        RetryPolicy::store_default().run(
+            || self.put_once(&key, &manifest_text, &anon_text),
+            StoreError::is_transient,
+        )
+    }
+
+    /// One staged-write-and-rename attempt of [`RunStore::put`].
+    fn put_once(
+        &self,
+        key: &RunKey,
+        manifest_text: &str,
+        anon_text: &str,
+    ) -> Result<(), StoreError> {
+        // fault-injection point: before any bytes touch disk, so a
+        // retried attempt starts from a clean slate
+        if let Some(e) = secreta_faults::fault::io("store.put") {
+            return Err(StoreError::Io(self.root.join("tmp"), e));
+        }
         let stage = self.root.join("tmp").join(format!(
             "{}-{}-{}",
-            &manifest.key[..manifest.key.len().min(16)],
+            &key.as_str()[..key.as_str().len().min(16)],
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
-        fs::create_dir_all(&stage).map_err(io_err(&stage))?;
-        let write_json = |name: &str, text: String| -> Result<(), StoreError> {
-            let path = stage.join(name);
-            fs::write(&path, text).map_err(io_err(&path))
-        };
-        write_json(
-            "manifest.json",
-            serde_json::to_string_pretty(manifest)
-                .map_err(|e| StoreError::Corrupt(stage.clone(), e.to_string()))?,
-        )?;
-        write_json(
-            "anon.json",
-            serde_json::to_string(anon)
-                .map_err(|e| StoreError::Corrupt(stage.clone(), e.to_string()))?,
-        )?;
-        let dest = self.run_dir(&manifest.key);
+        let staged = (|| -> Result<(), StoreError> {
+            fs::create_dir_all(&stage).map_err(io_err(&stage))?;
+            for (name, text) in [("manifest.json", manifest_text), ("anon.json", anon_text)] {
+                let path = stage.join(name);
+                fs::write(&path, text).map_err(io_err(&path))?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            let _ = fs::remove_dir_all(&stage);
+            return Err(e);
+        }
+        let dest = self.run_dir(key.as_str());
         if let Some(parent) = dest.parent() {
             fs::create_dir_all(parent).map_err(io_err(parent))?;
         }
         match fs::rename(&stage, &dest) {
             Ok(()) => Ok(()),
-            Err(_) if self.contains(&key) => {
+            Err(_) if self.contains(key) => {
                 // lost a race with a concurrent writer of the same run
                 let _ = fs::remove_dir_all(&stage);
                 Ok(())
             }
-            Err(e) => Err(StoreError::Io(dest, e)),
+            Err(e) => {
+                let _ = fs::remove_dir_all(&stage);
+                Err(StoreError::Io(dest, e))
+            }
         }
     }
 
     /// Manifests of every complete run, oldest first (ties broken by
-    /// key, so the order is deterministic).
+    /// key, so the order is deterministic). Entries whose manifest
+    /// fails to parse are skipped — `fsck` reports (and `--repair`
+    /// quarantines) them; a listing should not die on one bad file.
     pub fn list(&self) -> Result<Vec<RunManifest>, StoreError> {
         let runs = self.root.join("runs");
         let mut out = Vec::new();
@@ -189,9 +355,9 @@ impl RunStore {
                     continue;
                 }
                 let text = fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
-                let manifest: RunManifest = serde_json::from_str(&text)
-                    .map_err(|e| StoreError::Corrupt(manifest_path.clone(), e.to_string()))?;
-                out.push(manifest);
+                if let Ok(manifest) = serde_json::from_str::<RunManifest>(&text) {
+                    out.push(manifest);
+                }
             }
         }
         out.sort_by(|a, b| {
@@ -206,18 +372,18 @@ impl RunStore {
     /// it prefixes. Errors on ambiguity; `Ok(None)` when nothing
     /// matches.
     pub fn resolve(&self, prefix: &str) -> Result<Option<RunKey>, StoreError> {
-        let matches: Vec<String> = self
+        let mut matches: Vec<String> = self
             .list()?
             .into_iter()
             .map(|m| m.key)
             .filter(|k| k.starts_with(prefix))
             .collect();
-        match matches.len() {
-            0 => Ok(None),
-            1 => Ok(Some(RunKey(matches.into_iter().next().unwrap()))),
-            n => Err(StoreError::Corrupt(
+        match (matches.pop(), matches.len()) {
+            (None, _) => Ok(None),
+            (Some(key), 0) => Ok(Some(RunKey(key))),
+            (Some(_), n) => Err(StoreError::Corrupt(
                 self.root.clone(),
-                format!("key prefix `{prefix}` is ambiguous ({n} matches)"),
+                format!("key prefix `{prefix}` is ambiguous ({} matches)", n + 1),
             )),
         }
     }
@@ -266,22 +432,113 @@ impl RunStore {
         Ok(removed)
     }
 
-    /// Remove *everything* — every run, the staging area, the journal
-    /// — leaving the store root empty. Returns the number of runs
-    /// removed.
+    /// Remove *everything* — every run, the staging area, quarantined
+    /// entries, the journal, any lock file — leaving the store root
+    /// empty. Returns the number of runs removed.
     pub fn gc_all(&self) -> Result<usize, StoreError> {
         let count = self.list()?.len();
-        for sub in ["runs", "tmp"] {
+        for sub in ["runs", "tmp", "quarantine"] {
             let dir = self.root.join(sub);
             if dir.exists() {
                 fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
             }
         }
-        let journal = self.journal_path();
-        if journal.exists() {
-            fs::remove_file(&journal).map_err(io_err(&journal))?;
+        for file in [self.journal_path(), self.root.join(crate::lock::LOCK_FILE)] {
+            if file.exists() {
+                fs::remove_file(&file).map_err(io_err(&file))?;
+            }
         }
         Ok(count)
+    }
+
+    /// Verify every stored run (parseability and `anon.json`
+    /// checksums) plus the staging area and journal. With
+    /// `repair = true`, corrupt entries are moved to `quarantine/` —
+    /// freeing their keys for recomputation — and incomplete/staging
+    /// leftovers are removed; without it, nothing is touched.
+    pub fn fsck(&self, repair: bool) -> Result<FsckReport, StoreError> {
+        let mut report = FsckReport {
+            repaired: repair,
+            ..FsckReport::default()
+        };
+        let runs = self.root.join("runs");
+        for shard in read_dir_sorted(&runs)? {
+            if !shard.is_dir() {
+                continue;
+            }
+            for dir in read_dir_sorted(&shard)? {
+                let key = dir
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("?")
+                    .to_string();
+                report.scanned += 1;
+                match self.read_run(&dir)? {
+                    ReadOutcome::Complete(_) => report.ok += 1,
+                    ReadOutcome::Missing => {
+                        report.incomplete += 1;
+                        if repair {
+                            fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
+                        }
+                    }
+                    ReadOutcome::Corrupt(path, reason) => {
+                        report
+                            .corrupt
+                            .push((key.clone(), format!("{}: {reason}", path.display())));
+                        if repair {
+                            self.quarantine(&dir, &key)?;
+                        }
+                    }
+                }
+            }
+            if repair {
+                let _ = fs::remove_dir(&shard);
+            }
+        }
+        for entry in read_dir_sorted(&self.root.join("tmp"))? {
+            report.staging += 1;
+            if repair {
+                fs::remove_dir_all(&entry)
+                    .or_else(|_| fs::remove_file(&entry))
+                    .map_err(io_err(&entry))?;
+            }
+        }
+        report.journal_error = match crate::journal::read_events(&self.journal_path()) {
+            Ok(_) => None,
+            Err(e) => Some(e.to_string()),
+        };
+        Ok(report)
+    }
+}
+
+/// What [`RunStore::fsck`] found (and, with `--repair`, did).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Run directories examined.
+    pub scanned: usize,
+    /// Runs that parsed and passed checksum verification.
+    pub ok: usize,
+    /// `(key, reason)` of corrupt entries (quarantined when repairing).
+    pub corrupt: Vec<(String, String)>,
+    /// Incomplete run directories (removed when repairing).
+    pub incomplete: usize,
+    /// Staging leftovers under `tmp/` (removed when repairing).
+    pub staging: usize,
+    /// Set when the journal itself fails to read; mid-file journal
+    /// corruption is reported but never auto-repaired.
+    pub journal_error: Option<String>,
+    /// Whether this report was produced by a repairing pass.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the store is fully healthy (nothing corrupt, nothing
+    /// left over, journal readable).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty()
+            && self.incomplete == 0
+            && self.staging == 0
+            && self.journal_error.is_none()
     }
 }
 
@@ -342,6 +599,7 @@ mod tests {
                 phases: vec![("anonymize".to_owned(), Duration::from_millis(1))],
             },
             profile: None,
+            anon_sha256: None,
         }
     }
 
@@ -367,7 +625,15 @@ mod tests {
         store.put(&m, &anon).unwrap();
         assert!(store.contains(&RunKey(key.clone())));
         let back = store.get(&RunKey(key)).unwrap().unwrap();
-        assert_eq!(back.manifest, m);
+        // put fills in the checksum; every other field round-trips
+        assert!(back.manifest.anon_sha256.is_some());
+        assert_eq!(
+            RunManifest {
+                anon_sha256: None,
+                ..back.manifest
+            },
+            m
+        );
         assert_eq!(back.anon, anon);
         // tmp staging is clean after a successful put
         assert!(read_dir_sorted(&store.root().join("tmp"))
@@ -449,7 +715,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_manifest_is_reported() {
+    fn corrupt_manifest_is_quarantined_as_a_miss() {
         let store = tmp_store("corrupt");
         let key = key64(0xb);
         store.put(&manifest(&key, 1), &empty_anon()).unwrap();
@@ -460,9 +726,149 @@ mod tests {
             .join(&key)
             .join("manifest.json");
         fs::write(&path, "{ not json").unwrap();
-        assert!(matches!(
-            store.get(&RunKey(key)),
-            Err(StoreError::Corrupt(_, _))
-        ));
+        // a corrupt entry reads as a miss, not an error...
+        assert!(store.get(&RunKey(key.clone())).unwrap().is_none());
+        // ...and has been moved aside, freeing the key for re-put
+        assert!(!store.contains(&RunKey(key.clone())));
+        assert_eq!(
+            read_dir_sorted(&store.root().join("quarantine"))
+                .unwrap()
+                .len(),
+            1
+        );
+        store.put(&manifest(&key, 2), &empty_anon()).unwrap();
+        assert!(store.get(&RunKey(key)).unwrap().is_some());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_quarantined_as_a_miss() {
+        let store = tmp_store("checksum");
+        let key = key64(0xc);
+        store.put(&manifest(&key, 1), &empty_anon()).unwrap();
+        let anon_path = store
+            .root()
+            .join("runs")
+            .join("cc")
+            .join(&key)
+            .join("anon.json");
+        // valid JSON of the right shape, but not the recorded bytes —
+        // only the checksum can catch this
+        fs::write(&anon_path, r#"{"rel":[],"tx":null,"n_rows":7}"#).unwrap();
+        assert!(store.get(&RunKey(key.clone())).unwrap().is_none());
+        assert!(!store.contains(&RunKey(key)));
+    }
+
+    #[test]
+    fn fsck_reports_and_repair_quarantines() {
+        let store = tmp_store("fsck");
+        let good = key64(0xd);
+        let bad = key64(0xe);
+        store.put(&manifest(&good, 1), &empty_anon()).unwrap();
+        store.put(&manifest(&bad, 2), &empty_anon()).unwrap();
+        let bad_anon = store
+            .root()
+            .join("runs")
+            .join("ee")
+            .join(&bad)
+            .join("anon.json");
+        fs::write(&bad_anon, "garbage").unwrap();
+        // an incomplete run dir and a staging leftover
+        let partial = store.root().join("runs").join("11").join(key64(1));
+        fs::create_dir_all(&partial).unwrap();
+        fs::write(partial.join("manifest.json"), "{}").unwrap();
+        fs::create_dir_all(store.root().join("tmp").join("stale")).unwrap();
+
+        let dry = store.fsck(false).unwrap();
+        assert_eq!(dry.scanned, 3);
+        assert_eq!(dry.ok, 1);
+        assert_eq!(dry.corrupt.len(), 1);
+        assert_eq!(dry.incomplete, 1);
+        assert_eq!(dry.staging, 1);
+        assert!(!dry.is_clean());
+        // dry run touched nothing
+        assert!(bad_anon.exists() && partial.exists());
+
+        let fixed = store.fsck(true).unwrap();
+        assert_eq!(fixed.corrupt.len(), 1);
+        assert!(!bad_anon.exists() && !partial.exists());
+        let again = store.fsck(false).unwrap();
+        assert!(again.is_clean(), "{again:?}");
+        assert_eq!(again.ok, 1);
+        // the good run survived untouched
+        assert!(store.get(&RunKey(good)).unwrap().is_some());
+    }
+
+    #[test]
+    fn put_retries_injected_transient_faults() {
+        let store = tmp_store("putretry");
+        let key = key64(0xf);
+        secreta_faults::install(
+            secreta_faults::FaultPlan::from_spec("seed=9;io@store.put=1x1").unwrap(),
+        );
+        let res = store.put(&manifest(&key, 1), &empty_anon());
+        secreta_faults::clear();
+        res.unwrap();
+        assert!(store.get(&RunKey(key)).unwrap().is_some());
+        assert!(read_dir_sorted(&store.root().join("tmp"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn truncated_staged_put_recovers_on_next_open() {
+        // a crash mid-put leaves a staging dir with a truncated
+        // anon.json; reopening the store (same pid is "alive", so use
+        // a dead-pid name as the crashed writer) must sweep it
+        let store = tmp_store("truncstage");
+        let stage = store
+            .root()
+            .join("tmp")
+            .join(format!("{}-{}-0", &key64(3)[..16], u32::MAX));
+        fs::create_dir_all(&stage).unwrap();
+        fs::write(stage.join("manifest.json"), "{\"key\": \"tru").unwrap();
+        fs::write(stage.join("anon.json"), "{\"rel\":[[1,").unwrap();
+        let reopened = RunStore::open(store.root().to_path_buf()).unwrap();
+        if crate::lock::pid_alive(1).is_some() {
+            assert!(!stage.exists(), "dead writer's staging dir must be swept");
+            assert!(read_dir_sorted(&reopened.root().join("tmp"))
+                .unwrap()
+                .is_empty());
+        } else {
+            // no /proc: the sweep cannot prove the writer dead; gc
+            // still cleans it
+            reopened.gc_incomplete().unwrap();
+            assert!(!stage.exists());
+        }
+        assert_eq!(reopened.list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn crash_during_gc_incomplete_is_rerunnable() {
+        // gc removes entries one at a time; simulate a crash halfway
+        // (some partial dirs removed, some left) and verify a second
+        // gc pass — as run by the next open/resume — finishes the job
+        let store = tmp_store("gccrash");
+        store.put(&manifest(&key64(2), 1), &empty_anon()).unwrap();
+        let partial_a = store.root().join("runs").join("33").join(key64(3));
+        let partial_b = store.root().join("runs").join("44").join(key64(4));
+        for p in [&partial_a, &partial_b] {
+            fs::create_dir_all(p).unwrap();
+            fs::write(p.join("anon.json"), "{}").unwrap();
+        }
+        // "crash": first dir already gone, second still there
+        fs::remove_dir_all(&partial_a).unwrap();
+        assert_eq!(store.gc_incomplete().unwrap(), 1);
+        assert!(!partial_b.exists());
+        assert_eq!(store.list().unwrap().len(), 1);
+        assert!(store.fsck(false).unwrap().is_clean());
+    }
+
+    #[test]
+    fn lock_roundtrip_via_store() {
+        let store = tmp_store("lock");
+        let guard = store.lock().unwrap();
+        assert!(matches!(store.lock(), Err(StoreError::Locked(_, _))));
+        drop(guard);
+        assert!(store.lock().is_ok());
     }
 }

@@ -119,6 +119,7 @@ fn manifest_strategy() -> impl Strategy<Value = RunManifest> {
                     indicators,
                     phases,
                     profile,
+                    anon_sha256: None,
                 }
             },
         )
