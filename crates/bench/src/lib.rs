@@ -7,6 +7,8 @@ use secreta_core::config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
 use secreta_core::SessionContext;
 use secreta_gen::{DatasetSpec, WorkloadSpec};
 
+pub mod report;
+
 /// Deterministic base seed of the whole harness.
 pub const SEED: u64 = 0x5ec2e7a;
 

@@ -1,0 +1,415 @@
+//! The versioned benchmark suites added with the tiered kernels:
+//!
+//! * `secreta bench --suite tiered` compares the PR-4 CSR support
+//!   kernels against the tiered bitmap/CSR kernels on every
+//!   transaction algorithm (the tiering threshold is forced above 1.0
+//!   for the baseline pass, which disables the dense tier and
+//!   reproduces the pure-CSR behavior exactly) and writes
+//!   `BENCH_5.json`.
+//! * `secreta bench --all` runs the cross-layer gate suite and emits a
+//!   schema-versioned [`BenchReport`]; with `--baseline FILE` it
+//!   compares calibration-normalized wall times against a committed
+//!   report and fails on any case regressing more than `--gate-pct`
+//!   percent (default 25). CI runs this against
+//!   `benches/baseline.json`.
+//!
+//! `SECRETA_BENCH_HANDICAP=N` multiplies every `--all` case's workload
+//! N-fold inside the timed region. It exists so CI can prove the gate
+//! actually gates (a 2x handicap must fail against the committed
+//! baseline); it is loudly announced and never something to set during
+//! a real measurement.
+
+use crate::args::Args;
+use secreta_bench::report::{self, BenchCase, BenchReport};
+use secreta_core::data::ItemId;
+use secreta_core::policy::{generate_privacy, PrivacyPolicy, PrivacyStrategy};
+use secreta_core::relational::{cluster, RelationalInput};
+use secreta_core::transaction::{self as tx, set_density_threshold, Counting, RhoParams};
+use secreta_core::SessionContext;
+use secreta_gen::DatasetSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Environment variable holding the synthetic slowdown factor for the
+/// gate self-test.
+const HANDICAP_VAR: &str = "SECRETA_BENCH_HANDICAP";
+
+/// Transaction-algorithm fixtures shared by both suites: the basket
+/// table, the per-algorithm inputs and the rho parameters, built once
+/// outside any timed region.
+struct TxFixture {
+    ctx: SessionContext,
+    k: usize,
+    m: usize,
+    params: RhoParams,
+    privacy: PrivacyPolicy,
+}
+
+impl TxFixture {
+    fn build(rows: usize, items: usize, k: usize, m: usize, seed: u64) -> Result<Self, String> {
+        let table = DatasetSpec::basket(rows, items, seed).generate();
+        let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+        if ctx.item_hierarchy.is_none() {
+            return Err("basket dataset has no item universe".to_owned());
+        }
+        // sensitive targets for the rho family: the three rarest items
+        let sup = secreta_core::data::stats::item_supports(&ctx.table);
+        let mut by_sup: Vec<u32> = (0..sup.len() as u32).collect();
+        by_sup.sort_by_key(|&i| (sup[i as usize], i));
+        let params = RhoParams {
+            rho: 0.5,
+            sensitive: by_sup.iter().take(3).map(|&i| ItemId(i)).collect(),
+            max_antecedent: 2,
+        };
+        // COAT/PCTA get the paper's policy-driven workload: pairs of
+        // items an adversary may know together, sampled from real
+        // transactions so every constraint has live support to push
+        // over k — this is what makes their support checks intersect
+        // group row sets instead of just counting single unions
+        let privacy = generate_privacy(
+            &ctx.table,
+            &PrivacyStrategy::RandomItemsets {
+                size: 2,
+                count: (rows / 4).clamp(25, 400),
+                seed,
+            },
+        );
+        Ok(TxFixture {
+            ctx,
+            k,
+            m,
+            params,
+            privacy,
+        })
+    }
+
+    /// Run one named algorithm under the given counting strategy.
+    fn run(&self, name: &str, counting: Counting) -> Result<tx::TxOutput, String> {
+        use secreta_core::transaction::TransactionInput;
+        let h = self.ctx.item_hierarchy.as_ref().expect("checked in build");
+        let km = TransactionInput::km(&self.ctx.table, self.k, self.m, h);
+        let plain = TransactionInput {
+            table: &self.ctx.table,
+            k: self.k,
+            m: 1,
+            hierarchy: None,
+            privacy: Some(&self.privacy),
+            utility: None,
+        };
+        let one = TransactionInput {
+            table: &self.ctx.table,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let td = TransactionInput::km(&self.ctx.table, 1, 1, h);
+        let out = match name {
+            "apriori" => tx::apriori::anonymize_with(&km, counting),
+            "lra" => tx::lra::anonymize_with(&km, 2, counting),
+            "vpa" => tx::vpa::anonymize_with(&km, 4, counting),
+            "coat" => tx::coat::anonymize_with(&plain, counting),
+            "pcta" => tx::pcta::anonymize_with(&plain, counting),
+            "rho" => tx::rho::anonymize_with(&one, &self.params, counting),
+            "rho-td" | "rho_td" => tx::rho_td::anonymize_with(&td, &self.params, counting),
+            other => return Err(format!("unknown algorithm {other:?}")),
+        };
+        out.map_err(|e| format!("{name}: {e}"))
+    }
+}
+
+/// The seven transaction algorithms in the order every report lists
+/// them.
+const TX_ALGOS: &[&str] = &["apriori", "lra", "vpa", "coat", "pcta", "rho", "rho-td"];
+
+/// `secreta bench --suite tiered`: every transaction algorithm runs
+/// twice with the support kernels — once with the dense tier disabled
+/// (threshold forced above 1.0: the pure-CSR PR-4 kernel) and once
+/// with the production tiering threshold — and the published outputs
+/// are compared byte-for-byte.
+pub(crate) fn bench_tiered(args: &Args) -> Result<(), String> {
+    let k = args.usize_or("k", 10)?;
+    let m = args.usize_or("m", 2)?;
+    let items = args.usize_or("items", 80)?;
+    let seed = args.u64_or("seed", 42)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let phases_ms = |p: &secreta_core::metrics::PhaseTimes| -> Vec<(String, f64)> {
+        p.phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64() * 1e3))
+            .collect()
+    };
+
+    struct Case {
+        algorithm: &'static str,
+        rows: usize,
+        baseline_ms: f64,
+        optimized_ms: f64,
+        baseline_phases: Vec<(String, f64)>,
+        optimized_phases: Vec<(String, f64)>,
+        identical: bool,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+
+    println!("tiered kernel benchmark (basket, {items} items, k={k}, m={m}, seed={seed})");
+    println!("  baseline = CSR kernel (dense tier disabled), optimized = tiered kernel");
+    for &n in &rows {
+        let fx = TxFixture::build(n, items, k, m, seed)?;
+        println!("  n={n}");
+        for &name in TX_ALGOS {
+            // threshold > 1.0 means no item can clear the density bar:
+            // the kernel degenerates to the previous pure-CSR paths
+            set_density_threshold(Some(2.0));
+            let t0 = Instant::now();
+            let base = fx.run(name, Counting::Kernel);
+            let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+            set_density_threshold(None);
+            let base = base?;
+            let t1 = Instant::now();
+            let fast = fx.run(name, Counting::Kernel)?;
+            let optimized_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let identical = base.anon == fast.anon;
+            println!(
+                "    {name:<8} csr {baseline_ms:>10.1}ms  tiered {optimized_ms:>8.1}ms  \
+                 speedup {:>5.1}x  outputs identical: {identical}",
+                baseline_ms / optimized_ms.max(1e-9),
+            );
+            cases.push(Case {
+                algorithm: name,
+                rows: n,
+                baseline_ms,
+                optimized_ms,
+                baseline_phases: phases_ms(&base.phases),
+                optimized_phases: phases_ms(&fast.phases),
+                identical,
+            });
+        }
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_5.json");
+        let phase_obj = |phases: &[(String, f64)]| -> String {
+            let mut s = String::new();
+            for (i, (name, ms)) in phases.iter().enumerate() {
+                let sep = if i + 1 < phases.len() { "," } else { "" };
+                let _ = write!(s, "\n          \"{name}\": {ms:.3}{sep}");
+            }
+            s
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"tx-tiered\",\n  \"dataset\": \"basket\",\n  \
+             \"baseline\": \"kernel-csr\",\n  \"optimized\": \"kernel-tiered\",\n  \
+             \"items\": {items},\n  \"k\": {k},\n  \"m\": {m},\n  \"seed\": {seed},\n  \
+             \"threads\": {},\n  \"cases\": [",
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let _ = write!(
+                body,
+                "\n    {{\n      \"algorithm\": \"{}\",\n      \"rows\": {},\n      \
+                 \"baseline_ms\": {:.3},\n      \"optimized_ms\": {:.3},\n      \
+                 \"speedup\": {:.3},\n      \"outputs_identical\": {},\n      \
+                 \"baseline_phases_ms\": {{{}\n      }},\n      \
+                 \"optimized_phases_ms\": {{{}\n      }}\n    }}{sep}",
+                c.algorithm,
+                c.rows,
+                c.baseline_ms,
+                c.optimized_ms,
+                c.baseline_ms / c.optimized_ms.max(1e-9),
+                c.identical,
+                phase_obj(&c.baseline_phases),
+                phase_obj(&c.optimized_phases),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        // fail loudly rather than commit a report with a broken shape
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `secreta bench --all`: the cross-layer gate suite. One dataset
+/// size, every kernel the perf work targets (the Cluster relational
+/// hot path, all seven transaction algorithms under the tiered
+/// kernels, the histogram-vectorized GCP), best-of-`--reps` wall
+/// times, written as a schema-versioned [`BenchReport`].
+pub(crate) fn bench_all(args: &Args) -> Result<(), String> {
+    let rows = args.usize_or("rows", 800)?;
+    let k = args.usize_or("k", 10)?;
+    let seed = args.u64_or("seed", 42)?;
+    let reps = args.usize_or("reps", 3)?.max(1);
+    let threads = args.usize_or("threads", 0)?;
+    if threads > 0 {
+        secreta_core::parallel::set_threads(threads);
+    }
+    let gate_pct: f64 = match args.opt("gate-pct") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--gate-pct expects a number, got {v:?}"))?,
+        None => 25.0,
+    };
+    let handicap: usize = match std::env::var(HANDICAP_VAR) {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("{HANDICAP_VAR} expects an integer, got {v:?}"))?;
+            if n > 1 {
+                eprintln!(
+                    "WARNING: {HANDICAP_VAR}={n} multiplies every workload {n}x inside the \
+                     timed region; this run is a gate self-test, NOT a measurement"
+                );
+            }
+            n.max(1)
+        }
+        Err(_) => 1,
+    };
+
+    // ---- setup: everything here stays outside the timed regions ----
+    let rel_table = DatasetSpec::adult_like(rows, seed).generate();
+    let rel_ctx = SessionContext::auto(rel_table, 4).map_err(|e| e.to_string())?;
+    let rel_input = RelationalInput {
+        table: &rel_ctx.table,
+        qi_attrs: rel_ctx.qi_attrs.clone(),
+        hierarchies: rel_ctx.hierarchies.clone(),
+        k,
+    };
+    // a finished Cluster run feeds the metrics/gcp case
+    let rel_out = cluster::anonymize(&rel_input, seed).map_err(|e| e.to_string())?;
+    let fx = TxFixture::build(rows, 80, k, 2, seed)?;
+
+    type CaseFn<'a> = Box<dyn Fn() -> Result<(), String> + 'a>;
+    let mut case_fns: Vec<(String, CaseFn)> = Vec::new();
+    case_fns.push((
+        "rel/cluster".to_owned(),
+        Box::new(|| {
+            let out = cluster::anonymize(&rel_input, seed).map_err(|e| e.to_string())?;
+            std::hint::black_box(out);
+            Ok(())
+        }),
+    ));
+    let fx = &fx;
+    for &name in TX_ALGOS {
+        let id = format!("tx/{}", name.replace('-', "_"));
+        case_fns.push((
+            id,
+            Box::new(move || {
+                let out = fx.run(name, Counting::Kernel)?;
+                std::hint::black_box(out);
+                Ok(())
+            }),
+        ));
+    }
+    case_fns.push((
+        "metrics/gcp".to_owned(),
+        Box::new(|| {
+            // one evaluation is tens of microseconds — far below timer
+            // noise; a fixed inner repeat lifts the case into a range
+            // the regression gate can meaningfully compare
+            for _ in 0..100 {
+                let g = secreta_core::metrics::gcp(&rel_ctx.table, &rel_out.anon, |a| {
+                    rel_ctx.hierarchy_of(a).cloned()
+                });
+                std::hint::black_box(g);
+            }
+            Ok(())
+        }),
+    ));
+
+    println!(
+        "gate suite (rows={rows}, k={k}, seed={seed}, threads={threads}, best of {reps}, \
+         {} cases)",
+        case_fns.len()
+    );
+    let calibration_ms = report::calibrate();
+    println!("  calibration: {calibration_ms:.1}ms");
+
+    let mut cases = Vec::with_capacity(case_fns.len());
+    for (id, f) in &case_fns {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..handicap {
+                f()?;
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("  {id:<14} {best:>10.2}ms");
+        cases.push(BenchCase {
+            id: id.clone(),
+            wall_ms: best,
+            reps,
+        });
+    }
+
+    let new = BenchReport {
+        schema_version: report::SCHEMA_VERSION,
+        suite: "all".to_owned(),
+        rows,
+        seed,
+        threads,
+        machine: report::machine_fingerprint(),
+        calibration_ms,
+        cases,
+    };
+    let path = args.opt("out").unwrap_or("BENCH_ALL.json");
+    let body = serde_json::to_string_pretty(&new)
+        .map_err(|e| format!("internal error: report serialization failed: {e}"))?;
+    std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
+
+    if let Some(base_path) = args.opt("baseline") {
+        let text = std::fs::read_to_string(base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let base: BenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{base_path}: not a bench report: {e}"))?;
+        let deltas = report::compare(&base, &new).map_err(|e| format!("{base_path}: {e}"))?;
+        println!("baseline comparison ({base_path}, gate {gate_pct}%):");
+        println!(
+            "  baseline calibration {:.1}ms, this run {:.1}ms",
+            base.calibration_ms, new.calibration_ms
+        );
+        for d in &deltas {
+            println!(
+                "  {:<14} base {:>9.2}ms  new {:>9.2}ms  normalized delta {:>+7.1}%",
+                d.id, d.base_ms, d.new_ms, d.delta_pct
+            );
+        }
+        let bad = report::regressions(&deltas, gate_pct);
+        if !bad.is_empty() {
+            let list: Vec<String> = bad
+                .iter()
+                .map(|d| format!("{} ({:+.1}%)", d.id, d.delta_pct))
+                .collect();
+            return Err(format!(
+                "perf regression above {gate_pct}%: {} \
+                 (if intentional, regenerate the baseline with \
+                 tools/update_bench_baseline.sh)",
+                list.join(", ")
+            ));
+        }
+        println!("  gate passed: no case regressed more than {gate_pct}%");
+    }
+    Ok(())
+}

@@ -57,7 +57,8 @@ COMMANDS
              [--indicator gcp|are|runtime|phases]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
-  bench      benchmark                  [--suite kernels|store|obsv|tx]
+  bench      benchmark                  [--suite kernels|store|obsv|tx|tiered]
+             | --all [--baseline FILE] [--gate-pct N]
              [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
              [--threads N] [--reps N] [--json] [--out FILE]
   help       this text
@@ -781,17 +782,46 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 ///   interned/parallel support kernels on the basket generator;
 ///   `--json` writes the report to `BENCH_4.json` (override with
 ///   `--out`).
+/// * `--suite tiered` compares the pure-CSR support kernels against
+///   the tiered bitmap/CSR kernels on the same algorithms; `--json`
+///   writes the report to `BENCH_5.json` (override with `--out`).
+/// * `--all` runs the cross-layer gate suite and writes a
+///   schema-versioned report; `--baseline FILE` compares against a
+///   committed report and fails on any case regressing more than
+///   `--gate-pct` percent (default 25). See `crate::bench_all`.
+///
+/// All suites refuse to run while a `SECRETA_FAULTS` plan is active:
+/// injected faults would corrupt the measurements.
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use secreta_core::relational::{cluster, RelationalInput};
     use std::fmt::Write as _;
     use std::time::Instant;
 
+    // benchmarks measure the real code paths; an active fault plan
+    // would inject panics/latency into the timed regions and corrupt
+    // every number, so refuse outright rather than record garbage
+    if std::env::var(secreta_core::faults::ENV_VAR).is_ok_and(|v| !v.is_empty()) {
+        return Err(format!(
+            "refusing to benchmark with {} set: injected faults would corrupt \
+             the timings; unset it and re-run",
+            secreta_core::faults::ENV_VAR
+        ));
+    }
+
+    if args.flag("all") {
+        return crate::bench_all::bench_all(args);
+    }
     match args.opt("suite").unwrap_or("kernels") {
         "kernels" => {}
         "store" => return bench_store(args),
         "obsv" => return bench_obsv(args),
         "tx" => return bench_tx(args),
-        other => return Err(format!("unknown --suite {other:?} (kernels|store|obsv|tx)")),
+        "tiered" => return crate::bench_all::bench_tiered(args),
+        other => {
+            return Err(format!(
+                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered)"
+            ))
+        }
     }
 
     let k = args.usize_or("k", 10)?;

@@ -9,6 +9,7 @@
 //! `3` degraded (a sweep or fsck completed with failures on record).
 
 mod args;
+mod bench_all;
 mod commands;
 mod runs;
 

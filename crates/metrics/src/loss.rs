@@ -33,14 +33,21 @@ pub fn gcp(
     for col in &anon.rel {
         let domain_size = table.domain_size(col.attr);
         let h = hierarchy_of(col.attr);
-        // Per-domain-entry NCP computed once, then folded over cells.
+        // Per-domain-entry NCP computed once. Instead of folding a
+        // float per cell, count cells per domain entry (a
+        // deterministic parallel integer histogram) and take one
+        // weighted sum in entry order — same value regardless of the
+        // thread count, and one multiply-add per *entry* instead of
+        // one add per *cell*.
         let entry_ncp: Vec<f64> = col
             .domain
             .iter()
             .map(|e| e.ncp(domain_size, h.as_ref()))
             .collect();
-        for &c in &col.cells {
-            sum += entry_ncp[c as usize];
+        let hist =
+            secreta_parallel::par_hist(col.cells.len(), entry_ncp.len(), |i| col.cells[i] as usize);
+        for (count, ncp) in hist.into_iter().zip(&entry_ncp) {
+            sum += count as f64 * ncp;
         }
         cells += col.cells.len();
     }
@@ -307,6 +314,49 @@ mod tests {
         assert!(pow2m1(60) > pow2m1(59));
         assert!(pow2m1(100).is_finite());
         assert_eq!(pow2m1(100), pow2m1(61));
+    }
+
+    #[test]
+    fn histogram_gcp_matches_per_cell_fold() {
+        // a table large enough for par_hist to actually shard, with a
+        // skewed cell→entry mapping; the histogram formulation must
+        // match the naive per-cell float fold and be thread-invariant
+        let schema = Schema::new(vec![Attribute::numeric("V")]).unwrap();
+        let mut t = RtTable::new(schema);
+        for i in 0..2000 {
+            t.push_row(&[&format!("{}", i % 10)], &[]).unwrap();
+        }
+        let col = rel_column_from_value_map(&t, 0, |v| {
+            if v.0 < 3 {
+                GenEntry::set(vec![0, 1, 2])
+            } else {
+                GenEntry::set(vec![v.0])
+            }
+        });
+        let a = AnonTable {
+            rel: vec![col.clone()],
+            tx: None,
+            n_rows: 2000,
+        };
+        let naive: f64 = {
+            let domain_size = t.domain_size(0);
+            let entry_ncp: Vec<f64> = col
+                .domain
+                .iter()
+                .map(|e| e.ncp(domain_size, None))
+                .collect();
+            let sum: f64 = col.cells.iter().map(|&c| entry_ncp[c as usize]).sum();
+            sum / col.cells.len() as f64
+        };
+        secreta_parallel::set_threads(1);
+        let seq = gcp(&t, &a, |_| None);
+        assert!((seq - naive).abs() < 1e-12, "seq={seq} naive={naive}");
+        for threads in [2, 8] {
+            secreta_parallel::set_threads(threads);
+            let par = gcp(&t, &a, |_| None);
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
+        secreta_parallel::set_threads(0);
     }
 
     #[test]

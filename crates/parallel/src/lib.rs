@@ -202,6 +202,40 @@ where
     parts
 }
 
+/// Bucketed count of `0..n`: `out[b]` is the number of items `i` with
+/// `bucket_of(i) == b`, for `b < buckets` (out-of-range buckets are
+/// ignored).
+///
+/// Built on [`par_chunks`]: each worker fills a private histogram over
+/// its contiguous item range, and the partials are summed in chunk
+/// order. Histogram addition is associative over row order, so the
+/// result is identical to the sequential scan at every thread count —
+/// the integer backbone the metrics layer uses to vectorize float
+/// accumulations (count per code first, one deterministic weighted sum
+/// after).
+pub fn par_hist<F>(n: usize, buckets: usize, bucket_of: F) -> Vec<u64>
+where
+    F: Fn(usize) -> usize + Sync,
+{
+    let parts = par_chunks(n, MIN_PARALLEL, |lo, hi| {
+        let mut hist = vec![0u64; buckets];
+        for i in lo..hi {
+            let b = bucket_of(i);
+            if b < buckets {
+                hist[b] += 1;
+            }
+        }
+        hist
+    });
+    let mut out = vec![0u64; buckets];
+    for part in parts {
+        for (o, p) in out.iter_mut().zip(part) {
+            *o += p;
+        }
+    }
+    out
+}
+
 /// [`par_map`] without the `MIN_PARALLEL` small-input fallback, for
 /// *coarse-grained* items (e.g. workload queries, each a full table
 /// scan) where even a handful of items outweigh thread-spawn cost.
@@ -371,6 +405,24 @@ mod tests {
             assert_eq!(merged, seq, "threads={threads}");
         }
         set_threads(0);
+    }
+
+    #[test]
+    fn hist_matches_sequential_at_any_thread_count() {
+        let codes: Vec<usize> = (0..4000).map(|i| i * 31 % 17).collect();
+        let mut seq = vec![0u64; 17];
+        for &c in &codes {
+            seq[c] += 1;
+        }
+        for threads in [1usize, 2, 8] {
+            set_threads(threads);
+            let got = par_hist(codes.len(), 17, |i| codes[i]);
+            assert_eq!(got, seq, "threads={threads}");
+        }
+        set_threads(0);
+        // out-of-range buckets are dropped, empty input yields zeros
+        assert_eq!(par_hist(5, 2, |_| 9), vec![0, 0]);
+        assert_eq!(par_hist(0, 3, |i| i), vec![0, 0, 0]);
     }
 
     #[test]

@@ -158,6 +158,7 @@ pub(crate) fn anonymize_rows(
         Counting::Kernel => {
             let index = InvertedIndex::build(table, rows, h.n_leaves(), &relevant);
             let mut stats = KernelStats::default();
+            stats.record_index(&index);
             for i in 1..=m {
                 aa_level_kernel(
                     table, rows, k, i, h, &allowed, &relevant, &index, &mut state, &mut c,

@@ -90,6 +90,9 @@ pub(crate) fn constraint_support(
 /// naive recount (published rows rebuilt and scanned from scratch
 /// every round) or the [`GroupSupportOracle`] answering the same
 /// queries from memoized posting-list unions and intersections.
+// exactly one RoundSupport exists per anonymization round, so the
+// size gap between the variants never multiplies across a collection
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum RoundSupport {
     /// Rebuild-and-scan (the reference implementation).
     Naive {
@@ -113,14 +116,36 @@ impl RoundSupport {
         }
     }
 
-    /// Refresh for a new repair round (the recoding changed).
+    /// Refresh for a new repair round (the recoding changed). The
+    /// oracle keeps its memo across rounds — mutations invalidate
+    /// selectively through [`RoundSupport::note_merge`] /
+    /// [`RoundSupport::note_suppress`] instead.
     pub(crate) fn begin_round(&mut self, table: &RtTable, rows: &[usize], groups: &mut ItemGroups) {
         match self {
             RoundSupport::Naive { rows_pub, sup } => {
                 *rows_pub = published_rows(table, groups, rows);
                 *sup = group_supports(rows_pub);
             }
-            RoundSupport::Kernel(oracle) => oracle.begin_round(),
+            RoundSupport::Kernel(_) => {}
+        }
+    }
+
+    /// The groups rooted at `ra` and `rb` were merged: drop both
+    /// memoized row sets (either root may survive as the union root;
+    /// every other group's member set — and therefore row set — is
+    /// unchanged).
+    pub(crate) fn note_merge(&mut self, ra: u32, rb: u32) {
+        if let RoundSupport::Kernel(oracle) = self {
+            oracle.invalidate_root(ra);
+            oracle.invalidate_root(rb);
+        }
+    }
+
+    /// An item of the group rooted at `root` was suppressed: drop that
+    /// group's memoized row set.
+    pub(crate) fn note_suppress(&mut self, root: u32) {
+        if let RoundSupport::Kernel(oracle) = self {
+            oracle.invalidate_root(root);
         }
     }
 
@@ -248,6 +273,7 @@ pub(crate) fn constrain(
             Some((a, b, _)) => {
                 merges += 1;
                 groups.union(a, b);
+                support.note_merge(a, b);
             }
             None => {
                 // no admissible merge anywhere in the constraint:
@@ -269,7 +295,11 @@ pub(crate) fn constrain(
                 // support is 0 and the outer loop drops the constraint
                 if let Some((_, item)) = victim {
                     suppressions += 1;
+                    // suppression leaves union-find parents untouched,
+                    // so the root is the same before and after
+                    let root = groups.find(item);
                     groups.suppress(item);
+                    support.note_suppress(root);
                 }
             }
         }

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod apriori;
+pub mod bitmap;
 pub mod coat;
 pub mod common;
 pub mod groups;
@@ -38,6 +39,7 @@ pub mod support;
 pub mod verify;
 pub mod vpa;
 
+pub use bitmap::{density_threshold, set_density_threshold, Bitset, RowSet};
 pub use common::{TransactionAlgorithm, TransactionInput, TxError, TxOutput};
 pub use rho::{is_rho_uncertain, RhoParams};
 pub use rho_td::is_rho_uncertain_published;

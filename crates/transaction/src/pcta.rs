@@ -103,6 +103,7 @@ pub(crate) fn cluster_items(
             Some((a, b, _)) => {
                 merges += 1;
                 groups.union(a, b);
+                support.note_merge(a, b);
             }
             None => {
                 // no admissible merge: suppress the rarest live item of
@@ -125,7 +126,11 @@ pub(crate) fn cluster_items(
                 match victim {
                     Some((_, item)) => {
                         suppressions += 1;
+                        // suppression leaves union-find parents
+                        // untouched, so the root is stable
+                        let root = groups.find(item);
                         groups.suppress(item);
+                        support.note_suppress(root);
                     }
                     None => break, // everything relevant suppressed
                 }

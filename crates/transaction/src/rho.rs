@@ -269,13 +269,15 @@ pub fn anonymize_with(
             let mut rc = if vacuous {
                 RuleCounts::default()
             } else {
-                RuleCounts::build(
+                let mut rc = RuleCounts::build(
                     rows.len(),
                     params.max_antecedent,
                     true,
                     |pos, buf| fill_row(&suppressed, pos, buf),
                     is_target,
-                )
+                );
+                rc.stats.record_index(&index);
+                rc
             };
             loop {
                 mining_rounds += 1;

@@ -238,6 +238,9 @@ pub fn anonymize_with(
         Counting::Kernel => Some(InvertedIndex::build(input.table, &rows, universe, |_| true)),
         Counting::Naive => None,
     };
+    if let Some(ix) = &index {
+        stats.record_index(ix);
+    }
     timer.phase("setup");
 
     // Priors first: a sensitive item violating at the fully general

@@ -18,7 +18,13 @@
 //!   once per run. Recoding steps touch few items; the index turns
 //!   "which transactions does this step affect?" and "which rows
 //!   contain this whole image?" into posting-list unions and
-//!   intersections instead of full-table scans.
+//!   intersections instead of full-table scans. The index is
+//!   **tiered** (see [`crate::bitmap`]): items whose postings density
+//!   clears the [`crate::bitmap::density_threshold`] additionally
+//!   carry a word-level [`crate::bitmap::Bitset`], and unions /
+//!   intersections whose estimated result is dense run word-at-a-time
+//!   instead of scalar-wise, with mixed bitmap×CSR intersections
+//!   probing sparse positions against bitmap words.
 //! * [`RowSupport`] / [`RuleCounts`] — **incremental, sharded
 //!   counters** on top of the two: the initial count shards rows
 //!   across `secreta-parallel` workers (per-shard maps merged in fixed
@@ -36,6 +42,7 @@
 //! benchmarking (`secreta bench --suite tx`) and for the agreement
 //! proptests in `tests/kernels.rs`.
 
+use crate::bitmap::{Bitset, RowSet};
 use crate::groups::ItemGroups;
 use secreta_data::hash::{FxHashMap, FxHasher};
 use secreta_data::{ItemId, RtTable};
@@ -76,6 +83,19 @@ pub struct KernelStats {
     pub shard_merges: u64,
     /// Posting-list unions computed through an [`InvertedIndex`].
     pub posting_unions: u64,
+    /// Items that received a dense bitmap at index build time.
+    pub dense_items: u64,
+    /// Items kept on CSR postings alone at index build time.
+    pub sparse_items: u64,
+    /// Unions routed through the dense (bitmap) tier.
+    pub bitmap_unions: u64,
+    /// Intersections with at least one dense operand (word-`AND` or
+    /// bitmap-probe).
+    pub bitmap_intersections: u64,
+    /// Rows-per-item density histogram cached at index build time:
+    /// items (with ≥ 1 posting) whose density is `< 0.1%`, `< 1%`,
+    /// `< 10%`, and `≥ 10%` of the indexed rows.
+    pub density_hist: [u64; 4],
 }
 
 impl KernelStats {
@@ -86,6 +106,23 @@ impl KernelStats {
         self.interned_keys += other.interned_keys;
         self.shard_merges += other.shard_merges;
         self.posting_unions += other.posting_unions;
+        self.dense_items += other.dense_items;
+        self.sparse_items += other.sparse_items;
+        self.bitmap_unions += other.bitmap_unions;
+        self.bitmap_intersections += other.bitmap_intersections;
+        for (h, o) in self.density_hist.iter_mut().zip(other.density_hist) {
+            *h += o;
+        }
+    }
+
+    /// Record the tier split and density histogram of a freshly built
+    /// [`InvertedIndex`] (call once per index build site).
+    pub fn record_index(&mut self, index: &InvertedIndex) {
+        self.dense_items += index.dense_items;
+        self.sparse_items += index.sparse_items;
+        for (h, o) in self.density_hist.iter_mut().zip(index.density_hist) {
+            *h += o;
+        }
     }
 
     /// Flush the totals as `support/*` counters into `recorder`.
@@ -95,6 +132,14 @@ impl KernelStats {
         recorder.count("support/interned_keys", self.interned_keys);
         recorder.count("support/shard_merges", self.shard_merges);
         recorder.count("support/posting_unions", self.posting_unions);
+        recorder.count("support/dense_items", self.dense_items);
+        recorder.count("support/sparse_items", self.sparse_items);
+        recorder.count("support/bitmap_unions", self.bitmap_unions);
+        recorder.count("support/bitmap_intersections", self.bitmap_intersections);
+        recorder.count("support/density_lt_0_1pct", self.density_hist[0]);
+        recorder.count("support/density_lt_1pct", self.density_hist[1]);
+        recorder.count("support/density_lt_10pct", self.density_hist[2]);
+        recorder.count("support/density_ge_10pct", self.density_hist[3]);
     }
 }
 
@@ -294,16 +339,33 @@ pub fn for_each_subset_u32(items: &[u32], size: usize, f: &mut impl FnMut(&[u32]
     rec(items, size, 0, &mut cur, f);
 }
 
-/// CSR inverted index: item id → sorted positions (into the run's row
-/// slice) of the rows whose transaction contains that item.
+/// Tiered CSR inverted index: item id → sorted positions (into the
+/// run's row slice) of the rows whose transaction contains that item,
+/// plus a dense [`Bitset`] tier for hot items (see [`crate::bitmap`]).
 ///
 /// Built once per run over the *original* table — recoding never
 /// changes which raw items a row contains, only their published
-/// images, so the index stays valid for the whole run.
+/// images, so the index stays valid for the whole run. The density
+/// threshold is snapshotted at build time, so a run's tier split is
+/// fixed even if the process-global override changes mid-run.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     offsets: Vec<u32>,
     postings: Vec<u32>,
+    /// Rows the index was built over (the bitmap universe).
+    n_rows: usize,
+    /// Minimum postings length for an item to earn a bitmap; `None`
+    /// when the dense tier is disabled (threshold > 1.0).
+    hot_min: Option<usize>,
+    /// Per-item bitmap, present iff `postings(item).len() >= hot_min`.
+    hot: Vec<Option<Bitset>>,
+    /// Items that received a bitmap at build time.
+    dense_items: u64,
+    /// Indexed items (≥ 1 posting) left on CSR postings alone.
+    sparse_items: u64,
+    /// Build-time rows-per-item density histogram (buckets of
+    /// [`KernelStats::density_hist`]).
+    density_hist: [u64; 4],
 }
 
 impl InvertedIndex {
@@ -341,7 +403,50 @@ impl InvertedIndex {
                 }
             }
         }
-        InvertedIndex { offsets, postings }
+        let n_rows = rows.len();
+        let hot_min = dense_cutoff(n_rows);
+        let mut dense_items = 0u64;
+        let mut sparse_items = 0u64;
+        let mut density_hist = [0u64; 4];
+        let hot: Vec<Option<Bitset>> = (0..universe)
+            .map(|item| {
+                let p = &postings[offsets[item] as usize..offsets[item + 1] as usize];
+                if p.is_empty() {
+                    return None;
+                }
+                let density = p.len() as f64 / n_rows.max(1) as f64;
+                let bucket = if density < 0.001 {
+                    0
+                } else if density < 0.01 {
+                    1
+                } else if density < 0.1 {
+                    2
+                } else {
+                    3
+                };
+                density_hist[bucket] += 1;
+                match hot_min {
+                    Some(min) if p.len() >= min => {
+                        dense_items += 1;
+                        Some(Bitset::from_positions(p, n_rows))
+                    }
+                    _ => {
+                        sparse_items += 1;
+                        None
+                    }
+                }
+            })
+            .collect();
+        InvertedIndex {
+            offsets,
+            postings,
+            n_rows,
+            hot_min,
+            hot,
+            dense_items,
+            sparse_items,
+            density_hist,
+        }
     }
 
     /// Sorted row positions containing `item`.
@@ -355,21 +460,118 @@ impl InvertedIndex {
         self.postings(item).len()
     }
 
+    /// Number of rows the index was built over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The dense-tier bitmap of `item`, if it earned one at build
+    /// time.
+    pub fn hot(&self, item: u32) -> Option<&Bitset> {
+        self.hot.get(item as usize).and_then(Option::as_ref)
+    }
+
     /// Sorted, duplicate-free union of the posting lists of `items`,
-    /// written into `out`.
+    /// written into `out`. When the estimated result is dense the
+    /// union runs through a scratch bitmap (word-`OR` of hot items'
+    /// bitsets, bit-sets for the tail) and is extracted back sorted —
+    /// the output is identical either way.
     pub fn union_into(&self, items: impl IntoIterator<Item = u32>, out: &mut Vec<u32>) {
-        out.clear();
-        for it in items {
+        match self.union_rowset(items, &mut KernelStats::default()) {
+            RowSet::Sparse(v) => *out = v,
+            RowSet::Dense(b) => b.to_sorted(out),
+        }
+    }
+
+    /// Tiered union of the posting lists of `items`: `Dense` when the
+    /// estimated cardinality (sum of postings lengths — an upper
+    /// bound) clears the build-time density cutoff, `Sparse`
+    /// (sort + dedup, the CSR path) otherwise. Both tiers denote the
+    /// same row set. Tier work is tallied into `stats`.
+    pub fn union_rowset(
+        &self,
+        items: impl IntoIterator<Item = u32>,
+        stats: &mut KernelStats,
+    ) -> RowSet {
+        let items: Vec<u32> = items.into_iter().collect();
+        let estimate: usize = items.iter().map(|&it| self.support(it)).sum();
+        if let Some(min) = self.hot_min {
+            if estimate >= min {
+                let mut bits = Bitset::new(self.n_rows);
+                for &it in &items {
+                    match self.hot(it) {
+                        Some(hot) => bits.union_with(hot),
+                        None => bits.insert_all(self.postings(it)),
+                    }
+                }
+                stats.bitmap_unions += 1;
+                return RowSet::Dense(bits);
+            }
+        }
+        let mut out: Vec<u32> = Vec::with_capacity(estimate);
+        for &it in &items {
             out.extend_from_slice(self.postings(it));
         }
         out.sort_unstable();
         out.dedup();
+        RowSet::Sparse(out)
     }
 }
 
+/// The postings length at which an item (or unioned row set) goes
+/// dense for a table of `n_rows`, per the current
+/// [`crate::bitmap::density_threshold`]; `None` when the dense tier is
+/// disabled (threshold above `1.0`).
+fn dense_cutoff(n_rows: usize) -> Option<usize> {
+    let threshold = crate::bitmap::density_threshold();
+    if threshold > 1.0 || n_rows == 0 {
+        return None;
+    }
+    Some(((threshold * n_rows as f64).ceil() as usize).max(1))
+}
+
+/// When the short side of an intersection is at least this many times
+/// shorter than the long side, switch from the linear merge to
+/// galloping (exponential + binary) search over the long side.
+const GALLOP_RATIO: usize = 8;
+
 /// Intersection of two sorted, duplicate-free lists into `out`.
+///
+/// Skew-adaptive: when one list is ≥ `GALLOP_RATIO`× shorter it
+/// gallops — for each short element, an exponential probe from the
+/// current long-side offset finds a bracketing window, then a binary
+/// search lands in it — turning the `O(|a| + |b|)` merge into
+/// `O(|short| · log |long|)`. Balanced lists keep the linear merge.
 pub fn intersect_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.clear();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.len() * GALLOP_RATIO <= long.len() {
+        let mut lo = 0usize;
+        for &x in short {
+            // exponential probe: bracket x in long[lo..] by doubling
+            let mut step = 1usize;
+            let mut hi = lo;
+            while hi < long.len() && long[hi] < x {
+                lo = hi + 1;
+                hi += step;
+                step *= 2;
+            }
+            // the probe may have landed exactly on x — keep index `hi`
+            // inside the binary-search window
+            let hi = (hi + 1).min(long.len());
+            match long[lo..hi].binary_search(&x) {
+                Ok(pos) => {
+                    out.push(x);
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= long.len() {
+                break;
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -648,21 +850,29 @@ impl RuleCounts {
     }
 }
 
-/// Per-round published-support oracle for the hierarchy-free
-/// algorithms (COAT, PCTA).
+/// Published-support oracle for the hierarchy-free algorithms (COAT,
+/// PCTA).
 ///
 /// The published support of a generalized item (a group of original
 /// items) is the number of rows containing at least one live member —
 /// the union of the members' posting lists. A privacy constraint's
 /// support is the intersection of its image groups' row sets. Both are
-/// answered from the [`InvertedIndex`] and memoized per repair round
-/// (a merge or suppression invalidates row sets, so
-/// [`GroupSupportOracle::begin_round`] clears the memo).
+/// answered from the tiered [`InvertedIndex`]: group row sets are
+/// [`RowSet`]s (dense bitmaps once a group covers enough rows —
+/// exactly the groups COAT/PCTA grow largest and query most), and
+/// constraint intersections pick the word-`AND` / bitmap-probe /
+/// galloping path per tier pair.
+///
+/// Memoized row sets survive across repair rounds: a group's row set
+/// is a pure function of its live member set, and the only mutations
+/// the algorithms perform are merging two groups and suppressing one
+/// item — each invalidates the memo of the affected root(s) only
+/// (see [`GroupSupportOracle::invalidate_root`]), so every other
+/// group's cached rows stay valid.
 #[derive(Debug)]
 pub struct GroupSupportOracle {
     index: InvertedIndex,
-    rows_of_root: FxHashMap<u32, Vec<u32>>,
-    scratch: Vec<u32>,
+    rows_of_root: FxHashMap<u32, RowSet>,
     /// Kernel work counters accumulated by this oracle.
     pub stats: KernelStats,
 }
@@ -671,32 +881,42 @@ impl GroupSupportOracle {
     /// Build the oracle's index over `rows` of `table`.
     pub fn new(table: &RtTable, rows: &[usize]) -> GroupSupportOracle {
         let universe = table.item_universe();
+        let index = InvertedIndex::build(table, rows, universe, |_| true);
+        let mut stats = KernelStats::default();
+        stats.record_index(&index);
         GroupSupportOracle {
-            index: InvertedIndex::build(table, rows, universe, |_| true),
+            index,
             rows_of_root: FxHashMap::default(),
-            scratch: Vec::new(),
-            stats: KernelStats::default(),
+            stats,
         }
     }
 
-    /// Invalidate memoized row sets (call after any merge or
-    /// suppression).
+    /// Invalidate every memoized row set. Kept for callers that mutate
+    /// groups without telling the oracle which roots changed;
+    /// [`GroupSupportOracle::invalidate_root`] is the cheap path.
     pub fn begin_round(&mut self) {
         self.rows_of_root.clear();
+    }
+
+    /// Drop the memoized row set of one root. Call with both former
+    /// roots after a merge (either may survive as the union root) and
+    /// with the suppressed item's root after a suppression; all other
+    /// memo entries remain valid.
+    pub fn invalidate_root(&mut self, root: u32) {
+        self.rows_of_root.remove(&root);
     }
 
     fn ensure_rows(&mut self, groups: &mut ItemGroups, root: u32) {
         if self.rows_of_root.contains_key(&root) {
             return;
         }
-        let mut rows: Vec<u32> = Vec::new();
-        for &member in groups.members_of_root(root) {
-            if !groups.is_suppressed(member) {
-                rows.extend_from_slice(self.index.postings(member));
-            }
-        }
-        rows.sort_unstable();
-        rows.dedup();
+        let live = groups
+            .members_of_root(root)
+            .iter()
+            .copied()
+            .filter(|&m| !groups.is_suppressed(m))
+            .collect::<Vec<u32>>();
+        let rows = self.index.union_rowset(live, &mut self.stats);
         self.stats.posting_unions += 1;
         self.rows_of_root.insert(root, rows);
     }
@@ -722,17 +942,53 @@ impl GroupSupportOracle {
         for &g in &image {
             self.ensure_rows(groups, g);
         }
-        // intersect smallest-first
-        image.sort_by_key(|g| self.rows_of_root[g].len());
-        let mut cur: Vec<u32> = self.rows_of_root[&image[0]].clone();
-        for g in &image[1..] {
-            intersect_sorted(&cur, &self.rows_of_root[g], &mut self.scratch);
-            std::mem::swap(&mut cur, &mut self.scratch);
-            if cur.is_empty() {
-                break;
+        // intersect smallest-first: cache cardinalities once (a dense
+        // set's len is a popcount) and keep the order deterministic by
+        // breaking length ties on the root id
+        let mut by_len: Vec<(usize, u32)> = image
+            .iter()
+            .map(|&g| (self.rows_of_root[&g].len(), g))
+            .collect();
+        by_len.sort_unstable();
+        // only the cardinality is published, so the final pairing is
+        // counted without materializing its intersection — the 1- and
+        // 2-group images that dominate real policies never clone a
+        // row set at all
+        let mut bitmap_ops = 0u64;
+        let support = {
+            let rows = &self.rows_of_root;
+            match by_len.as_slice() {
+                [(len, _)] => *len,
+                [(_, a), (_, b)] => {
+                    let (a, b) = (&rows[a], &rows[b]);
+                    bitmap_ops += (a.is_dense() || b.is_dense()) as u64;
+                    a.intersect_len(b)
+                }
+                [(_, first), mids @ .., (_, last)] => {
+                    let mut cur = rows[first].clone();
+                    let mut emptied = false;
+                    for (_, g) in mids {
+                        let next = &rows[g];
+                        bitmap_ops += (cur.is_dense() || next.is_dense()) as u64;
+                        cur = cur.intersect(next);
+                        if cur.is_empty() {
+                            emptied = true;
+                            break;
+                        }
+                    }
+                    if emptied {
+                        0
+                    } else {
+                        let last = &rows[last];
+                        bitmap_ops += (cur.is_dense() || last.is_dense()) as u64;
+                        cur.intersect_len(last)
+                    }
+                }
+                [] => unreachable!("constraint image is non-empty"),
             }
-        }
-        cur.len() as u32
+        };
+        self.stats.bitmap_intersections += bitmap_ops;
+        support as u32
     }
 }
 
@@ -830,11 +1086,71 @@ mod tests {
     }
 
     #[test]
+    fn tiered_union_matches_csr_union() {
+        let _serial = crate::bitmap::TEST_THRESHOLD_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // force every non-empty item dense, then fully sparse, and
+        // check union_into is byte-identical in both regimes
+        let t = tiny_table(&[&["a", "b"], &["b"], &["b", "c"], &["a", "b"]]);
+        let rows: Vec<usize> = (0..t.n_rows()).collect();
+        let a = t.item_pool().unwrap().get("a").unwrap();
+        let b = t.item_pool().unwrap().get("b").unwrap();
+        let c = t.item_pool().unwrap().get("c").unwrap();
+
+        crate::bitmap::set_density_threshold(Some(0.0));
+        let dense_idx = InvertedIndex::build(&t, &rows, t.item_universe(), |_| true);
+        assert!(dense_idx.hot(b).is_some());
+        crate::bitmap::set_density_threshold(Some(2.0));
+        let sparse_idx = InvertedIndex::build(&t, &rows, t.item_universe(), |_| true);
+        assert!(sparse_idx.hot(b).is_none());
+        crate::bitmap::set_density_threshold(None);
+
+        for items in [vec![a], vec![a, c], vec![a, b, c], vec![]] {
+            let (mut lhs, mut rhs) = (Vec::new(), Vec::new());
+            dense_idx.union_into(items.iter().copied(), &mut lhs);
+            sparse_idx.union_into(items.iter().copied(), &mut rhs);
+            assert_eq!(lhs, rhs, "items={items:?}");
+        }
+        // density histogram counted each non-empty item exactly once
+        assert_eq!(dense_idx.density_hist.iter().sum::<u64>(), 3);
+        assert_eq!(dense_idx.dense_items, 3);
+        assert_eq!(sparse_idx.sparse_items, 3);
+    }
+
+    #[test]
     fn intersect_sorted_basics() {
         let mut out = Vec::new();
         intersect_sorted(&[1, 3, 5, 7], &[2, 3, 7, 9], &mut out);
         assert_eq!(out, vec![3, 7]);
         intersect_sorted(&[], &[1], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_skewed_lists_gallop() {
+        // long side ≥ 8× the short side in every case below, so the
+        // galloping path is exercised (either argument order)
+        let long: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        let mut out = Vec::new();
+        // hits at both ends, a middle hit, and misses between
+        intersect_sorted(&[0, 7, 300, 597], &long, &mut out);
+        assert_eq!(out, vec![0, 300, 597]);
+        intersect_sorted(&long, &[0, 7, 300, 597], &mut out);
+        assert_eq!(out, vec![0, 300, 597]);
+        // short list entirely past the long list's range
+        intersect_sorted(&[1000, 2000], &long, &mut out);
+        assert!(out.is_empty());
+        // short list entirely before it
+        intersect_sorted(&long, &[1, 2], &mut out);
+        assert!(out.is_empty());
+        // every short element present (consecutive long elements)
+        intersect_sorted(&[3, 6, 9], &long, &mut out);
+        assert_eq!(out, vec![3, 6, 9]);
+        // single-element short side
+        intersect_sorted(&[300], &long, &mut out);
+        assert_eq!(out, vec![300]);
+        intersect_sorted(&[301], &long, &mut out);
         assert!(out.is_empty());
     }
 
@@ -910,6 +1226,29 @@ mod tests {
             for (key, &count) in &naive {
                 prop_assert_eq!(kernel.get(key), Some(count));
             }
+        }
+
+        /// The skew-adaptive intersection agrees with a reference
+        /// linear merge for arbitrary (including heavily skewed)
+        /// sorted inputs.
+        #[test]
+        fn galloping_intersection_matches_linear(
+            short_raw in prop::collection::vec(0u32..4000, 0..12),
+            long_raw in prop::collection::vec(0u32..4000, 0..600),
+        ) {
+            let mut short = short_raw;
+            short.sort_unstable();
+            short.dedup();
+            let mut long = long_raw;
+            long.sort_unstable();
+            long.dedup();
+            let expect: Vec<u32> =
+                short.iter().copied().filter(|x| long.contains(x)).collect();
+            let mut out = Vec::new();
+            intersect_sorted(&short, &long, &mut out);
+            prop_assert_eq!(&out, &expect);
+            intersect_sorted(&long, &short, &mut out);
+            prop_assert_eq!(&out, &expect);
         }
 
         /// Sharded RowSupport::build equals the sequential count for

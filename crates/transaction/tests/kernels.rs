@@ -8,8 +8,14 @@ use proptest::test_runner::TestCaseError;
 use secreta_data::{Attribute, AttributeKind, ItemId, RtTable, Schema};
 use secreta_hierarchy::auto_hierarchy;
 use secreta_transaction::{
-    apriori, coat, lra, pcta, rho, rho_td, vpa, RhoParams, TransactionInput, TxError, TxOutput,
+    apriori, coat, lra, pcta, rho, rho_td, set_density_threshold, vpa, RhoParams, TransactionInput,
+    TxError, TxOutput,
 };
+use std::sync::Mutex;
+
+/// Tests here mutate process-global knobs (thread cap, bitmap density
+/// threshold); they take this lock so the mutations never interleave.
+static GLOBALS: Mutex<()> = Mutex::new(());
 
 fn build_table(rows: &[Vec<usize>], universe: usize) -> RtTable {
     let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
@@ -128,6 +134,85 @@ proptest! {
     }
 }
 
+/// Rows with two forced hot items — item 0 in every transaction and
+/// item 1 in every other one — on top of a random sparse tail, so a
+/// low density threshold puts both tiers in one table.
+fn both_tier_rows(tail: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    tail.iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut row = vec![0usize];
+            if i % 2 == 0 {
+                row.push(1);
+            }
+            row.extend(t.iter().map(|&v| 2 + v));
+            row
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kernel-vs-naive agreement with the density threshold forced
+    /// low enough that the hot items go dense while the random tail
+    /// stays on CSR postings: every algorithm must produce identical
+    /// output with mixed bitmap×CSR row sets in play.
+    #[test]
+    fn kernels_agree_with_both_tiers_forced(
+        tail in prop::collection::vec(prop::collection::vec(0usize..24, 0..5), 8..40),
+        k in 2usize..5,
+    ) {
+        use secreta_transaction::Counting::{Kernel, Naive};
+        let _serial = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = both_tier_rows(&tail);
+        let t = build_table(&rows, 26);
+        let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 3)
+            .unwrap();
+        // items 0/1 clear 5% density by construction; singleton tail
+        // items (1 posting in ≥ 8 rows) stay sparse
+        set_density_threshold(Some(0.05));
+        let km = TransactionInput::km(&t, k, 2, &h);
+        let plain = TransactionInput {
+            table: &t,
+            k,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let params = RhoParams {
+            rho: 0.5,
+            sensitive: vec![ItemId(0), ItemId(2)],
+            max_antecedent: 2,
+        };
+        let rho_in = TransactionInput {
+            table: &t,
+            k: 1,
+            m: 1,
+            hierarchy: None,
+            privacy: None,
+            utility: None,
+        };
+        let td = TransactionInput::km(&t, 1, 1, &h);
+        let checks = [
+            ("apriori", apriori::anonymize_with(&km, Kernel), apriori::anonymize_with(&km, Naive)),
+            ("lra", lra::anonymize_with(&km, 2, Kernel), lra::anonymize_with(&km, 2, Naive)),
+            ("vpa", vpa::anonymize_with(&km, 3, Kernel), vpa::anonymize_with(&km, 3, Naive)),
+            ("coat", coat::anonymize_with(&plain, Kernel), coat::anonymize_with(&plain, Naive)),
+            ("pcta", pcta::anonymize_with(&plain, Kernel), pcta::anonymize_with(&plain, Naive)),
+            ("rho", rho::anonymize_with(&rho_in, &params, Kernel),
+                rho::anonymize_with(&rho_in, &params, Naive)),
+            ("rho_td", rho_td::anonymize_with(&td, &params, Kernel),
+                rho_td::anonymize_with(&td, &params, Naive)),
+        ];
+        set_density_threshold(None);
+        for (label, fast, base) in checks {
+            agree(label, fast, base)?;
+        }
+    }
+}
+
 /// Deterministic skewed basket table, large enough to shard
 /// (`support::MIN_ROWS_PER_SHARD` is 128).
 fn demo_table(n_rows: usize, universe: usize, max_items: u64) -> RtTable {
@@ -163,6 +248,7 @@ fn demo_table(n_rows: usize, universe: usize, max_items: u64) -> RtTable {
 /// process-global, so the sweep must not interleave with itself.
 #[test]
 fn outputs_invariant_under_thread_count() {
+    let _serial = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
     let t = demo_table(700, 40, 4);
     let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
     let km = TransactionInput::km(&t, 10, 2, &h);
@@ -218,4 +304,49 @@ fn outputs_invariant_under_thread_count() {
         }
     }
     secreta_parallel::set_threads(0); // restore the default cap
+}
+
+/// The tiered path specifically — density threshold forced low enough
+/// that the skewed table's frequent items (and the merged groups
+/// COAT/PCTA build) go dense — must stay byte-identical at 1/2/8
+/// threads: the chunked popcount merges are the only place threading
+/// touches the dense tier.
+#[test]
+fn tiered_outputs_invariant_under_thread_count() {
+    let _serial = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(700, 40, 4);
+    let h = auto_hierarchy(t.item_pool().unwrap(), AttributeKind::Categorical, 2).unwrap();
+    let km = TransactionInput::km(&t, 10, 2, &h);
+    let plain = TransactionInput {
+        table: &t,
+        k: 10,
+        m: 1,
+        hierarchy: None,
+        privacy: None,
+        utility: None,
+    };
+    set_density_threshold(Some(0.01));
+    type Run<'a> = (&'a str, Box<dyn Fn() -> secreta_metrics::AnonTable + 'a>);
+    let algos: Vec<Run> = vec![
+        (
+            "apriori",
+            Box::new(|| apriori::anonymize(&km).unwrap().anon),
+        ),
+        ("coat", Box::new(|| coat::anonymize(&plain).unwrap().anon)),
+        ("pcta", Box::new(|| pcta::anonymize(&plain).unwrap().anon)),
+    ];
+    for (name, run) in &algos {
+        secreta_parallel::set_threads(1);
+        let sequential = run();
+        for threads in [2, 8] {
+            secreta_parallel::set_threads(threads);
+            let parallel = run();
+            assert_eq!(
+                parallel, sequential,
+                "{name} (tiered) differs at {threads} threads"
+            );
+        }
+    }
+    secreta_parallel::set_threads(0);
+    set_density_threshold(None);
 }

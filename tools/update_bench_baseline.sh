@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerate the committed perf-gate baseline (benches/baseline.json).
+#
+# Run this after an INTENTIONAL performance change, from an otherwise
+# idle machine, and commit the result together with the change. The
+# parameters below must stay in lockstep with the perf-gate job in
+# .github/workflows/ci.yml — `secreta bench --all --baseline` refuses
+# to compare reports measured under different parameters.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ -n "${SECRETA_FAULTS:-}" ]; then
+    echo "error: unset SECRETA_FAULTS before regenerating the baseline" >&2
+    exit 2
+fi
+if [ -n "${SECRETA_BENCH_HANDICAP:-}" ]; then
+    echo "error: unset SECRETA_BENCH_HANDICAP before regenerating the baseline" >&2
+    exit 2
+fi
+
+cargo build --release -p secreta-cli
+./target/release/secreta bench --all --rows 800 --reps 3 --threads 2 \
+    --out benches/baseline.json
+echo "wrote benches/baseline.json — commit it with the change that moved the numbers"
