@@ -26,8 +26,10 @@ secreta — evaluate and compare relational & transaction anonymization algorith
 USAGE: secreta <command> [dataset.csv] [--options]
 
 COMMANDS
-  generate   synthesize a dataset       --kind adult|basket|census --rows N
-             [--items N] [--seed S] --out FILE
+  generate   synthesize a dataset       --kind adult|basket|census|adversarial
+             --rows N [--items N] [--seed S] --out FILE
+             (adversarial: [--correlation C] [--item-skew head|tail]
+              [--outlier-fraction F])
   info       dataset summary            DATA [--tx COL]
   histogram  attribute histogram        DATA --attr NAME [--top N] [--tx COL]
   hierarchy  derive a hierarchy         DATA --attr NAME|--items [--fanout F]
@@ -54,10 +56,12 @@ COMMANDS
   runs       run-store management       list|show KEY|chart|gc|resume [ID]
              |fsck [--repair]
              [--store-dir DIR] [--all]
-             [--indicator gcp|are|runtime|phases]
+             [--indicator gcp|are|runtime|prosecutor|uniqueness
+              |violations|phases]
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
-  bench      benchmark                  [--suite kernels|store|obsv|tx|tiered]
+  bench      benchmark                  [--suite kernels|store|obsv|tx|tiered
+             |risk]
              | --all [--baseline FILE] [--gate-pct N]
              [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
              [--threads N] [--reps N] [--json] [--out FILE]
@@ -187,7 +191,32 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         "adult" => DatasetSpec::adult_like(rows, seed),
         "basket" => DatasetSpec::basket(rows, args.usize_or("items", 100)?, seed),
         "census" => DatasetSpec::census(rows, seed),
-        other => return Err(format!("unknown --kind {other:?}")),
+        "adversarial" => {
+            let mut spec = DatasetSpec::adversarial(rows, seed);
+            if let Some(c) = args.opt("correlation") {
+                spec.qi_correlation = c
+                    .parse::<f64>()
+                    .map_err(|_| format!("--correlation {c:?} is not a number"))?;
+            }
+            if let Some(shape) = args.opt("item-skew") {
+                spec.item_shape = match shape {
+                    "head" => secreta_core::gen::ItemShape::Head,
+                    "tail" => secreta_core::gen::ItemShape::Tail,
+                    other => return Err(format!("unknown --item-skew {other:?} (head|tail)")),
+                };
+            }
+            if let Some(f) = args.opt("outlier-fraction") {
+                spec.outlier_fraction = f
+                    .parse::<f64>()
+                    .map_err(|_| format!("--outlier-fraction {f:?} is not a number"))?;
+            }
+            spec
+        }
+        other => {
+            return Err(format!(
+                "unknown --kind {other:?} (adult|basket|census|adversarial)"
+            ))
+        }
     };
     let table = spec.generate();
     let opts = csv_opts_for(&table);
@@ -472,6 +501,58 @@ pub(crate) fn print_indicators(label: &str, ind: &secreta_core::Indicators) {
         ind.runtime_ms,
         ind.verified
     );
+    if let Some(risk) = &ind.risk {
+        let mut parts = Vec::new();
+        if let Some(rel) = &risk.rel {
+            parts.push(format!(
+                "prosecutor={:.4} journalist={:.4} atRisk={:.4}",
+                rel.max_prosecutor, rel.max_journalist, rel.at_risk_fraction
+            ));
+        }
+        if let Some(tx) = &risk.tx {
+            let unique: Vec<String> = tx
+                .per_m
+                .iter()
+                .map(|p| format!("m{}={:.4}", p.m, p.unique_fraction))
+                .collect();
+            parts.push(format!("unique[{}]", unique.join(" ")));
+        }
+        parts.push(format!(
+            "audit={} {}",
+            risk.audit.guarantee,
+            if risk.audit.passed {
+                "pass".to_owned()
+            } else {
+                format!("FAIL({} violations)", risk.audit.violations)
+            }
+        ));
+        println!("{label} risk: {}", parts.join(" "));
+    }
+}
+
+/// Scalar indicator accessors shared by the sweep charts of
+/// `evaluate`, `compare` and `runs chart`. Risk keys read 0 when the
+/// block is absent (runs stored before schema 4) or the output lacks
+/// that side; `uniqueness` is the unique fraction at the largest
+/// evaluated adversary knowledge size.
+pub(crate) fn indicator_scalar(key: &str, i: &secreta_core::Indicators) -> f64 {
+    match key {
+        "gcp" => i.gcp,
+        "are" => i.are,
+        "prosecutor" => i
+            .risk
+            .as_ref()
+            .and_then(|r| r.rel.as_ref())
+            .map_or(0.0, |r| r.max_prosecutor),
+        "uniqueness" => i
+            .risk
+            .as_ref()
+            .and_then(|r| r.tx.as_ref())
+            .and_then(|t| t.per_m.last())
+            .map_or(0.0, |p| p.unique_fraction),
+        "violations" => i.risk.as_ref().map_or(0.0, |r| r.audit.violations as f64),
+        _ => i.runtime_ms,
+    }
 }
 
 /// Observability settings from `--trace-out` (and, for `profile`,
@@ -607,7 +688,13 @@ fn cmd_evaluate(args: &Args) -> Result<i32, String> {
                     Err(e) => println!("{}={v}: failed: {e}", sweep.param.label()),
                 }
             }
-            let charts = [("ARE", "are"), ("GCP", "gcp"), ("runtime (ms)", "runtime")];
+            let charts = [
+                ("ARE", "are"),
+                ("GCP", "gcp"),
+                ("runtime (ms)", "runtime"),
+                ("max prosecutor risk", "prosecutor"),
+                ("unique fraction", "uniqueness"),
+            ];
             for (ylabel, key) in charts {
                 let chart = secreta_core::sweep::chart_of(
                     format!("{} vs {}", ylabel, sweep.param.label()),
@@ -615,11 +702,7 @@ fn cmd_evaluate(args: &Args) -> Result<i32, String> {
                     &sweep,
                     spec.label(),
                     &points,
-                    |i| match key {
-                        "are" => i.are,
-                        "gcp" => i.gcp,
-                        _ => i.runtime_ms,
-                    },
+                    |i| indicator_scalar(key, i),
                 );
                 if args.flag("ascii") {
                     print!("{}", export::terminal_xy(&chart));
@@ -718,12 +801,14 @@ fn cmd_compare(args: &Args) -> Result<i32, String> {
         ("ARE comparison", "ARE", "are"),
         ("GCP comparison", "GCP", "gcp"),
         ("Runtime comparison", "runtime (ms)", "runtime"),
+        (
+            "Prosecutor-risk comparison",
+            "max prosecutor risk",
+            "prosecutor",
+        ),
+        ("Uniqueness comparison", "unique fraction", "uniqueness"),
     ] {
-        let chart = result.chart(title, ylabel, |i| match key {
-            "are" => i.are,
-            "gcp" => i.gcp,
-            _ => i.runtime_ms,
-        });
+        let chart = result.chart(title, ylabel, |i| indicator_scalar(key, i));
         if args.flag("ascii") {
             print!("{}", export::terminal_xy(&chart));
         }
@@ -785,6 +870,11 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 /// * `--suite tiered` compares the pure-CSR support kernels against
 ///   the tiered bitmap/CSR kernels on the same algorithms; `--json`
 ///   writes the report to `BENCH_5.json` (override with `--out`).
+/// * `--suite risk` times the attack-side evaluation (m-item adversary
+///   on the tiered kernels vs the O(n²) oracle, capped to small row
+///   counts) against the anonymization it audits, on the adversarial
+///   generator; `--json` writes the report to `BENCH_6.json` (override
+///   with `--out`).
 /// * `--all` runs the cross-layer gate suite and writes a
 ///   schema-versioned report; `--baseline FILE` compares against a
 ///   committed report and fails on any case regressing more than
@@ -817,9 +907,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "obsv" => return bench_obsv(args),
         "tx" => return bench_tx(args),
         "tiered" => return crate::bench_all::bench_tiered(args),
+        "risk" => return bench_risk(args),
         other => {
             return Err(format!(
-                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered)"
+                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk)"
             ))
         }
     }
@@ -1106,6 +1197,148 @@ fn bench_tx(args: &Args) -> Result<(), String> {
         }
         body.push_str("\n  ]\n}\n");
         // fail loudly rather than commit a report with a broken shape
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The risk suite: is attack-side evaluation cheap enough to run on
+/// every anonymization? For each row count the adversarial generator
+/// produces a table, apriori anonymizes it (k^m, tiered kernels), and
+/// the full risk block (relational + m-item adversary + audit) is
+/// timed with the tiered kernel path. Up to `--naive-cap` rows
+/// (default 2000) the O(n²) oracle also runs and its indicators are
+/// compared byte-for-byte — `"outputs_identical": false` in the report
+/// is a correctness failure, not a perf number.
+fn bench_risk(args: &Args) -> Result<(), String> {
+    use secreta_core::risk::{self, Guarantee, RiskParams};
+    use secreta_core::transaction::{self as tx, Counting, TransactionInput};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let k = args.usize_or("k", 10)?;
+    let m = args.usize_or("m", 2)?;
+    let seed = args.u64_or("seed", 42)?;
+    let naive_cap = args.usize_or("naive-cap", 2000)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    struct Case {
+        rows: usize,
+        anonymize_ms: f64,
+        risk_kernel_ms: f64,
+        naive: Option<(f64, bool)>,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+
+    println!("risk evaluation benchmark (adversarial, k={k}, m={m}, seed={seed})");
+    for &n in &rows {
+        let table = DatasetSpec::adversarial(n, seed).generate();
+        let ctx = SessionContext::auto(table, 4).map_err(|e| e.to_string())?;
+        let h = ctx
+            .item_hierarchy
+            .as_ref()
+            .ok_or("adversarial dataset has no item universe")?;
+        let km = TransactionInput::km(&ctx.table, k, m, h);
+
+        let t0 = Instant::now();
+        let out = tx::apriori::anonymize(&km).map_err(|e| e.to_string())?;
+        let anonymize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let guarantee = Guarantee::KmAnonymity { k, m };
+        let params = RiskParams::default();
+        let t1 = Instant::now();
+        let kernel = risk::evaluate(
+            &ctx.table,
+            &out.anon,
+            Some(h),
+            None,
+            &guarantee,
+            &params,
+            Counting::Kernel,
+        );
+        let risk_kernel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let naive = if n <= naive_cap {
+            let t2 = Instant::now();
+            let slow = risk::evaluate(
+                &ctx.table,
+                &out.anon,
+                Some(h),
+                None,
+                &guarantee,
+                &params,
+                Counting::Naive,
+            );
+            Some((t2.elapsed().as_secs_f64() * 1e3, slow == kernel))
+        } else {
+            None
+        };
+
+        println!(
+            "  n={n:<7} anonymize {anonymize_ms:>9.1}ms  risk(kernel) {risk_kernel_ms:>8.1}ms \
+             ({:.1}% of anonymize){}",
+            100.0 * risk_kernel_ms / anonymize_ms.max(1e-9),
+            match naive {
+                Some((ms, same)) => format!("  risk(naive) {ms:>8.1}ms  outputs identical: {same}"),
+                None => format!("  (oracle skipped above --naive-cap {naive_cap})"),
+            }
+        );
+        cases.push(Case {
+            rows: n,
+            anonymize_ms,
+            risk_kernel_ms,
+            naive,
+        });
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_6.json");
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"risk-eval\",\n  \"dataset\": \"adversarial\",\n  \
+             \"k\": {k},\n  \"m\": {m},\n  \"seed\": {seed},\n  \"naive_cap\": {naive_cap},\n  \
+             \"threads\": {},\n  \"cases\": [",
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let naive_fields = match c.naive {
+                Some((ms, same)) => format!(
+                    ",\n      \"risk_naive_ms\": {ms:.3},\n      \"outputs_identical\": {same}"
+                ),
+                None => String::new(),
+            };
+            let _ = write!(
+                body,
+                "\n    {{\n      \"rows\": {},\n      \"anonymize_ms\": {:.3},\n      \
+                 \"risk_kernel_ms\": {:.3},\n      \
+                 \"risk_fraction_of_anonymize\": {:.4}{naive_fields}\n    }}{sep}",
+                c.rows,
+                c.anonymize_ms,
+                c.risk_kernel_ms,
+                c.risk_kernel_ms / c.anonymize_ms.max(1e-9),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
         serde_json::parse_value(&body)
             .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;

@@ -180,21 +180,20 @@ fn cmd_chart(args: &Args) -> Result<(), String> {
         }
         return Ok(());
     }
-    let pick: fn(&secreta_core::Indicators) -> f64 = match indicator {
-        "gcp" => |i| i.gcp,
-        "are" => |i| i.are,
-        "runtime" => |i| i.runtime_ms,
+    match indicator {
+        "gcp" | "are" | "runtime" | "prosecutor" | "uniqueness" | "violations" => {}
         other => {
             return Err(format!(
-                "unknown --indicator {other:?} (gcp|are|runtime|phases)"
+                "unknown --indicator {other:?} \
+                 (gcp|are|runtime|prosecutor|uniqueness|violations|phases)"
             ))
         }
-    };
+    }
     let chart = export::chart_from_manifests(
         &manifests,
         format!("{indicator} from stored runs"),
         indicator,
-        pick,
+        |i| crate::commands::indicator_scalar(indicator, i),
     );
     if chart.series.is_empty() {
         return Err("no stored run carries a sweep point to plot".into());

@@ -245,7 +245,9 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
 
     let indicators = {
         let _span = recorder.span("metrics");
-        compute_indicators(ctx, &anon, &phases, verified)
+        let mut ind = compute_indicators(ctx, &anon, &phases, verified);
+        ind.risk = Some(compute_risk(ctx, spec, &anon, verified));
+        ind
     };
     let profile = recorder.finish(&spec.label());
     Ok(RunResult {
@@ -365,7 +367,63 @@ pub fn compute_indicators(
         avg_class_size: loss::average_class_size(anon),
         runtime_ms: phases.total().as_secs_f64() * 1e3,
         verified,
+        risk: None,
     }
+}
+
+/// Attack the anonymized output with the adversary models of
+/// `secreta-risk`: prosecutor/journalist re-identification over the
+/// relational classes, the m-item background-knowledge adversary over
+/// the transaction part, and a violation-counting audit of the
+/// guarantee `spec` claims. `verified` feeds the ρ-uncertainty audit,
+/// which reports the verifier's verdict rather than re-mining rules.
+pub fn compute_risk(
+    ctx: &SessionContext,
+    spec: &MethodSpec,
+    anon: &AnonTable,
+    verified: bool,
+) -> secreta_metrics::RiskIndicators {
+    use secreta_risk::Guarantee;
+    let guarantee = match spec {
+        MethodSpec::Relational { k, .. } => Guarantee::KAnonymity { k: *k },
+        MethodSpec::Transaction { algo, k, m } => match algo {
+            crate::config::TxAlgo::Coat | crate::config::TxAlgo::Pcta => {
+                Guarantee::Policy { k: *k }
+            }
+            other => Guarantee::KmAnonymity {
+                k: *k,
+                m: effective_m(*other, *m),
+            },
+        },
+        MethodSpec::Rt { tx, k, m, .. } => Guarantee::KKmAnonymity {
+            k: *k,
+            m: effective_m(*tx, *m),
+        },
+        MethodSpec::Rho { rho, .. } => Guarantee::RhoUncertainty {
+            rho: *rho,
+            satisfied: verified,
+        },
+    };
+    // COAT/PCTA without an explicit policy protect every item (the
+    // same default `verify_transaction` audits against)
+    let default_policy;
+    let privacy = match (&guarantee, &ctx.privacy) {
+        (Guarantee::Policy { .. }, Some(p)) => Some(p),
+        (Guarantee::Policy { .. }, None) => {
+            default_policy = PrivacyPolicy::all_items(&ctx.table);
+            Some(&default_policy)
+        }
+        _ => ctx.privacy.as_ref(),
+    };
+    secreta_risk::evaluate(
+        &ctx.table,
+        anon,
+        ctx.item_hierarchy.as_ref(),
+        privacy,
+        &guarantee,
+        &secreta_risk::RiskParams::default(),
+        secreta_transaction::Counting::Kernel,
+    )
 }
 
 #[cfg(test)]
@@ -426,6 +484,81 @@ mod tests {
         assert!(out.indicators.gcp > 0.0, "some relational loss expected");
         assert!(out.indicators.runtime_ms > 0.0);
         assert!(!out.phases.phases.is_empty());
+    }
+
+    #[test]
+    fn runs_carry_the_risk_block() {
+        let ctx = rt_ctx();
+        // relational: prosecutor risk over classes of size ≥ k, audit
+        // against k-anonymity
+        let rel = run(
+            &ctx,
+            &MethodSpec::Relational {
+                algo: RelAlgo::Cluster,
+                k: 5,
+            },
+            1,
+        )
+        .unwrap();
+        let risk = rel.indicators.risk.as_ref().unwrap();
+        let r = risk.rel.as_ref().unwrap();
+        assert!(r.max_prosecutor <= 1.0 / 5.0, "verified k=5 caps 1/|EC|");
+        assert!(risk.audit.passed);
+        assert_eq!(risk.audit.guarantee, "k-anonymity(k=5)");
+
+        // transaction: m-item uniqueness for m = 1..=3, k^m audit
+        let tx = run(
+            &ctx,
+            &MethodSpec::Transaction {
+                algo: TxAlgo::Apriori,
+                k: 3,
+                m: 2,
+            },
+            1,
+        )
+        .unwrap();
+        let risk = tx.indicators.risk.as_ref().unwrap();
+        let per_m = &risk.tx.as_ref().unwrap().per_m;
+        assert_eq!(per_m.iter().map(|p| p.m).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // a verified k^2 output leaves no candidate set under 3 at m ≤ 2
+        assert!(per_m[1].min_candidates == 0 || per_m[1].min_candidates >= 3);
+        assert_eq!(per_m[1].unique_fraction, 0.0);
+        assert!(risk.audit.passed);
+        assert_eq!(risk.audit.guarantee, "k^m-anonymity(k=3,m=2)");
+
+        // COAT audits its policy, not k^m
+        let coat = run(
+            &ctx,
+            &MethodSpec::Transaction {
+                algo: TxAlgo::Coat,
+                k: 3,
+                m: 2,
+            },
+            1,
+        )
+        .unwrap();
+        let risk = coat.indicators.risk.as_ref().unwrap();
+        assert!(risk.audit.passed);
+        assert_eq!(risk.audit.guarantee, "privacy-policy(k=3)");
+
+        // RT: both sides present
+        let rt = run(
+            &ctx,
+            &MethodSpec::Rt {
+                rel: RelAlgo::Cluster,
+                tx: TxAlgo::Apriori,
+                bounding: Bounding::RMerge,
+                k: 4,
+                m: 2,
+                delta: 2,
+            },
+            1,
+        )
+        .unwrap();
+        let risk = rt.indicators.risk.as_ref().unwrap();
+        assert!(risk.rel.is_some() && risk.tx.is_some());
+        assert!(risk.audit.passed);
+        assert_eq!(risk.audit.guarantee, "(k,k^m)-anonymity(k=4,m=2)");
     }
 
     #[test]

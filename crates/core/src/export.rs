@@ -289,6 +289,7 @@ mod tests {
                     avg_class_size: 0.0,
                     runtime_ms: 0.0,
                     verified: true,
+                    risk: None,
                 },
                 phases: Default::default(),
                 profile: None,
@@ -337,6 +338,7 @@ mod tests {
                     avg_class_size: 0.0,
                     runtime_ms: 0.0,
                     verified: true,
+                    risk: None,
                 },
                 phases: PhaseTimes {
                     phases: phases

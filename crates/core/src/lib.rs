@@ -52,6 +52,7 @@ pub use secreta_parallel as parallel;
 pub use secreta_plot as plot;
 pub use secreta_policy as policy;
 pub use secreta_relational as relational;
+pub use secreta_risk as risk;
 pub use secreta_rt as rt;
 pub use secreta_store as store;
 pub use secreta_transaction as transaction;

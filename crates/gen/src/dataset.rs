@@ -44,6 +44,19 @@ impl RelAttrSpec {
     }
 }
 
+/// Shape of the item-popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemShape {
+    /// Plain Zipf: a few very popular items carry most of the mass
+    /// (the default, and what [`DatasetSpec::basket`] produces).
+    Head,
+    /// Adversarial heavy tail: half the draws fall uniformly in the
+    /// rare half of the universe, so the published table carries many
+    /// near-singleton items — the worst case for k^m-anonymity and the
+    /// m-item adversary.
+    Tail,
+}
+
 /// Specification of a synthetic RT-dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
@@ -69,6 +82,22 @@ pub struct DatasetSpec {
     /// market-basket data exhibits (and that locality-exploiting
     /// algorithms like LRA rely on).
     pub profiles: usize,
+    /// Correlation in `[0,1]` between the first relational attribute
+    /// and every later one: with this probability a record's value for
+    /// attribute `a > 0` is a fixed function of its first-attribute
+    /// bucket instead of an independent draw. 0 (the default) keeps
+    /// attributes independent — and, crucially, draws nothing extra
+    /// from the RNG, so pre-existing specs generate byte-identical
+    /// tables.
+    pub qi_correlation: f64,
+    /// Head (default) or adversarial heavy-tail item popularity.
+    pub item_shape: ItemShape,
+    /// Fraction of rows turned into outliers: an outlier's relational
+    /// values and items are rank-inverted (most popular ↦ rarest), so
+    /// it lands in tiny equivalence classes with rare items — the rows
+    /// a re-identification attack singles out. 0 (default) draws
+    /// nothing extra from the RNG.
+    pub outlier_fraction: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -92,6 +121,9 @@ impl DatasetSpec {
             tx_len: (2, 8),
             correlation: 0.3,
             profiles: 1,
+            qi_correlation: 0.0,
+            item_shape: ItemShape::Head,
+            outlier_fraction: 0.0,
             seed,
         }
     }
@@ -107,6 +139,9 @@ impl DatasetSpec {
             tx_len: (2, 10),
             correlation: 0.0,
             profiles: 1,
+            qi_correlation: 0.0,
+            item_shape: ItemShape::Head,
+            outlier_fraction: 0.0,
             seed,
         }
     }
@@ -126,8 +161,26 @@ impl DatasetSpec {
             tx_len: (0, 0),
             correlation: 0.0,
             profiles: 1,
+            qi_correlation: 0.0,
+            item_shape: ItemShape::Head,
+            outlier_fraction: 0.0,
             seed,
         }
+    }
+
+    /// An adversarial RT-dataset built to stress re-identification
+    /// risk rather than flatter utility metrics: strongly correlated
+    /// quasi-identifiers (one demographic bucket pins the rest, so the
+    /// joint QI distribution is far from independent), a heavy-tail
+    /// item distribution (many near-singleton items), and a sliver of
+    /// rank-inverted outlier rows that land in tiny equivalence
+    /// classes holding rare items.
+    pub fn adversarial(n_rows: usize, seed: u64) -> Self {
+        let mut spec = Self::adult_like(n_rows, seed);
+        spec.qi_correlation = 0.6;
+        spec.item_shape = ItemShape::Tail;
+        spec.outlier_fraction = 0.05;
+        spec
     }
 
     /// Generate the table.
@@ -182,9 +235,24 @@ impl DatasetSpec {
         let mut rel_buf: Vec<ValueId> = Vec::with_capacity(self.rel_attrs.len());
         let mut tx_buf: Vec<ItemId> = Vec::new();
         for _ in 0..self.n_rows {
+            // every adversarial knob draws from the RNG only when
+            // enabled, so the default specs keep generating
+            // byte-identical tables
+            let outlier = self.outlier_fraction > 0.0 && rng.gen_bool(self.outlier_fraction);
             rel_buf.clear();
             for (a, sampler) in rel_samplers.iter().enumerate() {
-                let rank = sampler.sample(&mut rng);
+                let mut rank = sampler.sample(&mut rng);
+                let cardinality = self.rel_attrs[a].cardinality.max(1);
+                if a > 0 && self.qi_correlation > 0.0 && rng.gen_bool(self.qi_correlation) {
+                    // correlated QI: a fixed per-attribute function of
+                    // the first attribute's bucket
+                    let bucket = rel_buf[0].0 as usize;
+                    rank = (bucket * (7 * a + 3)) % cardinality;
+                }
+                if outlier {
+                    // rank inversion: most popular value ↦ rarest
+                    rank = cardinality - 1 - (rank % cardinality);
+                }
                 rel_buf.push(rel_value_ids[a][rank]);
             }
             tx_buf.clear();
@@ -209,7 +277,17 @@ impl DatasetSpec {
                 }
                 for _ in 0..len {
                     let rank = sampler.sample(&mut rng);
-                    let idx = (rank + rotate) % self.n_items;
+                    let mut idx = (rank + rotate) % self.n_items;
+                    if self.item_shape == ItemShape::Tail && rng.gen_bool(0.5) {
+                        // heavy tail: uniform over the rare half of
+                        // the universe
+                        let half = self.n_items / 2;
+                        idx = half + rng.gen_range(0..(self.n_items - half).max(1));
+                        idx %= self.n_items;
+                    }
+                    if outlier {
+                        idx = self.n_items - 1 - idx;
+                    }
                     tx_buf.push(item_ids[idx]);
                 }
             }
@@ -267,6 +345,70 @@ mod tests {
         assert!(
             max as f64 > 4.0 * median as f64,
             "Zipf head must dominate: max={max} median={median}"
+        );
+    }
+
+    #[test]
+    fn adversarial_knobs_change_the_data_but_defaults_do_not() {
+        // the knobs at their defaults must not perturb the RNG stream:
+        // an adult_like spec with them spelled out explicitly equals
+        // plain adult_like row for row
+        let a = DatasetSpec::adult_like(200, 7).generate();
+        let mut explicit = DatasetSpec::adult_like(200, 7);
+        explicit.qi_correlation = 0.0;
+        explicit.item_shape = ItemShape::Head;
+        explicit.outlier_fraction = 0.0;
+        let b = explicit.generate();
+        for r in 0..200 {
+            assert_eq!(a.value(r, 1), b.value(r, 1));
+            assert_eq!(a.transaction(r), b.transaction(r));
+        }
+        // while the adversarial spec diverges
+        let adv = DatasetSpec::adversarial(200, 7).generate();
+        assert!((0..200).any(|r| a.transaction(r) != adv.transaction(r)));
+    }
+
+    #[test]
+    fn correlated_qis_concentrate_joint_values() {
+        let joint = |t: &RtTable| {
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..t.n_rows() {
+                seen.insert((t.value(r, 1), t.value(r, 2), t.value(r, 3)));
+            }
+            seen.len()
+        };
+        let base = DatasetSpec::adult_like(800, 5).generate();
+        let mut spec = DatasetSpec::adult_like(800, 5);
+        spec.qi_correlation = 0.9;
+        let correlated = spec.generate();
+        assert!(
+            joint(&correlated) < joint(&base) / 2,
+            "strong QI correlation must collapse the joint domain: \
+             {} vs {}",
+            joint(&correlated),
+            joint(&base)
+        );
+    }
+
+    #[test]
+    fn heavy_tail_shifts_mass_into_the_rare_half() {
+        let tail_mass = |spec: &DatasetSpec| {
+            let sup = item_supports(&spec.generate());
+            let total: u64 = sup.iter().sum();
+            let tail: u64 = sup[sup.len() / 2..].iter().sum();
+            tail as f64 / total as f64
+        };
+        let head = DatasetSpec::basket(600, 400, 11);
+        let mut tail = head.clone();
+        tail.item_shape = ItemShape::Tail;
+        // Zipf (skew 1.1) puts a small share of draws past rank 200;
+        // Tail mode sends about half of them there
+        assert!(
+            tail_mass(&tail) > 2.0 * tail_mass(&head) && tail_mass(&tail) > 0.3,
+            "heavy tail must shift draw mass into the rare half: \
+             {:.3} vs {:.3}",
+            tail_mass(&tail),
+            tail_mass(&head)
         );
     }
 

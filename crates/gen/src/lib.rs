@@ -22,6 +22,6 @@ pub mod dataset;
 pub mod workload;
 pub mod zipf;
 
-pub use dataset::{DatasetSpec, RelAttrSpec};
+pub use dataset::{DatasetSpec, ItemShape, RelAttrSpec};
 pub use workload::WorkloadSpec;
 pub use zipf::Zipf;

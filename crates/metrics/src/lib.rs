@@ -35,7 +35,9 @@ pub mod query;
 pub mod timing;
 
 pub use anon::{AnonTable, AnonTransaction, GenEntry, RelColumn};
-pub use indicators::Indicators;
+pub use indicators::{
+    ConstraintAudit, Indicators, MItemRisk, RelationalRisk, RiskIndicators, TransactionRisk,
+};
 pub use loss::{average_class_size, discernibility, gcp, transaction_gcp, utility_loss};
 pub use query::{average_relative_error, Query, QueryAtom, Workload};
 pub use timing::{PhaseTimer, PhaseTimes};

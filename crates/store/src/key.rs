@@ -35,7 +35,12 @@ use serde::Value;
 ///   `anon.json` bytes, verified on every read so silent corruption
 ///   becomes a quarantined cache miss instead of a wrong result.
 ///   Version-2 manifests still load but no longer serve cache hits.
-pub const STORE_SCHEMA_VERSION: u32 = 3;
+/// * 4 — indicators gained the optional `risk` block (prosecutor /
+///   journalist re-identification, m-item adversary, constraint
+///   audit). Version-3 manifests still load — `risk` defaults to
+///   absent — but no longer serve cache hits, so re-executed runs get
+///   risk indicators recorded.
+pub const STORE_SCHEMA_VERSION: u32 = 4;
 
 /// Content address of a single run (64 lowercase hex chars).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

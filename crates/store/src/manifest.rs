@@ -79,6 +79,7 @@ mod tests {
                 avg_class_size: 6.5,
                 runtime_ms: 17.25,
                 verified: true,
+                risk: None,
             },
             phases: PhaseTimes {
                 phases: vec![
@@ -146,5 +147,30 @@ mod tests {
         assert_eq!(m.profile, None);
         assert_eq!(m.indicators.discernibility, 1234);
         assert_eq!(m.phases.phases.len(), 1);
+    }
+
+    #[test]
+    fn schema_three_manifest_without_risk_still_loads() {
+        // golden: the exact shape schema-3 stores wrote (indicators
+        // have no `risk` key at all — not even null). These manifests
+        // must keep loading for `runs list`/`runs show`; the schema-4
+        // key bump only stops them from serving cache hits.
+        let json = r#"{
+            "key": "deadbeef", "schema_version": 3, "context": "c",
+            "label": "APRIORI+KM", "config": {"algo": "apriori", "k": 3, "m": 2},
+            "seed": 7, "sweep_param": "k", "sweep_value": 3.0,
+            "created_unix_ms": 1700000000000,
+            "anon_sha256": "ab12",
+            "indicators": {"gcp":0.125,"tx_gcp":0.25,"ul":0.5,"are":0.0625,
+                "item_freq_error":0.01,"discernibility":1234,
+                "avg_class_size":6.5,"runtime_ms":17.25,"verified":true},
+            "phases": {"phases": [["anonymize", {"secs": 1, "nanos": 500}]]}
+        }"#;
+        let m: RunManifest = serde_json::from_str(json).unwrap();
+        assert_eq!(m.schema_version, 3);
+        assert_eq!(m.indicators.risk, None, "missing risk block reads as None");
+        // and it round-trips without inventing risk data
+        let back: RunManifest = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(back.indicators.risk, None);
     }
 }

@@ -594,6 +594,7 @@ mod tests {
                 avg_class_size: 2.0,
                 runtime_ms: 1.5,
                 verified: true,
+                risk: None,
             },
             phases: secreta_metrics::PhaseTimes {
                 phases: vec![("anonymize".to_owned(), Duration::from_millis(1))],

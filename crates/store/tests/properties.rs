@@ -32,6 +32,7 @@ fn indicators_strategy() -> impl Strategy<Value = Indicators> {
                     avg_class_size: avg,
                     runtime_ms: rt,
                     verified,
+                    risk: None,
                 }
             },
         )

@@ -225,6 +225,43 @@ impl Bitset {
         parts.into_iter().sum::<u64>() as usize
     }
 
+    /// `|self ∩ o₁ ∩ o₂ ∩ …|` for a chain of same-universe bitsets,
+    /// with no intermediate materialization: each word of `self` is
+    /// AND-ed through the chain (short-circuiting on zero) before its
+    /// popcount. The k-way form of [`Bitset::intersect_count`], for
+    /// callers like the m-item adversary that need only the
+    /// cardinality of a multi-way intersection.
+    pub fn intersect_count_many<'a>(
+        &self,
+        others: impl Iterator<Item = &'a Bitset> + Clone,
+    ) -> usize {
+        // blocked so each AND pass is a branch-free loop over two
+        // contiguous slices (vectorizable), with an early exit between
+        // blocks once a prefix proves empty
+        const BLOCK: usize = 64;
+        let mut buf = [0u64; BLOCK];
+        let mut total = 0usize;
+        let n = self.words.len();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + BLOCK).min(n);
+            let len = hi - lo;
+            buf[..len].copy_from_slice(&self.words[lo..hi]);
+            for o in others.clone() {
+                debug_assert_eq!(self.n_bits, o.n_bits);
+                for (b, &w) in buf[..len].iter_mut().zip(&o.words[lo..hi]) {
+                    *b &= w;
+                }
+            }
+            total += buf[..len]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+            lo = hi;
+        }
+        total
+    }
+
     /// How many of the sorted positions in `sorted` are set — the
     /// mixed bitmap×CSR intersection: each sparse position probes the
     /// word it falls in; the dense side is never expanded.

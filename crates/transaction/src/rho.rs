@@ -303,10 +303,12 @@ pub fn anonymize_with(
                 suppressed[victim as usize] = true;
                 n_suppressed += 1;
                 // only rows containing the victim change their live
-                // lists — everything else keeps its counts
-                let dirty = index.postings(victim).to_vec();
+                // lists — everything else keeps its counts; the dirty
+                // set rides the tiered RowSet path (dense bitmap when
+                // the victim is a hot item)
+                let dirty = index.union_rowset(std::iter::once(victim), &mut rc.stats);
                 rc.stats.posting_unions += 1;
-                rc.update(
+                rc.update_rowset(
                     &dirty,
                     |pos, buf| fill_row(&suppressed, pos, buf),
                     is_target,

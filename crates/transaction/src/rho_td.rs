@@ -71,11 +71,12 @@ impl State {
     }
 
     /// [`State::has_violation`] with an explicit counting
-    /// implementation. The kernel path rebuilds the interned rule
-    /// counts from scratch each call — the specialize/revert search
-    /// mutates the whole cut between checks, so there is no dirty-row
-    /// set to maintain incrementally — but counts in parallel shards
-    /// with zero per-subset allocation.
+    /// implementation. The kernel arm here is a one-shot from-scratch
+    /// count (parallel shards, zero per-subset allocation); the main
+    /// search in [`anonymize_with`] instead maintains one incremental
+    /// [`RuleCounts`] across rounds, re-enumerating only the rows a
+    /// suppression or cut move dirtied via the tiered
+    /// [`InvertedIndex::union_rowset`] path.
     fn has_violation_with(
         &self,
         table: &RtTable,
@@ -241,6 +242,33 @@ pub fn anonymize_with(
     if let Some(ix) = &index {
         stats.record_index(ix);
     }
+    // The incremental kernel counter: built once at the fully general
+    // cut with per-row token lists retained, then maintained across
+    // every suppression and cut move by re-enumerating only the dirty
+    // rows, delivered as tiered [`RowSet`]s from the index. `None` on
+    // the naive path and when ρ ≥ 1.0 makes every rule vacuous.
+    let fill_tokens = |state: &State, pos: usize, buf: &mut Vec<u32>| {
+        buf.extend(
+            input
+                .table
+                .transaction(rows[pos])
+                .iter()
+                .filter_map(|&it| state.token_u32(it)),
+        );
+        buf.sort_unstable();
+        buf.dedup();
+    };
+    let is_target = |t: u32| t & SENSITIVE_BIT != 0;
+    let mut rc = match (&index, params.rho < 1.0) {
+        (Some(_), true) => Some(RuleCounts::build(
+            rows.len(),
+            params.max_antecedent,
+            true,
+            |pos, buf| fill_tokens(&state, pos, buf),
+            is_target,
+        )),
+        _ => None,
+    };
     timer.phase("setup");
 
     // Priors first: a sensitive item violating at the fully general
@@ -248,7 +276,14 @@ pub fn anonymize_with(
     // other sensitive items feeding its rules).
     let recorder = secreta_obsv::current();
     let mut prior_suppressions = 0u64;
-    while state.has_violation_with(input.table, &rows, params, counting, &mut stats) {
+    loop {
+        let violating = match &rc {
+            Some(rc) => rc.any_violation(params.rho),
+            None => state.has_violation_with(input.table, &rows, params, counting, &mut stats),
+        };
+        if !violating {
+            break;
+        }
         // suppress the most exposed sensitive item (highest prior)
         let victim = params
             .sensitive
@@ -263,8 +298,14 @@ pub fn anonymize_with(
             });
         match victim {
             Some(s) => {
+                let s = *s;
                 prior_suppressions += 1;
                 state.suppressed[s.index()] = true;
+                if let (Some(rc), Some(ix)) = (rc.as_mut(), index.as_ref()) {
+                    let dirty = ix.union_rowset(std::iter::once(s.0), &mut rc.stats);
+                    rc.stats.posting_unions += 1;
+                    rc.update_rowset(&dirty, |pos, buf| fill_tokens(&state, pos, buf), is_target);
+                }
             }
             None => {
                 // no sensitive item left, yet still violating: cannot
@@ -291,20 +332,46 @@ pub fn anonymize_with(
         for cand in cands {
             // skip nodes that only cover sensitive/suppressed leaves —
             // splitting them changes nothing
-            let relevant = h
+            let affected: Vec<u32> = h
                 .leaves_under(cand)
-                .any(|v| !state.sensitive.contains(&v) && !state.suppressed[v as usize]);
-            if !relevant {
+                .filter(|&v| !state.sensitive.contains(&v) && !state.suppressed[v as usize])
+                .collect();
+            if affected.is_empty() {
                 continue;
             }
-            state.cut.specialize(h, cand);
-            if state.has_violation_with(input.table, &rows, params, counting, &mut stats) {
-                // revert: re-generalize the whole subtree
-                reverts += 1;
-                state.cut.generalize_to(h, cand);
-            } else {
-                specializations += 1;
-                accepted = true;
+            match (rc.as_mut(), index.as_ref()) {
+                (Some(rc), Some(ix)) => {
+                    // only rows holding a live leaf under `cand` change
+                    // tokens under this split (and under its revert)
+                    let dirty = ix.union_rowset(affected.iter().copied(), &mut rc.stats);
+                    rc.stats.posting_unions += 1;
+                    state.cut.specialize(h, cand);
+                    rc.update_rowset(&dirty, |pos, buf| fill_tokens(&state, pos, buf), is_target);
+                    if rc.any_violation(params.rho) {
+                        // revert: re-generalize the whole subtree
+                        reverts += 1;
+                        state.cut.generalize_to(h, cand);
+                        rc.update_rowset(
+                            &dirty,
+                            |pos, buf| fill_tokens(&state, pos, buf),
+                            is_target,
+                        );
+                    } else {
+                        specializations += 1;
+                        accepted = true;
+                    }
+                }
+                _ => {
+                    state.cut.specialize(h, cand);
+                    if state.has_violation_with(input.table, &rows, params, counting, &mut stats) {
+                        // revert: re-generalize the whole subtree
+                        reverts += 1;
+                        state.cut.generalize_to(h, cand);
+                    } else {
+                        specializations += 1;
+                        accepted = true;
+                    }
+                }
             }
         }
         if !accepted {
@@ -313,6 +380,9 @@ pub fn anonymize_with(
     }
     recorder.count("rho_td/specializations", specializations);
     recorder.count("rho_td/reverts", reverts);
+    if let Some(rc) = &rc {
+        stats.absorb(&rc.stats);
+    }
     stats.flush(&recorder);
     timer.phase("top-down specialization");
 

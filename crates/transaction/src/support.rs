@@ -377,12 +377,35 @@ impl InvertedIndex {
         universe: usize,
         relevant: impl Fn(ItemId) -> bool,
     ) -> InvertedIndex {
+        Self::from_fn(rows.len(), universe, |pos, buf| {
+            buf.extend(
+                table
+                    .transaction(rows[pos])
+                    .iter()
+                    .copied()
+                    .filter(|&it| relevant(it))
+                    .map(|it| it.0),
+            )
+        })
+    }
+
+    /// Build the index from an arbitrary row source: `fill(pos, buf)`
+    /// writes row `pos`'s duplicate-free item-id list. This is the
+    /// generic core behind [`InvertedIndex::build`]; other crates use
+    /// it to index rows that are not raw [`RtTable`] transactions —
+    /// `secreta-risk` indexes *published* (generalized) rows with it.
+    pub fn from_fn(
+        n_rows: usize,
+        universe: usize,
+        fill: impl Fn(usize, &mut Vec<u32>),
+    ) -> InvertedIndex {
         let mut counts = vec![0u32; universe];
-        for &r in rows {
-            for &it in table.transaction(r) {
-                if relevant(it) {
-                    counts[it.index()] += 1;
-                }
+        let mut buf: Vec<u32> = Vec::new();
+        for pos in 0..n_rows {
+            buf.clear();
+            fill(pos, &mut buf);
+            for &it in &buf {
+                counts[it as usize] += 1;
             }
         }
         let mut offsets = Vec::with_capacity(universe + 1);
@@ -392,18 +415,17 @@ impl InvertedIndex {
             acc += c;
             offsets.push(acc);
         }
-        let mut fill = offsets.clone();
+        let mut slots = offsets.clone();
         let mut postings = vec![0u32; acc as usize];
-        for (pos, &r) in rows.iter().enumerate() {
-            for &it in table.transaction(r) {
-                if relevant(it) {
-                    let slot = fill[it.index()];
-                    postings[slot as usize] = pos as u32;
-                    fill[it.index()] += 1;
-                }
+        for pos in 0..n_rows {
+            buf.clear();
+            fill(pos, &mut buf);
+            for &it in &buf {
+                let slot = slots[it as usize];
+                postings[slot as usize] = pos as u32;
+                slots[it as usize] += 1;
             }
         }
-        let n_rows = rows.len();
         let hot_min = dense_cutoff(n_rows);
         let mut dense_items = 0u64;
         let mut sparse_items = 0u64;
@@ -823,6 +845,27 @@ impl RuleCounts {
         self.stats.rows_reenumerated += dirty.len() as u64;
         self.stats.rows_skipped += (self.lists.len() - dirty.len()) as u64;
         self.stats.interned_keys += (self.sup_q.len() - before) as u64;
+    }
+
+    /// [`RuleCounts::update`] with the dirty rows given as a tiered
+    /// [`RowSet`] — the direct output of
+    /// [`InvertedIndex::union_rowset`] — so dense dirty sets ride the
+    /// bitmap tier until the row walk itself. Both tiers re-enumerate
+    /// the same rows in the same ascending order, so the resulting
+    /// counts are identical.
+    pub fn update_rowset<F, T>(&mut self, dirty: &RowSet, fill: F, is_target: T)
+    where
+        F: Fn(usize, &mut Vec<u32>),
+        T: Fn(u32) -> bool,
+    {
+        match dirty {
+            RowSet::Sparse(rows) => self.update(rows, fill, is_target),
+            RowSet::Dense(bits) => {
+                let mut rows = Vec::with_capacity(bits.count_ones());
+                bits.to_sorted(&mut rows);
+                self.update(&rows, fill, is_target);
+            }
+        }
     }
 
     /// Iterate live rules as `(antecedent, target, joint, antecedent
