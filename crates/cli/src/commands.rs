@@ -1,7 +1,9 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use secreta_core::data::{csv as dcsv, stats, CsvOptions, RtTable};
+use secreta_core::data::{
+    chunk, csv as dcsv, stats, ChunkStats, CsvOptions, DataError, MemoryBudget, RtTable,
+};
 use secreta_core::hierarchy::io as hio;
 use secreta_core::metrics::query as q;
 use secreta_core::policy::{
@@ -46,13 +48,13 @@ COMMANDS
              [--vary k|m|delta --start N --end N --step N]
              [--out-dir DIR] [--export-anon FILE]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
-             [--job-timeout-ms MS]
+             [--job-timeout-ms MS] [--memory-budget MB]
   profile    profile one run            DATA [--tx COL] (same method flags as
              evaluate, no --vary) [--trace-out FILE.ndjson]
   compare    Comparison mode            DATA [--tx COL] --config FILE.json
              [--queries N] [--threads N] [--out-dir DIR]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
-             [--job-timeout-ms MS]
+             [--job-timeout-ms MS] [--memory-budget MB]
   runs       run-store management       list|show KEY|chart|gc|resume [ID]
              |fsck [--repair]
              [--store-dir DIR] [--all]
@@ -61,10 +63,11 @@ COMMANDS
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
   bench      benchmark                  [--suite kernels|store|obsv|tx|tiered
-             |risk]
+             |risk|scale]
              | --all [--baseline FILE] [--gate-pct N]
              [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
              [--threads N] [--reps N] [--json] [--out FILE]
+             (scale: [--memory-budget MB] [--chunk-rows N])
   help       this text
 
 evaluate/compare also accept --session FILE.json instead of a dataset
@@ -79,6 +82,11 @@ same data as a per-phase/per-counter table instead.
 With --job-timeout-ms, every job in an evaluate/compare sweep gets a
 soft per-job deadline, enforced cooperatively at phase boundaries; a
 timed-out job is reported as failed and the sweep keeps going.
+With --memory-budget, the dataset streams in through the chunked
+reader with every retained byte charged against a deterministic MB
+budget, and every job additionally gets a peak-RSS ceiling checked at
+phase boundaries. Exceeding either degrades the invocation (exit 3)
+instead of risking an OOM kill.
 
 A failing job does not abort its sweep: the remaining jobs complete,
 failures are journaled, and the process exits 3 (degraded) instead of
@@ -121,21 +129,78 @@ pub fn dispatch(args: &Args) -> Result<i32, String> {
     }
 }
 
-/// Load a dataset, auto-detecting numeric columns.
-fn load(args: &Args) -> Result<RtTable, String> {
-    let path = args.positional0()?;
+/// Why a dataset failed to load. Budget exhaustion is typed so
+/// evaluate/compare can take the degraded exit (3) instead of the
+/// fatal one — running out of the declared budget is an anticipated,
+/// recorded outcome, not a crash.
+pub(crate) enum LoadError {
+    /// The chunked ingest (or its materialization) exceeded
+    /// `--memory-budget`.
+    Budget(String),
+    /// Anything else: I/O, parse, usage.
+    Other(String),
+}
+
+impl From<LoadError> for String {
+    fn from(e: LoadError) -> String {
+        match e {
+            LoadError::Budget(m) | LoadError::Other(m) => m,
+        }
+    }
+}
+
+/// Whether `e` is a budget exhaustion, possibly wrapped in the
+/// file-naming layer.
+fn is_budget_error(e: &DataError) -> bool {
+    match e {
+        DataError::BudgetExceeded { .. } => true,
+        DataError::InFile { error, .. } => is_budget_error(error),
+        _ => false,
+    }
+}
+
+/// Parse `--memory-budget MB` (None when absent, error on 0).
+pub(crate) fn memory_budget_of(args: &Args) -> Result<Option<u64>, String> {
+    match args.opt("memory-budget") {
+        Some(_) => {
+            let mb = args.u64_or("memory-budget", 0)?;
+            if mb == 0 {
+                return Err("--memory-budget expects a positive number of megabytes".into());
+            }
+            Ok(Some(mb))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Load a dataset through the chunked streaming reader,
+/// auto-detecting numeric columns from the interned pools. With
+/// `--memory-budget MB` every retained byte of the ingest is charged
+/// against a deterministic accounting budget; exhausting it yields a
+/// typed [`LoadError::Budget`] instead of an OOM kill.
+fn load(args: &Args) -> Result<(RtTable, ChunkStats), LoadError> {
+    let path = args.positional0().map_err(LoadError::Other)?;
     let mut opts = CsvOptions::default();
     if let Some(tx) = args.opt("tx") {
         opts.transaction_column = Some(tx.to_owned());
     }
-    let probe = dcsv::read_table_path(path, &opts).map_err(|e| e.to_string())?;
-    // columns that parse entirely as numbers become Numeric
-    opts.numeric_columns = stats::summarize(&probe)
-        .into_iter()
-        .filter(|s| s.min.is_some())
-        .map(|s| s.name)
-        .collect();
-    dcsv::read_table_path(path, &opts).map_err(|e| e.to_string())
+    let budget = match memory_budget_of(args).map_err(LoadError::Other)? {
+        Some(mb) => MemoryBudget::megabytes(mb),
+        None => MemoryBudget::unlimited(),
+    };
+    let classify = |e: DataError| {
+        if is_budget_error(&e) {
+            LoadError::Budget(e.to_string())
+        } else {
+            LoadError::Other(e.to_string())
+        }
+    };
+    let mut chunked =
+        chunk::read_chunked_path(path, &opts, chunk::chunk_rows(), budget).map_err(classify)?;
+    chunked.reclassify_numeric();
+    let stats = chunked.stats();
+    let table = chunked.into_table().map_err(classify)?;
+    Ok((table, stats))
 }
 
 fn context(args: &Args, table: RtTable) -> Result<SessionContext, String> {
@@ -161,23 +226,29 @@ fn with_generated_workload(args: &Args, ctx: SessionContext) -> Result<SessionCo
 
 /// Resolve the session for evaluate/compare: `--session FILE` loads a
 /// saved session spec; otherwise the positional dataset + flags apply.
-pub(crate) fn load_context(args: &Args) -> Result<SessionContext, String> {
+pub(crate) fn load_context(args: &Args) -> Result<SessionContext, LoadError> {
     match args.opt("session") {
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let spec = SessionSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| LoadError::Other(format!("{path}: {e}")))?;
+            let spec = SessionSpec::from_json(&text)
+                .map_err(|e| LoadError::Other(format!("{path}: {e}")))?;
             let base = Path::new(path).parent().unwrap_or(Path::new("."));
-            let ctx = spec.load(base).map_err(|e| e.to_string())?;
+            let ctx = spec
+                .load(base)
+                .map_err(|e| LoadError::Other(e.to_string()))?;
             // a generated workload can still top up a session without one
             if ctx.workload.is_empty() {
-                with_generated_workload(args, ctx)
+                with_generated_workload(args, ctx).map_err(LoadError::Other)
             } else {
                 Ok(ctx)
             }
         }
         None => {
-            let table = load(args)?;
-            context(args, table)
+            let (table, stats) = load(args)?;
+            Ok(context(args, table)
+                .map_err(LoadError::Other)?
+                .with_ingest_stats(stats))
         }
     }
 }
@@ -239,7 +310,7 @@ fn csv_opts_for(table: &RtTable) -> CsvOptions {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let table = load(args)?;
+    let (table, _) = load(args)?;
     println!(
         "{} rows, {} relational attributes, transaction attribute: {}",
         table.n_rows(),
@@ -278,7 +349,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_histogram(args: &Args) -> Result<(), String> {
-    let table = load(args)?;
+    let (table, _) = load(args)?;
     let attr = args.req("attr")?;
     let top = args.usize_or("top", 15)?;
     let schema = table.schema();
@@ -307,7 +378,7 @@ fn cmd_histogram(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_hierarchy(args: &Args) -> Result<(), String> {
-    let table = load(args)?;
+    let (table, _) = load(args)?;
     let fanout = args.usize_or("fanout", 4)?;
     let ctx = SessionContext::auto(table, fanout).map_err(|e| e.to_string())?;
     let attr = args.req("attr")?;
@@ -341,7 +412,7 @@ fn cmd_hierarchy(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_workload(args: &Args) -> Result<(), String> {
-    let table = load(args)?;
+    let (table, _) = load(args)?;
     let spec = WorkloadSpec {
         n_queries: args.usize_or("queries", 100)?,
         seed: args.u64_or("seed", 42)?,
@@ -356,7 +427,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_policy(args: &Args) -> Result<(), String> {
-    let table = load(args)?;
+    let (table, _) = load(args)?;
     let out = args.req("out")?;
     let mut file = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
     if let Some(strategy) = args.opt("privacy") {
@@ -569,17 +640,20 @@ fn obsv_of(args: &Args, force_enabled: bool) -> Result<secreta_core::obsv::ObsvC
     }
 }
 
-/// Apply `--job-timeout-ms`: a per-job soft deadline enforced
-/// cooperatively at phase boundaries. Operational, like the store
-/// flags — it never becomes part of the experiment's identity.
-pub(crate) fn with_limits(args: &Args, ctx: SessionContext) -> Result<SessionContext, String> {
-    match args.opt("job-timeout-ms") {
-        Some(_) => {
-            let ms = args.u64_or("job-timeout-ms", 0)?;
-            Ok(ctx.with_job_deadline(std::time::Duration::from_millis(ms)))
-        }
-        None => Ok(ctx),
+/// Apply `--job-timeout-ms` (a per-job soft deadline) and
+/// `--memory-budget` (a per-job peak-RSS ceiling backing the ingest
+/// accounting), both enforced cooperatively at phase boundaries.
+/// Operational, like the store flags — they never become part of the
+/// experiment's identity.
+pub(crate) fn with_limits(args: &Args, mut ctx: SessionContext) -> Result<SessionContext, String> {
+    if args.opt("job-timeout-ms").is_some() {
+        let ms = args.u64_or("job-timeout-ms", 0)?;
+        ctx = ctx.with_job_deadline(std::time::Duration::from_millis(ms));
     }
+    if let Some(mb) = memory_budget_of(args)? {
+        ctx = ctx.with_memory_budget(mb);
+    }
+    Ok(ctx)
 }
 
 /// Build the orchestrator for evaluate/compare from `--store-dir` /
@@ -612,10 +686,13 @@ fn invocation_of(command: &str, args: &Args, configs: &[Configuration]) -> Value
             Value::Obj(
                 args.options
                     .iter()
-                    // store and deadline flags are per-invocation, not
+                    // store and limit flags are per-invocation, not
                     // part of the experiment; resume supplies its own
                     .filter(|(k, _)| {
-                        !matches!(k.as_str(), "store-dir" | "no-cache" | "job-timeout-ms")
+                        !matches!(
+                            k.as_str(),
+                            "store-dir" | "no-cache" | "job-timeout-ms" | "memory-budget"
+                        )
                     })
                     .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
                     .collect(),
@@ -641,8 +718,25 @@ fn print_cache_stats(orch: &Orchestrator, out: &secreta_core::Orchestrated) {
     }
 }
 
+/// Announce a memory-budget exhaustion (at ingest or mid-run) and
+/// exit through the degraded path: blowing the declared budget is a
+/// recorded outcome (exit 3), not a fatal error.
+fn budget_degraded(what: &str, msg: &str) -> Result<i32, String> {
+    eprintln!("error: {msg}");
+    println!(
+        "{what} completed degraded: the memory budget was exceeded; \
+         raise --memory-budget or shrink the dataset"
+    );
+    Ok(EXIT_DEGRADED)
+}
+
 fn cmd_evaluate(args: &Args) -> Result<i32, String> {
-    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, false)?))?;
+    let ctx = match load_context(args) {
+        Ok(ctx) => ctx,
+        Err(LoadError::Budget(msg)) => return budget_degraded("evaluate", &msg),
+        Err(LoadError::Other(msg)) => return Err(msg),
+    };
+    let ctx = with_limits(args, ctx.with_obsv(obsv_of(args, false)?))?;
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
@@ -652,7 +746,13 @@ fn cmd_evaluate(args: &Args) -> Result<i32, String> {
     match parse_sweep(args)? {
         None => {
             let (result, cache_hit) = orch.run_one(&ctx, &spec, seed).map_err(|e| e.to_string())?;
-            let out = result.map_err(|e| e.to_string())?;
+            let out = match result {
+                Ok(out) => out,
+                Err(e @ secreta_core::RunError::BudgetExceeded { .. }) => {
+                    return budget_degraded("evaluate", &e.to_string())
+                }
+                Err(e) => return Err(e.to_string()),
+            };
             println!("method: {}", spec.label());
             if cache_hit {
                 println!("(replayed from the run store — no anonymization executed)");
@@ -742,7 +842,12 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     if args.opt("vary").is_some() {
         return Err("profile runs a single configuration; use `evaluate --vary` for sweeps".into());
     }
-    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, true)?))?;
+    let ctx = with_limits(
+        args,
+        load_context(args)
+            .map_err(String::from)?
+            .with_obsv(obsv_of(args, true)?),
+    )?;
     let spec = build_spec(args)?;
     let seed = args.u64_or("seed", 42)?;
     let threads = args.usize_or("threads", 4)?;
@@ -768,7 +873,12 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<i32, String> {
-    let ctx = with_limits(args, load_context(args)?.with_obsv(obsv_of(args, false)?))?;
+    let ctx = match load_context(args) {
+        Ok(ctx) => ctx,
+        Err(LoadError::Budget(msg)) => return budget_degraded("compare", &msg),
+        Err(LoadError::Other(msg)) => return Err(msg),
+    };
+    let ctx = with_limits(args, ctx.with_obsv(obsv_of(args, false)?))?;
     let config_path = args.req("config")?;
     let text = std::fs::read_to_string(config_path).map_err(|e| e.to_string())?;
     let configs: Vec<Configuration> =
@@ -824,7 +934,7 @@ fn cmd_compare(args: &Args) -> Result<i32, String> {
 
 fn cmd_edit(args: &Args) -> Result<(), String> {
     use secreta_core::data::edit::{EditCommand, EditSession};
-    let mut table = load(args)?;
+    let (mut table, _) = load(args)?;
     let script_path = args.req("script")?;
     let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
     let commands: Vec<EditCommand> =
@@ -875,6 +985,15 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 ///   counts) against the anonymization it audits, on the adversarial
 ///   generator; `--json` writes the report to `BENCH_6.json` (override
 ///   with `--out`).
+/// * `--suite scale` measures the chunked ingest path as row counts
+///   grow: per point it streams a generated dataset through
+///   [`secreta_gen::DatasetSpec::generate_chunked`], materializes it,
+///   and builds the CSR inverted index chunk-by-chunk, recording
+///   wall times, deterministic accounted bytes and peak RSS. With
+///   `--memory-budget MB` a point that blows the budget is recorded
+///   as a typed outcome and the suite keeps going — the graceful
+///   degradation CI exercises. `--json` writes the report to
+///   `BENCH_7.json` (override with `--out`).
 /// * `--all` runs the cross-layer gate suite and writes a
 ///   schema-versioned report; `--baseline FILE` compares against a
 ///   committed report and fails on any case regressing more than
@@ -908,9 +1027,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "tx" => return bench_tx(args),
         "tiered" => return crate::bench_all::bench_tiered(args),
         "risk" => return bench_risk(args),
+        "scale" => return bench_scale(args),
         other => {
             return Err(format!(
-                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk)"
+                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk|scale)"
             ))
         }
     }
@@ -1337,6 +1457,175 @@ fn bench_risk(args: &Args) -> Result<(), String> {
                 c.risk_kernel_ms,
                 c.risk_kernel_ms / c.anonymize_ms.max(1e-9),
             );
+        }
+        body.push_str("\n  ]\n}\n");
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Rows-vs-time-vs-RSS scaling curves for the chunked ingest path.
+///
+/// Each point streams an adult-like dataset of `n` rows through the
+/// chunked generator (the same per-chunk intern/seal/merge pipeline
+/// the CSV reader uses), materializes the table, and builds the CSR
+/// inverted index with the chunk-walking constructor. Points run in
+/// ascending row order because peak RSS is process-wide and monotonic:
+/// each point's `peak_rss_bytes` is the high-water mark *up to* that
+/// point, while `accounted_peak_bytes` is the deterministic data-layer
+/// figure for the point alone. A point that exhausts
+/// `--memory-budget` is recorded with `"budget_exceeded": true` and
+/// the suite continues — running out of a declared budget is an
+/// outcome, not a crash.
+fn bench_scale(args: &Args) -> Result<(), String> {
+    use secreta_core::transaction::support::InvertedIndex;
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let seed = args.u64_or("seed", 42)?;
+    let chunk_rows = args.usize_or("chunk-rows", chunk::chunk_rows())?;
+    let budget_mb = memory_budget_of(args)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let mut rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("10000,100000,1000000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    rows.sort_unstable();
+
+    struct Case {
+        rows: usize,
+        outcome: Result<ScalePoint, String>,
+        peak_rss_bytes: Option<u64>,
+    }
+    struct ScalePoint {
+        ingest_ms: f64,
+        materialize_ms: f64,
+        index_ms: f64,
+        accounted_peak_bytes: u64,
+        table_bytes: u64,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+
+    let budget_label = budget_mb
+        .map(|mb| format!("{mb} MB"))
+        .unwrap_or_else(|| "unlimited".into());
+    println!(
+        "scale benchmark (adult-like, seed={seed}, chunk_rows={chunk_rows}, \
+         memory budget {budget_label})"
+    );
+    for &n in &rows {
+        let spec = DatasetSpec::adult_like(n, seed);
+        let budget = match budget_mb {
+            Some(mb) => MemoryBudget::megabytes(mb),
+            None => MemoryBudget::unlimited(),
+        };
+        let outcome = (|| -> Result<ScalePoint, String> {
+            let t0 = Instant::now();
+            let chunked = spec
+                .generate_chunked(chunk_rows, budget)
+                .map_err(|e| e.to_string())?;
+            let ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = chunked.stats();
+            let t1 = Instant::now();
+            let table = chunked.into_table().map_err(|e| e.to_string())?;
+            let materialize_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let t2 = Instant::now();
+            let all: Vec<usize> = (0..table.n_rows()).collect();
+            let idx = InvertedIndex::build(&table, &all, table.item_universe(), |_| true);
+            let index_ms = t2.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(idx.n_rows(), table.n_rows());
+            Ok(ScalePoint {
+                ingest_ms,
+                materialize_ms,
+                index_ms,
+                accounted_peak_bytes: stats.peak_accounted_bytes,
+                table_bytes: table.estimated_bytes(),
+            })
+        })();
+        let peak_rss_bytes = secreta_core::obsv::mem::peak_rss_bytes();
+        match &outcome {
+            Ok(p) => println!(
+                "  n={n:<9} ingest {:>9.1}ms  materialize {:>8.1}ms  index {:>8.1}ms  \
+                 accounted peak {:>6.1} MB  table {:>6.1} MB  peak RSS {}",
+                p.ingest_ms,
+                p.materialize_ms,
+                p.index_ms,
+                p.accounted_peak_bytes as f64 / (1024.0 * 1024.0),
+                p.table_bytes as f64 / (1024.0 * 1024.0),
+                peak_rss_bytes
+                    .map(|b| format!("{:.1} MB", b as f64 / (1024.0 * 1024.0)))
+                    .unwrap_or_else(|| "n/a".into()),
+            ),
+            Err(e) => println!("  n={n:<9} budget exceeded: {e}"),
+        }
+        cases.push(Case {
+            rows: n,
+            outcome,
+            peak_rss_bytes,
+        });
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_7.json");
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"scale\",\n  \"dataset\": \"adult-like\",\n  \
+             \"seed\": {seed},\n  \"chunk_rows\": {chunk_rows},\n  \
+             \"memory_budget_mb\": {},\n  \"threads\": {},\n  \"cases\": [",
+            budget_mb
+                .map(|mb| mb.to_string())
+                .unwrap_or_else(|| "null".into()),
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let rss = c
+                .peak_rss_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".into());
+            match &c.outcome {
+                Ok(p) => {
+                    let total = p.ingest_ms + p.materialize_ms + p.index_ms;
+                    let _ = write!(
+                        body,
+                        "\n    {{\n      \"rows\": {},\n      \"budget_exceeded\": false,\n      \
+                         \"ingest_ms\": {:.3},\n      \"materialize_ms\": {:.3},\n      \
+                         \"index_ms\": {:.3},\n      \"total_ms\": {total:.3},\n      \
+                         \"accounted_peak_bytes\": {},\n      \"table_bytes\": {},\n      \
+                         \"peak_rss_bytes\": {rss}\n    }}{sep}",
+                        c.rows,
+                        p.ingest_ms,
+                        p.materialize_ms,
+                        p.index_ms,
+                        p.accounted_peak_bytes,
+                        p.table_bytes,
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(
+                        body,
+                        "\n    {{\n      \"rows\": {},\n      \"budget_exceeded\": true,\n      \
+                         \"error\": {},\n      \"peak_rss_bytes\": {rss}\n    }}{sep}",
+                        c.rows,
+                        serde_json::to_string(e).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
         }
         body.push_str("\n  ]\n}\n");
         serde_json::parse_value(&body)

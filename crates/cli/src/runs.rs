@@ -258,7 +258,7 @@ fn cmd_resume(args: &Args) -> Result<i32, String> {
 /// from the store, only the failed or missing ones execute.
 fn resume_sweep(args: &Args, store: &RunStore, record: &SweepRecord) -> Result<i32, String> {
     let (rebuilt, configs) = decode_invocation(&record.invocation)?;
-    let ctx = with_limits(args, load_context(&rebuilt)?)?;
+    let ctx = with_limits(args, load_context(&rebuilt).map_err(String::from)?)?;
     let threads = args.usize_or("threads", 4)?;
     let orch = Orchestrator::new(threads).with_store(store.clone());
     println!(

@@ -47,6 +47,15 @@ pub enum RunError {
     /// The run was cancelled via its session's
     /// [`secreta_obsv::CancelToken`].
     Cancelled,
+    /// The run crossed its memory budget (see
+    /// [`SessionContext::with_memory_budget`]) and was cancelled at a
+    /// phase boundary instead of growing until the OOM killer fired.
+    BudgetExceeded {
+        /// The configured budget, in bytes.
+        limit_bytes: u64,
+        /// Peak RSS observed at the tripping check, in bytes.
+        observed_bytes: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -61,6 +70,13 @@ impl fmt::Display for RunError {
                 write!(f, "run exceeded its {limit_ms} ms deadline")
             }
             RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::BudgetExceeded {
+                limit_bytes,
+                observed_bytes,
+            } => write!(
+                f,
+                "run exceeded its {limit_bytes} byte memory budget (peak RSS {observed_bytes})"
+            ),
         }
     }
 }
@@ -103,6 +119,20 @@ pub fn run(ctx: &SessionContext, spec: &MethodSpec, seed: u64) -> Result<RunResu
     // config installs the no-op recorder)
     let recorder = ctx.obsv.recorder();
     let _obsv_guard = secreta_obsv::install(&recorder);
+
+    // publish the chunked-ingest counters (if the table came in that
+    // way) so every run's profile carries its data-layer provenance
+    if let Some(ingest) = &ctx.ingest {
+        recorder.count("chunk/chunks", ingest.chunks);
+        recorder.count("chunk/rows", ingest.rows);
+        recorder.count("chunk/local_symbols", ingest.local_symbols);
+        recorder.count("chunk/merged_symbols", ingest.merged_symbols);
+        recorder.count("chunk/remapped_ids", ingest.remapped_ids);
+        recorder.count("budget/peak_accounted_bytes", ingest.peak_accounted_bytes);
+        if let Some(b) = ingest.budget_bytes {
+            recorder.count("budget/limit_bytes", b);
+        }
+    }
 
     // chaos-test hooks; `active()` is a single atomic load, so the
     // label is only rendered when a fault plan is installed
@@ -290,6 +320,13 @@ fn classify_unwind(payload: Box<dyn std::any::Any + Send>) -> RunError {
                 RunError::TimedOut { limit_ms }
             }
             secreta_obsv::Cancelled::Requested => RunError::Cancelled,
+            secreta_obsv::Cancelled::BudgetExceeded {
+                limit_bytes,
+                observed_bytes,
+            } => RunError::BudgetExceeded {
+                limit_bytes,
+                observed_bytes,
+            },
         },
         Err(payload) => {
             let msg = payload
@@ -681,6 +718,68 @@ mod tests {
             run_isolated(&ctx, &spec, 1).unwrap_err(),
             RunError::TimedOut { limit_ms: 0 }
         );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn run_isolated_maps_memory_budget_to_budget_exceeded() {
+        // A 1 MB budget is always below the live peak RSS, so the
+        // check trips at the first phase boundary and run_isolated
+        // maps the typed unwind to BudgetExceeded.
+        let ctx = rt_ctx().with_memory_budget(1);
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        match run_isolated(&ctx, &spec, 1).unwrap_err() {
+            RunError::BudgetExceeded {
+                limit_bytes,
+                observed_bytes,
+            } => {
+                assert_eq!(limit_bytes, 1024 * 1024);
+                assert!(observed_bytes > limit_bytes);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runs_publish_chunked_ingest_counters() {
+        use secreta_data::chunk::{read_chunked, MemoryBudget};
+        use secreta_data::CsvOptions;
+        let mut buf = Vec::new();
+        secreta_data::csv::write_table(
+            &rt_ctx().table,
+            &mut buf,
+            &CsvOptions::with_transaction("Items"),
+        )
+        .unwrap();
+        let chunked = read_chunked(
+            buf.as_slice(),
+            &CsvOptions::with_transaction("Items"),
+            16,
+            MemoryBudget::megabytes(64),
+        )
+        .unwrap();
+        let stats = chunked.stats();
+        let ctx = SessionContext::auto(chunked.into_table().unwrap(), 4)
+            .unwrap()
+            .with_obsv(secreta_obsv::ObsvConfig::enabled())
+            .with_ingest_stats(stats);
+        let spec = MethodSpec::Relational {
+            algo: RelAlgo::Cluster,
+            k: 5,
+        };
+        let out = run(&ctx, &spec, 1).unwrap();
+        let p = out.profile.expect("profile recorded");
+        assert!(p.counter("chunk/chunks").unwrap_or(0) > 0);
+        assert_eq!(
+            p.counter("chunk/rows"),
+            Some(ctx.table.n_rows() as u64),
+            "chunk/rows counts every ingested row"
+        );
+        assert!(p.counter("budget/peak_accounted_bytes").unwrap_or(0) > 0);
+        assert_eq!(p.counter("budget/limit_bytes"), Some(64 * 1024 * 1024));
     }
 
     #[test]

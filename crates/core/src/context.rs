@@ -5,7 +5,7 @@
 //! Editor, Configuration Editor and Queries Editor before any
 //! algorithm runs.
 
-use secreta_data::{AttributeKind, RtTable};
+use secreta_data::{AttributeKind, ChunkStats, RtTable};
 use secreta_hierarchy::{auto_hierarchy, Hierarchy, HierarchyError};
 use secreta_metrics::Workload;
 use secreta_obsv::ObsvConfig;
@@ -32,6 +32,12 @@ pub struct SessionContext {
     /// traces stream. Deliberately excluded from run identity (cache
     /// keys) — tracing a run must not change what it computes.
     pub obsv: ObsvConfig,
+    /// Counters from a chunked ingest, when the dataset was loaded
+    /// through [`secreta_data::ChunkedTable`]; flushed into every
+    /// run's profile as the `chunk/*` and `budget/*` counter families.
+    /// Like `obsv`, excluded from run identity — how the table was
+    /// ingested must not change what a run computes.
+    pub ingest: Option<ChunkStats>,
 }
 
 impl SessionContext {
@@ -64,6 +70,7 @@ impl SessionContext {
             privacy: None,
             utility: None,
             obsv: ObsvConfig::disabled(),
+            ingest: None,
         })
     }
 
@@ -96,6 +103,27 @@ impl SessionContext {
     /// jobs still in flight.
     pub fn with_cancel(mut self, token: secreta_obsv::CancelToken) -> Self {
         self.obsv = self.obsv.with_cancel(token);
+        self
+    }
+
+    /// Give every run in this session a memory budget of `mb`
+    /// megabytes: once the process peak RSS crosses it the run is
+    /// cancelled at a phase boundary, yielding
+    /// `RunError::BudgetExceeded` through the evaluator's panic
+    /// isolation. This is the runtime backstop behind the data
+    /// layer's deterministic accounting (see
+    /// [`secreta_data::MemoryBudget`]); like all [`ObsvConfig`]
+    /// settings it is excluded from run identity.
+    pub fn with_memory_budget(mut self, mb: u64) -> Self {
+        self.obsv = self.obsv.with_mem_budget(mb.saturating_mul(1024 * 1024));
+        self
+    }
+
+    /// Attach the counters of the chunked ingest that produced this
+    /// session's table, so runs publish them as `chunk/*` and
+    /// `budget/*` counters.
+    pub fn with_ingest_stats(mut self, stats: ChunkStats) -> Self {
+        self.ingest = Some(stats);
         self
     }
 

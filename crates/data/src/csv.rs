@@ -55,40 +55,165 @@ impl CsvOptions {
     }
 }
 
-/// Split one CSV line into fields, honouring double quotes.
-fn split_line(line: &str, delim: char) -> Vec<String> {
-    let mut fields = Vec::new();
-    let mut cur = String::new();
-    let mut quoted = false;
-    let mut chars = line.chars().peekable();
-    while let Some(c) = chars.next() {
-        if quoted {
-            if c == '"' {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    cur.push('"');
-                } else {
-                    quoted = false;
-                }
-            } else {
-                cur.push(c);
-            }
-        } else if c == '"' && cur.is_empty() {
-            quoted = true;
-        } else if c == delim {
-            fields.push(std::mem::take(&mut cur));
-        } else {
-            cur.push(c);
-        }
-    }
-    fields.push(cur);
-    fields
+/// Incremental field parser: the quote state machine behind both the
+/// line-at-a-time [`split_line`] and the multi-line [`RecordReader`].
+///
+/// A quote opens a field only at the field's start; inside a quoted
+/// field `""` is a literal quote. The parser is fed whole physical
+/// lines; when a line ends with a quote still open the record
+/// continues on the next line (the newline is part of the field).
+struct FieldParser {
+    delim: char,
+    fields: Vec<String>,
+    cur: String,
+    quoted: bool,
 }
 
-/// Quote a field when it contains the delimiter, a quote, or leading
-/// whitespace that would be ambiguous.
+impl FieldParser {
+    fn new(delim: char) -> Self {
+        Self {
+            delim,
+            fields: Vec::new(),
+            cur: String::new(),
+            quoted: false,
+        }
+    }
+
+    /// Feed a chunk of text. `""` never spans feed boundaries because
+    /// callers feed whole physical lines and join them with `feed_newline`.
+    fn feed(&mut self, text: &str) {
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if self.quoted {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        self.cur.push('"');
+                    } else {
+                        self.quoted = false;
+                    }
+                } else {
+                    self.cur.push(c);
+                }
+            } else if c == '"' && self.cur.is_empty() {
+                self.quoted = true;
+            } else if c == self.delim {
+                self.fields.push(std::mem::take(&mut self.cur));
+            } else {
+                self.cur.push(c);
+            }
+        }
+    }
+
+    /// A record-internal newline (only reachable while quoted).
+    fn feed_newline(&mut self) {
+        self.cur.push('\n');
+    }
+
+    /// Close the record and take its fields.
+    fn finish(&mut self) -> Vec<String> {
+        self.fields.push(std::mem::take(&mut self.cur));
+        std::mem::take(&mut self.fields)
+    }
+}
+
+/// One logical CSV record: its parsed fields plus enough physical-file
+/// context for the caller to reproduce the line-based reader's
+/// behaviour (blank-line skipping, ragged-row line numbers).
+pub(crate) struct Record {
+    /// Parsed fields.
+    pub fields: Vec<String>,
+    /// True when the record is a single physical line of whitespace.
+    pub blank: bool,
+    /// 1-based physical line number where the record starts.
+    pub line: usize,
+}
+
+/// Streaming reader yielding one logical record at a time.
+///
+/// A record is usually one physical line, but a quoted field may
+/// contain embedded newlines, in which case the record spans several
+/// lines. Line endings are normalized (`\r\n` and `\n` both
+/// terminate a line) and a final record without a trailing newline is
+/// yielded like any other. Both [`read_table`] and the chunked
+/// ingest ([`crate::chunk::read_chunked`]) parse through this reader,
+/// so the two paths cannot diverge.
+pub(crate) struct RecordReader<R: BufRead> {
+    reader: R,
+    delim: char,
+    /// 1-based number of the next physical line to read.
+    next_line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    pub(crate) fn new(reader: R, delim: char) -> Self {
+        Self {
+            reader,
+            delim,
+            next_line: 1,
+            buf: String::new(),
+        }
+    }
+
+    /// Read one physical line (without its terminator); `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<&str>, DataError> {
+        self.buf.clear();
+        let n = self.reader.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.next_line += 1;
+        if self.buf.ends_with('\n') {
+            self.buf.pop();
+            if self.buf.ends_with('\r') {
+                self.buf.pop();
+            }
+        }
+        Ok(Some(&self.buf))
+    }
+
+    /// Next logical record, or `None` at end of input.
+    pub(crate) fn next_record(&mut self) -> Result<Option<Record>, DataError> {
+        let start = self.next_line;
+        let delim = self.delim;
+        let first = match self.next_line()? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        let blank = first.trim().is_empty();
+        let mut parser = FieldParser::new(delim);
+        parser.feed(first);
+        // An open quote at end of line means the newline is literal
+        // field content and the record continues on the next line.
+        while parser.quoted {
+            match self.next_line()? {
+                Some(line) => {
+                    parser.feed_newline();
+                    parser.feed(line);
+                }
+                // EOF inside an open quote: close the record as-is,
+                // matching the line-based reader's lenient stance.
+                None => break,
+            }
+        }
+        Ok(Some(Record {
+            fields: parser.finish(),
+            blank,
+            line: start,
+        }))
+    }
+}
+
+/// Quote a field when it contains the delimiter, a quote, a newline,
+/// or leading whitespace that would be ambiguous.
 fn quote_field(field: &str, delim: char) -> String {
-    if field.contains(delim) || field.contains('"') || field.starts_with(' ') {
+    if field.contains(delim)
+        || field.contains('"')
+        || field.contains('\n')
+        || field.contains('\r')
+        || field.starts_with(' ')
+    {
         let escaped = field.replace('"', "\"\"");
         format!("\"{escaped}\"")
     } else {
@@ -96,52 +221,13 @@ fn quote_field(field: &str, delim: char) -> String {
     }
 }
 
-/// Read a dataset from any reader.
-pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, DataError> {
-    let mut lines = BufReader::new(reader).lines();
-
-    let header: Vec<String> = if opts.has_header {
-        match lines.next() {
-            Some(line) => split_line(&line?, opts.delimiter),
-            None => return Err(DataError::EmptyInput),
+/// Build the schema for `names` from the options' type annotations.
+pub(crate) fn schema_for(names: &[String], opts: &CsvOptions) -> Result<Schema, DataError> {
+    if let Some(tx) = &opts.transaction_column {
+        if !names.iter().any(|n| n == tx) {
+            return Err(DataError::UnknownAttribute(tx.clone()));
         }
-    } else {
-        Vec::new()
-    };
-
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut width = if opts.has_header { header.len() } else { 0 };
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
-        // A blank line is noise in a multi-column file, but in a
-        // single-column file it is a record with one empty field
-        // (e.g. an empty transaction).
-        if line.trim().is_empty() && width != 1 {
-            continue;
-        }
-        let fields = split_line(&line, opts.delimiter);
-        if width == 0 {
-            width = fields.len();
-        }
-        if fields.len() != width {
-            return Err(DataError::RaggedRow {
-                line: lineno + 1 + usize::from(opts.has_header),
-                found: fields.len(),
-                expected: width,
-            });
-        }
-        rows.push(fields);
     }
-    if width == 0 {
-        return Err(DataError::EmptyInput);
-    }
-
-    let names: Vec<String> = if opts.has_header {
-        header
-    } else {
-        (0..width).map(|i| i.to_string()).collect()
-    };
-
     let col_kind = |name: &str| -> AttributeKind {
         if opts.transaction_column.as_deref() == Some(name) {
             AttributeKind::Transaction
@@ -151,18 +237,71 @@ pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, Data
             AttributeKind::Categorical
         }
     };
-
-    if let Some(tx) = &opts.transaction_column {
-        if !names.iter().any(|n| n == tx) {
-            return Err(DataError::UnknownAttribute(tx.clone()));
-        }
-    }
-
     let attributes: Vec<Attribute> = names
         .iter()
         .map(|n| Attribute::new(n.clone(), col_kind(n)))
         .collect();
-    let schema = Schema::new(attributes)?;
+    Schema::new(attributes)
+}
+
+/// Header names: the header record when present, 0-based indices as
+/// decimal strings otherwise.
+pub(crate) fn names_for(header: Option<Vec<String>>, width: usize) -> Vec<String> {
+    match header {
+        Some(names) => names,
+        None => (0..width).map(|i| i.to_string()).collect(),
+    }
+}
+
+/// Split a raw transaction field into trimmed, non-empty item strings.
+pub(crate) fn split_items(field: &str, item_delimiter: char) -> Vec<&str> {
+    field
+        .split(item_delimiter)
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Read a dataset from any reader.
+pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, DataError> {
+    let mut records = RecordReader::new(BufReader::new(reader), opts.delimiter);
+
+    let header: Option<Vec<String>> = if opts.has_header {
+        match records.next_record()? {
+            Some(rec) => Some(rec.fields),
+            None => return Err(DataError::EmptyInput),
+        }
+    } else {
+        None
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut width = header.as_ref().map_or(0, Vec::len);
+    while let Some(rec) = records.next_record()? {
+        // A blank line is noise in a multi-column file, but in a
+        // single-column file it is a record with one empty field
+        // (e.g. an empty transaction).
+        if rec.blank && width != 1 {
+            continue;
+        }
+        if width == 0 {
+            width = rec.fields.len();
+        }
+        if rec.fields.len() != width {
+            return Err(DataError::RaggedRow {
+                line: rec.line,
+                found: rec.fields.len(),
+                expected: width,
+            });
+        }
+        rows.push(rec.fields);
+    }
+    if width == 0 {
+        return Err(DataError::EmptyInput);
+    }
+
+    let names = names_for(header, width);
+    let schema = schema_for(&names, opts)?;
     let tx_idx = schema.transaction_index();
     let rel_idx = schema.relational_indices();
 
@@ -170,11 +309,7 @@ pub fn read_table<R: Read>(reader: R, opts: &CsvOptions) -> Result<RtTable, Data
     for fields in rows {
         let rel: Vec<&str> = rel_idx.iter().map(|&i| fields[i].trim()).collect();
         let items: Vec<&str> = match tx_idx {
-            Some(i) => fields[i]
-                .split(opts.item_delimiter)
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect(),
+            Some(i) => split_items(&fields[i], opts.item_delimiter),
             None => Vec::new(),
         };
         table.push_row(&rel, &items)?;
@@ -386,6 +521,77 @@ mod tests {
             "{msg}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let lf = read_table(SAMPLE.as_bytes(), &rt_opts()).unwrap();
+        let crlf_src = SAMPLE.replace('\n', "\r\n");
+        let crlf = read_table(crlf_src.as_bytes(), &rt_opts()).unwrap();
+        assert_eq!(lf.n_rows(), crlf.n_rows());
+        for r in 0..lf.n_rows() {
+            assert_eq!(lf.value_str(r, 0), crlf.value_str(r, 0));
+            assert_eq!(lf.value_str(r, 1), crlf.value_str(r, 1));
+            assert_eq!(lf.transaction_strs(r), crlf.transaction_strs(r));
+        }
+    }
+
+    #[test]
+    fn final_row_without_trailing_newline() {
+        let src = "Age,Edu,Items\n30,BSc,milk bread\n41,MSc,beer";
+        let t = read_table(src.as_bytes(), &rt_opts()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value_str(1, 1), "MSc");
+        assert_eq!(t.transaction_strs(1), vec!["beer"]);
+    }
+
+    #[test]
+    fn quoted_field_with_embedded_newline() {
+        let src = "Name,Items\n\"two\nlines\",a b\nplain,c\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value_str(0, 0), "two\nlines");
+        assert_eq!(t.value_str(1, 0), "plain");
+        // writing quotes the newline so the file round-trips
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, &CsvOptions::with_transaction("Items")).unwrap();
+        let t2 = read_table(buf.as_slice(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t2.value_str(0, 0), "two\nlines");
+    }
+
+    #[test]
+    fn quoted_newline_with_crlf_endings() {
+        // inside quotes the CRLF is normalized to a bare newline, the
+        // same way the record separators are
+        let src = "Name,Items\r\n\"two\r\nlines\",a\r\n";
+        let t = read_table(src.as_bytes(), &CsvOptions::with_transaction("Items")).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.value_str(0, 0), "two\nlines");
+    }
+
+    #[test]
+    fn ragged_row_line_numbers_count_physical_lines() {
+        // the multi-line quoted record occupies lines 2-3, so the
+        // ragged record is physical line 4
+        let src = "A,B\n\"x\ny\",2\n1,2,3\n";
+        let err = read_table(src.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::RaggedRow { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_inside_open_quote_closes_the_record() {
+        // the delimiter stays literal inside the unterminated quote, so
+        // the record has one field and is reported as ragged — exactly
+        // what the line-based reader did
+        let src = "A,B\n\"unterminated,2";
+        let err = read_table(src.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::RaggedRow { line, found, .. } => assert_eq!((line, found), (2, 1)),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub enum DataError {
     DuplicateAttribute(String),
     /// Free-form invariant violation with context.
     Invalid(String),
+    /// The enforced memory budget would be exceeded; raised by the
+    /// chunked ingest instead of letting the process grow until the
+    /// OOM killer takes it.
+    BudgetExceeded {
+        /// The configured budget, in bytes.
+        budget_bytes: u64,
+        /// Accounted bytes the operation would have needed.
+        needed_bytes: u64,
+    },
     /// An error raised while reading or writing a specific file; the
     /// path gives users actionable context the bare error lacks.
     InFile {
@@ -74,6 +83,13 @@ impl fmt::Display for DataError {
                 write!(f, "duplicate attribute name {name:?}")
             }
             DataError::Invalid(msg) => write!(f, "{msg}"),
+            DataError::BudgetExceeded {
+                budget_bytes,
+                needed_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: needed {needed_bytes} bytes, budget {budget_bytes}"
+            ),
             DataError::InFile { path, error } => write!(f, "{}: {error}", path.display()),
         }
     }

@@ -23,6 +23,7 @@
 //! Strings appear only at the I/O boundary; all algorithm-facing APIs
 //! speak interned [`ValueId`]/[`ItemId`] integers.
 
+pub mod chunk;
 pub mod csv;
 pub mod edit;
 pub mod error;
@@ -32,11 +33,12 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use chunk::{ChunkStats, ChunkedTable, MemoryBudget, RowChunk};
 pub use csv::CsvOptions;
 pub use error::DataError;
 pub use schema::{Attribute, AttributeKind, Schema};
 pub use stats::{AttributeSummary, Histogram};
-pub use table::{RowRef, RtTable};
+pub use table::{RowRef, RtTable, TxChunk};
 pub use value::{ItemId, ValueId, ValuePool};
 
 /// Crate-wide result alias.

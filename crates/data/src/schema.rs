@@ -158,6 +158,23 @@ impl Schema {
         Ok(())
     }
 
+    /// Switch a *relational* attribute between categorical and
+    /// numeric. The transaction attribute cannot be retyped this way
+    /// (and no attribute can become the transaction attribute) — that
+    /// would change the dataset class. Out-of-range indices and
+    /// non-relational targets are ignored; retyping is metadata-only
+    /// and never invalidates stored ids.
+    pub(crate) fn set_kind(&mut self, idx: usize, kind: AttributeKind) {
+        if kind == AttributeKind::Transaction {
+            return;
+        }
+        if let Some(a) = self.attributes.get_mut(idx) {
+            if a.kind.is_relational() {
+                a.kind = kind;
+            }
+        }
+    }
+
     pub(crate) fn push(&mut self, attr: Attribute) -> Result<usize, DataError> {
         if self.index_of(&attr.name).is_some() {
             return Err(DataError::DuplicateAttribute(attr.name));

@@ -77,6 +77,65 @@ impl<'a> RowRef<'a> {
     }
 }
 
+/// A zero-copy view of the transactions of a block of consecutive
+/// rows, yielded by [`RtTable::tx_chunks`]. Kernel construction
+/// iterates these instead of issuing one random access per row, which
+/// keeps the CSR walk sequential and cache-resident.
+#[derive(Debug, Clone, Copy)]
+pub struct TxChunk<'a> {
+    start: usize,
+    n_rows: usize,
+    /// Absolute CSR offsets for rows `start..start + n_rows` (length
+    /// `n_rows + 1`); empty when the schema has no transaction
+    /// attribute.
+    offsets: &'a [u32],
+    /// The table's full item buffer (offsets are absolute).
+    items: &'a [ItemId],
+}
+
+impl<'a> TxChunk<'a> {
+    pub(crate) fn from_raw(
+        start: usize,
+        n_rows: usize,
+        offsets: &'a [u32],
+        items: &'a [ItemId],
+    ) -> TxChunk<'a> {
+        TxChunk {
+            start,
+            n_rows,
+            offsets,
+            items,
+        }
+    }
+
+    /// Global index of the chunk's first row.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Rows in this chunk.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Transaction of the chunk-local row `local` (empty when the
+    /// schema has no transaction attribute).
+    #[inline]
+    pub fn transaction(&self, local: usize) -> &'a [ItemId] {
+        if self.offsets.is_empty() {
+            return &[];
+        }
+        let lo = self.offsets[local] as usize;
+        let hi = self.offsets[local + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Iterate `(global_row, transaction)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &'a [ItemId])> + '_ {
+        (0..self.n_rows).map(move |local| (self.start + local, self.transaction(local)))
+    }
+}
+
 impl RtTable {
     /// Empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
@@ -92,9 +151,50 @@ impl RtTable {
         }
     }
 
+    /// Assemble a table directly from pre-built columnar parts. Used
+    /// by the chunked ingest ([`crate::chunk::ChunkedTable`]) to
+    /// materialize without re-interning; callers guarantee the parts
+    /// are mutually consistent (dense ids, sorted/deduped CSR rows).
+    pub(crate) fn from_parts(
+        schema: Schema,
+        pools: Vec<ValuePool>,
+        columns: Vec<Vec<ValueId>>,
+        tx_offsets: Vec<u32>,
+        tx_items: Vec<ItemId>,
+        n_rows: usize,
+    ) -> Self {
+        Self {
+            schema,
+            pools,
+            columns,
+            tx_offsets,
+            tx_items,
+            n_rows,
+        }
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Reclassify relational attributes whose every value parses as a
+    /// number from categorical to numeric, mirroring the detection
+    /// rule of [`crate::stats::summarize`]. The chunked load path uses
+    /// this to type columns after a single streaming pass instead of
+    /// re-reading the file.
+    pub fn reclassify_numeric(&mut self) {
+        let tx_idx = self.schema.transaction_index();
+        for attr in 0..self.schema.len() {
+            if Some(attr) == tx_idx || self.columns[attr].is_empty() {
+                continue;
+            }
+            let pool = &self.pools[attr];
+            let numeric = !pool.is_empty() && pool.iter().all(|(_, v)| v.parse::<f64>().is_ok());
+            if numeric {
+                self.schema.set_kind(attr, AttributeKind::Numeric);
+            }
+        }
     }
 
     /// Number of records.
@@ -173,6 +273,53 @@ impl RtTable {
     /// Iterate all records.
     pub fn rows(&self) -> impl Iterator<Item = RowRef<'_>> {
         (0..self.n_rows).map(move |row| RowRef { table: self, row })
+    }
+
+    /// Iterate the transaction column in blocks of `chunk_rows`
+    /// consecutive rows (the final chunk may be shorter). Panics if
+    /// `chunk_rows` is zero.
+    pub fn tx_chunks(&self, chunk_rows: usize) -> impl Iterator<Item = TxChunk<'_>> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let n = self.n_rows;
+        (0..n).step_by(chunk_rows).map(move |start| {
+            let len = chunk_rows.min(n - start);
+            TxChunk {
+                start,
+                n_rows: len,
+                offsets: if self.tx_offsets.is_empty() {
+                    &[]
+                } else {
+                    &self.tx_offsets[start..start + len + 1]
+                },
+                items: &self.tx_items,
+            }
+        })
+    }
+
+    /// Iterate relational column `attr` in blocks of `chunk_rows`
+    /// values, paired with the global index of each block's first row.
+    pub fn column_chunks(
+        &self,
+        attr: usize,
+        chunk_rows: usize,
+    ) -> impl Iterator<Item = (usize, &[ValueId])> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        self.columns[attr]
+            .chunks(chunk_rows)
+            .enumerate()
+            .map(move |(i, block)| (i * chunk_rows, block))
+    }
+
+    /// Deterministic estimate of the table's heap footprint in bytes:
+    /// the columnar buffers at 4 bytes per id plus the interned pools
+    /// (see [`ValuePool::estimated_bytes`]). Used for memory-budget
+    /// accounting, where a reproducible figure matters more than
+    /// allocator-exact truth.
+    pub fn estimated_bytes(&self) -> u64 {
+        let cols: u64 = self.columns.iter().map(|c| 4 * c.len() as u64).sum();
+        let csr = 4 * (self.tx_offsets.len() as u64 + self.tx_items.len() as u64);
+        let pools: u64 = self.pools.iter().map(ValuePool::estimated_bytes).sum();
+        cols + csr + pools
     }
 
     /// Append a record given textual relational values (in relational

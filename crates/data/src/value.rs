@@ -108,6 +108,17 @@ impl ValuePool {
             .map(|(i, v)| (i as u32, v.as_str()))
     }
 
+    /// Deterministic estimate of the pool's heap footprint in bytes.
+    ///
+    /// Each interned value is stored twice (the dense vector and the
+    /// reverse index key) plus fixed per-entry overhead for the two
+    /// containers; the estimate charges `2 * len + 64` per value so
+    /// memory-budget accounting is reproducible across runs and
+    /// platforms, unlike allocator-reported numbers.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.values.iter().map(|v| 2 * v.len() as u64 + 64).sum()
+    }
+
     /// Rebuild the reverse index after deserialization (the hash index
     /// is skipped by serde).
     pub fn rebuild_index(&mut self) {

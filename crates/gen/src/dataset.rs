@@ -3,7 +3,10 @@
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secreta_data::{Attribute, AttributeKind, ItemId, RtTable, Schema, ValueId};
+use secreta_data::{
+    Attribute, AttributeKind, ChunkedTable, DataError, ItemId, MemoryBudget, RtTable, Schema,
+    ValueId,
+};
 
 /// One synthetic relational attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,19 +186,30 @@ impl DatasetSpec {
         spec
     }
 
-    /// Generate the table.
-    pub fn generate(&self) -> RtTable {
+    /// The schema this spec generates.
+    fn build_schema(&self) -> Schema {
         let mut attributes: Vec<Attribute> = self
             .rel_attrs
             .iter()
             .map(|a| Attribute::new(a.name.clone(), a.kind))
             .collect();
-        let has_tx = self.n_items > 0;
-        if has_tx {
+        if self.n_items > 0 {
             attributes.push(Attribute::transaction("Items"));
         }
-        let schema = Schema::new(attributes).expect("generated schema is valid");
-        let mut table = RtTable::new(schema);
+        Schema::new(attributes).expect("generated schema is valid")
+    }
+
+    /// Label of value `v` in `spec`'s domain.
+    fn rel_label(spec: &RelAttrSpec, v: usize) -> String {
+        match spec.kind {
+            AttributeKind::Numeric => (spec.base + v as i64).to_string(),
+            _ => format!("{}_{v:03}", spec.name),
+        }
+    }
+
+    /// Generate the table.
+    pub fn generate(&self) -> RtTable {
+        let mut table = RtTable::new(self.build_schema());
 
         // Pre-intern full domains so hierarchies cover every value even
         // if sampling misses some.
@@ -203,11 +217,11 @@ impl DatasetSpec {
         for (idx, spec) in self.rel_attrs.iter().enumerate() {
             let mut ids = Vec::with_capacity(spec.cardinality);
             for v in 0..spec.cardinality {
-                let label = match spec.kind {
-                    AttributeKind::Numeric => (spec.base + v as i64).to_string(),
-                    _ => format!("{}_{v:03}", spec.name),
-                };
-                ids.push(table.intern_value(idx, &label).expect("relational attr"));
+                ids.push(
+                    table
+                        .intern_value(idx, &Self::rel_label(spec, v))
+                        .expect("relational attr"),
+                );
             }
             rel_value_ids.push(ids);
         }
@@ -220,6 +234,58 @@ impl DatasetSpec {
             );
         }
 
+        self.generate_rows(&rel_value_ids, &item_ids, |rel, tx| {
+            table.push_row_ids(rel, tx)
+        })
+        .expect("generated row is valid");
+        table
+    }
+
+    /// Generate the same table as [`DatasetSpec::generate`] through
+    /// the chunked ingest path: rows stream into a [`ChunkedTable`] in
+    /// `chunk_rows`-sized chunks, charged against `budget`. Both paths
+    /// share one seeded row engine, so the result materializes
+    /// ([`ChunkedTable::into_table`]) byte-identical to the in-memory
+    /// table — which is what lets the scale benchmark compare ingest
+    /// modes without sampling drift.
+    pub fn generate_chunked(
+        &self,
+        chunk_rows: usize,
+        budget: MemoryBudget,
+    ) -> Result<ChunkedTable, DataError> {
+        let mut table = ChunkedTable::new(self.build_schema(), chunk_rows, budget);
+
+        let mut rel_value_ids: Vec<Vec<ValueId>> = Vec::with_capacity(self.rel_attrs.len());
+        for (idx, spec) in self.rel_attrs.iter().enumerate() {
+            let mut ids = Vec::with_capacity(spec.cardinality);
+            for v in 0..spec.cardinality {
+                ids.push(table.intern_value(idx, &Self::rel_label(spec, v))?);
+            }
+            rel_value_ids.push(ids);
+        }
+        let mut item_ids: Vec<ItemId> = Vec::with_capacity(self.n_items);
+        for i in 0..self.n_items {
+            item_ids.push(table.intern_item(&format!("item_{i:04}"))?);
+        }
+
+        self.generate_rows(&rel_value_ids, &item_ids, |rel, tx| {
+            table.push_row_ids(rel, tx)
+        })?;
+        table.finish()?;
+        Ok(table)
+    }
+
+    /// The seeded row engine shared by both generate paths: drives the
+    /// RNG stream and hands each row's pre-interned ids to `push`.
+    /// Keeping a single engine is what guarantees the two paths sample
+    /// identical rows.
+    fn generate_rows(
+        &self,
+        rel_value_ids: &[Vec<ValueId>],
+        item_ids: &[ItemId],
+        mut push: impl FnMut(&[ValueId], &[ItemId]) -> Result<(), DataError>,
+    ) -> Result<(), DataError> {
+        let has_tx = self.n_items > 0;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let rel_samplers: Vec<Zipf> = self
             .rel_attrs
@@ -291,11 +357,9 @@ impl DatasetSpec {
                     tx_buf.push(item_ids[idx]);
                 }
             }
-            table
-                .push_row_ids(&rel_buf, &tx_buf)
-                .expect("generated row is valid");
+            push(&rel_buf, &tx_buf)?;
         }
-        table
+        Ok(())
     }
 }
 
@@ -303,6 +367,42 @@ impl DatasetSpec {
 mod tests {
     use super::*;
     use secreta_data::stats::item_supports;
+
+    fn csv_of(table: &RtTable) -> String {
+        let mut buf = Vec::new();
+        secreta_data::csv::write_table(table, &mut buf, &secreta_data::CsvOptions::default())
+            .unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn chunked_generation_is_byte_identical() {
+        // the adversarial spec exercises every RNG-drawing knob
+        for spec in [
+            DatasetSpec::adult_like(300, 7),
+            DatasetSpec::census(200, 7),
+            DatasetSpec::adversarial(300, 7),
+        ] {
+            let reference = csv_of(&spec.generate());
+            for chunk_rows in [1, 64, 1024] {
+                let chunked = spec
+                    .generate_chunked(chunk_rows, MemoryBudget::unlimited())
+                    .unwrap()
+                    .into_table()
+                    .unwrap();
+                assert_eq!(csv_of(&chunked), reference, "chunk_rows={chunk_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_generation_respects_budget() {
+        let spec = DatasetSpec::adult_like(5_000, 3);
+        let err = spec
+            .generate_chunked(64, MemoryBudget::bytes(10_000))
+            .expect_err("10 kB cannot hold 5k rows");
+        assert!(matches!(err, DataError::BudgetExceeded { .. }), "{err}");
+    }
 
     #[test]
     fn adult_like_shape() {

@@ -51,6 +51,7 @@ pub struct ObsvConfig {
     sink: Option<TraceSink>,
     budget: Option<Duration>,
     cancel: Option<CancelToken>,
+    mem_budget: Option<u64>,
 }
 
 impl ObsvConfig {
@@ -92,9 +93,23 @@ impl ObsvConfig {
         self
     }
 
+    /// Give every run a memory budget of `bytes`: once the process
+    /// peak RSS crosses it, the run cancels at its next phase boundary
+    /// with a typed [`Cancelled::BudgetExceeded`] payload instead of
+    /// growing until the OOM killer intervenes.
+    pub fn with_mem_budget(mut self, bytes: u64) -> ObsvConfig {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
     /// The configured per-run deadline, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.budget
+    }
+
+    /// The configured memory budget in bytes, if any.
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.mem_budget
     }
 
     /// Whether runs record profiles.
@@ -115,8 +130,12 @@ impl ObsvConfig {
         } else {
             Recorder::disabled()
         };
-        if self.budget.is_some() || self.cancel.is_some() {
-            rec.with_limits(Limits::new(self.budget, self.cancel.clone()))
+        if self.budget.is_some() || self.cancel.is_some() || self.mem_budget.is_some() {
+            let mut limits = Limits::new(self.budget, self.cancel.clone());
+            if let Some(bytes) = self.mem_budget {
+                limits = limits.with_mem_budget(bytes);
+            }
+            rec.with_limits(limits)
         } else {
             rec
         }

@@ -26,6 +26,13 @@ pub enum Cancelled {
     },
     /// The run's [`CancelToken`] was tripped externally.
     Requested,
+    /// The process peak RSS crossed the run's memory budget.
+    BudgetExceeded {
+        /// The configured budget, in bytes.
+        limit_bytes: u64,
+        /// The peak RSS observed at the tripping check, in bytes.
+        observed_bytes: u64,
+    },
 }
 
 /// A shared flag for cooperatively cancelling in-flight runs; cloning
@@ -54,12 +61,14 @@ impl CancelToken {
 }
 
 /// Execution limits for one run: an optional wall-clock budget
-/// (measured from `started`) and an optional cancellation token.
+/// (measured from `started`), an optional cancellation token, and an
+/// optional memory budget checked against the process peak RSS.
 #[derive(Debug, Clone)]
 pub struct Limits {
     started: Instant,
     budget: Option<Duration>,
     cancel: Option<CancelToken>,
+    mem_budget: Option<u64>,
 }
 
 impl Limits {
@@ -69,17 +78,39 @@ impl Limits {
             started: Instant::now(),
             budget,
             cancel,
+            mem_budget: None,
         }
     }
 
-    /// Raise the typed [`Cancelled`] panic if the deadline has passed
-    /// or the token is tripped; otherwise return normally.
+    /// Also enforce a memory budget of `bytes`: each check samples the
+    /// process peak RSS ([`crate::mem::peak_rss_bytes`]) and cancels
+    /// the run once it crosses the budget. This is the coarse runtime
+    /// backstop behind the data layer's deterministic accounting — on
+    /// platforms without an RSS sample it is inert.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Limits {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Raise the typed [`Cancelled`] panic if the deadline has passed,
+    /// the memory budget is crossed, or the token is tripped;
+    /// otherwise return normally.
     pub fn check(&self) {
         if let Some(budget) = self.budget {
             if self.started.elapsed() > budget {
                 std::panic::panic_any(Cancelled::DeadlineExceeded {
                     limit_ms: budget.as_millis() as u64,
                 });
+            }
+        }
+        if let Some(limit_bytes) = self.mem_budget {
+            if let Some(observed_bytes) = crate::mem::peak_rss_bytes() {
+                if observed_bytes > limit_bytes {
+                    std::panic::panic_any(Cancelled::BudgetExceeded {
+                        limit_bytes,
+                        observed_bytes,
+                    });
+                }
             }
         }
         if let Some(token) = &self.cancel {
@@ -110,6 +141,25 @@ mod tests {
         let l = Limits::new(Some(Duration::ZERO), None);
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(payload_of(&l), Cancelled::DeadlineExceeded { limit_ms: 0 });
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn crossed_mem_budget_raises_budget_payload() {
+        // a 1-byte budget is always below the live peak RSS
+        let l = Limits::new(None, None).with_mem_budget(1);
+        match payload_of(&l) {
+            Cancelled::BudgetExceeded {
+                limit_bytes,
+                observed_bytes,
+            } => {
+                assert_eq!(limit_bytes, 1);
+                assert!(observed_bytes > 1);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        // a huge budget passes
+        Limits::new(None, None).with_mem_budget(u64::MAX).check();
     }
 
     #[test]

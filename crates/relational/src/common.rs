@@ -49,6 +49,30 @@ pub struct RelationalInput<'a> {
 }
 
 impl<'a> RelationalInput<'a> {
+    /// Per-QI-attribute value frequencies plus their totals, for
+    /// GCP-weighted node selection. The count walks each column in
+    /// fixed-size blocks ([`RtTable::column_chunks`] at the process
+    /// chunk size) so the setup pass touches memory chunk-by-chunk
+    /// regardless of table size.
+    pub fn qi_value_counts(&self) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let chunk_rows = secreta_data::chunk::chunk_rows();
+        let counts: Vec<Vec<u64>> = self
+            .qi_attrs
+            .iter()
+            .map(|&attr| {
+                let mut c = vec![0u64; self.table.domain_size(attr)];
+                for (_, block) in self.table.column_chunks(attr, chunk_rows) {
+                    for v in block {
+                        c[v.index()] += 1;
+                    }
+                }
+                c
+            })
+            .collect();
+        let totals = counts.iter().map(|c| c.iter().sum()).collect();
+        (counts, totals)
+    }
+
     /// Validate structural invariants shared by all algorithms.
     pub fn validate(&self) -> Result<(), RelError> {
         if self.k == 0 {

@@ -31,18 +31,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     let q = input.qi_attrs.len();
 
     // per-attribute value counts, for GCP-weighted node selection
-    let counts: Vec<Vec<u64>> = input
-        .qi_attrs
-        .iter()
-        .map(|&attr| {
-            let mut c = vec![0u64; input.table.domain_size(attr)];
-            for v in input.table.column(attr) {
-                c[v.index()] += 1;
-            }
-            c
-        })
-        .collect();
-    let totals: Vec<u64> = counts.iter().map(|c| c.iter().sum()).collect();
+    let (counts, totals) = input.qi_value_counts();
     // row-major QI values: every lattice-node anonymity check scans
     // all rows, so table lookups must stay out of that loop
     let matrix = input.value_matrix();

@@ -22,18 +22,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     let mut timer = PhaseTimer::new();
 
     let q = input.qi_attrs.len();
-    let counts: Vec<Vec<u64>> = input
-        .qi_attrs
-        .iter()
-        .map(|&attr| {
-            let mut c = vec![0u64; input.table.domain_size(attr)];
-            for v in input.table.column(attr) {
-                c[v.index()] += 1;
-            }
-            c
-        })
-        .collect();
-    let totals: Vec<u64> = counts.iter().map(|c| c.iter().sum()).collect();
+    let (counts, totals) = input.qi_value_counts();
     let mut cuts: Vec<Cut> = input.hierarchies.iter().map(Cut::root).collect();
     // QI values in row-major form: the k-anonymity check below runs
     // once per candidate per round, so table lookups must not sit on

@@ -45,7 +45,7 @@
 use crate::bitmap::{Bitset, RowSet};
 use crate::groups::ItemGroups;
 use secreta_data::hash::{FxHashMap, FxHasher};
-use secreta_data::{ItemId, RtTable};
+use secreta_data::{ChunkedTable, ItemId, RowChunk, RtTable, TxChunk};
 use std::hash::Hasher;
 
 /// Which support-counting implementation an algorithm run uses.
@@ -371,12 +371,29 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Build the index over `rows` (positions index into `rows`, not
     /// the table), keeping only items accepted by `relevant`.
+    ///
+    /// When `rows` is the whole table in order — the common case for
+    /// per-run index construction — the build walks the CSR buffers
+    /// chunk-by-chunk ([`RtTable::tx_chunks`]) instead of issuing one
+    /// random access per row; arbitrary row subsets take the
+    /// position-indexed path. Both produce identical indexes.
     pub fn build(
         table: &RtTable,
         rows: &[usize],
         universe: usize,
         relevant: impl Fn(ItemId) -> bool,
     ) -> InvertedIndex {
+        let identity =
+            rows.len() == table.n_rows() && rows.iter().enumerate().all(|(pos, &row)| pos == row);
+        if identity {
+            let chunk_rows = secreta_data::chunk::chunk_rows();
+            return Self::from_tx_chunks(
+                table.n_rows(),
+                universe,
+                || table.tx_chunks(chunk_rows),
+                relevant,
+            );
+        }
         Self::from_fn(rows.len(), universe, |pos, buf| {
             buf.extend(
                 table
@@ -387,6 +404,65 @@ impl InvertedIndex {
                     .map(|it| it.0),
             )
         })
+    }
+
+    /// Build the index from a re-iterable stream of [`TxChunk`]s (the
+    /// two CSR passes each walk the stream once). This is how both
+    /// the identity-rows [`InvertedIndex::build`] fast path and the
+    /// no-materialization [`InvertedIndex::from_chunked`] build walk
+    /// their data chunk-by-chunk.
+    pub fn from_tx_chunks<'a, I: Iterator<Item = TxChunk<'a>>>(
+        n_rows: usize,
+        universe: usize,
+        chunks: impl Fn() -> I,
+        relevant: impl Fn(ItemId) -> bool,
+    ) -> InvertedIndex {
+        let mut counts = vec![0u32; universe];
+        for chunk in chunks() {
+            for (_, tx) in chunk.rows() {
+                for &it in tx {
+                    if relevant(it) {
+                        counts[it.index()] += 1;
+                    }
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(universe + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut slots = offsets.clone();
+        let mut postings = vec![0u32; acc as usize];
+        for chunk in chunks() {
+            for (row, tx) in chunk.rows() {
+                for &it in tx {
+                    if relevant(it) {
+                        let slot = slots[it.index()];
+                        postings[slot as usize] = row as u32;
+                        slots[it.index()] += 1;
+                    }
+                }
+            }
+        }
+        Self::assemble(n_rows, offsets, postings)
+    }
+
+    /// Build the index directly over a [`ChunkedTable`]'s sealed
+    /// chunks, without materializing an [`RtTable`] first. Positions
+    /// are global row indices (the chunked table's row order).
+    pub fn from_chunked(
+        chunked: &ChunkedTable,
+        relevant: impl Fn(ItemId) -> bool,
+    ) -> InvertedIndex {
+        Self::from_tx_chunks(
+            chunked.n_rows(),
+            chunked.item_universe(),
+            || chunked.chunks().iter().map(RowChunk::as_tx_chunk),
+            relevant,
+        )
     }
 
     /// Build the index from an arbitrary row source: `fill(pos, buf)`
@@ -426,6 +502,15 @@ impl InvertedIndex {
                 slots[it as usize] += 1;
             }
         }
+        Self::assemble(n_rows, offsets, postings)
+    }
+
+    /// Assemble the tiered index from filled CSR buffers: assign each
+    /// indexed item to the bitmap or CSR tier by postings density and
+    /// record the build-time density histogram. Shared tail of every
+    /// build path.
+    fn assemble(n_rows: usize, offsets: Vec<u32>, postings: Vec<u32>) -> InvertedIndex {
+        let universe = offsets.len() - 1;
         let hot_min = dense_cutoff(n_rows);
         let mut dense_items = 0u64;
         let mut sparse_items = 0u64;
@@ -1126,6 +1211,58 @@ mod tests {
         let mut out = Vec::new();
         idx.union_into([a, c], &mut out);
         assert_eq!(out, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn chunk_walk_builds_identical_indexes() {
+        let t = tiny_table(&[&["a", "b"], &[], &["b", "c"], &["a"], &["c", "a"], &["b"]]);
+        let universe = t.item_universe();
+        let b = t.item_pool().unwrap().get("b").unwrap();
+        // drop one item so the filter path is exercised too
+        let relevant = |it: ItemId| it.0 != b;
+        let reference = InvertedIndex::from_fn(t.n_rows(), universe, |pos, buf| {
+            buf.extend(
+                t.transaction(pos)
+                    .iter()
+                    .copied()
+                    .filter(|&it| relevant(it))
+                    .map(|it| it.0),
+            )
+        });
+        for block in [1, 2, 3, 100] {
+            let idx = InvertedIndex::from_tx_chunks(
+                t.n_rows(),
+                universe,
+                || t.tx_chunks(block),
+                relevant,
+            );
+            assert_eq!(idx.offsets, reference.offsets, "block={block}");
+            assert_eq!(idx.postings, reference.postings, "block={block}");
+        }
+        // the identity-rows dispatch in build() lands on the same index
+        let rows: Vec<usize> = (0..t.n_rows()).collect();
+        let built = InvertedIndex::build(&t, &rows, universe, relevant);
+        assert_eq!(built.offsets, reference.offsets);
+        assert_eq!(built.postings, reference.postings);
+    }
+
+    #[test]
+    fn from_chunked_matches_materialized_build() {
+        use secreta_data::MemoryBudget;
+        let rows: &[&[&str]] = &[&["a", "b"], &[], &["b", "c"], &["a"], &["c", "a"]];
+        let schema = Schema::new(vec![Attribute::transaction("Items")]).unwrap();
+        let mut chunked = ChunkedTable::new(schema, 2, MemoryBudget::unlimited());
+        for r in rows {
+            chunked.push_row(&[], r).unwrap();
+        }
+        chunked.finish().unwrap();
+        let idx = InvertedIndex::from_chunked(&chunked, |_| true);
+        let t = tiny_table(rows);
+        let all: Vec<usize> = (0..t.n_rows()).collect();
+        let reference = InvertedIndex::build(&t, &all, t.item_universe(), |_| true);
+        assert_eq!(idx.offsets, reference.offsets);
+        assert_eq!(idx.postings, reference.postings);
+        assert_eq!(idx.n_rows, reference.n_rows);
     }
 
     #[test]
