@@ -23,7 +23,9 @@ use crate::args::Args;
 use secreta_bench::report::{self, BenchCase, BenchReport};
 use secreta_core::data::ItemId;
 use secreta_core::policy::{generate_privacy, PrivacyPolicy, PrivacyStrategy};
-use secreta_core::relational::{cluster, RelationalInput};
+use secreta_core::relational::{
+    bottomup, cluster, incognito, topdown, Counting as RelCounting, RelationalInput,
+};
 use secreta_core::transaction::{self as tx, set_density_threshold, Counting, RhoParams};
 use secreta_core::SessionContext;
 use secreta_gen::DatasetSpec;
@@ -251,6 +253,155 @@ pub(crate) fn bench_tiered(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The three relational search algorithms with counting kernels, in
+/// the order every report lists them.
+const REL_ALGOS: &[&str] = &["incognito", "topdown", "bottomup"];
+
+/// Run one relational algorithm under the given counting strategy.
+fn run_rel(
+    name: &str,
+    input: &RelationalInput,
+    counting: RelCounting,
+) -> Result<secreta_core::relational::RelOutput, String> {
+    let out = match name {
+        "incognito" => incognito::anonymize_with(input, counting),
+        "topdown" => topdown::anonymize_with(input, counting),
+        "bottomup" => bottomup::anonymize_with(input, counting),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    out.map_err(|e| format!("{name}: {e}"))
+}
+
+/// `secreta bench --suite rel`: Incognito, Top-down and Bottom-up run
+/// twice on a census-style relational table — once with the naive
+/// rescan-per-check counting (`Counting::Naive`, the pre-kernel
+/// implementation kept as oracle) and once with the partition-rollup
+/// kernels — and the published outputs are compared byte-for-byte.
+/// Writes `BENCH_8.json` with `--json`/`--out`.
+pub(crate) fn bench_rel(args: &Args) -> Result<(), String> {
+    let k = args.usize_or("k", 10)?;
+    let fanout = args.usize_or("fanout", 2)?;
+    let seed = args.u64_or("seed", 42)?;
+    if let Some(t) = args.opt("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects an integer, got {t:?}"))?;
+        secreta_core::parallel::set_threads(n);
+    }
+    let rows: Vec<usize> = args
+        .opt("rows")
+        .unwrap_or("1000,10000")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("--rows expects integers, got {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let phases_ms = |p: &secreta_core::metrics::PhaseTimes| -> Vec<(String, f64)> {
+        p.phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64() * 1e3))
+            .collect()
+    };
+
+    struct Case {
+        algorithm: &'static str,
+        rows: usize,
+        baseline_ms: f64,
+        optimized_ms: f64,
+        baseline_phases: Vec<(String, f64)>,
+        optimized_phases: Vec<(String, f64)>,
+        identical: bool,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+
+    println!("relational kernel benchmark (census, k={k}, fanout={fanout}, seed={seed})");
+    println!("  baseline = naive row rescans, optimized = partition-rollup kernel");
+    for &n in &rows {
+        let table = DatasetSpec::census(n, seed).generate();
+        let ctx = SessionContext::auto(table, fanout).map_err(|e| e.to_string())?;
+        let input = RelationalInput {
+            table: &ctx.table,
+            qi_attrs: ctx.qi_attrs.clone(),
+            hierarchies: ctx.hierarchies.clone(),
+            k,
+        };
+        println!("  n={n}");
+        for &name in REL_ALGOS {
+            let t0 = Instant::now();
+            let base = run_rel(name, &input, RelCounting::Naive)?;
+            let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let fast = run_rel(name, &input, RelCounting::Kernel)?;
+            let optimized_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let identical = base.anon == fast.anon;
+            println!(
+                "    {name:<10} naive {baseline_ms:>10.1}ms  kernel {optimized_ms:>8.1}ms  \
+                 speedup {:>5.1}x  outputs identical: {identical}",
+                baseline_ms / optimized_ms.max(1e-9),
+            );
+            cases.push(Case {
+                algorithm: name,
+                rows: n,
+                baseline_ms,
+                optimized_ms,
+                baseline_phases: phases_ms(&base.phases),
+                optimized_phases: phases_ms(&fast.phases),
+                identical,
+            });
+        }
+    }
+
+    if args.flag("json") || args.opt("out").is_some() {
+        let path = args.opt("out").unwrap_or("BENCH_8.json");
+        let phase_obj = |phases: &[(String, f64)]| -> String {
+            let mut s = String::new();
+            for (i, (name, ms)) in phases.iter().enumerate() {
+                let sep = if i + 1 < phases.len() { "," } else { "" };
+                let _ = write!(s, "\n          \"{name}\": {ms:.3}{sep}");
+            }
+            s
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"suite\": \"rel-kernels\",\n  \"dataset\": \"census\",\n  \
+             \"baseline\": \"naive\",\n  \"optimized\": \"kernel\",\n  \
+             \"k\": {k},\n  \"fanout\": {fanout},\n  \"seed\": {seed},\n  \
+             \"threads\": {},\n  \"cases\": [",
+            secreta_core::parallel::max_threads()
+        );
+        for (i, c) in cases.iter().enumerate() {
+            let sep = if i + 1 < cases.len() { "," } else { "" };
+            let _ = write!(
+                body,
+                "\n    {{\n      \"algorithm\": \"{}\",\n      \"rows\": {},\n      \
+                 \"baseline_ms\": {:.3},\n      \"optimized_ms\": {:.3},\n      \
+                 \"speedup\": {:.3},\n      \"outputs_identical\": {},\n      \
+                 \"baseline_phases_ms\": {{{}\n      }},\n      \
+                 \"optimized_phases_ms\": {{{}\n      }}\n    }}{sep}",
+                c.algorithm,
+                c.rows,
+                c.baseline_ms,
+                c.optimized_ms,
+                c.baseline_ms / c.optimized_ms.max(1e-9),
+                c.identical,
+                phase_obj(&c.baseline_phases),
+                phase_obj(&c.optimized_phases),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        // fail loudly rather than commit a report with a broken shape
+        serde_json::parse_value(&body)
+            .map_err(|e| format!("internal error: produced invalid JSON: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// `secreta bench --all`: the cross-layer gate suite. One dataset
 /// size, every kernel the perf work targets (the Cluster relational
 /// hot path, all seven transaction algorithms under the tiered
@@ -310,6 +461,17 @@ pub(crate) fn bench_all(args: &Args) -> Result<(), String> {
             Ok(())
         }),
     ));
+    let rel_input = &rel_input;
+    for &name in REL_ALGOS {
+        case_fns.push((
+            format!("rel/{name}"),
+            Box::new(move || {
+                let out = run_rel(name, rel_input, RelCounting::Kernel)?;
+                std::hint::black_box(out);
+                Ok(())
+            }),
+        ));
+    }
     let fx = &fx;
     for &name in TX_ALGOS {
         let id = format!("tx/{}", name.replace('-', "_"));

@@ -63,7 +63,7 @@ COMMANDS
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
   bench      benchmark                  [--suite kernels|store|obsv|tx|tiered
-             |risk|scale]
+             |risk|scale|rel]
              | --all [--baseline FILE] [--gate-pct N]
              [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
              [--threads N] [--reps N] [--json] [--out FILE]
@@ -994,6 +994,11 @@ fn cmd_edit(args: &Args) -> Result<(), String> {
 ///   as a typed outcome and the suite keeps going — the graceful
 ///   degradation CI exercises. `--json` writes the report to
 ///   `BENCH_7.json` (override with `--out`).
+/// * `--suite rel` compares the naive rescan-per-check counting of the
+///   relational search algorithms (Incognito, Top-down, Bottom-up)
+///   against the partition-rollup kernels on the census generator;
+///   `--json` writes the report to `BENCH_8.json` (override with
+///   `--out`).
 /// * `--all` runs the cross-layer gate suite and writes a
 ///   schema-versioned report; `--baseline FILE` compares against a
 ///   committed report and fails on any case regressing more than
@@ -1028,9 +1033,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "tiered" => return crate::bench_all::bench_tiered(args),
         "risk" => return bench_risk(args),
         "scale" => return bench_scale(args),
+        "rel" => return crate::bench_all::bench_rel(args),
         other => {
             return Err(format!(
-                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk|scale)"
+                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk|scale|rel)"
             ))
         }
     }

@@ -280,6 +280,27 @@ impl Hierarchy {
         self.ancestor_up(self.leaf(value), level)
     }
 
+    /// Full-domain recode table of `level`: entry `v` is
+    /// [`Hierarchy::generalize`]`(v, level)` for every value id in the
+    /// domain. Computed with one parent step per level over the whole
+    /// table instead of a per-value ancestor walk, so exporting all
+    /// levels of a hierarchy costs O(height · n_leaves). Values whose
+    /// leaves sit shallower than `level` clamp at the root, matching
+    /// [`Hierarchy::generalize`]. The relational counting kernels
+    /// precompute these tables once per run and never call
+    /// `generalize` in a hot loop.
+    pub fn level_table(&self, level: u32) -> Vec<NodeId> {
+        let mut table = self.leaf_of.clone();
+        for _ in 0..level {
+            for n in table.iter_mut() {
+                if let Some(p) = self.parent(*n) {
+                    *n = p;
+                }
+            }
+        }
+        table
+    }
+
     /// Normalized Certainty Penalty of publishing `node` instead of a
     /// leaf: `(leaves(node) - 1) / (n_leaves - 1)`; 0 for leaves and
     /// for degenerate single-value domains, 1 for the root.
@@ -686,6 +707,39 @@ mod tests {
         assert_eq!(h.generalize(0, 2), h.root());
         // clamps past the root
         assert_eq!(h.generalize(0, 99), h.root());
+    }
+
+    #[test]
+    fn level_table_matches_generalize() {
+        let h = sample();
+        for level in 0..=h.height() + 1 {
+            let table = h.level_table(level);
+            assert_eq!(table.len(), h.n_leaves());
+            for v in 0..h.n_leaves() as u32 {
+                assert_eq!(
+                    table[v as usize],
+                    h.generalize(v, level),
+                    "v={v} level={level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_table_clamps_unbalanced_leaves() {
+        // root -> (deep -> d0), s0: the shallow leaf reaches the root
+        // one level before the deep one and stays there
+        let mut b = HierarchyBuilder::new();
+        let root = b.add_node("*", None);
+        let deep = b.add_node("deep", Some(root));
+        b.add_leaf("d0", deep, 0);
+        b.add_leaf("s0", root, 1);
+        let h = b.build(2).unwrap();
+        assert_eq!(
+            h.level_table(1),
+            vec![h.node_by_label("deep").unwrap(), h.root()]
+        );
+        assert_eq!(h.level_table(2), vec![h.root(), h.root()]);
     }
 
     #[test]

@@ -170,6 +170,24 @@ impl ValueMatrix {
     pub fn width(&self) -> usize {
         self.width
     }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.values.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// A width-1 copy of column `pos`, for per-attribute checks.
+    ///
+    /// Incognito's size-1 subset pruning probes one attribute at many
+    /// levels; extracting the column once keeps the per-level checks
+    /// off the full-width matrix (and off the table entirely).
+    pub fn column(&self, pos: usize) -> ValueMatrix {
+        ValueMatrix {
+            values: (0..self.n_rows()).map(|r| self.row(r)[pos]).collect(),
+            width: 1,
+        }
+    }
 }
 
 /// Dense row-major matrix of QI leaf nodes (see
@@ -310,14 +328,16 @@ pub fn min_class_size_matrix(
             map.push(*ids.entry(node).or_insert(next));
         }
         strides.push(code_space);
-        match code_space.checked_mul(ids.len().max(1) as u64) {
-            Some(p) => code_space = p,
-            None => overflow = true,
+        // once the code space overflows u64 the strides are unusable,
+        // but the per-attribute group maps must still cover every
+        // column: the signature fallback below reads all of them
+        if !overflow {
+            match code_space.checked_mul(ids.len().max(1) as u64) {
+                Some(p) => code_space = p,
+                None => overflow = true,
+            }
         }
         dense.push(map);
-        if overflow {
-            break;
-        }
     }
 
     let code_of = |row: usize| -> u64 {
@@ -436,6 +456,73 @@ mod tests {
                 hs[0].root()
             } else {
                 hs[1].leaf(v)
+            }
+        });
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn value_matrix_column_extracts_attribute() {
+        let t = table();
+        let i = input(&t, 2);
+        let matrix = i.value_matrix();
+        assert_eq!(matrix.n_rows(), 4);
+        for pos in 0..2 {
+            let col = matrix.column(pos);
+            assert_eq!(col.width(), 1);
+            assert_eq!(col.n_rows(), 4);
+            for row in 0..4 {
+                assert_eq!(col.row(row)[0], matrix.row(row)[pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn min_class_size_code_space_overflow_falls_back_to_signatures() {
+        // 12 attributes with 64 distinct groups each: the folded code
+        // space overflows u64 at the 11th attribute (64^11 = 2^66),
+        // forcing the full-signature hash-map branch — with a column
+        // *past* the overflow point, so the fallback must still have a
+        // group map for every attribute.
+        let q = 12;
+        let dom = 64usize;
+        let domains = vec![dom; q];
+        let mut values = Vec::new();
+        // rows 0/1 and 2/3 are duplicates, row 4 is unique in its
+        // last attribute -> min class size 1; with the last column
+        // ignored rows 2/3/4 collapse -> min class size 2
+        for row in [
+            vec![1u32; q],
+            vec![1u32; q],
+            {
+                let mut r = vec![2u32; q];
+                r[q - 1] = 7;
+                r
+            },
+            {
+                let mut r = vec![2u32; q];
+                r[q - 1] = 7;
+                r
+            },
+            {
+                let mut r = vec![2u32; q];
+                r[q - 1] = 9;
+                r
+            },
+        ] {
+            values.extend(row);
+        }
+        let matrix = ValueMatrix { values, width: q };
+        // identity recoding keeps all 64 groups per attribute
+        let m = min_class_size_matrix(&matrix, &domains, |_, v| NodeId(v));
+        assert_eq!(m, 1);
+        // collapsing the final attribute still overflows on the first
+        // eleven and exercises the merged counts
+        let m = min_class_size_matrix(&matrix, &domains, |pos, v| {
+            if pos == q - 1 {
+                NodeId(0)
+            } else {
+                NodeId(v)
             }
         });
         assert_eq!(m, 2);

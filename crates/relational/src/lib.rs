@@ -18,8 +18,10 @@ pub mod bottomup;
 pub mod cluster;
 pub mod common;
 pub mod incognito;
+pub mod kernel;
 pub mod topdown;
 pub mod verify;
 
 pub use common::{RelError, RelOutput, RelationalAlgorithm, RelationalInput};
+pub use kernel::Counting;
 pub use verify::is_k_anonymous;

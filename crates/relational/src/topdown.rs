@@ -12,12 +12,47 @@
 //! stopping rule are Fung et al.'s.
 
 use crate::common::{min_class_size_matrix, RelError, RelOutput, RelationalInput};
-use secreta_hierarchy::Cut;
+use crate::kernel::{Counting, RowPartition};
+use secreta_hierarchy::{Cut, Hierarchy, NodeId};
 use secreta_metrics::anon::rel_column_from_value_map;
 use secreta_metrics::{AnonTable, GenEntry, PhaseTimer};
 
-/// Run Top-down specialization on `input`.
+/// Run Top-down specialization on `input` with the kernel counting
+/// paths.
 pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
+    anonymize_with(input, Counting::Kernel)
+}
+
+/// Run Top-down with the naive per-candidate full-table rescans — the
+/// reference oracle the kernel path is tested and benchmarked against.
+pub fn anonymize_reference(input: &RelationalInput) -> Result<RelOutput, RelError> {
+    anonymize_with(input, Counting::Naive)
+}
+
+/// NCP gain of splitting `cand` into its children, weighted by the
+/// records it covers. Shared by both counting paths so candidate
+/// ranking is identical by construction.
+fn split_gain(h: &Hierarchy, cand: NodeId, counts: &[u64], total: u64) -> f64 {
+    let mut gain = 0.0;
+    for v in h.leaves_under(cand) {
+        let c = counts[v as usize];
+        if c == 0 {
+            continue;
+        }
+        let child = h
+            .children(cand)
+            .iter()
+            .copied()
+            .find(|&ch| h.contains(ch, v))
+            .expect("leaf under cand sits under one child");
+        gain += (h.ncp(cand) - h.ncp(child)) * c as f64;
+    }
+    gain / total as f64
+}
+
+/// Run Top-down specialization on `input` with an explicit
+/// [`Counting`] selection.
+pub fn anonymize_with(input: &RelationalInput, counting: Counting) -> Result<RelOutput, RelError> {
     input.validate()?;
     let mut timer = PhaseTimer::new();
 
@@ -33,54 +68,61 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
         .iter()
         .map(|&a| input.table.domain_size(a))
         .collect();
+    // kernel: cut-resident partition with per-class row lists, so a
+    // candidate split only touches the rows of the classes it splits
+    let mut partition = match counting {
+        Counting::Kernel => Some(RowPartition::root_cut(
+            input.table.n_rows(),
+            &input.hierarchies,
+        )),
+        Counting::Naive => None,
+    };
     timer.phase("setup");
 
     // Greedy specialization loop.
     let recorder = secreta_obsv::current();
     let mut splits = 0u64;
     let mut candidate_checks = 0u64;
+    let mut rows_touched = 0u64;
     loop {
-        let mut best: Option<(usize, secreta_hierarchy::NodeId, f64)> = None;
+        let mut best: Option<(usize, NodeId, f64)> = None;
         for pos in 0..q {
             let h = &input.hierarchies[pos];
             for cand in cuts[pos].specialization_candidates(h) {
                 candidate_checks += 1;
-                // NCP gain of splitting `cand` into its children,
-                // weighted by the records it covers.
                 let total = totals[pos];
                 if total == 0 {
                     continue;
                 }
-                let mut gain = 0.0;
-                for v in h.leaves_under(cand) {
-                    let c = counts[pos][v as usize];
-                    if c == 0 {
-                        continue;
-                    }
-                    let child = h
-                        .children(cand)
-                        .iter()
-                        .copied()
-                        .find(|&ch| h.contains(ch, v))
-                        .expect("leaf under cand sits under one child");
-                    gain += (h.ncp(cand) - h.ncp(child)) * c as f64;
-                }
-                gain /= total as f64;
+                let gain = split_gain(h, cand, &counts[pos], total);
                 // zero-gain specializations stay eligible: unary chain
                 // nodes (an interval with a single child covering the
                 // same leaves) must not block the descent — TDS stops
                 // on *validity*, the score only ranks candidates
                 // validity: still k-anonymous after the split
-                let mut trial = cuts[pos].clone();
-                trial.specialize(h, cand);
-                let m = min_class_size_matrix(&matrix, &domains, |p, v| {
-                    if p == pos {
-                        trial.node_of(v)
-                    } else {
-                        cuts[p].node_of(v)
+                let valid = match &partition {
+                    // every class of the current (valid) cut has ≥ k
+                    // rows, so only the classes `cand` splits can
+                    // violate: bucket their rows by child
+                    Some(rp) => {
+                        let (ok, touched) = rp.split_is_valid(&matrix, pos, cand, h, input.k);
+                        rows_touched += touched;
+                        ok
                     }
-                });
-                if m < input.k {
+                    None => {
+                        let mut trial = cuts[pos].clone();
+                        trial.specialize(h, cand);
+                        let m = min_class_size_matrix(&matrix, &domains, |p, v| {
+                            if p == pos {
+                                trial.node_of(v)
+                            } else {
+                                cuts[p].node_of(v)
+                            }
+                        });
+                        m >= input.k
+                    }
+                };
+                if !valid {
                     continue;
                 }
                 if best.as_ref().is_none_or(|&(_, _, g)| gain > g) {
@@ -91,6 +133,9 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
         match best {
             Some((pos, node, _)) => {
                 splits += 1;
+                if let Some(rp) = &mut partition {
+                    rp.apply_split(&matrix, pos, node, &input.hierarchies[pos]);
+                }
                 cuts[pos].specialize(&input.hierarchies[pos], node);
             }
             None => break,
@@ -98,6 +143,7 @@ pub fn anonymize(input: &RelationalInput) -> Result<RelOutput, RelError> {
     }
     recorder.count("topdown/splits", splits);
     recorder.count("topdown/candidate_checks", candidate_checks);
+    recorder.count("topdown/split_rows_touched", rows_touched);
     timer.phase("specialization");
 
     let rel = input
@@ -234,5 +280,15 @@ mod tests {
         let out = anonymize(&input(&t, 2)).unwrap();
         assert!(out.phases.get("specialization").is_some());
         assert!(out.phases.get("recode").is_some());
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_fixture() {
+        let t = table();
+        for k in [1, 2, 3, 4, 8] {
+            let fast = anonymize_with(&input(&t, k), Counting::Kernel).unwrap();
+            let slow = anonymize_with(&input(&t, k), Counting::Naive).unwrap();
+            assert_eq!(fast.anon, slow.anon, "k={k}");
+        }
     }
 }
