@@ -20,7 +20,14 @@ pub struct Args {
 
 /// Boolean flags (no value follows them).
 const BOOL_FLAGS: &[&str] = &[
-    "help", "ascii", "verify", "json", "no-cache", "all", "repair",
+    "help",
+    "ascii",
+    "verify",
+    "json",
+    "no-cache",
+    "all",
+    "repair",
+    "distributed",
 ];
 
 impl Args {
@@ -83,6 +90,24 @@ impl Args {
     /// Boolean flag presence.
     pub fn flag(&self, name: &str) -> bool {
         self.options.get(name).map(String::as_str) == Some("true")
+    }
+
+    /// Re-render the positionals and options as command-line tokens,
+    /// skipping the options named in `exclude` — how the distributed
+    /// coordinator forwards its session arguments to spawned
+    /// `secreta worker` processes.
+    pub fn forward(&self, exclude: &[&str]) -> Vec<String> {
+        let mut out: Vec<String> = self.positional.clone();
+        for (k, v) in &self.options {
+            if exclude.contains(&k.as_str()) {
+                continue;
+            }
+            out.push(format!("--{k}"));
+            if !BOOL_FLAGS.contains(&k.as_str()) {
+                out.push(v.clone());
+            }
+        }
+        out
     }
 
     /// First positional argument.

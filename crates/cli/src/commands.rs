@@ -49,12 +49,17 @@ COMMANDS
              [--out-dir DIR] [--export-anon FILE]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
              [--job-timeout-ms MS] [--memory-budget MB]
+             [--workers N | --distributed] [--lease-ttl-ms MS]
   profile    profile one run            DATA [--tx COL] (same method flags as
              evaluate, no --vary) [--trace-out FILE.ndjson]
   compare    Comparison mode            DATA [--tx COL] --config FILE.json
              [--queries N] [--threads N] [--out-dir DIR]
              [--store-dir DIR] [--no-cache] [--trace-out FILE.ndjson]
              [--job-timeout-ms MS] [--memory-budget MB]
+             [--workers N | --distributed] [--lease-ttl-ms MS]
+  worker     distributed sweep worker   DATA [--tx COL] [--store-dir DIR]
+             [--sweep ID] [--lease-ttl-ms MS] [--poll-ms MS] [--wait-ms MS]
+             (same session flags as the coordinator's evaluate/compare)
   runs       run-store management       list|show KEY|chart|gc|resume [ID]
              |fsck [--repair]
              [--store-dir DIR] [--all]
@@ -63,7 +68,7 @@ COMMANDS
   edit       apply a Dataset Editor script   DATA --script FILE.json --out FILE
   session    show a saved session        SESSION.json
   bench      benchmark                  [--suite kernels|store|obsv|tx|tiered
-             |risk|scale|rel]
+             |risk|scale|rel|dist]
              | --all [--baseline FILE] [--gate-pct N]
              [--rows N,N,...] [--k N] [--m N] [--items N] [--seed S]
              [--threads N] [--reps N] [--json] [--out FILE]
@@ -92,6 +97,16 @@ A failing job does not abort its sweep: the remaining jobs complete,
 failures are journaled, and the process exits 3 (degraded) instead of
 0. `secreta runs resume` re-executes only the failed or missing jobs.
 Exit codes: 0 success, 1 fatal error, 2 usage error, 3 degraded.
+
+Distributed sweeps: with --store-dir and --workers N, evaluate/compare
+becomes a coordinator that publishes claimable job records and spawns
+N `secreta worker` processes; with --distributed alone it publishes and
+waits for externally started workers (same dataset/session flags, same
+--store-dir). Workers claim jobs through crash-safe lease files
+(heartbeat + TTL, default --lease-ttl-ms 5000); a kill -9'd worker's
+jobs are reclaimed by survivors and the merged result is byte-identical
+to a single-process run. If every worker dies the sweep degrades
+(exit 3) and `secreta runs resume` re-executes only the lost jobs.
 
 Relational algorithms: incognito, cluster, topdown, bottomup
 Transaction algorithms: coat, pcta, apriori, lra, vpa
@@ -122,6 +137,7 @@ pub fn dispatch(args: &Args) -> Result<i32, String> {
         "profile" => cmd_profile(args).map(|()| EXIT_OK),
         "compare" => cmd_compare(args),
         "runs" => crate::runs::cmd_runs(args),
+        "worker" => crate::worker::cmd_worker(args),
         "edit" => cmd_edit(args).map(|()| EXIT_OK),
         "session" => cmd_session(args).map(|()| EXIT_OK),
         "bench" => cmd_bench(args).map(|()| EXIT_OK),
@@ -628,7 +644,10 @@ pub(crate) fn indicator_scalar(key: &str, i: &secreta_core::Indicators) -> f64 {
 
 /// Observability settings from `--trace-out` (and, for `profile`,
 /// forced-on recording): traces stream as NDJSON to the given file.
-fn obsv_of(args: &Args, force_enabled: bool) -> Result<secreta_core::obsv::ObsvConfig, String> {
+pub(crate) fn obsv_of(
+    args: &Args,
+    force_enabled: bool,
+) -> Result<secreta_core::obsv::ObsvConfig, String> {
     use secreta_core::obsv::{ObsvConfig, TraceSink};
     match args.opt("trace-out") {
         Some(path) => {
@@ -686,12 +705,22 @@ fn invocation_of(command: &str, args: &Args, configs: &[Configuration]) -> Value
             Value::Obj(
                 args.options
                     .iter()
-                    // store and limit flags are per-invocation, not
-                    // part of the experiment; resume supplies its own
+                    // store, limit and distributed-execution flags are
+                    // per-invocation, not part of the experiment;
+                    // resume supplies its own
                     .filter(|(k, _)| {
                         !matches!(
                             k.as_str(),
-                            "store-dir" | "no-cache" | "job-timeout-ms" | "memory-budget"
+                            "store-dir"
+                                | "no-cache"
+                                | "job-timeout-ms"
+                                | "memory-budget"
+                                | "workers"
+                                | "distributed"
+                                | "lease-ttl-ms"
+                                | "poll-ms"
+                                | "wait-ms"
+                                | "sweep"
                         )
                     })
                     .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
@@ -745,6 +774,12 @@ fn cmd_evaluate(args: &Args) -> Result<i32, String> {
     let mut failures = 0u64;
     match parse_sweep(args)? {
         None => {
+            if args.usize_or("workers", 0)? > 0 || args.flag("distributed") {
+                return Err(
+                    "--workers/--distributed applies to sweeps; add --vary (or drop the flag)"
+                        .into(),
+                );
+            }
             let (result, cache_hit) = orch.run_one(&ctx, &spec, seed).map_err(|e| e.to_string())?;
             let out = match result {
                 Ok(out) => out,
@@ -773,9 +808,13 @@ fn cmd_evaluate(args: &Args) -> Result<i32, String> {
         Some(sweep) => {
             let cfg = Configuration::new(spec.clone(), sweep, seed);
             let invocation = invocation_of("evaluate", args, std::slice::from_ref(&cfg));
-            let out = orch
-                .compare(&ctx, std::slice::from_ref(&cfg), invocation)
-                .map_err(|e| e.to_string())?;
+            let out = crate::worker::run_sweep(
+                args,
+                &ctx,
+                &orch,
+                std::slice::from_ref(&cfg),
+                invocation,
+            )?;
             print_cache_stats(&orch, &out);
             failures = out.stats.failures;
             let points = out.result.points.into_iter().next().unwrap_or_default();
@@ -889,9 +928,7 @@ fn cmd_compare(args: &Args) -> Result<i32, String> {
     let threads = args.usize_or("threads", 4)?;
     let orch = orchestrator_of(args, threads)?;
     let invocation = invocation_of("compare", args, &configs);
-    let out = orch
-        .compare(&ctx, &configs, invocation)
-        .map_err(|e| e.to_string())?;
+    let out = crate::worker::run_sweep(args, &ctx, &orch, &configs, invocation)?;
     print_cache_stats(&orch, &out);
     let result = out.result;
 
@@ -1034,9 +1071,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "risk" => return bench_risk(args),
         "scale" => return bench_scale(args),
         "rel" => return crate::bench_all::bench_rel(args),
+        "dist" => return crate::worker::bench_dist(args),
         other => {
             return Err(format!(
-                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk|scale|rel)"
+                "unknown --suite {other:?} (kernels|store|obsv|tx|tiered|risk|scale|rel|dist)"
             ))
         }
     }

@@ -12,6 +12,7 @@ mod args;
 mod bench_all;
 mod commands;
 mod runs;
+mod worker;
 
 use args::Args;
 

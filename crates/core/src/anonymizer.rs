@@ -56,6 +56,10 @@ pub enum RunError {
         /// Peak RSS observed at the tripping check, in bytes.
         observed_bytes: u64,
     },
+    /// The job was lost by a distributed sweep: every worker that
+    /// could have run it died and the coordinator degraded rather than
+    /// hang. `runs resume` re-executes exactly these jobs.
+    Lost(String),
 }
 
 impl fmt::Display for RunError {
@@ -70,6 +74,7 @@ impl fmt::Display for RunError {
                 write!(f, "run exceeded its {limit_ms} ms deadline")
             }
             RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::Lost(msg) => write!(f, "job lost: {msg}"),
             RunError::BudgetExceeded {
                 limit_bytes,
                 observed_bytes,

@@ -1,0 +1,844 @@
+//! Distributed sweep execution: a crash-tolerant coordinator/worker
+//! split over the run store.
+//!
+//! The in-process orchestrator fans sweep jobs over a thread pool; this
+//! module fans the *same* expansion over independent worker processes
+//! that share nothing but the store directory. The split:
+//!
+//! * **Coordinator** ([`run_distributed`]) — holds the store lock,
+//!   journals the sweep intent, serves cache hits, publishes one
+//!   claimable [`JobRecord`] per miss, optionally spawns local worker
+//!   processes, then waits for the store to fill in. Results are merged
+//!   in deterministic expansion order, so the output is byte-identical
+//!   to a single-process run no matter which worker executed what — or
+//!   how many of them crashed along the way.
+//! * **Worker** ([`worker_loop`]) — discovers the sweep in the journal,
+//!   validates its session against the recorded context digest, then
+//!   repeatedly claims pending jobs through crash-safe lease files
+//!   ([`secreta_store::lease`]), executes them via
+//!   [`run_isolated`](crate::anonymizer::run_isolated), and publishes
+//!   through the lease-fenced [`RunStore::put_fenced`]. A worker that
+//!   dies mid-job (even `kill -9`) leaves a lease that goes stale after
+//!   its TTL and is reclaimed — with an epoch bump that fences off the
+//!   dead worker's late writes — by any surviving worker.
+//!
+//! **Failure model.** Every result commit is a tmp+rename; every lease
+//! transition is a hard-link (fresh claim) or rename (reclaim) with a
+//! read-back verification, so crashes never leave ambiguous ownership.
+//! Because runs are deterministic in (context, spec, seed), the one
+//! benign race — two workers computing the same job across a reclaim —
+//! commits identical bytes whichever one wins. When *no* worker is left
+//! alive and jobs remain, the coordinator degrades gracefully: lost
+//! jobs are journaled as failed (marking the sweep resumable), merged
+//! as [`RunError::Lost`], and the sweep reports failures — `secreta
+//! runs resume` then re-executes exactly the lost tail.
+
+use crate::anonymizer::{run_isolated, RunError, RunResult};
+use crate::comparison::{ComparisonResult, Configuration};
+use crate::config::MethodSpec;
+use crate::context::SessionContext;
+use crate::orchestrator::{
+    context_digest, expand_jobs, manifest_of, replay, sweep_id_of, sweep_record_of, CacheStats,
+    Orchestrated,
+};
+use crate::sweep::{SweepPoint, VaryingParam};
+use secreta_store::{
+    read_events_checked, ClaimOutcome, JobRecord, Journal, JournalEvent, LeaseSet, RunKey,
+    RunStore, StoreError, SweepRecord, STORE_SCHEMA_VERSION,
+};
+use serde::{Deserialize, Value};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Knobs of the distributed execution layer. The defaults suit
+/// interactive runs; tests shrink the TTL to exercise reclaim quickly.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Lease heartbeat TTL: a worker silent for longer than this is
+    /// presumed dead and its jobs become reclaimable.
+    pub lease_ttl_ms: u64,
+    /// Coordinator/worker poll interval while waiting on the store.
+    pub poll_ms: u64,
+    /// Worker processes the coordinator spawns (0 = attach-only: rely
+    /// on externally started `secreta worker` processes).
+    pub workers: usize,
+    /// How long a worker polls for its sweep to appear in the journal
+    /// before giving up with [`WorkerError::NoSuchSweep`].
+    pub worker_wait_ms: u64,
+}
+
+impl Default for DistOptions {
+    fn default() -> DistOptions {
+        DistOptions {
+            lease_ttl_ms: 5_000,
+            poll_ms: 25,
+            workers: 0,
+            worker_wait_ms: 10_000,
+        }
+    }
+}
+
+/// Failures of one worker process (coordinator failures surface as
+/// [`StoreError`], matching the in-process orchestrator).
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The sweep never appeared in the journal within the wait window.
+    NoSuchSweep(String),
+    /// The worker's session digests differently than the sweep's
+    /// recorded context: it would compute wrong (differently-keyed)
+    /// results, so it refuses to claim anything.
+    ContextMismatch {
+        /// Sweep whose context did not match.
+        sweep: String,
+        /// Context digest recorded by the coordinator.
+        expected: String,
+        /// Digest of this worker's session.
+        actual: String,
+    },
+    /// A job record's spec payload did not decode.
+    BadJobRecord(String, String),
+    /// A store operation failed.
+    Store(StoreError),
+    /// Lease or journal I/O failed.
+    Io(PathBuf, io::Error),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::NoSuchSweep(id) => {
+                write!(f, "no sweep {id} found in the store journal")
+            }
+            WorkerError::ContextMismatch {
+                sweep,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "session context {actual} does not match sweep {sweep}'s \
+                 recorded context {expected}: refusing to execute jobs"
+            ),
+            WorkerError::BadJobRecord(key, why) => {
+                write!(f, "job record {key} is malformed: {why}")
+            }
+            WorkerError::Store(e) => write!(f, "{e}"),
+            WorkerError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<StoreError> for WorkerError {
+    fn from(e: StoreError) -> WorkerError {
+        WorkerError::Store(e)
+    }
+}
+
+/// What one worker did, reported when its loop drains. Mirrored into
+/// the NDJSON trace stream as a `worker` record (`worker/*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Leases this worker won (fresh claims + reclaims).
+    pub claimed: u64,
+    /// Jobs executed and committed by this worker.
+    pub executed: u64,
+    /// Jobs that ran and returned an error (journaled as failed).
+    pub failed: u64,
+    /// Stale leases taken over from dead or silent workers.
+    pub reclaimed: u64,
+    /// Claim attempts that lost to a live lease.
+    pub conflicts: u64,
+    /// Publishes rejected by the lease fence (this worker had been
+    /// reclaimed while computing).
+    pub fenced: u64,
+    /// Deterministic backoff sleeps while every pending job was held.
+    pub backoffs: u64,
+}
+
+impl WorkerReport {
+    /// The counter tuples of the registered `worker/*` family, in
+    /// registry order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("worker/claimed", self.claimed),
+            ("worker/executed", self.executed),
+            ("worker/failed", self.failed),
+            ("worker/reclaimed", self.reclaimed),
+            ("worker/conflicts", self.conflicts),
+            ("worker/fenced", self.fenced),
+            ("worker/backoffs", self.backoffs),
+        ]
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn param_from_label(label: &str) -> VaryingParam {
+    match label {
+        "m" => VaryingParam::M,
+        "δ" => VaryingParam::Delta,
+        _ => VaryingParam::K,
+    }
+}
+
+fn fnv(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Read the journal tolerantly (workers append while we read, so a
+/// torn final line is expected, not an error) and return the last
+/// intent record for `sweep_id`, if any.
+fn find_sweep(journal_path: &Path, sweep_id: &str) -> io::Result<Option<SweepRecord>> {
+    if !journal_path.exists() {
+        return Ok(None);
+    }
+    let (events, _torn) = read_events_checked(journal_path)?;
+    Ok(events
+        .into_iter()
+        .filter_map(|e| match e {
+            JournalEvent::SweepStarted(rec) if rec.id == sweep_id => Some(rec),
+            _ => None,
+        })
+        .next_back())
+}
+
+/// Keys of `sweep_id` jobs that ran and failed (ok-false finishes with
+/// a recorded error): nobody should re-claim these until a resume.
+fn failed_keys(journal_path: &Path, sweep_id: &str) -> io::Result<HashMap<String, String>> {
+    if !journal_path.exists() {
+        return Ok(HashMap::new());
+    }
+    let (events, _torn) = read_events_checked(journal_path)?;
+    let mut out = HashMap::new();
+    for e in events {
+        if let JournalEvent::JobFailed {
+            sweep, key, error, ..
+        } = e
+        {
+            if sweep == sweep_id {
+                out.insert(key, error);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A background thread refreshing one held lease every TTL/3 until
+/// dropped (or until the lease is lost to a reclaimer).
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(path: &Path, token: &str, ttl_ms: u64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let path = path.to_path_buf();
+        let token = token.to_owned();
+        let interval = Duration::from_millis((ttl_ms / 3).max(5));
+        let handle = std::thread::spawn(move || {
+            let step = Duration::from_millis(5);
+            'beat: loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if flag.load(Ordering::Relaxed) {
+                        break 'beat;
+                    }
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                // Ok(false) = the lease is no longer ours: stop beating
+                // and let the fence reject the publish
+                match secreta_store::lease::heartbeat(&path, &token) {
+                    Ok(true) => {}
+                    _ => break,
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim-execute-publish loop of one worker. Returns when every job of
+/// the sweep is either stored or journaled as failed. Safe to run from
+/// any number of processes (or threads, in tests) concurrently: leases
+/// arbitrate, fencing rejects the loser of every race, and determinism
+/// makes the one unfenceable race (duplicate compute across a reclaim)
+/// harmless.
+pub fn worker_loop(
+    ctx: &SessionContext,
+    store: &RunStore,
+    sweep_id: &str,
+    opts: &DistOptions,
+) -> Result<WorkerReport, WorkerError> {
+    let digest = context_digest(ctx);
+    let journal_path = store.journal_path();
+    let io_err = |p: &Path| {
+        let p = p.to_path_buf();
+        move |e: io::Error| WorkerError::Io(p.clone(), e)
+    };
+
+    // the sweep may not be journaled yet (workers can start first):
+    // poll for the intent record until the wait window closes
+    let deadline = Instant::now() + Duration::from_millis(opts.worker_wait_ms);
+    let record = loop {
+        match find_sweep(&journal_path, sweep_id).map_err(io_err(&journal_path))? {
+            Some(rec) => break rec,
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(opts.poll_ms.max(1)))
+            }
+            None => return Err(WorkerError::NoSuchSweep(sweep_id.to_owned())),
+        }
+    };
+    if record.context != digest {
+        return Err(WorkerError::ContextMismatch {
+            sweep: sweep_id.to_owned(),
+            expected: record.context,
+            actual: digest,
+        });
+    }
+    let param = param_from_label(&record.param);
+    // the intent record is the authoritative job list; job records
+    // supply the spec/seed payload per key as the coordinator lands them
+    let keys: Vec<String> = record
+        .jobs
+        .iter()
+        .flatten()
+        .map(|(_, key)| key.clone())
+        .collect();
+
+    let leases =
+        LeaseSet::open(store.root(), sweep_id, opts.lease_ttl_ms).map_err(io_err(store.root()))?;
+    let mut journal = store.journal()?;
+    let mut report = WorkerReport::default();
+    // start each scan at a token-dependent rotation so concurrent
+    // workers spread over the job list instead of stampeding job 0
+    let offset = if keys.is_empty() {
+        0
+    } else {
+        (fnv(leases.token()) % keys.len() as u64) as usize
+    };
+    let mut attempt: u32 = 0;
+    // if neither a job record nor a live lease shows up for this long,
+    // the coordinator died before publishing work: exit instead of
+    // spinning forever against an abandoned sweep
+    let orphan_grace = Duration::from_millis((2 * opts.lease_ttl_ms).max(500));
+    let mut last_activity = Instant::now();
+    loop {
+        let failed = failed_keys(&journal_path, sweep_id).map_err(io_err(&journal_path))?;
+        let jobs: HashMap<String, JobRecord> = store
+            .list_jobs(sweep_id)?
+            .into_iter()
+            .map(|j| (j.key.clone(), j))
+            .collect();
+        let mut pending = 0usize;
+        let mut progressed = false;
+        let mut held_this_scan = false;
+        for i in 0..keys.len() {
+            let key = &keys[(i + offset) % keys.len()];
+            if failed.contains_key(key) || store.contains(&RunKey(key.clone())) {
+                continue;
+            }
+            pending += 1;
+            // the coordinator writes job records after the intent line;
+            // a key without its record yet stays pending for the rescan
+            let Some(job) = jobs.get(key) else { continue };
+            let spec = MethodSpec::de(&job.spec)
+                .map_err(|e| WorkerError::BadJobRecord(key.clone(), e.to_string()))?;
+            let guard = match leases.claim(key).map_err(io_err(store.root()))? {
+                ClaimOutcome::Claimed(guard) => guard,
+                ClaimOutcome::Reclaimed(guard, old) => {
+                    report.reclaimed += 1;
+                    journal
+                        .append(&JournalEvent::JobLeaseExpired {
+                            sweep: sweep_id.to_owned(),
+                            key: key.clone(),
+                            pid: old.pid,
+                            epoch: old.epoch,
+                        })
+                        .and_then(|_| {
+                            journal.append(&JournalEvent::JobReclaimed {
+                                sweep: sweep_id.to_owned(),
+                                key: key.clone(),
+                                old_pid: old.pid,
+                                new_pid: std::process::id(),
+                                epoch: guard.epoch(),
+                            })
+                        })
+                        .map_err(io_err(&journal_path))?;
+                    guard
+                }
+                ClaimOutcome::Held(_) => {
+                    report.conflicts += 1;
+                    held_this_scan = true;
+                    continue;
+                }
+            };
+            report.claimed += 1;
+            journal
+                .append(&JournalEvent::JobClaimed {
+                    sweep: sweep_id.to_owned(),
+                    key: key.clone(),
+                    pid: std::process::id(),
+                    epoch: guard.epoch(),
+                })
+                .map_err(io_err(&journal_path))?;
+            // chaos hook: die (kill -9 style) holding a fresh lease
+            secreta_faults::fault::crash_point("worker.claimed");
+            journal
+                .append(&JournalEvent::JobStarted {
+                    sweep: sweep_id.to_owned(),
+                    key: key.clone(),
+                    label: job.label.clone(),
+                    value: job.value,
+                })
+                .map_err(io_err(&journal_path))?;
+            let outcome = {
+                // keep the lease fresh for however long the run takes
+                let _beat = Heartbeat::start(guard.path(), guard.token(), opts.lease_ttl_ms);
+                run_isolated(ctx, &spec, job.seed)
+            };
+            // chaos hook: die after computing, before publishing
+            secreta_faults::fault::crash_point("worker.publish");
+            match &outcome {
+                Ok(rr) => {
+                    let key = RunKey(job.key.clone());
+                    let manifest = manifest_of(
+                        &key,
+                        &record.context,
+                        &job.label,
+                        &spec,
+                        job.seed,
+                        Some((param, job.value as usize)),
+                        rr,
+                    );
+                    let committed =
+                        store.put_fenced(&manifest, &rr.anon, guard.epoch(), &|| guard.verify())?;
+                    if committed {
+                        journal
+                            .append(&JournalEvent::JobFinished {
+                                sweep: sweep_id.to_owned(),
+                                key: key.0.clone(),
+                                cache_hit: false,
+                                ok: true,
+                                wall_ms: rr.indicators.runtime_ms,
+                            })
+                            .map_err(io_err(&journal_path))?;
+                        report.executed += 1;
+                    } else {
+                        report.fenced += 1;
+                    }
+                }
+                Err(run_err) => {
+                    // journal the failure only while the lease still
+                    // stands: a fenced-off worker must not poison the
+                    // job for its reclaimer
+                    if guard.verify() {
+                        journal
+                            .append(&JournalEvent::JobFailed {
+                                sweep: sweep_id.to_owned(),
+                                key: key.clone(),
+                                label: job.label.clone(),
+                                value: job.value,
+                                error: run_err.to_string(),
+                            })
+                            .and_then(|_| {
+                                journal.append(&JournalEvent::JobFinished {
+                                    sweep: sweep_id.to_owned(),
+                                    key: key.clone(),
+                                    cache_hit: false,
+                                    ok: false,
+                                    wall_ms: 0.0,
+                                })
+                            })
+                            .map_err(io_err(&journal_path))?;
+                        report.failed += 1;
+                    } else {
+                        report.fenced += 1;
+                    }
+                }
+            }
+            guard.release();
+            progressed = true;
+        }
+        if pending == 0 {
+            break;
+        }
+        if progressed || held_this_scan {
+            last_activity = Instant::now();
+        } else if last_activity.elapsed() >= orphan_grace {
+            // pending jobs with no records and no live claimants:
+            // the coordinator is gone, nothing left to do here
+            break;
+        }
+        if progressed {
+            attempt = 0;
+        } else {
+            // every pending job is held by a live worker (or its record
+            // hasn't landed): back off deterministically, bounded by
+            // the TTL so a crashed holder is reclaimed promptly
+            report.backoffs += 1;
+            let ms =
+                secreta_store::backoff_ms(attempt, leases.token()).min(opts.lease_ttl_ms.max(10));
+            attempt = attempt.saturating_add(1);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+    if let Some(sink) = ctx.obsv.sink() {
+        sink.write_record(&secreta_obsv::trace::worker_record(
+            sweep_id,
+            &report.counters(),
+        ));
+    }
+    Ok(report)
+}
+
+/// A callback spawning one worker process for a sweep: receives the
+/// worker index and the sweep id, returns the spawned [`Child`].
+pub type WorkerSpawner = dyn Fn(usize, &str) -> io::Result<Child> + Sync;
+
+/// Spawned worker children, killed (not orphaned) if the coordinator
+/// errors out early.
+struct ChildSet {
+    children: Vec<Child>,
+    spawned: bool,
+}
+
+impl ChildSet {
+    fn spawn(
+        spawner: Option<&WorkerSpawner>,
+        workers: usize,
+        sweep_id: &str,
+    ) -> io::Result<ChildSet> {
+        match spawner {
+            Some(f) if workers > 0 => {
+                let mut children = Vec::with_capacity(workers);
+                for i in 0..workers {
+                    children.push(f(i, sweep_id)?);
+                }
+                Ok(ChildSet {
+                    children,
+                    spawned: true,
+                })
+            }
+            _ => Ok(ChildSet {
+                children: Vec::new(),
+                spawned: false,
+            }),
+        }
+    }
+
+    fn any_alive(&mut self) -> bool {
+        self.children
+            .iter_mut()
+            .any(|c| matches!(c.try_wait(), Ok(None)))
+    }
+}
+
+impl Drop for ChildSet {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            if matches!(c.try_wait(), Ok(None)) {
+                let _ = c.kill();
+            }
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Run a comparison through the distributed coordinator: journal the
+/// intent, serve cache hits, publish claimable job records, optionally
+/// spawn `opts.workers` local worker processes via `spawner`, wait for
+/// workers to fill the store, and merge in expansion order.
+///
+/// With `spawner: None` (or `workers: 0`) the coordinator runs in
+/// *attach* mode: it executes nothing itself and waits for externally
+/// started `secreta worker` processes. When every worker dies and jobs
+/// remain, the sweep degrades instead of hanging: lost jobs are
+/// journaled as failed, merged as [`RunError::Lost`], and counted in
+/// `stats.failures` — `runs resume` re-executes exactly those.
+pub fn run_distributed(
+    ctx: &SessionContext,
+    store: &RunStore,
+    configurations: &[Configuration],
+    invocation: Value,
+    opts: &DistOptions,
+    spawner: Option<&WorkerSpawner>,
+) -> Result<Orchestrated, StoreError> {
+    // same exclusivity as the in-process orchestrator: one sweep writer
+    // per store (workers don't take the lock; they only append)
+    let _store_lock = store.lock()?;
+    let digest = context_digest(ctx);
+    let (expanded, shape, param) = expand_jobs(&digest, configurations);
+    let sweep_id = sweep_id_of(&digest, &expanded);
+
+    let mut journal = store.journal()?;
+    let jerr = |j: &Journal| {
+        let p = j.path().to_path_buf();
+        move |e: io::Error| StoreError::Io(p.clone(), e)
+    };
+    let record = sweep_record_of(
+        &sweep_id,
+        &digest,
+        param,
+        configurations,
+        &expanded,
+        &shape,
+        invocation,
+    );
+    journal
+        .append(&JournalEvent::SweepStarted(record))
+        .map_err(jerr(&journal))?;
+
+    // serve what the store already holds; the rest becomes job records
+    let mut slots: Vec<Option<(Result<RunResult, RunError>, bool)>> =
+        expanded.iter().map(|_| None).collect();
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for (i, e) in expanded.iter().enumerate() {
+        let hit = store
+            .get(&e.key)?
+            .filter(|s| s.manifest.schema_version == STORE_SCHEMA_VERSION)
+            .map(replay);
+        match hit {
+            Some(rr) => {
+                slots[i] = Some((Ok(rr), true));
+                journal
+                    .append(&JournalEvent::JobFinished {
+                        sweep: sweep_id.clone(),
+                        key: e.key.0.clone(),
+                        cache_hit: true,
+                        ok: true,
+                        wall_ms: 0.0,
+                    })
+                    .map_err(jerr(&journal))?;
+            }
+            None => miss_indices.push(i),
+        }
+    }
+
+    let mut stats = CacheStats {
+        hits: (expanded.len() - miss_indices.len()) as u64,
+        ..CacheStats::default()
+    };
+
+    if !miss_indices.is_empty() {
+        let records: Vec<JobRecord> = miss_indices
+            .iter()
+            .map(|&i| {
+                let e = &expanded[i];
+                JobRecord {
+                    sweep: sweep_id.clone(),
+                    key: e.key.0.clone(),
+                    seq: i as u64,
+                    label: e.label.clone(),
+                    value: e.value as f64,
+                    seed: e.seed,
+                    spec: serde::Serialize::ser(&e.spec),
+                }
+            })
+            .collect();
+        store.put_jobs(&records)?;
+
+        let mut children = ChildSet::spawn(spawner, opts.workers, &sweep_id)
+            .map_err(|e| StoreError::Io(store.root().to_path_buf(), e))?;
+        // observer-only lease view, used to tell "a worker is on it"
+        // from "nobody will ever finish this"
+        let leases = LeaseSet::open(store.root(), &sweep_id, opts.lease_ttl_ms)
+            .map_err(|e| StoreError::Io(store.root().to_path_buf(), e))?;
+        let journal_path = store.journal_path();
+
+        let mut done: HashSet<usize> = HashSet::new();
+        let mut failed: HashMap<usize, String> = HashMap::new();
+        // grace before declaring jobs lost: long enough for an external
+        // worker to attach and for stale leases to expire
+        let grace = Duration::from_millis((2 * opts.lease_ttl_ms).max(500));
+        let mut last_activity = Instant::now();
+        loop {
+            let journaled_failures = failed_keys(&journal_path, &sweep_id)
+                .map_err(|e| StoreError::Io(journal_path.clone(), e))?;
+            let mut changed = false;
+            for &i in &miss_indices {
+                if done.contains(&i) || failed.contains_key(&i) {
+                    continue;
+                }
+                let e = &expanded[i];
+                if store.contains(&e.key) {
+                    done.insert(i);
+                    changed = true;
+                } else if let Some(err) = journaled_failures.get(&e.key.0) {
+                    failed.insert(i, err.clone());
+                    changed = true;
+                }
+            }
+            let pending: Vec<usize> = miss_indices
+                .iter()
+                .copied()
+                .filter(|i| !done.contains(i) && !failed.contains_key(i))
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            if changed {
+                last_activity = Instant::now();
+            }
+            let now = now_ms();
+            let fresh_lease = pending.iter().any(|&i| {
+                leases
+                    .peek(&expanded[i].key.0)
+                    .ok()
+                    .flatten()
+                    .is_some_and(|rec| !rec.is_stale(now))
+            });
+            if fresh_lease {
+                last_activity = Instant::now();
+            } else {
+                // nobody holds a live lease on anything pending; if the
+                // spawned workers are all dead and nothing lands within
+                // the grace window, the remaining jobs are lost
+                let abandoned = if children.spawned {
+                    !children.any_alive()
+                } else {
+                    true
+                };
+                if abandoned && last_activity.elapsed() >= grace {
+                    for &i in &pending {
+                        let e = &expanded[i];
+                        // merging wraps this in `RunError::Lost`, whose
+                        // Display adds the "job lost:" prefix
+                        let error =
+                            format!("every worker of sweep {sweep_id} died before completing it");
+                        journal
+                            .append(&JournalEvent::JobFailed {
+                                sweep: sweep_id.clone(),
+                                key: e.key.0.clone(),
+                                label: e.label.clone(),
+                                value: e.value as f64,
+                                error: error.clone(),
+                            })
+                            .and_then(|_| {
+                                journal.append(&JournalEvent::JobFinished {
+                                    sweep: sweep_id.clone(),
+                                    key: e.key.0.clone(),
+                                    cache_hit: false,
+                                    ok: false,
+                                    wall_ms: 0.0,
+                                })
+                            })
+                            .map_err(jerr(&journal))?;
+                        failed.insert(i, error);
+                    }
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(opts.poll_ms.max(1)));
+        }
+        drop(children);
+
+        // merge from the store in expansion order — this is what makes
+        // the distributed result byte-identical to a single-process run
+        for &i in &miss_indices {
+            let e = &expanded[i];
+            if let Some(error) = failed.get(&i) {
+                slots[i] = Some((Err(RunError::Lost(error.clone())), false));
+                stats.failures += 1;
+                continue;
+            }
+            let stored = store
+                .get(&e.key)?
+                .ok_or_else(|| {
+                    StoreError::Corrupt(
+                        store.root().to_path_buf(),
+                        format!("run {} vanished after its worker committed it", e.key.0),
+                    )
+                })
+                .map(replay)?;
+            slots[i] = Some((Ok(stored), false));
+            stats.misses += 1;
+        }
+        store.clear_jobs(&sweep_id)?;
+    }
+
+    journal
+        .append(&JournalEvent::SweepFinished {
+            sweep: sweep_id.clone(),
+            hits: stats.hits,
+            misses: stats.misses,
+            failures: stats.failures,
+        })
+        .map_err(jerr(&journal))?;
+    if let Some(sink) = ctx.obsv.sink() {
+        sink.write_record(&secreta_obsv::trace::cache_record(
+            &sweep_id,
+            stats.hits,
+            stats.misses,
+            stats.failures,
+        ));
+    }
+
+    // reassemble per-configuration point lists, exactly like compare()
+    let mut results = slots.into_iter();
+    let mut expanded_it = expanded.iter();
+    let mut points = Vec::with_capacity(configurations.len());
+    for values in &shape {
+        let mut cfg_points = Vec::with_capacity(values.len());
+        for _ in 0..values.len() {
+            let e = expanded_it.next().expect("shape matches expansion");
+            let (outcome, _) = results.next().flatten().expect("slot filled");
+            cfg_points.push((
+                e.value,
+                outcome.map(|rr| SweepPoint {
+                    value: e.value,
+                    indicators: rr.indicators,
+                }),
+            ));
+        }
+        points.push(cfg_points);
+    }
+
+    Ok(Orchestrated {
+        result: ComparisonResult {
+            labels: configurations.iter().map(|c| c.label.clone()).collect(),
+            param,
+            points,
+        },
+        stats,
+        sweep_id,
+    })
+}
+
+/// The sweep id this session + configuration set would get — what the
+/// CLI prints so externally attached workers know what to look for.
+pub fn sweep_id_for(ctx: &SessionContext, configurations: &[Configuration]) -> String {
+    let digest = context_digest(ctx);
+    let (expanded, _, _) = expand_jobs(&digest, configurations);
+    sweep_id_of(&digest, &expanded)
+}

@@ -26,6 +26,7 @@ pub mod anonymizer;
 pub mod comparison;
 pub mod config;
 pub mod context;
+pub mod distributed;
 pub mod evaluator;
 pub mod export;
 pub mod orchestrator;
@@ -36,6 +37,10 @@ pub use anonymizer::{Indicators, RunError, RunResult};
 pub use comparison::{compare, ComparisonResult, Configuration};
 pub use config::{Bounding, MethodSpec, RelAlgo, TxAlgo};
 pub use context::SessionContext;
+pub use distributed::{
+    run_distributed, sweep_id_for, worker_loop, DistOptions, WorkerError, WorkerReport,
+    WorkerSpawner,
+};
 pub use orchestrator::{context_digest, CacheStats, Orchestrated, Orchestrator};
 pub use session::{SessionError, SessionSpec};
 pub use sweep::{evaluate_sweep, Sweep, SweepPoint, VaryingParam};

@@ -129,12 +129,82 @@ pub struct Orchestrator {
     threads: usize,
 }
 
-struct ExpandedJob {
-    value: usize,
-    spec: MethodSpec,
-    seed: u64,
-    label: String,
-    key: RunKey,
+pub(crate) struct ExpandedJob {
+    pub(crate) value: usize,
+    pub(crate) spec: MethodSpec,
+    pub(crate) seed: u64,
+    pub(crate) label: String,
+    pub(crate) key: RunKey,
+}
+
+/// Expand `configurations` into the deterministic flat job list shared
+/// by the in-process orchestrator and the distributed coordinator /
+/// worker roles: one [`ExpandedJob`] per (configuration, sweep value),
+/// in configuration order then sweep order, plus the per-configuration
+/// value shape and the varied parameter.
+pub(crate) fn expand_jobs(
+    digest: &str,
+    configurations: &[Configuration],
+) -> (Vec<ExpandedJob>, Vec<Vec<usize>>, VaryingParam) {
+    let mut expanded: Vec<ExpandedJob> = Vec::new();
+    let mut shape: Vec<Vec<usize>> = Vec::new();
+    for cfg in configurations {
+        let values = cfg.sweep.values();
+        for &v in &values {
+            let mut spec = cfg.spec.clone();
+            match cfg.sweep.param {
+                VaryingParam::K => spec.set_k(v),
+                VaryingParam::M => spec.set_m(v),
+                VaryingParam::Delta => spec.set_delta(v),
+            }
+            let key = job_key(digest, &spec, cfg.seed, Some((cfg.sweep.param, v)));
+            expanded.push(ExpandedJob {
+                value: v,
+                spec,
+                seed: cfg.seed,
+                label: cfg.label.clone(),
+                key,
+            });
+        }
+        shape.push(values);
+    }
+    let param = configurations
+        .first()
+        .map(|c| c.sweep.param)
+        .unwrap_or(VaryingParam::K);
+    (expanded, shape, param)
+}
+
+/// The journal intent record for an expansion — shared by the
+/// in-process sweep and the distributed coordinator so `runs resume`
+/// treats both identically.
+pub(crate) fn sweep_record_of(
+    sweep_id: &str,
+    digest: &str,
+    param: VaryingParam,
+    configurations: &[Configuration],
+    expanded: &[ExpandedJob],
+    shape: &[Vec<usize>],
+    invocation: Value,
+) -> SweepRecord {
+    let mut jobs_per_cfg: Vec<Vec<(f64, String)>> = Vec::new();
+    let mut it = expanded.iter();
+    for values in shape {
+        jobs_per_cfg.push(
+            it.by_ref()
+                .take(values.len())
+                .map(|e| (e.value as f64, e.key.0.clone()))
+                .collect(),
+        );
+    }
+    SweepRecord {
+        id: sweep_id.to_owned(),
+        context: digest.to_owned(),
+        param: param.label().to_owned(),
+        labels: configurations.iter().map(|c| c.label.clone()).collect(),
+        jobs: jobs_per_cfg,
+        invocation,
+    }
 }
 
 impl Orchestrator {
@@ -216,33 +286,7 @@ impl Orchestrator {
         let digest = context_digest(ctx);
 
         // expand the DAG: one job per (configuration, sweep value)
-        let mut expanded: Vec<ExpandedJob> = Vec::new();
-        let mut shape: Vec<Vec<usize>> = Vec::new();
-        for cfg in configurations {
-            let values = cfg.sweep.values();
-            for &v in &values {
-                let mut spec = cfg.spec.clone();
-                match cfg.sweep.param {
-                    VaryingParam::K => spec.set_k(v),
-                    VaryingParam::M => spec.set_m(v),
-                    VaryingParam::Delta => spec.set_delta(v),
-                }
-                let key = job_key(&digest, &spec, cfg.seed, Some((cfg.sweep.param, v)));
-                expanded.push(ExpandedJob {
-                    value: v,
-                    spec,
-                    seed: cfg.seed,
-                    label: cfg.label.clone(),
-                    key,
-                });
-            }
-            shape.push(values);
-        }
-
-        let param = configurations
-            .first()
-            .map(|c| c.sweep.param)
-            .unwrap_or(VaryingParam::K);
+        let (expanded, shape, param) = expand_jobs(&digest, configurations);
         let sweep_id = sweep_id_of(&digest, &expanded);
 
         // write-ahead intent: everything needed to resume after a kill
@@ -251,24 +295,15 @@ impl Orchestrator {
             None => None,
         };
         if let Some(j) = &mut journal {
-            let mut jobs_per_cfg: Vec<Vec<(f64, String)>> = Vec::new();
-            let mut it = expanded.iter();
-            for values in &shape {
-                jobs_per_cfg.push(
-                    it.by_ref()
-                        .take(values.len())
-                        .map(|e| (e.value as f64, e.key.0.clone()))
-                        .collect(),
-                );
-            }
-            let record = SweepRecord {
-                id: sweep_id.clone(),
-                context: digest.clone(),
-                param: param.label().to_owned(),
-                labels: configurations.iter().map(|c| c.label.clone()).collect(),
-                jobs: jobs_per_cfg,
+            let record = sweep_record_of(
+                &sweep_id,
+                &digest,
+                param,
+                configurations,
+                &expanded,
+                &shape,
                 invocation,
-            };
+            );
             j.append(&JournalEvent::SweepStarted(record))
                 .map_err(|e| StoreError::Io(j.path().to_path_buf(), e))?;
         }
@@ -456,7 +491,7 @@ impl Orchestrator {
 
 /// Rebuild a `RunResult` from a stored run. Exact: the stored JSON
 /// preserves every float bit-for-bit.
-fn replay(stored: secreta_store::StoredRun) -> RunResult {
+pub(crate) fn replay(stored: secreta_store::StoredRun) -> RunResult {
     RunResult {
         anon: stored.anon,
         phases: stored.manifest.phases,
@@ -465,7 +500,7 @@ fn replay(stored: secreta_store::StoredRun) -> RunResult {
     }
 }
 
-fn manifest_of(
+pub(crate) fn manifest_of(
     key: &RunKey,
     digest: &str,
     label: &str,
@@ -499,7 +534,7 @@ fn manifest_of(
 /// every job's (label, key). The same experiment against the same
 /// session always gets the same id, which is what lets `runs resume`
 /// find the matching intent record.
-fn sweep_id_of(digest: &str, expanded: &[ExpandedJob]) -> String {
+pub(crate) fn sweep_id_of(digest: &str, expanded: &[ExpandedJob]) -> String {
     let mut h = Sha256::new();
     h.update(digest.as_bytes());
     for e in expanded {

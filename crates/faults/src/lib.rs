@@ -1,8 +1,8 @@
 //! Deterministic fault injection for chaos-testing the SECRETA pipeline.
 //!
-//! The rest of the workspace calls the three hook functions in [`fault`]
-//! ([`fault::io`], [`fault::panic_point`], [`fault::delay`]) at interesting
-//! failure sites. When no plan is installed — the default — every hook is a
+//! The rest of the workspace calls the hook functions in [`fault`]
+//! ([`fault::io`], [`fault::panic_point`], [`fault::delay`],
+//! [`fault::crash_point`]) at interesting failure sites. When no plan is installed — the default — every hook is a
 //! single relaxed atomic load and returns immediately, so shipping the hooks
 //! in release builds costs nothing measurable.
 //!
@@ -17,7 +17,8 @@
 //! Clauses are `;`-separated. `seed=N` seeds the deterministic firing
 //! decisions; every other clause is `kind@site=prob[xMAX][+ms]` where
 //!
-//! * `kind` is one of `io`, `panic`, `delay`;
+//! * `kind` is one of `io`, `panic`, `delay`, `crash` (`crash` aborts
+//!   the process like `kill -9` — destructors do not run);
 //! * `site` names an injection point (e.g. `store.put`); a trailing `*`
 //!   matches any site with that prefix, and a bare `*` matches everything;
 //! * `prob` is the firing probability in `[0, 1]` (`1` fires on every
@@ -49,6 +50,11 @@ pub enum FaultKind {
     Panic,
     /// Sleep for the clause's duration at the site.
     Delay,
+    /// Abort the whole process at the site (`std::process::abort`):
+    /// the moral equivalent of `kill -9` — no unwinding, no `Drop`
+    /// runs, locks and leases are left behind for reclaim. Used by the
+    /// distributed-sweep chaos suite to kill workers mid-job.
+    Crash,
 }
 
 /// One `kind@site=prob[xMAX][+ms]` clause of a fault plan.
@@ -137,6 +143,7 @@ impl FaultPlan {
                 "io" => FaultKind::Io,
                 "panic" => FaultKind::Panic,
                 "delay" => FaultKind::Delay,
+                "crash" => FaultKind::Crash,
                 other => return Err(err(part, format!("unknown fault kind `{other}`"))),
             };
             if site_s.is_empty() {
@@ -331,6 +338,21 @@ pub mod fault {
         }
     }
 
+    /// Crash injection point: aborts the process — as `kill -9`
+    /// would, skipping every destructor — if a `crash@` clause fires
+    /// for `site`. A one-line marker goes to stderr first so chaos
+    /// harnesses can tell an injected kill from an organic abort.
+    #[inline]
+    pub fn crash_point(site: &str) {
+        if !active() {
+            return;
+        }
+        if with_plan(|p| p.first_match(FaultKind::Crash, site).is_some()).unwrap_or(false) {
+            eprintln!("injected crash at {site}: aborting (simulated kill -9)");
+            std::process::abort();
+        }
+    }
+
     /// Delay injection point: sleeps for the clause's duration if a
     /// `delay@` clause fires for `site`.
     #[inline]
@@ -374,6 +396,20 @@ mod tests {
         assert!(p.clauses[2].wildcard);
         assert_eq!(p.clauses[2].site, "");
         assert_eq!(p.clauses[2].sleep, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn parses_crash_clauses() {
+        let _g = serial();
+        let p = FaultPlan::from_spec("seed=5;crash@worker.claimed=1x1").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+        assert_eq!(p.clauses[0].kind, FaultKind::Crash);
+        assert_eq!(p.clauses[0].max_fires, 1);
+        // a non-matching site never consults the clause (the process
+        // must obviously survive this test)
+        install(p);
+        fault::crash_point("somewhere.else");
+        clear();
     }
 
     #[test]

@@ -145,6 +145,21 @@ pub fn cache_record(sweep_id: &str, hits: u64, misses: u64, failures: u64) -> Va
     ])
 }
 
+/// Build the `worker` record a distributed-sweep worker emits when it
+/// exits: its lease/execution counters, keyed by the registered
+/// `worker/*` counter names (see the counter registry in GUIDE.md).
+pub fn worker_record(sweep_id: &str, counters: &[(&str, u64)]) -> Value {
+    let mut entries = vec![
+        ("ev", Value::Str("worker".into())),
+        ("sweep", Value::Str(sweep_id.to_owned())),
+        ("pid", Value::U64(u64::from(std::process::id()))),
+    ];
+    for (name, n) in counters {
+        entries.push((name, Value::U64(*n)));
+    }
+    obj(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,44 @@ pub enum JournalEvent {
         /// Wall-clock milliseconds to produce the result.
         wall_ms: f64,
     },
+    /// A worker process claimed the lease on a job (distributed sweeps
+    /// only).
+    JobClaimed {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// PID of the claiming worker.
+        pid: u32,
+        /// Fencing epoch of the claimed lease.
+        epoch: u64,
+    },
+    /// A lease went stale (dead holder or heartbeat older than the
+    /// TTL) and was observed expired by another worker.
+    JobLeaseExpired {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// PID of the stale holder.
+        pid: u32,
+        /// Epoch of the expired lease.
+        epoch: u64,
+    },
+    /// A stale lease was reclaimed by a new worker; the old holder's
+    /// late writes are fenced off by the epoch bump.
+    JobReclaimed {
+        /// Sweep this job belongs to.
+        sweep: String,
+        /// Content address of the job.
+        key: String,
+        /// PID of the stale holder whose lease was taken.
+        old_pid: u32,
+        /// PID of the reclaiming worker.
+        new_pid: u32,
+        /// Epoch of the *new* lease (old epoch + 1).
+        epoch: u64,
+    },
     /// All jobs of a sweep completed.
     SweepFinished {
         /// Sweep identifier.
@@ -152,36 +190,90 @@ impl Journal {
     }
 }
 
-/// Read every event in the journal at `path`.
+/// Description of a torn final record dropped by [`read_events_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the surviving journal prefix ends.
+    pub offset: u64,
+    /// Why the tail failed to parse (invalid UTF-8 or malformed JSON).
+    pub reason: String,
+}
+
+/// Read every event in the journal at `path`, reporting a torn tail.
 ///
-/// A missing file reads as empty. A final line that fails to parse is
-/// treated as a torn append from a crash and ignored; an unparseable
-/// line *followed by* further lines is real corruption and an error.
-pub fn read_events(path: &Path) -> io::Result<Vec<JournalEvent>> {
-    let mut text = String::new();
+/// A missing file reads as empty. The file is read as raw bytes —
+/// a crash mid-`append` can cut the final record at *any* byte offset,
+/// including inside a multi-byte UTF-8 sequence (the `δ` sweep label),
+/// so decoding is per-line rather than whole-file. A final line that
+/// fails UTF-8 or JSON parsing is a clean truncation point from a
+/// crash: it is dropped and reported as `Some(TornTail)`. An
+/// unparseable line *followed by* further lines is real corruption and
+/// an error.
+pub fn read_events_checked(path: &Path) -> io::Result<(Vec<JournalEvent>, Option<TornTail>)> {
+    let mut bytes = Vec::new();
     match File::open(path) {
         Ok(mut f) => {
-            f.read_to_string(&mut text)?;
+            f.read_to_end(&mut bytes)?;
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), None)),
         Err(e) => return Err(e),
     }
-    let lines: Vec<&str> = text
-        .lines()
-        .filter(|line| !line.trim().is_empty())
-        .collect();
+    // (start offset, line bytes) for every non-empty line.
+    let mut lines: Vec<(usize, &[u8])> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            if bytes[start..i].iter().any(|c| !c.is_ascii_whitespace()) {
+                lines.push((start, &bytes[start..i]));
+            }
+            start = i + 1;
+        }
+    }
+    if bytes[start..].iter().any(|c| !c.is_ascii_whitespace()) {
+        // an unterminated final fragment: always a torn append, since
+        // `append` writes the trailing newline as part of the record
+        lines.push((start, &bytes[start..]));
+    }
     let mut events = Vec::with_capacity(lines.len());
-    for (i, line) in lines.iter().enumerate() {
-        match serde_json::from_str::<JournalEvent>(line) {
+    let mut torn = None;
+    for (i, (offset, line)) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        let parsed = std::str::from_utf8(line)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<JournalEvent>(s).map_err(|e| e.to_string()));
+        match parsed {
             Ok(ev) => events.push(ev),
-            Err(_) if i + 1 == lines.len() => break, // torn tail
-            Err(e) => {
+            Err(reason) if last => {
+                torn = Some(TornTail {
+                    offset: *offset as u64,
+                    reason,
+                });
+            }
+            Err(reason) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("journal {} line {}: {e}", path.display(), i + 1),
+                    format!("journal {} line {}: {reason}", path.display(), i + 1),
                 ))
             }
         }
+    }
+    Ok((events, torn))
+}
+
+/// Read every event in the journal at `path`.
+///
+/// Thin wrapper over [`read_events_checked`] that warns on stderr when
+/// a torn final record is dropped and returns the surviving prefix.
+pub fn read_events(path: &Path) -> io::Result<Vec<JournalEvent>> {
+    let (events, torn) = read_events_checked(path)?;
+    if let Some(t) = &torn {
+        eprintln!(
+            "warning: journal {}: torn final record at byte {} dropped ({}); \
+             treating as crash truncation",
+            path.display(),
+            t.offset,
+            t.reason
+        );
     }
     Ok(events)
 }
@@ -312,6 +404,69 @@ mod tests {
         drop(f);
         let events = read_events(&path).unwrap();
         assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_of_the_last_record() {
+        let path = tmp("offsets");
+        let mut j = Journal::open(&path).unwrap();
+        // first record uses the multi-byte `δ` param so truncation can
+        // land inside a UTF-8 sequence
+        let mut rec = record("s1");
+        rec.param = "δ".to_owned();
+        j.append(&JournalEvent::SweepStarted(rec)).unwrap();
+        let prefix_len = std::fs::read(&path).unwrap().len();
+        j.append(&JournalEvent::JobClaimed {
+            sweep: "δ-sweep".into(),
+            key: "kA2".into(),
+            pid: 7,
+            epoch: 1,
+        })
+        .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in prefix_len..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (events, torn) = read_events_checked(&path)
+                .unwrap_or_else(|e| panic!("truncation at byte {cut} must not error: {e}"));
+            let fragment = &full[prefix_len..cut];
+            let fragment_parses = std::str::from_utf8(fragment)
+                .is_ok_and(|s| serde_json::from_str::<JournalEvent>(s).is_ok());
+            if cut == prefix_len {
+                assert_eq!(events.len(), 1, "cut at {cut}");
+                assert_eq!(torn, None, "cut at {cut}");
+            } else if fragment_parses {
+                // e.g. everything but the trailing newline survived:
+                // the record is complete and must be kept
+                assert_eq!(events.len(), 2, "cut at {cut}");
+                assert_eq!(torn, None, "cut at {cut}");
+            } else {
+                assert_eq!(events.len(), 1, "cut at {cut}");
+                let t = torn.unwrap_or_else(|| panic!("cut at {cut} must report a torn tail"));
+                assert_eq!(t.offset, prefix_len as u64, "cut at {cut}");
+            }
+        }
+        // untruncated file parses both records with no torn tail
+        std::fs::write(&path, &full).unwrap();
+        let (events, torn) = read_events_checked(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(torn, None);
+    }
+
+    #[test]
+    fn torn_tail_inside_multibyte_char_is_not_an_error() {
+        let path = tmp("utf8");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&JournalEvent::SweepStarted(record("s1"))).unwrap();
+        // append raw bytes ending mid-δ (0xCE without its 0xB4)
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"JobStarted\":{\"sweep\":\"s1\",\"label\":\"\xce")
+            .unwrap();
+        drop(f);
+        let (events, torn) = read_events_checked(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(torn.is_some());
+        // the legacy entry point also survives (warns instead of erroring)
+        assert_eq!(read_events(&path).unwrap().len(), 1);
     }
 
     #[test]

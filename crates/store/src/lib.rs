@@ -21,6 +21,9 @@
 //! * [`journal`] — the JSONL write-ahead journal ([`Journal`]): intent
 //!   records written before a sweep runs (making `runs resume`
 //!   possible after a crash) and per-job observability events;
+//! * [`lease`] — crash-safe job leases ([`LeaseSet`]) for distributed
+//!   sweeps: atomic claims, TTL-based stale reclaim, and epoch/token
+//!   fencing that rejects a reclaimed worker's late writes;
 //! * [`sha`] — a dependency-free SHA-256 and a digest [`io::Write`]
 //!   sink ([`sha::DigestWriter`]) for hashing session inputs through
 //!   the existing writers.
@@ -37,19 +40,22 @@
 
 pub mod journal;
 pub mod key;
+pub mod lease;
 pub mod lock;
 pub mod manifest;
+mod procinfo;
 pub mod retry;
 pub mod sha;
 pub mod store;
 
 pub use journal::{
-    find_sweep, read_events, resumable_sweeps, unfinished_sweeps, Journal, JournalEvent,
-    SweepRecord,
+    find_sweep, read_events, read_events_checked, resumable_sweeps, unfinished_sweeps, Journal,
+    JournalEvent, SweepRecord, TornTail,
 };
 pub use key::{canonical_json, canonicalize, run_key, RunKey, STORE_SCHEMA_VERSION};
+pub use lease::{backoff_ms, mint_token, ClaimOutcome, LeaseGuard, LeaseRecord, LeaseSet};
 pub use lock::{StoreLock, LOCK_FILE};
 pub use manifest::RunManifest;
 pub use retry::RetryPolicy;
 pub use sha::{sha256_hex, DigestWriter, Sha256};
-pub use store::{FsckReport, RunStore, StoreError, StoredRun};
+pub use store::{FsckReport, JobRecord, RunStore, StoreError, StoredRun};

@@ -1,0 +1,91 @@
+//! Process identity for crash-safe lock/lease ownership.
+//!
+//! A bare PID is not a stable owner identity: PIDs are recycled, so a
+//! lock or lease whose holder died can look "alive" again the moment an
+//! unrelated process is assigned the same number. Pairing the PID with
+//! the kernel's per-process start time (field 22 of `/proc/<pid>/stat`,
+//! in clock ticks since boot) makes the identity unforgeable across
+//! reuse: a recycled PID necessarily has a different start time.
+//!
+//! On platforms without `/proc` both probes return `None` and callers
+//! fall back to conservative behaviour (never steal what might be
+//! held).
+
+use std::fs;
+use std::path::Path;
+
+/// Liveness of a process id: `Some(alive)` when the platform exposes
+/// `/proc`, `None` when it cannot be determined.
+pub(crate) fn pid_alive(pid: u32) -> Option<bool> {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return None;
+    }
+    Some(proc_root.join(pid.to_string()).exists())
+}
+
+/// Start time of `pid` in clock ticks since boot, from
+/// `/proc/<pid>/stat` field 22. `None` when `/proc` is unavailable or
+/// the process is gone.
+pub(crate) fn proc_start_time(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // Field 2 (comm) may contain spaces and parentheses; everything
+    // after the *last* ')' is space-separated, making start time the
+    // 20th field of the tail (stat fields 3..).
+    let tail = stat.rsplit_once(')')?.1;
+    tail.split_ascii_whitespace().nth(19)?.parse().ok()
+}
+
+/// Start time of the current process, or `None` off-Linux.
+pub(crate) fn self_start_time() -> Option<u64> {
+    proc_start_time(std::process::id())
+}
+
+/// Whether the process identified by `(pid, start)` is provably dead.
+///
+/// Returns `true` when the PID is gone, or when it exists but with a
+/// different start time (the PID was recycled by another process).
+/// Returns `false` when the owner is alive or liveness is undecidable.
+/// A `start` of `None` in the recorded identity falls back to the
+/// PID-only check (legacy payloads).
+pub(crate) fn owner_dead(pid: u32, start: Option<u64>) -> bool {
+    match pid_alive(pid) {
+        Some(false) => true,
+        Some(true) => match (start, proc_start_time(pid)) {
+            // PID exists but was recycled: start times differ.
+            (Some(recorded), Some(current)) => recorded != current,
+            // Process vanished between the two probes.
+            (Some(_), None) => true,
+            // Legacy identity without a start time: PID-alive wins.
+            (None, _) => false,
+        },
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_is_alive_with_matching_start() {
+        if pid_alive(std::process::id()).is_none() {
+            return; // no /proc on this platform
+        }
+        let start = self_start_time().expect("own start time readable");
+        assert!(!owner_dead(std::process::id(), Some(start)));
+        assert!(!owner_dead(std::process::id(), None));
+    }
+
+    #[test]
+    fn recycled_pid_is_dead() {
+        if pid_alive(std::process::id()).is_none() {
+            return;
+        }
+        // Same (live) PID but a forged start time: provably recycled.
+        assert!(owner_dead(std::process::id(), Some(u64::MAX)));
+        // A PID that cannot exist is dead regardless of start time.
+        assert!(owner_dead(u32::MAX, Some(1)));
+        assert!(owner_dead(u32::MAX, None));
+    }
+}

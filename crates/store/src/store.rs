@@ -8,8 +8,10 @@
 //!   runs/<kk>/<key>/anon.json       # the anonymized table
 //!   tmp/                            # staging for atomic puts
 //!   quarantine/                     # corrupt entries set aside by reads/fsck
+//!   jobs/<sweep>/<seq>-<key16>.json # claimable job records (distributed sweeps)
+//!   leases/<sweep>/<key>.lease      # worker leases on in-flight jobs
 //!   journal.jsonl                   # write-ahead event journal
-//!   store.lock                      # advisory writer lock (pid inside)
+//!   store.lock                      # advisory writer lock (owner identity inside)
 //! ```
 //!
 //! Puts are crash-atomic: both files are written into a unique
@@ -32,11 +34,34 @@ use crate::manifest::RunManifest;
 use crate::retry::{transient_io, RetryPolicy};
 use crate::sha::sha256_hex;
 use secreta_metrics::AnonTable;
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One claimable unit of a distributed sweep: everything a worker
+/// needs to re-execute a job except the session inputs themselves
+/// (those come from the `SweepStarted` invocation in the journal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Sweep this job belongs to.
+    pub sweep: String,
+    /// Content address of the job (also the lease key).
+    pub key: String,
+    /// Position in the deterministic expansion order — the merge
+    /// order of the final sweep, regardless of completion order.
+    pub seq: u64,
+    /// Configuration label.
+    pub label: String,
+    /// Sweep-point value.
+    pub value: f64,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// The method specification as an opaque JSON payload.
+    pub spec: Value,
+}
 
 /// Failures of store operations.
 #[derive(Debug)]
@@ -338,6 +363,148 @@ impl RunStore {
         }
     }
 
+    /// Directory of claimable job records for `sweep`.
+    pub fn jobs_dir(&self, sweep: &str) -> PathBuf {
+        self.root.join("jobs").join(sweep)
+    }
+
+    /// Write the claimable job records of a distributed sweep. Each
+    /// record lands atomically (tmp + rename) under a name ordered by
+    /// its expansion sequence, so workers list them deterministically.
+    pub fn put_jobs(&self, jobs: &[JobRecord]) -> Result<(), StoreError> {
+        for job in jobs {
+            let dir = self.jobs_dir(&job.sweep);
+            fs::create_dir_all(&dir).map_err(io_err(&dir))?;
+            let text = serde_json::to_string(job)
+                .map_err(|e| StoreError::Corrupt(dir.clone(), e.to_string()))?;
+            let name = format!("{:08}-{}.json", job.seq, &job.key[..job.key.len().min(16)]);
+            let tmp = dir.join(format!(
+                ".tmp-{}-{}",
+                std::process::id(),
+                TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let path = dir.join(name);
+            fs::write(&tmp, text)
+                .and_then(|_| fs::rename(&tmp, &path))
+                .map_err(io_err(&path))?;
+        }
+        Ok(())
+    }
+
+    /// Read the job records of `sweep`, in expansion (`seq`) order.
+    /// Dot-prefixed staging leftovers and unparseable records are
+    /// skipped — a torn record re-executes via `runs resume`, it
+    /// should not wedge every worker.
+    pub fn list_jobs(&self, sweep: &str) -> Result<Vec<JobRecord>, StoreError> {
+        let mut jobs = Vec::new();
+        for path in read_dir_sorted(&self.jobs_dir(sweep))? {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or(".");
+            if name.starts_with('.') || !name.ends_with(".json") {
+                continue;
+            }
+            let text = fs::read_to_string(&path).map_err(io_err(&path))?;
+            if let Ok(job) = serde_json::from_str::<JobRecord>(&text) {
+                jobs.push(job);
+            }
+        }
+        jobs.sort_by_key(|j| j.seq);
+        Ok(jobs)
+    }
+
+    /// Remove the job records (and any leases) of a completed sweep.
+    pub fn clear_jobs(&self, sweep: &str) -> Result<(), StoreError> {
+        for dir in [
+            self.jobs_dir(sweep),
+            self.root.join(crate::lease::LEASE_DIR).join(sweep),
+        ] {
+            if dir.exists() {
+                fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
+            }
+            if let Some(parent) = dir.parent() {
+                let _ = fs::remove_dir(parent);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store a completed run like [`RunStore::put`], but fenced by a
+    /// worker lease: the staged directory carries the lease `epoch` in
+    /// its name, and `fence` is re-checked immediately before the
+    /// rename-commit. Returns `Ok(false)` — with the staging cleaned
+    /// up and nothing committed — when the fence reports the lease
+    /// lost, so a reclaimed worker's late write is rejected instead of
+    /// racing the reclaimer.
+    pub fn put_fenced(
+        &self,
+        manifest: &RunManifest,
+        anon: &AnonTable,
+        epoch: u64,
+        fence: &dyn Fn() -> bool,
+    ) -> Result<bool, StoreError> {
+        let key = RunKey(manifest.key.clone());
+        if self.contains(&key) {
+            // someone already committed this key; contents are
+            // deterministic, so the result is identical — success
+            return Ok(true);
+        }
+        let anon_text = serde_json::to_string(anon)
+            .map_err(|e| StoreError::Corrupt(self.root.clone(), e.to_string()))?;
+        let mut manifest = manifest.clone();
+        manifest.anon_sha256 = Some(sha256_hex(anon_text.as_bytes()));
+        let manifest_text = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| StoreError::Corrupt(self.root.clone(), e.to_string()))?;
+        RetryPolicy::store_default().run(
+            || {
+                if let Some(e) = secreta_faults::fault::io("store.put") {
+                    return Err(StoreError::Io(self.root.join("tmp"), e));
+                }
+                let stage = self.root.join("tmp").join(format!(
+                    "{}-{}-{}-e{}",
+                    &key.as_str()[..key.as_str().len().min(16)],
+                    std::process::id(),
+                    TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+                    epoch,
+                ));
+                let staged = (|| -> Result<(), StoreError> {
+                    fs::create_dir_all(&stage).map_err(io_err(&stage))?;
+                    for (name, text) in
+                        [("manifest.json", &manifest_text), ("anon.json", &anon_text)]
+                    {
+                        let path = stage.join(name);
+                        fs::write(&path, text).map_err(io_err(&path))?;
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = staged {
+                    let _ = fs::remove_dir_all(&stage);
+                    return Err(e);
+                }
+                // the fence: a reclaimed lease means another worker
+                // owns this job now — discard the late write
+                if !fence() {
+                    let _ = fs::remove_dir_all(&stage);
+                    return Ok(false);
+                }
+                let dest = self.run_dir(key.as_str());
+                if let Some(parent) = dest.parent() {
+                    fs::create_dir_all(parent).map_err(io_err(parent))?;
+                }
+                match fs::rename(&stage, &dest) {
+                    Ok(()) => Ok(true),
+                    Err(_) if self.contains(&key) => {
+                        let _ = fs::remove_dir_all(&stage);
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        let _ = fs::remove_dir_all(&stage);
+                        Err(StoreError::Io(dest, e))
+                    }
+                }
+            },
+            StoreError::is_transient,
+        )
+    }
+
     /// Manifests of every complete run, oldest first (ties broken by
     /// key, so the order is deterministic). Entries whose manifest
     /// fails to parse are skipped — `fsck` reports (and `--repair`
@@ -433,11 +600,12 @@ impl RunStore {
     }
 
     /// Remove *everything* — every run, the staging area, quarantined
-    /// entries, the journal, any lock file — leaving the store root
-    /// empty. Returns the number of runs removed.
+    /// entries, job records, leases, the journal, any lock file —
+    /// leaving the store root empty. Returns the number of runs
+    /// removed.
     pub fn gc_all(&self) -> Result<usize, StoreError> {
         let count = self.list()?.len();
-        for sub in ["runs", "tmp", "quarantine"] {
+        for sub in ["runs", "tmp", "quarantine", "jobs", crate::lease::LEASE_DIR] {
             let dir = self.root.join(sub);
             if dir.exists() {
                 fs::remove_dir_all(&dir).map_err(io_err(&dir))?;
